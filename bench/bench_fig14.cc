@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Figure 14 reproduction: latency-throughput with 16 buffers per input
+ * port and 2 VCs per physical channel (8 buffers per VC).
+ *
+ * Paper: zero-load 29 / 35 / 29 cycles; saturation 50% / 65% / 70% --
+ * the "40% over wormhole" headline configuration.
+ */
+
+#include "bench_util.hh"
+
+using namespace pdr;
+using router::RouterModel;
+
+int
+main()
+{
+    bench::banner("Figure 14 - 16 buffers per input port, 2 VCs",
+                  "WH (16 bufs), VC (2vcsX8bufs), specVC (2vcsX8bufs)."
+                  "  Paper: zero-load\n29/35/29 cycles; saturation "
+                  "0.50/0.65/0.70 (specVC = WH latency, +40% tput).");
+    bench::runAndPrintCurves({
+        {"WH (16 bufs)",
+         bench::routerConfig(RouterModel::Wormhole, 1, 16)},
+        {"VC (2x8)",
+         bench::routerConfig(RouterModel::VirtualChannel, 2, 8)},
+        {"specVC (2x8)",
+         bench::routerConfig(RouterModel::SpecVirtualChannel, 2, 8)},
+    });
+    return 0;
+}

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Figure 15 reproduction: 16 buffers per input port organized as 4 VCs
+ * x 4 buffers.
+ *
+ * Paper: with enough VCs/buffering to cover the credit loop, both VC
+ * routers saturate together at ~70%; speculation no longer adds
+ * throughput (but still removes the extra pipeline stage's latency).
+ */
+
+#include "bench_util.hh"
+
+using namespace pdr;
+using router::RouterModel;
+
+int
+main()
+{
+    bench::banner("Figure 15 - 16 buffers per input port, 4 VCs",
+                  "WH (16 bufs), VC (4vcsX4bufs), specVC (4vcsX4bufs)."
+                  "  Paper: both VC routers\nsaturate at ~0.70; "
+                  "speculation's throughput edge vanishes.");
+    bench::runAndPrintCurves({
+        {"WH (16 bufs)",
+         bench::routerConfig(RouterModel::Wormhole, 1, 16)},
+        {"VC (4x4)",
+         bench::routerConfig(RouterModel::VirtualChannel, 4, 4)},
+        {"specVC (4x4)",
+         bench::routerConfig(RouterModel::SpecVirtualChannel, 4, 4)},
+    });
+    return 0;
+}

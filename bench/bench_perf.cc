@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Simulator performance benchmarks (google-benchmark): arbiter and
+ * allocator primitives, router ticks, and whole-network cycles/sec.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "api/simulation.hh"
+#include "arb/matrix_arbiter.hh"
+#include "arb/switch_allocator.hh"
+#include "arb/vc_allocator.hh"
+#include "common/rng.hh"
+
+using namespace pdr;
+
+static void
+BM_MatrixArbiter(benchmark::State &state)
+{
+    int n = int(state.range(0));
+    arb::MatrixArbiter a(n);
+    Rng rng(1);
+    std::vector<bool> req(n);
+    for (int i = 0; i < n; i++)
+        req[i] = rng.bernoulli(0.5);
+    for (auto _ : state) {
+        int w = a.arbitrate(req);
+        a.update(w);
+        benchmark::DoNotOptimize(w);
+    }
+}
+BENCHMARK(BM_MatrixArbiter)->Arg(5)->Arg(10)->Arg(20);
+
+static void
+BM_SeparableSwitchAllocator(benchmark::State &state)
+{
+    int v = int(state.range(0));
+    arb::SeparableSwitchAllocator alloc(5, v);
+    Rng rng(2);
+    std::vector<arb::SaRequest> reqs;
+    for (int in = 0; in < 5; in++)
+        for (int vc = 0; vc < v; vc++)
+            if (rng.bernoulli(0.4))
+                reqs.push_back({in, vc, int(rng.range(5)), false});
+    for (auto _ : state) {
+        auto g = alloc.allocate(reqs);
+        benchmark::DoNotOptimize(g);
+    }
+}
+BENCHMARK(BM_SeparableSwitchAllocator)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+static void
+BM_SpeculativeSwitchAllocator(benchmark::State &state)
+{
+    int v = int(state.range(0));
+    arb::SpeculativeSwitchAllocator alloc(5, v);
+    Rng rng(3);
+    std::vector<arb::SaRequest> reqs;
+    for (int in = 0; in < 5; in++)
+        for (int vc = 0; vc < v; vc++)
+            if (rng.bernoulli(0.4))
+                reqs.push_back({in, vc, int(rng.range(5)),
+                                rng.bernoulli(0.5)});
+    for (auto _ : state) {
+        auto g = alloc.allocate(reqs);
+        benchmark::DoNotOptimize(g);
+    }
+}
+BENCHMARK(BM_SpeculativeSwitchAllocator)->Arg(2)->Arg(4);
+
+static void
+BM_VcAllocator(benchmark::State &state)
+{
+    int v = int(state.range(0));
+    arb::VcAllocator alloc(5, v);
+    Rng rng(4);
+    std::vector<arb::VaRequest> reqs;
+    for (int in = 0; in < 5; in++)
+        for (int vc = 0; vc < v; vc++)
+            if (rng.bernoulli(0.3))
+                reqs.push_back({in, vc, int(rng.range(5))});
+    auto free_fn = [](int, int) { return true; };
+    for (auto _ : state) {
+        auto g = alloc.allocate(reqs, free_fn);
+        benchmark::DoNotOptimize(g);
+    }
+}
+BENCHMARK(BM_VcAllocator)->Arg(2)->Arg(4)->Arg(8);
+
+static void
+BM_NetworkCycle(benchmark::State &state)
+{
+    net::NetworkConfig cfg;
+    cfg.k = 8;
+    cfg.router.model = router::RouterModel(state.range(0));
+    cfg.router.numVcs =
+        cfg.router.model == router::RouterModel::Wormhole ? 1 : 2;
+    cfg.router.bufDepth = 8;
+    cfg.warmup = 0;
+    cfg.samplePackets = 1u << 30;
+    cfg.setOfferedFraction(0.4);
+    net::Network n(cfg);
+    n.run(2000);    // Warm the network into steady state.
+    for (auto _ : state)
+        n.step();
+    state.SetItemsProcessed(state.iterations() * 64);   // Router-ticks.
+}
+BENCHMARK(BM_NetworkCycle)
+    ->Arg(int(router::RouterModel::Wormhole))
+    ->Arg(int(router::RouterModel::VirtualChannel))
+    ->Arg(int(router::RouterModel::SpecVirtualChannel));
+
+static void
+BM_FullSimulation(benchmark::State &state)
+{
+    for (auto _ : state) {
+        api::SimConfig cfg;
+        cfg.net.router.model = router::RouterModel::SpecVirtualChannel;
+        cfg.net.router.numVcs = 2;
+        cfg.net.router.bufDepth = 4;
+        cfg.net.warmup = 500;
+        cfg.net.samplePackets = 1000;
+        cfg.net.setOfferedFraction(0.3);
+        auto res = api::runSimulation(cfg);
+        benchmark::DoNotOptimize(res);
+    }
+}
+BENCHMARK(BM_FullSimulation)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

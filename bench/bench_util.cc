@@ -1,0 +1,119 @@
+#include "bench_util.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pdr::bench {
+
+namespace {
+
+bool
+fastMode()
+{
+    const char *env = std::getenv("PDR_FAST");
+    return env && env[0] == '1';
+}
+
+} // namespace
+
+void
+banner(const std::string &title, const std::string &what)
+{
+    std::printf("==============================================="
+                "=============================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("%s\n", what.c_str());
+    std::printf("==============================================="
+                "=============================\n");
+}
+
+std::vector<double>
+loadGrid()
+{
+    if (fastMode())
+        return {0.1, 0.3, 0.5, 0.7};
+    return {0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45,
+            0.5, 0.55, 0.6, 0.65, 0.7, 0.75, 0.8};
+}
+
+api::SimConfig
+baseConfig()
+{
+    api::SimConfig cfg;
+    cfg.net.k = 8;
+    cfg.net.packetLength = 5;
+    cfg.net.warmup = 10000;
+    cfg.net.samplePackets = fastMode() ? 3000 : 30000;
+    cfg.maxCycles = 150000;
+    cfg.applyEnvDefaults();
+    return cfg;
+}
+
+api::SimConfig
+routerConfig(router::RouterModel model, int vcs, int buf,
+             bool single_cycle)
+{
+    api::SimConfig cfg = baseConfig();
+    cfg.net.router.model = model;
+    cfg.net.router.singleCycle = single_cycle;
+    cfg.net.router.numVcs = vcs;
+    cfg.net.router.bufDepth = buf;
+    return cfg;
+}
+
+void
+runAndPrintCurves(const std::vector<Curve> &curves)
+{
+    std::printf("%-8s", "load");
+    for (const auto &c : curves)
+        std::printf(" %16s", c.label.c_str());
+    std::printf("\n");
+    std::printf("%-8s", "");
+    for (std::size_t i = 0; i < curves.size(); i++)
+        std::printf(" %16s", "latency (cyc)");
+    std::printf("\n");
+
+    std::vector<double> knee(curves.size(), 0.0);
+    std::vector<double> zero_load(curves.size(), 0.0);
+    std::vector<bool> saturated(curves.size(), false);
+
+    bool first_row = true;
+    for (double f : loadGrid()) {
+        std::printf("%-8.2f", f);
+        for (std::size_t i = 0; i < curves.size(); i++) {
+            auto cfg = curves[i].cfg;
+            cfg.net.setOfferedFraction(f);
+            auto res = api::runSimulation(cfg);
+            if (first_row)
+                zero_load[i] = res.avgLatency;
+            // Saturation: the sample failed to drain, accepted traffic
+            // lags offered, or latency left the flat region (4x the
+            // lowest-load latency -- the knee of the paper's figures).
+            bool sat = res.saturated() ||
+                       res.avgLatency > 4.0 * zero_load[i];
+            if (sat) {
+                std::printf(" %11.1f sat*", res.avgLatency);
+                saturated[i] = true;
+            } else {
+                std::printf(" %16.1f", res.avgLatency);
+                if (!saturated[i])
+                    knee[i] = f;
+            }
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+        first_row = false;
+    }
+
+    std::printf("\nmeasured saturation (last load on the grid with "
+                "latency < 4x zero-load):\n");
+    for (std::size_t i = 0; i < curves.size(); i++)
+        std::printf("  %-20s ~%.2f of capacity "
+                    "(zero-load %.1f cycles)\n",
+                    curves[i].label.c_str(), knee[i], zero_load[i]);
+    std::printf("(sat* = latency blew past 4x zero-load or the sample"
+                " failed to drain;\n latency shown is of received "
+                "packets only and is unbounded past saturation)\n");
+}
+
+} // namespace pdr::bench

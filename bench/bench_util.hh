@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benches: standard configurations,
+ * the offered-load grid of the paper's figures, and table printing.
+ *
+ * Every bench prints the same rows/series as the corresponding table or
+ * figure of Peh & Dally (HPCA 2001), with the paper's reported values
+ * alongside where they are quoted in the text.
+ *
+ * Environment:
+ *   PDR_PACKETS    sample-space size (default 30000; paper used 100000)
+ *   PDR_WARMUP     warm-up cycles (default 10000, as in the paper)
+ *   PDR_MAX_CYCLES simulation cycle cap for saturated points
+ *   PDR_FAST=1     coarse load grid + small sample for smoke runs
+ */
+
+#ifndef PDR_BENCH_UTIL_HH
+#define PDR_BENCH_UTIL_HH
+
+#include <string>
+#include <vector>
+
+#include "api/simulation.hh"
+
+namespace pdr::bench {
+
+/** Print a bench banner. */
+void banner(const std::string &title, const std::string &what);
+
+/** The offered-load fractions used for latency-throughput curves. */
+std::vector<double> loadGrid();
+
+/** Base configuration matching the paper's Section-5 setup. */
+api::SimConfig baseConfig();
+
+/** Configure a router model. */
+api::SimConfig routerConfig(router::RouterModel model, int vcs, int buf,
+                            bool single_cycle = false);
+
+/** A labelled latency-throughput curve. */
+struct Curve
+{
+    std::string label;
+    api::SimConfig cfg;
+};
+
+/**
+ * Run every curve over the load grid and print a table: one row per
+ * offered load, one latency column per curve ("sat" once the sample no
+ * longer drains).  Also prints each curve's measured saturation knee.
+ */
+void runAndPrintCurves(const std::vector<Curve> &curves);
+
+} // namespace pdr::bench
+
+#endif // PDR_BENCH_UTIL_HH

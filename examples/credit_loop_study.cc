@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Credit-loop study: how buffer depth and credit latency interact
+ * (the mechanism behind Figures 16 and 18 of the paper).
+ *
+ * Sweeps buffers-per-VC x credit propagation latency for a speculative
+ * VC router and prints the achieved saturation throughput, showing the
+ * "buffers must cover the credit loop" rule of thumb.
+ *
+ *   $ ./credit_loop_study [vcs]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "api/simulation.hh"
+
+using namespace pdr;
+using router::RouterModel;
+
+int
+main(int argc, char **argv)
+{
+    int vcs = argc > 1 ? std::atoi(argv[1]) : 2;
+
+    std::printf("speculative VC router, %d VCs, 8x8 mesh, uniform "
+                "traffic\nsaturation throughput (fraction of capacity)"
+                " vs buffers/VC and credit latency\n\n", vcs);
+
+    const int bufs[] = {2, 4, 8};
+    const sim::Cycle cps[] = {1, 2, 4, 8};
+
+    std::printf("%-12s", "bufs\\credit");
+    for (auto cp : cps)
+        std::printf(" %7llu", static_cast<unsigned long long>(cp));
+    std::printf("\n");
+
+    for (int buf : bufs) {
+        std::printf("%-12d", buf);
+        for (auto cp : cps) {
+            api::SimConfig cfg;
+            cfg.net.router.model = RouterModel::SpecVirtualChannel;
+            cfg.net.router.numVcs = vcs;
+            cfg.net.router.bufDepth = buf;
+            cfg.net.creditLatency = cp;
+            cfg.net.warmup = 3000;
+            cfg.net.samplePackets = 4000;
+            cfg.maxCycles = 100000;
+            cfg.applyEnvDefaults();
+            double sat = api::findSaturation(cfg, 4.0, 0.02);
+            std::printf(" %7.2f", sat);
+            std::fflush(stdout);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nreading: each column shift to the right (longer "
+                "credit path) needs deeper\nbuffers to hold the same "
+                "throughput -- buffers must cover the credit loop\n"
+                "(paper Section 5.2 / Figure 18: 1 -> 4 cycles cost "
+                "specVC 2x4 ~18%% of its\nthroughput).\n");
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Pipeline explorer: apply the delay model to your own router.
+ *
+ * Give it a flow-control method, port/VC counts, flit width, routing
+ * range and clock period, and it prints the atomic-module delays and
+ * the pipeline the model prescribes (the paper's Section-3 design
+ * methodology as a command-line tool).
+ *
+ *   $ ./pipeline_explorer wh|vc|spec [p] [v] [w] [clk_tau4] [rv|rp|rpv]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "pipeline/designer.hh"
+
+using namespace pdr;
+using namespace pdr::delay;
+using namespace pdr::pipeline;
+
+int
+main(int argc, char **argv)
+{
+    RouterParams prm;
+    prm.kind = RouterKind::SpecVirtualChannel;
+    prm.p = 5;
+    prm.v = 2;
+    prm.w = 32;
+    prm.range = RoutingRange::Rv;
+    double clk_tau4 = 20.0;
+
+    if (argc > 1) {
+        if (!std::strcmp(argv[1], "wh"))
+            prm.kind = RouterKind::Wormhole;
+        else if (!std::strcmp(argv[1], "vc"))
+            prm.kind = RouterKind::VirtualChannel;
+        else if (!std::strcmp(argv[1], "spec"))
+            prm.kind = RouterKind::SpecVirtualChannel;
+        else {
+            std::fprintf(stderr,
+                         "usage: %s wh|vc|spec [p] [v] [w] [clk_tau4] "
+                         "[rv|rp|rpv]\n", argv[0]);
+            return 1;
+        }
+    }
+    if (argc > 2)
+        prm.p = std::atoi(argv[2]);
+    if (argc > 3)
+        prm.v = std::atoi(argv[3]);
+    if (argc > 4)
+        prm.w = std::atoi(argv[4]);
+    if (argc > 5)
+        clk_tau4 = std::atof(argv[5]);
+    if (argc > 6) {
+        if (!std::strcmp(argv[6], "rv"))
+            prm.range = RoutingRange::Rv;
+        else if (!std::strcmp(argv[6], "rp"))
+            prm.range = RoutingRange::Rp;
+        else if (!std::strcmp(argv[6], "rpv"))
+            prm.range = RoutingRange::Rpv;
+    }
+    if (prm.kind == RouterKind::Wormhole)
+        prm.v = 1;
+
+    Tau clk = fromTau4(clk_tau4);
+    std::printf("router: %s, p=%d, v=%d, w=%d, clk=%.1f tau4, "
+                "range=%s\n\n", toString(prm.kind), prm.p, prm.v,
+                prm.w, clk_tau4, toString(prm.range));
+
+    std::printf("atomic modules on the critical path:\n");
+    auto path = criticalPath(prm);
+    for (const auto &m : path) {
+        std::printf("  %-18s t=%6.1f tau4   h=%4.1f tau4\n",
+                    m.name().c_str(), m.delay.latency.inTau4(),
+                    m.delay.overhead.inTau4());
+    }
+    std::printf("  unpipelined total: %.1f tau4 (Chien-style single "
+                "number)\n\n",
+                criticalPathTotal(path).inTau4());
+
+    for (auto policy : {FitPolicy::Strict, FitPolicy::Relaxed}) {
+        auto d = design(path, clk, policy);
+        std::printf("pipeline (%s fit): %d stages\n",
+                    policy == FitPolicy::Strict ? "strict EQ-1"
+                                                : "relaxed",
+                    d.depth());
+        int idx = 1;
+        for (const auto &stage : d.stages) {
+            std::printf("  stage %d (%4.1f%% occupied):", idx++,
+                        100.0 * stage.occupancy().value() /
+                            clk.value());
+            for (const auto &s : stage.slices) {
+                std::printf(" %s", toString(s.kind));
+                if (s.continues)
+                    std::printf("...");
+            }
+            std::printf("\n");
+        }
+    }
+    return 0;
+}

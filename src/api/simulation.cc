@@ -1,0 +1,104 @@
+#include "api/simulation.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace pdr::api {
+
+void
+SimConfig::applyEnvDefaults()
+{
+    if (const char *env = std::getenv("PDR_PACKETS")) {
+        long v = std::atol(env);
+        if (v > 0)
+            net.samplePackets = std::uint64_t(v);
+    }
+    if (const char *env = std::getenv("PDR_WARMUP")) {
+        long v = std::atol(env);
+        if (v > 0)
+            net.warmup = sim::Cycle(v);
+    }
+    if (const char *env = std::getenv("PDR_MAX_CYCLES")) {
+        long v = std::atol(env);
+        if (v > 0)
+            maxCycles = sim::Cycle(v);
+    }
+}
+
+bool
+SimResults::saturated() const
+{
+    if (!drained)
+        return true;
+    return acceptedFraction < 0.9 * offeredFraction;
+}
+
+SimResults
+runSimulation(const SimConfig &cfg)
+{
+    net::Network network(cfg.net);
+    auto &ctrl = network.controller();
+
+    // Warm-up phase.
+    network.run(cfg.net.warmup);
+
+    // Sample phase: run until the sample space is tagged and received,
+    // or the cycle cap is reached (saturated networks never drain).
+    while (!ctrl.done() && network.now() < cfg.maxCycles)
+        network.step();
+
+    SimResults res;
+    res.offeredFraction = cfg.net.offeredFraction();
+    res.acceptedFraction = network.acceptedFraction();
+    auto lat = network.latency();
+    res.avgLatency = lat.mean();
+    res.p99Latency = lat.percentile(99.0);
+    res.sampleReceived = ctrl.received();
+    res.sampleSize = ctrl.sampleSize();
+    res.drained = ctrl.done();
+    res.cycles = network.now();
+    res.routers = network.routerTotals();
+    return res;
+}
+
+std::vector<SimResults>
+sweepLoad(SimConfig cfg, const std::vector<double> &offered_fractions)
+{
+    std::vector<SimResults> curve;
+    curve.reserve(offered_fractions.size());
+    for (double f : offered_fractions) {
+        cfg.net.setOfferedFraction(f);
+        curve.push_back(runSimulation(cfg));
+    }
+    return curve;
+}
+
+double
+findSaturation(SimConfig cfg, double latency_limit, double tolerance)
+{
+    // Zero-load latency reference at 2 % load.
+    cfg.net.setOfferedFraction(0.02);
+    double zero_load = runSimulation(cfg).avgLatency;
+    pdr_assert(zero_load > 0.0);
+
+    auto ok = [&](double f) {
+        cfg.net.setOfferedFraction(f);
+        SimResults r = runSimulation(cfg);
+        return r.drained && r.avgLatency <= latency_limit * zero_load;
+    };
+
+    double lo = 0.02, hi = 1.0;
+    if (!ok(lo))
+        return 0.0;
+    while (hi - lo > tolerance) {
+        double mid = 0.5 * (lo + hi);
+        if (ok(mid))
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+} // namespace pdr::api

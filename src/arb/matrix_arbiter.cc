@@ -1,0 +1,64 @@
+#include "arb/matrix_arbiter.hh"
+
+#include "common/logging.hh"
+
+namespace pdr::arb {
+
+MatrixArbiter::MatrixArbiter(int n) : Arbiter(n)
+{
+    pdr_assert(n >= 1);
+    // i beats j initially for all i < j.
+    m_.assign(std::size_t(n) * n, true);
+}
+
+int
+MatrixArbiter::idx(int i, int j) const
+{
+    return i * size() + j;
+}
+
+bool
+MatrixArbiter::beats(int i, int j) const
+{
+    pdr_assert(i != j);
+    if (i < j)
+        return m_[idx(i, j)];
+    return !m_[idx(j, i)];
+}
+
+int
+MatrixArbiter::arbitrate(const std::vector<bool> &requests) const
+{
+    pdr_assert(int(requests.size()) == size());
+    for (int i = 0; i < size(); i++) {
+        if (!requests[i])
+            continue;
+        bool wins = true;
+        for (int j = 0; j < size() && wins; j++) {
+            if (j != i && requests[j] && !beats(i, j))
+                wins = false;
+        }
+        if (wins)
+            return i;
+    }
+    return NoGrant;
+}
+
+void
+MatrixArbiter::update(int winner)
+{
+    if (winner == NoGrant)
+        return;
+    pdr_assert(winner >= 0 && winner < size());
+    // Winner drops to lowest priority: every other j now beats winner.
+    for (int j = 0; j < size(); j++) {
+        if (j == winner)
+            continue;
+        if (winner < j)
+            m_[idx(winner, j)] = false;
+        else
+            m_[idx(j, winner)] = true;
+    }
+}
+
+} // namespace pdr::arb

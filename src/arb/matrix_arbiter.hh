@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Matrix arbiter (Figure 10(b) of the paper).
+ *
+ * An upper-triangular matrix of flip-flops records the binary priority
+ * between each pair of requestors.  A requestor wins iff it has higher
+ * priority than every other current requestor.  When a requestor consumes
+ * a grant its priority is set to the lowest of all requestors, which
+ * makes the arbiter strongly fair (least-recently-served order).
+ */
+
+#ifndef PDR_ARB_MATRIX_ARBITER_HH
+#define PDR_ARB_MATRIX_ARBITER_HH
+
+#include "arb/arbiter.hh"
+
+namespace pdr::arb {
+
+/** Least-recently-served matrix arbiter. */
+class MatrixArbiter : public Arbiter
+{
+  public:
+    explicit MatrixArbiter(int n);
+
+    int arbitrate(const std::vector<bool> &requests) const override;
+    void update(int winner) override;
+
+    /** Does requestor i currently beat requestor j? (diagnostic). */
+    bool beats(int i, int j) const;
+
+  private:
+    /** Upper-triangular storage: m_[idx(i,j)] true means i beats j, for
+     *  i < j. */
+    std::vector<bool> m_;
+
+    int idx(int i, int j) const;
+};
+
+} // namespace pdr::arb
+
+#endif // PDR_ARB_MATRIX_ARBITER_HH

@@ -1,0 +1,33 @@
+#include "arb/round_robin_arbiter.hh"
+
+#include "common/logging.hh"
+
+namespace pdr::arb {
+
+RoundRobinArbiter::RoundRobinArbiter(int n) : Arbiter(n)
+{
+    pdr_assert(n >= 1);
+}
+
+int
+RoundRobinArbiter::arbitrate(const std::vector<bool> &requests) const
+{
+    pdr_assert(int(requests.size()) == size());
+    for (int k = 0; k < size(); k++) {
+        int i = (next_ + k) % size();
+        if (requests[i])
+            return i;
+    }
+    return NoGrant;
+}
+
+void
+RoundRobinArbiter::update(int winner)
+{
+    if (winner == NoGrant)
+        return;
+    pdr_assert(winner >= 0 && winner < size());
+    next_ = (winner + 1) % size();
+}
+
+} // namespace pdr::arb

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Round-robin arbiter: a rotating-pointer alternative to the matrix
+ * arbiter, provided for ablation studies of the arbitration policy.
+ */
+
+#ifndef PDR_ARB_ROUND_ROBIN_ARBITER_HH
+#define PDR_ARB_ROUND_ROBIN_ARBITER_HH
+
+#include "arb/arbiter.hh"
+
+namespace pdr::arb {
+
+/** Rotating-priority arbiter. */
+class RoundRobinArbiter : public Arbiter
+{
+  public:
+    explicit RoundRobinArbiter(int n);
+
+    int arbitrate(const std::vector<bool> &requests) const override;
+    void update(int winner) override;
+
+  private:
+    int next_ = 0;  //!< Highest-priority requestor index.
+};
+
+} // namespace pdr::arb
+
+#endif // PDR_ARB_ROUND_ROBIN_ARBITER_HH

@@ -1,0 +1,163 @@
+#include "arb/switch_allocator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pdr::arb {
+
+WormholeSwitchArbiter::WormholeSwitchArbiter(int p) : p_(p)
+{
+    pdr_assert(p >= 1);
+    outputArb_.reserve(p);
+    for (int i = 0; i < p; i++)
+        outputArb_.emplace_back(p);
+    reqRow_.assign(p, false);
+}
+
+std::vector<SaGrant>
+WormholeSwitchArbiter::allocate(const std::vector<SaRequest> &requests)
+{
+    std::vector<SaGrant> grants;
+    // One output port at a time: gather its requests and arbitrate.
+    // Request counts are tiny (<= p), so a linear pass per output is
+    // cheaper than building a full matrix.
+    for (int out = 0; out < p_; out++) {
+        bool any = false;
+        for (const auto &r : requests) {
+            pdr_assert(r.inPort >= 0 && r.inPort < p_);
+            pdr_assert(r.outPort >= 0 && r.outPort < p_);
+            pdr_assert(!r.spec);
+            if (r.outPort == out) {
+                pdr_assert(!reqRow_[r.inPort]);
+                reqRow_[r.inPort] = true;
+                any = true;
+            }
+        }
+        if (any) {
+            int winner = outputArb_[out].arbitrate(reqRow_);
+            if (winner != NoGrant) {
+                outputArb_[out].update(winner);
+                grants.push_back({winner, 0, out, false});
+            }
+            std::fill(reqRow_.begin(), reqRow_.end(), false);
+        }
+    }
+    return grants;
+}
+
+SeparableSwitchAllocator::SeparableSwitchAllocator(int p, int v)
+    : p_(p), v_(v)
+{
+    pdr_assert(p >= 1 && v >= 1);
+    inputArb_.reserve(p);
+    outputArb_.reserve(p);
+    for (int i = 0; i < p; i++) {
+        inputArb_.emplace_back(v);
+        outputArb_.emplace_back(p);
+    }
+    inReq_.assign(std::size_t(p) * v, false);
+    want_.assign(std::size_t(p) * v, NoGrant);
+    stage1Vc_.assign(p, NoGrant);
+    stage1Out_.assign(p, NoGrant);
+    vcRow_.assign(v, false);
+    portRow_.assign(p, false);
+}
+
+std::vector<SaGrant>
+SeparableSwitchAllocator::allocate(const std::vector<SaRequest> &requests)
+{
+    // Stage 1: per input port, a v:1 arbiter picks the bidding VC.
+    for (const auto &r : requests) {
+        pdr_assert(r.inPort >= 0 && r.inPort < p_);
+        pdr_assert(r.inVc >= 0 && r.inVc < v_);
+        pdr_assert(r.outPort >= 0 && r.outPort < p_);
+        std::size_t idx = std::size_t(r.inPort) * v_ + r.inVc;
+        pdr_assert(!inReq_[idx]);
+        inReq_[idx] = true;
+        want_[idx] = r.outPort;
+    }
+
+    for (int in = 0; in < p_; in++) {
+        stage1Vc_[in] = NoGrant;
+        bool any = false;
+        for (int vc = 0; vc < v_; vc++) {
+            vcRow_[vc] = inReq_[std::size_t(in) * v_ + vc];
+            any = any || vcRow_[vc];
+        }
+        if (any) {
+            int vc = inputArb_[in].arbitrate(vcRow_);
+            if (vc != NoGrant) {
+                stage1Vc_[in] = vc;
+                stage1Out_[in] = want_[std::size_t(in) * v_ + vc];
+            }
+        }
+    }
+
+    // Stage 2: per output port, a p:1 arbiter among forwarded winners.
+    std::vector<SaGrant> grants;
+    for (int out = 0; out < p_; out++) {
+        bool any = false;
+        for (int in = 0; in < p_; in++) {
+            portRow_[in] =
+                stage1Vc_[in] != NoGrant && stage1Out_[in] == out;
+            any = any || portRow_[in];
+        }
+        if (!any)
+            continue;
+        int in_win = outputArb_[out].arbitrate(portRow_);
+        if (in_win != NoGrant) {
+            // Update priorities only for consumed grants so a VC that
+            // won stage 1 but lost stage 2 keeps its turn.
+            outputArb_[out].update(in_win);
+            inputArb_[in_win].update(stage1Vc_[in_win]);
+            grants.push_back({in_win, stage1Vc_[in_win], out, false});
+        }
+    }
+
+    // Clear scratch for the next round.
+    for (const auto &r : requests) {
+        std::size_t idx = std::size_t(r.inPort) * v_ + r.inVc;
+        inReq_[idx] = false;
+        want_[idx] = NoGrant;
+    }
+    return grants;
+}
+
+SpeculativeSwitchAllocator::SpeculativeSwitchAllocator(int p, int v)
+    : nonspec_(p, v), spec_(p, v), p_(p)
+{
+}
+
+std::vector<SaGrant>
+SpeculativeSwitchAllocator::allocate(const std::vector<SaRequest> &requests)
+{
+    ns_.clear();
+    sp_.clear();
+    for (const auto &r : requests)
+        (r.spec ? sp_ : ns_).push_back(r);
+
+    std::vector<SaGrant> grants = nonspec_.allocate(ns_);
+
+    if (!sp_.empty()) {
+        // Ports consumed by non-speculative winners mask speculative
+        // grants (Figure 7(c): non-spec selected over spec).  The
+        // speculative allocator still runs (and updates its priorities)
+        // exactly as the parallel hardware would.
+        inUsed_.assign(p_, false);
+        outUsed_.assign(p_, false);
+        for (const auto &g : grants) {
+            inUsed_[g.inPort] = true;
+            outUsed_[g.outPort] = true;
+        }
+        for (auto &g : spec_.allocate(sp_)) {
+            if (inUsed_[g.inPort] || outUsed_[g.outPort])
+                continue;
+            g.spec = true;
+            grants.push_back(g);
+        }
+    }
+    return grants;
+}
+
+} // namespace pdr::arb

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Separable switch allocators (Figure 7 of the paper).
+ *
+ * WormholeSwitchArbiter: one p:1 matrix arbiter per output port; the
+ * router holds the granted port for the whole packet (Figure 7(a) - the
+ * port-status state itself lives in the router model).
+ *
+ * SeparableSwitchAllocator: the VC-router allocator of Figure 7(b): a
+ * v:1 matrix arbiter per input port picks which VC may bid, then a p:1
+ * matrix arbiter per output port picks the winning input.  Allocation is
+ * per-flit (cycle-by-cycle), so no port status is stored.
+ *
+ * SpeculativeSwitchAllocator: Figure 7(c): two separable allocators run
+ * in parallel, one over non-speculative requests and one over
+ * speculative ones; a non-speculative grant for an output port (or from
+ * an input port) kills any speculative grant touching the same port, so
+ * speculation can never hurt non-speculative traffic.
+ */
+
+#ifndef PDR_ARB_SWITCH_ALLOCATOR_HH
+#define PDR_ARB_SWITCH_ALLOCATOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "arb/matrix_arbiter.hh"
+
+namespace pdr::arb {
+
+/** A switch request: input VC (inPort, inVc) wants outPort. */
+struct SaRequest
+{
+    int inPort;
+    int inVc;       //!< 0 for wormhole routers.
+    int outPort;
+    bool spec = false;  //!< Speculative (head still awaiting VA).
+};
+
+/** A granted switch passage. */
+struct SaGrant
+{
+    int inPort;
+    int inVc;
+    int outPort;
+    bool spec = false;
+};
+
+/** Per-output-port matrix arbitration for wormhole routers. */
+class WormholeSwitchArbiter
+{
+  public:
+    explicit WormholeSwitchArbiter(int p);
+
+    /**
+     * Arbitrate head-flit requests for output ports.  Each input port
+     * may request at most one output (deterministic routing).  Requests
+     * for ports already held by a packet must be filtered by the caller
+     * (the port status lives with the router, Figure 7(a)).
+     */
+    std::vector<SaGrant> allocate(const std::vector<SaRequest> &requests);
+
+  private:
+    int p_;
+    std::vector<MatrixArbiter> outputArb_;
+    std::vector<bool> reqRow_;  //!< Reused per-output request row.
+};
+
+/** Input-first separable allocator for (non-speculative) VC routers. */
+class SeparableSwitchAllocator
+{
+  public:
+    SeparableSwitchAllocator(int p, int v);
+
+    /**
+     * Two-stage separable allocation.  At most one grant per input port
+     * and per output port.  Arbiter priorities are updated only for
+     * requests that win both stages (the consumed grants).
+     */
+    std::vector<SaGrant> allocate(const std::vector<SaRequest> &requests);
+
+    int numPorts() const { return p_; }
+    int numVcs() const { return v_; }
+
+  private:
+    int p_;
+    int v_;
+    std::vector<MatrixArbiter> inputArb_;   //!< v:1 per input port.
+    std::vector<MatrixArbiter> outputArb_;  //!< p:1 per output port.
+
+    // Reused per-call scratch (hot path).
+    std::vector<bool> inReq_;
+    std::vector<int> want_;
+    std::vector<int> stage1Vc_;
+    std::vector<int> stage1Out_;
+    std::vector<bool> vcRow_;
+    std::vector<bool> portRow_;
+};
+
+/** Parallel non-spec / spec allocation with non-spec priority. */
+class SpeculativeSwitchAllocator
+{
+  public:
+    SpeculativeSwitchAllocator(int p, int v);
+
+    /**
+     * Allocate non-speculative requests first, then speculative requests
+     * on input/output ports untouched by non-speculative winners.
+     * Returned speculative grants carry spec = true; the router must
+     * discard them if the parallel VA did not deliver an output VC (the
+     * crossbar slot is then simply wasted).
+     */
+    std::vector<SaGrant> allocate(const std::vector<SaRequest> &requests);
+
+  private:
+    SeparableSwitchAllocator nonspec_;
+    SeparableSwitchAllocator spec_;
+    int p_;
+
+    // Reused per-call scratch (hot path).
+    std::vector<SaRequest> ns_;
+    std::vector<SaRequest> sp_;
+    std::vector<bool> inUsed_;
+    std::vector<bool> outUsed_;
+};
+
+} // namespace pdr::arb
+
+#endif // PDR_ARB_SWITCH_ALLOCATOR_HH

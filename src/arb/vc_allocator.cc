@@ -1,0 +1,88 @@
+#include "arb/vc_allocator.hh"
+
+#include "common/logging.hh"
+
+namespace pdr::arb {
+
+VcAllocator::VcAllocator(int p, int v) : p_(p), v_(v)
+{
+    pdr_assert(p >= 1 && v >= 1);
+    int nivc = p * v;
+    firstStagePtr_.assign(nivc, 0);
+    outputVcArb_.reserve(nivc);
+    for (int i = 0; i < nivc; i++)
+        outputVcArb_.emplace_back(nivc);
+    reqRow_.assign(nivc, false);
+    pickOf_.assign(nivc, -1);
+    seen_.assign(nivc, false);
+}
+
+std::vector<VaGrant>
+VcAllocator::allocate(const std::vector<VaRequest> &requests,
+                      const std::function<bool(int, int)> &is_free)
+{
+    // Stage 1: each input VC picks one free candidate output VC on its
+    // routed port, scanning from its rotating pointer.  pickOf_[ivc]
+    // records the picked global output-VC index.
+    contested_.clear();
+    for (const auto &r : requests) {
+        pdr_assert(r.inPort >= 0 && r.inPort < p_);
+        pdr_assert(r.inVc >= 0 && r.inVc < v_);
+        pdr_assert(r.outPort >= 0 && r.outPort < p_);
+        int ivc = r.inPort * v_ + r.inVc;
+        pdr_assert(!seen_[ivc]);
+        seen_[ivc] = true;
+        int start = firstStagePtr_[ivc];
+        for (int k = 0; k < v_; k++) {
+            int ovc = (start + k) % v_;
+            if (!((r.vcMask >> ovc) & 1u))
+                continue;
+            if (is_free(r.outPort, ovc)) {
+                int ovc_idx = r.outPort * v_ + ovc;
+                pickOf_[ivc] = ovc_idx;
+                contested_.push_back(ovc_idx);
+                break;
+            }
+        }
+    }
+
+    // Stage 2: per contested output VC, a (p*v):1 matrix arbiter over
+    // the input VCs that picked it.
+    std::vector<VaGrant> grants;
+    for (int ovc_idx : contested_) {
+        if (granted(grants, ovc_idx))
+            continue;   // Already resolved this output VC.
+        // Build the request row for this output VC.
+        int nivc = p_ * v_;
+        for (int ivc = 0; ivc < nivc; ivc++)
+            reqRow_[ivc] = (pickOf_[ivc] == ovc_idx);
+        int winner = outputVcArb_[ovc_idx].arbitrate(reqRow_);
+        if (winner != NoGrant) {
+            outputVcArb_[ovc_idx].update(winner);
+            grants.push_back({winner / v_, winner % v_,
+                              ovc_idx / v_, ovc_idx % v_});
+            // Advance the winner's stage-1 pointer so it spreads load
+            // over the output VCs next time.
+            firstStagePtr_[winner] = (ovc_idx % v_ + 1) % v_;
+        }
+    }
+
+    // Clear scratch state for the next round.
+    for (const auto &r : requests) {
+        int ivc = r.inPort * v_ + r.inVc;
+        seen_[ivc] = false;
+        pickOf_[ivc] = -1;
+    }
+    return grants;
+}
+
+bool
+VcAllocator::granted(const std::vector<VaGrant> &grants, int ovc_idx) const
+{
+    for (const auto &g : grants)
+        if (g.outPort * v_ + g.outVc == ovc_idx)
+            return true;
+    return false;
+}
+
+} // namespace pdr::arb

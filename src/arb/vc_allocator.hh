@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Separable virtual-channel allocator (Figure 8 of the paper).
+ *
+ * Input VCs in the "virtual-channel allocation" state request an output
+ * VC on their routed output port.  The allocator is separable:
+ *
+ *  - First stage (present for Rp / Rpv ranges): each requesting input VC
+ *    selects ONE candidate output VC among the free VCs its routing
+ *    function returned (a v:1 arbiter per input VC; rotating priority).
+ *  - Second stage: a (p*v):1 matrix arbiter per output VC resolves the
+ *    input VCs competing for that output VC.
+ *
+ * Losers simply retry the next cycle.  Output-VC free/busy status is
+ * owned by the router (outvc_state); the allocator asks through a
+ * predicate so it never grants a busy VC.
+ */
+
+#ifndef PDR_ARB_VC_ALLOCATOR_HH
+#define PDR_ARB_VC_ALLOCATOR_HH
+
+#include <functional>
+#include <vector>
+
+#include "arb/matrix_arbiter.hh"
+
+namespace pdr::arb {
+
+/** A VC-allocation request from input VC (inPort, inVc). */
+struct VaRequest
+{
+    int inPort;
+    int inVc;
+    int outPort;    //!< Routed output physical port (deterministic).
+    /** Bitmask of acceptable output VCs (bit i = VC i); lets routing
+     *  restrict VC classes, e.g. torus dateline deadlock avoidance. */
+    std::uint32_t vcMask = ~0u;
+};
+
+/** A granted output VC. */
+struct VaGrant
+{
+    int inPort;
+    int inVc;
+    int outPort;
+    int outVc;
+};
+
+/** Separable VC allocator with an Rp-range routing function. */
+class VcAllocator
+{
+  public:
+    VcAllocator(int p, int v);
+
+    /**
+     * One allocation round.
+     *
+     * @param requests at most one per input VC.
+     * @param is_free predicate: is (outPort, outVc) unallocated?
+     * @return grants; at most one per request and per output VC.
+     */
+    std::vector<VaGrant>
+    allocate(const std::vector<VaRequest> &requests,
+             const std::function<bool(int, int)> &is_free);
+
+    int numPorts() const { return p_; }
+    int numVcs() const { return v_; }
+
+  private:
+    int p_;
+    int v_;
+    /** Stage-1 rotating pointer per input VC (index inPort*v + inVc). */
+    std::vector<int> firstStagePtr_;
+    /** Stage-2 matrix arbiter per output VC (index outPort*v + outVc),
+     *  arbitrating p*v input VCs. */
+    std::vector<MatrixArbiter> outputVcArb_;
+
+    /** True if grants already contain the given output-VC index. */
+    bool granted(const std::vector<VaGrant> &grants, int ovc_idx) const;
+
+    // Reused per-call scratch (hot path: one call per router per cycle).
+    std::vector<bool> reqRow_;
+    std::vector<int> pickOf_;
+    std::vector<bool> seen_;
+    std::vector<int> contested_;
+};
+
+} // namespace pdr::arb
+
+#endif // PDR_ARB_VC_ALLOCATOR_HH

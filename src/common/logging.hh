@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Minimal gem5-style logging / assertion helpers.
+ *
+ * panic()  - internal invariant violated (simulator bug); aborts.
+ * fatal()  - user error (bad configuration); exits with status 1.
+ * warn()   - suspicious but non-fatal condition.
+ * inform() - status message.
+ */
+
+#ifndef PDR_COMMON_LOGGING_HH
+#define PDR_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace pdr {
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt,
+                            ...);
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt,
+                            ...);
+void warnImpl(const char *fmt, ...);
+void informImpl(const char *fmt, ...);
+
+/** Format printf-style into a std::string. */
+std::string csprintf(const char *fmt, ...);
+
+} // namespace pdr
+
+#define pdr_panic(...) ::pdr::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define pdr_fatal(...) ::pdr::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define pdr_warn(...) ::pdr::warnImpl(__VA_ARGS__)
+#define pdr_inform(...) ::pdr::informImpl(__VA_ARGS__)
+
+/** Assert an invariant; on failure report and abort via panic. */
+#define pdr_assert(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::pdr::panicImpl(__FILE__, __LINE__,                            \
+                             "assertion '%s' failed", #cond);              \
+        }                                                                   \
+    } while (0)
+
+#endif // PDR_COMMON_LOGGING_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Small math helpers shared across the delay model (arbitrary-base
+ * logarithms appear throughout Table 1 of the paper).
+ */
+
+#ifndef PDR_COMMON_MATH_HH
+#define PDR_COMMON_MATH_HH
+
+#include <cmath>
+
+namespace pdr {
+
+/** log base 2. */
+inline double log2d(double x) { return std::log2(x); }
+
+/** log base 4 (fan-out-of-4 stage count; ubiquitous in logical effort). */
+inline double log4(double x) { return std::log2(x) / 2.0; }
+
+/** log base 8. */
+inline double log8(double x) { return std::log2(x) / 3.0; }
+
+/** Integer ceiling division for positive operands. */
+inline int
+ceilDiv(int num, int den)
+{
+    return (num + den - 1) / den;
+}
+
+/** True if x is a power of two (x >= 1). */
+inline bool
+isPow2(unsigned x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+} // namespace pdr
+
+#endif // PDR_COMMON_MATH_HH

@@ -1,0 +1,69 @@
+#include "common/rng.hh"
+
+namespace pdr {
+
+namespace {
+
+/** splitmix64, used to expand the seed into the xoshiro state. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+}
+
+std::uint64_t
+Rng::next()
+{
+    std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+std::uint32_t
+Rng::range(std::uint32_t n)
+{
+    // Lemire's multiply-shift rejection-free-enough mapping; bias is
+    // negligible for the ranges used here (n <= a few thousand), but use
+    // the rejection variant anyway for exactness.
+    std::uint64_t threshold = (-std::uint64_t(n)) % n;
+    while (true) {
+        std::uint64_t r = next();
+        std::uint64_t m = (r & 0xffffffffULL) * n;
+        if ((m & 0xffffffffULL) >= threshold)
+            return std::uint32_t(m >> 32);
+    }
+}
+
+} // namespace pdr

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Deterministic, seedable random number generation for workloads.
+ *
+ * A thin wrapper over a xoshiro256** generator.  Every simulation object
+ * that needs randomness owns its own Rng seeded from the simulation seed,
+ * so results are reproducible regardless of evaluation order.
+ */
+
+#ifndef PDR_COMMON_RNG_HH
+#define PDR_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace pdr {
+
+/** xoshiro256** pseudo random number generator. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform integer in [0, n). n must be > 0. */
+    std::uint32_t range(std::uint32_t n);
+
+    /** Bernoulli trial with probability p. */
+    bool bernoulli(double p) { return uniform() < p; }
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace pdr
+
+#endif // PDR_COMMON_RNG_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Technology-independent delay units used by the Peh-Dally router delay
+ * model.
+ *
+ * All gate-level delays in the model are expressed in tau, the delay of an
+ * inverter driving an identical inverter.  The paper also uses tau4, the
+ * delay of an inverter driving four identical inverters; by the method of
+ * logical effort tau4 = 5 tau (EQ 3 of the paper).  A "typical" router
+ * clock cycle is 20 tau4 = 100 tau (roughly 2 ns / 500 MHz in the 0.18 um
+ * process the paper validates against).
+ */
+
+#ifndef PDR_COMMON_UNITS_HH
+#define PDR_COMMON_UNITS_HH
+
+#include <compare>
+
+namespace pdr {
+
+/** Delay expressed in tau (inverter fanout-of-1 delay). */
+class Tau
+{
+  public:
+    constexpr Tau() = default;
+    constexpr explicit Tau(double v) : value_(v) {}
+
+    /** Raw value in tau. */
+    constexpr double value() const { return value_; }
+
+    /** Convert to tau4 units (1 tau4 = 5 tau). */
+    constexpr double inTau4() const { return value_ / tau4PerTau; }
+
+    constexpr Tau operator+(Tau o) const { return Tau(value_ + o.value_); }
+    constexpr Tau operator-(Tau o) const { return Tau(value_ - o.value_); }
+    constexpr Tau operator*(double s) const { return Tau(value_ * s); }
+    constexpr Tau &operator+=(Tau o) { value_ += o.value_; return *this; }
+    constexpr auto operator<=>(const Tau &) const = default;
+
+    /** Number of tau in one tau4 (derived via logical effort, EQ 3). */
+    static constexpr double tau4PerTau = 5.0;
+
+  private:
+    double value_ = 0.0;
+};
+
+constexpr Tau operator*(double s, Tau t) { return t * s; }
+
+/** Construct a delay from a value given in tau4 units. */
+constexpr Tau
+fromTau4(double tau4)
+{
+    return Tau(tau4 * Tau::tau4PerTau);
+}
+
+/**
+ * The paper's "typical clock cycle" of 20 tau4 (Section 3, footnote 2):
+ * decoding and routing are assumed to take exactly one such cycle.
+ */
+constexpr Tau typicalClock = Tau(20.0 * Tau::tau4PerTau);
+
+} // namespace pdr
+
+#endif // PDR_COMMON_UNITS_HH

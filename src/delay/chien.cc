@@ -1,0 +1,48 @@
+#include "delay/chien.hh"
+
+#include "common/logging.hh"
+#include "common/math.hh"
+#include "delay/equations.hh"
+
+namespace pdr::delay::chien {
+
+Breakdown
+evaluate(int p, int v, int w, int f)
+{
+    pdr_assert(p >= 2 && v >= 1 && w >= 1 && f >= 1);
+    Breakdown b;
+
+    // AD/FC: header decode and flow-control check.  A few gate levels
+    // plus a modest fan-out; fixed at 15 tau (3 tau4).
+    b.decode = Tau(15.0);
+
+    // RA: pick one of f candidate routes; a matrix arbitration among f
+    // requesters (degenerates to a single qualification gate for
+    // deterministic routing).
+    b.routing = f > 1 ? Tau(21.5 * log4(f) + 14.0 + 1.0 / 12.0)
+                      : Tau(5.0);
+
+    // Crossbar arbitration: the crossbar has one port per virtual
+    // channel, so the per-output arbiter sees p*v requestors (this is
+    // the term the paper faults for growing with v).
+    int pv = p * v;
+    b.arbitration = tSB(pv) + hSB(pv);
+
+    // Crossbar traversal across P = p*v ports.
+    b.crossbar = tXB(pv, w);
+
+    // VC controller: v:1 multiplexing of virtual channels onto the
+    // physical wire, with its own arbitration state.
+    b.vcControl = v > 1 ? Tau(21.5 * log4(v) + 14.0 + 1.0 / 12.0)
+                        : Tau(5.0);
+
+    return b;
+}
+
+Tau
+routerLatency(int p, int v, int w, int f)
+{
+    return evaluate(p, v, w, f).total();
+}
+
+} // namespace pdr::delay::chien

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Chien's router delay model (the Section-2 baseline).
+ *
+ * Chien [Hot Interconnects '93, IEEE TPDS '98] modeled wormhole and
+ * virtual-channel routers with the single canonical architecture of
+ * the paper's Figure 1: address decode and flow control (AD/FC), a
+ * routing-arbitration block (RA) choosing among F candidate routes, a
+ * crossbar with one port per *virtual* channel (P = p*v ports), and a
+ * v:1 virtual-channel controller multiplexing VCs onto each physical
+ * channel.  The whole critical path is assumed to fit in one clock
+ * cycle, so cycle time equals router latency.
+ *
+ * The paper criticizes exactly these assumptions: no pipelining, and a
+ * crossbar whose arbitration/traversal delay grows with p*v rather
+ * than p.  This module reconstructs Chien's architecture with our
+ * logical-effort equations (a documented substitution: Chien's own
+ * 0.8 um constants are replaced by the same technology-independent
+ * tau-model used everywhere else in this library) so the argument of
+ * Section 2 can be reproduced quantitatively (bench_chien).
+ */
+
+#ifndef PDR_DELAY_CHIEN_HH
+#define PDR_DELAY_CHIEN_HH
+
+#include "common/units.hh"
+
+namespace pdr::delay::chien {
+
+/** Per-function delay breakdown of Chien's canonical router. */
+struct Breakdown
+{
+    Tau decode;     //!< Address decode + flow control (AD/FC).
+    Tau routing;    //!< Routing arbitration among F choices (RA).
+    Tau arbitration;//!< Crossbar arbitration over P = p*v ports.
+    Tau crossbar;   //!< Crossbar traversal, P = p*v ports.
+    Tau vcControl;  //!< v:1 virtual-channel controller.
+
+    /** Total = the router latency = the clock period in this model. */
+    Tau total() const
+    {
+        return decode + routing + arbitration + crossbar + vcControl;
+    }
+};
+
+/**
+ * Evaluate Chien's model.
+ *
+ * @param p physical channels.
+ * @param v virtual channels per physical channel.
+ * @param w channel width in bits.
+ * @param f routing freedom (output route choices; 1 = deterministic).
+ */
+Breakdown evaluate(int p, int v, int w, int f = 1);
+
+/** Chien-style per-hop router latency (= cycle time), in tau. */
+Tau routerLatency(int p, int v, int w, int f = 1);
+
+} // namespace pdr::delay::chien
+
+#endif // PDR_DELAY_CHIEN_HH

@@ -1,0 +1,150 @@
+#include "delay/equations.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/math.hh"
+
+namespace pdr::delay {
+
+namespace {
+
+void
+checkPV(int p, int v)
+{
+    pdr_assert(p >= 2);
+    pdr_assert(v >= 1);
+}
+
+} // namespace
+
+const char *
+toString(RoutingRange r)
+{
+    switch (r) {
+      case RoutingRange::Rv: return "Rv";
+      case RoutingRange::Rp: return "Rp";
+      case RoutingRange::Rpv: return "Rpv";
+    }
+    return "?";
+}
+
+Tau
+tSB(int p)
+{
+    pdr_assert(p >= 2);
+    return Tau(21.5 * log4(p) + 14.0 + 1.0 / 12.0);
+}
+
+Tau
+hSB(int)
+{
+    return Tau(9.0);
+}
+
+Tau
+tXB(int p, int w)
+{
+    pdr_assert(p >= 2 && w >= 1);
+    return Tau(9.0 * log8(double(w) * p) + 6.0 * log2d(p) + 6.0);
+}
+
+Tau
+hXB(int, int)
+{
+    return Tau(0.0);
+}
+
+Tau
+tVA(RoutingRange r, int p, int v)
+{
+    checkPV(p, v);
+    double pv = double(p) * v;
+    switch (r) {
+      case RoutingRange::Rv:
+        // A single p_i*v:1 arbiter per output VC.
+        return Tau(21.5 * log4(pv) + 14.0 + 1.0 / 12.0);
+      case RoutingRange::Rp:
+        // v:1 arbiters in the first stage, p_i*v:1 in the second.
+        return Tau(16.5 * log4(pv) + 16.5 * log4(v) + 20.0 + 5.0 / 6.0);
+      case RoutingRange::Rpv:
+        // Two stages of pv:1 arbiters.
+        return Tau(33.0 * log4(pv) + 20.0 + 5.0 / 6.0);
+    }
+    pdr_panic("bad routing range");
+}
+
+Tau
+hVA(RoutingRange, int, int)
+{
+    return Tau(9.0);
+}
+
+Tau
+tSL(int p, int v)
+{
+    checkPV(p, v);
+    return Tau(11.5 * log4(p) + 23.0 * log4(v) + 20.0 + 5.0 / 6.0);
+}
+
+Tau
+hSL(int, int)
+{
+    return Tau(9.0);
+}
+
+Tau
+tSS(int p, int v)
+{
+    checkPV(p, v);
+    return Tau(18.0 * log4(p) + 23.0 * log4(v) + 24.0 + 5.0 / 6.0);
+}
+
+Tau
+hSS(int, int)
+{
+    return Tau(0.0);
+}
+
+Tau
+tCB(int p, int v)
+{
+    checkPV(p, v);
+    return Tau(6.5 * log4(double(p) * v) + 5.0 + 1.0 / 3.0);
+}
+
+Tau
+hCB(int, int)
+{
+    return Tau(0.0);
+}
+
+Tau
+tSpecCombined(RoutingRange r, int p, int v)
+{
+    Tau va = tVA(r, p, v);
+    Tau ss = tSS(p, v);
+    return std::max(va, ss) + tCB(p, v);
+}
+
+Tau
+tSpecCombinedOverlap(RoutingRange r, int p, int v)
+{
+    return std::max(tVA(r, p, v), tSS(p, v));
+}
+
+Tau
+hSpecCombined(RoutingRange, int p, int v)
+{
+    // The arbiters inside VA/SS still need their priority update; the
+    // combination logic itself adds none.
+    return std::max(hVA(RoutingRange::Rv, p, v), hSS(p, v));
+}
+
+Tau
+tRouteDecode()
+{
+    return typicalClock;
+}
+
+} // namespace pdr::delay

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The parametric delay equations of Table 1 (Peh & Dally, HPCA 2001).
+ *
+ * Every atomic module of the canonical wormhole / virtual-channel /
+ * speculative virtual-channel router architectures has a latency t_i
+ * (inputs presented -> outputs stable) and an overhead h_i (extra delay,
+ * e.g. matrix-priority update, before the next inputs can be presented).
+ * All values are in tau; 1 tau4 = 5 tau.
+ *
+ * Parameters: p = number of physical channels (router ports), w = phit /
+ * flit width in bits, v = virtual channels per physical channel.
+ *
+ * The equations below were reverse-validated against the numeric example
+ * column of Table 1 (p=5, w=32, v=2): every function reproduces the
+ * published tau4 value exactly (see tests/delay/test_table1.cc).
+ */
+
+#ifndef PDR_DELAY_EQUATIONS_HH
+#define PDR_DELAY_EQUATIONS_HH
+
+#include "common/units.hh"
+
+namespace pdr::delay {
+
+/**
+ * Range of the routing function feeding the virtual-channel allocator
+ * (Section 3.2, Figure 8):
+ *  - Rv:  returns a single candidate output virtual channel.
+ *  - Rp:  returns the candidate VCs of a single physical channel (the
+ *         most general range possible for a deterministic router).
+ *  - Rpv: returns candidate VCs of any physical channel (most general).
+ */
+enum class RoutingRange { Rv, Rp, Rpv };
+
+/** Printable name of a routing-function range ("Rv", "Rp", "Rpv"). */
+const char *toString(RoutingRange r);
+
+// -- Wormhole router ------------------------------------------------------
+
+/** Switch arbiter latency: t_SB(p) = 21.5 log4 p + 14 1/12. */
+Tau tSB(int p);
+/** Switch arbiter overhead (priority-matrix update): 9 tau. */
+Tau hSB(int p);
+
+/** Crossbar traversal latency: t_XB(p,w) = 9 log8(w p) + 6 log2 p + 6. */
+Tau tXB(int p, int w);
+/** Crossbar overhead: none. */
+Tau hXB(int p, int w);
+
+// -- Virtual-channel router ----------------------------------------------
+
+/** Virtual-channel allocator latency for the given routing range. */
+Tau tVA(RoutingRange r, int p, int v);
+/** Virtual-channel allocator overhead: 9 tau (matrix update). */
+Tau hVA(RoutingRange r, int p, int v);
+
+/** Switch allocator latency: t_SL(p,v) = 11.5 log4 p + 23 log4 v + 20 5/6. */
+Tau tSL(int p, int v);
+/** Switch allocator overhead: 9 tau. */
+Tau hSL(int p, int v);
+
+// -- Speculative virtual-channel router -----------------------------------
+
+/** Speculative switch allocator: t_SS = 18 log4 p + 23 log4 v + 24 5/6. */
+Tau tSS(int p, int v);
+/** Speculative switch allocator overhead: none (runs beside VA). */
+Tau hSS(int p, int v);
+
+/** Non-spec-over-spec combination logic: t_CB = 6.5 log4(pv) + 5 1/3. */
+Tau tCB(int p, int v);
+/** Combination overhead: none. */
+Tau hCB(int p, int v);
+
+/**
+ * Latency of the combined (parallel) VA + speculative-SA stage:
+ * max(t_VA, t_SS) + t_CB.  Reproduces the published 14.6 / 14.6 / 18.3
+ * tau4 for Rv / Rp / Rpv at p=5, v=2.
+ */
+Tau tSpecCombined(RoutingRange r, int p, int v);
+
+/**
+ * Combined-stage latency with the combination mux overlapped into the
+ * following (crossbar) stage: max(t_VA, t_SS) only.  This is the fit
+ * the paper's Section-4 prose uses when it states that a speculative
+ * router with up to 16 VCs per physical channel stays within 3 pipeline
+ * stages (with CB charged, 16 VCs computes to ~21.6 tau4 > 20).
+ */
+Tau tSpecCombinedOverlap(RoutingRange r, int p, int v);
+/** Overhead of the combined stage: the arbiter priority update, 9 tau. */
+Tau hSpecCombined(RoutingRange r, int p, int v);
+
+/**
+ * The paper assumes address decode + routing occupy one full typical
+ * clock cycle of 20 tau4 (footnote 2); routing is treated as a black box.
+ */
+Tau tRouteDecode();
+
+} // namespace pdr::delay
+
+#endif // PDR_DELAY_EQUATIONS_HH

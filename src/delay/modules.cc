@@ -1,0 +1,65 @@
+#include "delay/modules.hh"
+
+#include "common/logging.hh"
+
+namespace pdr::delay {
+
+const char *
+toString(ModuleKind k)
+{
+    switch (k) {
+      case ModuleKind::RouteDecode: return "Route+Decode";
+      case ModuleKind::SwitchArb: return "SW Arbitration";
+      case ModuleKind::VcAlloc: return "VC Allocation";
+      case ModuleKind::SwitchAlloc: return "SW Allocation";
+      case ModuleKind::SpecCombined: return "VC&SW Allocation";
+      case ModuleKind::Crossbar: return "Crossbar";
+    }
+    return "?";
+}
+
+const char *
+toString(RouterKind k)
+{
+    switch (k) {
+      case RouterKind::Wormhole: return "wormhole";
+      case RouterKind::VirtualChannel: return "virtual-channel";
+      case RouterKind::SpecVirtualChannel: return "spec virtual-channel";
+    }
+    return "?";
+}
+
+std::vector<AtomicModule>
+criticalPath(const RouterParams &prm)
+{
+    std::vector<AtomicModule> path;
+    path.push_back({ModuleKind::RouteDecode,
+                    {tRouteDecode(), Tau(0.0)}});
+    switch (prm.kind) {
+      case RouterKind::Wormhole:
+        path.push_back({ModuleKind::SwitchArb,
+                        {tSB(prm.p), hSB(prm.p)}});
+        break;
+      case RouterKind::VirtualChannel:
+        path.push_back({ModuleKind::VcAlloc,
+                        {tVA(prm.range, prm.p, prm.v),
+                         hVA(prm.range, prm.p, prm.v)}});
+        path.push_back({ModuleKind::SwitchAlloc,
+                        {tSL(prm.p, prm.v), hSL(prm.p, prm.v)}});
+        break;
+      case RouterKind::SpecVirtualChannel: {
+        Tau t = prm.overlapCombination
+                    ? tSpecCombinedOverlap(prm.range, prm.p, prm.v)
+                    : tSpecCombined(prm.range, prm.p, prm.v);
+        path.push_back({ModuleKind::SpecCombined,
+                        {t, hSpecCombined(prm.range, prm.p, prm.v)}});
+        break;
+      }
+    }
+    Tau xb = prm.crossbarFullCycle ? typicalClock
+                                   : tXB(prm.p, prm.w);
+    path.push_back({ModuleKind::Crossbar, {xb, hXB(prm.p, prm.w)}});
+    return path;
+}
+
+} // namespace pdr::delay

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Atomic modules and router critical paths (Section 3.1, Figure 4).
+ *
+ * An atomic module is a block that contains state dependent on its own
+ * output (e.g. a matrix arbiter's priority state) and therefore should
+ * not straddle a pipeline-stage boundary.  A router's critical path is an
+ * ordered list of atomic modules, each with a latency t_i and an overhead
+ * h_i produced by the specific router model (src/delay/equations).
+ */
+
+#ifndef PDR_DELAY_MODULES_HH
+#define PDR_DELAY_MODULES_HH
+
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "delay/equations.hh"
+
+namespace pdr::delay {
+
+/** The atomic modules appearing on router critical paths (Figure 4). */
+enum class ModuleKind
+{
+    RouteDecode,    //!< Address decode + routing (black box, 20 tau4).
+    SwitchArb,      //!< Wormhole switch arbiter (SB).
+    VcAlloc,        //!< Virtual-channel allocator (VC).
+    SwitchAlloc,    //!< VC-router switch allocator (SL).
+    SpecCombined,   //!< Parallel VA + speculative SA + combination (CB).
+    Crossbar,       //!< Crossbar traversal (XB).
+};
+
+/** Printable module name. */
+const char *toString(ModuleKind k);
+
+/** Delay estimate pair produced by the specific router model. */
+struct DelayEstimate
+{
+    Tau latency;    //!< t_i.
+    Tau overhead;   //!< h_i.
+
+    Tau total() const { return latency + overhead; }
+};
+
+/** An atomic module instance on a critical path. */
+struct AtomicModule
+{
+    ModuleKind kind;
+    DelayEstimate delay;
+
+    std::string name() const { return toString(kind); }
+};
+
+/** The flow-control methods whose routers the paper models. */
+enum class RouterKind
+{
+    Wormhole,       //!< 3 modules: RC -> SB -> XB.
+    VirtualChannel, //!< 4 modules: RC -> VC -> SL -> XB.
+    SpecVirtualChannel, //!< 3 modules: RC -> (VC || SS -> CB) -> XB.
+};
+
+/** Printable router-kind name. */
+const char *toString(RouterKind k);
+
+/** Parameters of the delay model for one router. */
+struct RouterParams
+{
+    RouterKind kind = RouterKind::Wormhole;
+    int p = 5;      //!< Physical channels (crossbar ports).
+    int w = 32;     //!< Phit / flit width in bits.
+    int v = 1;      //!< Virtual channels per physical channel.
+    RoutingRange range = RoutingRange::Rv;
+    /** Overlap the non-spec-over-spec combination mux (CB) into the
+     *  crossbar stage instead of charging it to the allocation stage
+     *  (the fit the paper's Section-4 prose implies). */
+    bool overlapCombination = false;
+    /** Charge the crossbar a full typical cycle (20 tau4) instead of
+     *  t_XB, the paper's Section-3.2 assumption that covers the wire
+     *  delay its gate model omits.  This is why switch allocation and
+     *  crossbar traversal never share a pipeline stage. */
+    bool crossbarFullCycle = true;
+};
+
+/**
+ * Build the ordered critical path of atomic modules for a router
+ * (Figure 4 dependences), with delays evaluated from Table 1.
+ */
+std::vector<AtomicModule> criticalPath(const RouterParams &params);
+
+} // namespace pdr::delay
+
+#endif // PDR_DELAY_MODULES_HH

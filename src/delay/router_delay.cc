@@ -1,0 +1,34 @@
+#include "delay/router_delay.hh"
+
+#include <algorithm>
+
+namespace pdr::delay {
+
+Tau
+criticalPathLatency(const std::vector<AtomicModule> &path)
+{
+    Tau t;
+    for (const auto &m : path)
+        t += m.delay.latency;
+    return t;
+}
+
+Tau
+criticalPathTotal(const std::vector<AtomicModule> &path)
+{
+    Tau t;
+    for (const auto &m : path)
+        t += m.delay.total();
+    return t;
+}
+
+Tau
+widestModule(const std::vector<AtomicModule> &path)
+{
+    Tau t;
+    for (const auto &m : path)
+        t = std::max(t, m.delay.total());
+    return t;
+}
+
+} // namespace pdr::delay

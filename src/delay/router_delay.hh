@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Convenience summaries over a router's critical path: total
+ * (unpipelined) latency and per-module breakdowns.  These correspond to
+ * the "Chien-style" single-number router latency that Section 2 argues is
+ * insufficient on its own, and feed the pipeline designer.
+ */
+
+#ifndef PDR_DELAY_ROUTER_DELAY_HH
+#define PDR_DELAY_ROUTER_DELAY_HH
+
+#include <vector>
+
+#include "delay/modules.hh"
+
+namespace pdr::delay {
+
+/** Sum of t_i along the critical path (no overheads). */
+Tau criticalPathLatency(const std::vector<AtomicModule> &path);
+
+/** Sum of (t_i + h_i) along the critical path. */
+Tau criticalPathTotal(const std::vector<AtomicModule> &path);
+
+/** Largest single-module total (t_i + h_i); lower bound on cycle time if
+ *  every atomic module must fit in one stage. */
+Tau widestModule(const std::vector<AtomicModule> &path);
+
+} // namespace pdr::delay
+
+#endif // PDR_DELAY_ROUTER_DELAY_HH

@@ -1,0 +1,95 @@
+#include "le/circuits.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/math.hh"
+
+namespace pdr::le {
+
+Path
+matrixArbiterPath(int n)
+{
+    pdr_assert(n >= 1);
+    Path path;
+    if (n == 1) {
+        // Degenerate arbiter: a single qualifying gate.
+        path.add(nandGate(2), 2.0);
+        return path;
+    }
+
+    // Request qualified against the n-1 priority-matrix kill terms with
+    // AOI gates, two pairs per leg.
+    path.add(aoiGate(2, 2), 2.0);
+
+    // Reduction tree over the kill terms: alternate NAND2 / NOR2 levels,
+    // depth log2(n).
+    int levels = std::max(1, int(std::ceil(log2d(double(n)))));
+    for (int l = 0; l < levels; l++) {
+        if (l % 2 == 0)
+            path.add(nandGate(2), 2.0);
+        else
+            path.add(norGate(2), 2.0);
+    }
+
+    // The grant fans out to n circuits (grant latches and the priority
+    // update rows/columns): an optimally buffered tree.
+    for (int s = 0; s < fanoutTreeStages(double(n)); s++)
+        path.add(inverter(), 4.0);
+
+    return path;
+}
+
+Path
+switchArbiterPath(int p)
+{
+    pdr_assert(p >= 1);
+    Path path;
+    // Status latch output fans out to the p request-qualification gates.
+    for (int s = 0; s < fanoutTreeStages(double(p)); s++)
+        path.add(inverter(), 4.0);
+    // 2-input NAND qualifying request with port status.
+    path.add(nandGate(2), 2.0);
+    // The p:1 matrix arbiter itself.
+    Path arb = matrixArbiterPath(p);
+    for (const auto &st : arb.stages())
+        path.add(st.gate, st.electricalEffort);
+    return path;
+}
+
+Path
+arbiterOverheadPath()
+{
+    // EQ 6: grant row/column priority update through a 2-input and a
+    // 3-input NOR; total 9 tau in the paper.
+    Path path;
+    // At unit fan-out: (5/3 + 2) + (7/3 + 3) = 9 tau exactly (EQ 6).
+    path.add(norGate(2), 1.0);
+    path.add(norGate(3), 1.0);
+    return path;
+}
+
+Path
+crossbarPath(int p, int w)
+{
+    pdr_assert(p >= 2 && w >= 1);
+    Path path;
+    // The select signal from the switch allocator drives one mux select
+    // per bit slice: fan-out of w, buffered with stage effort 8 (larger
+    // stage effort trades stages for load, as the paper's 9*log8 term
+    // indicates: ~9 tau per factor-of-8 of load).
+    double sel_load = double(w) * p;
+    if (sel_load > 1.0) {
+        int stages = std::max(1, int(std::ceil(log8(sel_load))));
+        for (int s = 0; s < stages; s++)
+            path.add(inverter(), 8.0);
+    }
+    // Data through the p:1 mux, built as a tree of 2:1 transmission-gate
+    // muxes of depth log2(p).
+    int mux_levels = std::max(1, int(std::ceil(log2d(double(p)))));
+    for (int l = 0; l < mux_levels; l++)
+        path.add(muxGate(2), 2.0);
+    return path;
+}
+
+} // namespace pdr::le

@@ -1,0 +1,49 @@
+#include "le/gate.hh"
+
+#include "common/logging.hh"
+
+namespace pdr::le {
+
+Gate
+inverter()
+{
+    return {"inv", 1.0, 1.0};
+}
+
+Gate
+nandGate(int n)
+{
+    pdr_assert(n >= 1);
+    if (n == 1)
+        return inverter();
+    return {csprintf("nand%d", n), (n + 2) / 3.0, double(n)};
+}
+
+Gate
+norGate(int n)
+{
+    pdr_assert(n >= 1);
+    if (n == 1)
+        return inverter();
+    return {csprintf("nor%d", n), (2 * n + 1) / 3.0, double(n)};
+}
+
+Gate
+aoiGate(int legs, int width)
+{
+    pdr_assert(legs >= 1 && width >= 1);
+    return {csprintf("aoi%dx%d", legs, width),
+            (2.0 * legs + width) / 3.0, double(legs + width)};
+}
+
+Gate
+muxGate(int n)
+{
+    pdr_assert(n >= 2);
+    // Transmission-gate mux: logical effort 2 on the data input; the
+    // parasitic grows with the number of off legs hanging on the shared
+    // output node.
+    return {csprintf("mux%d", n), 2.0, 2.0 * n / 2.0};
+}
+
+} // namespace pdr::le

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Gate templates for the method of logical effort (Sutherland & Sproull).
+ *
+ * The specific router model of the paper (Section 3.2) computes every
+ * atomic-module delay with the method of logical effort: the delay of a
+ * path is T = Teff + Tpar where the effort delay of each stage is the
+ * product of its logical effort g (the ratio of the gate's delay to that
+ * of an inverter with identical input capacitance) and its electrical
+ * effort h (fan-out), and Tpar sums intrinsic parasitic delays (EQ 2).
+ *
+ * Logical efforts / parasitics follow the standard CMOS templates used by
+ * Sutherland, Sproull & Harris (gamma = 2): an n-input NAND has
+ * g = (n + 2) / 3, an n-input NOR has g = (2n + 1) / 3, and both have
+ * parasitic delay n (in units of the inverter parasitic, which is 1).
+ */
+
+#ifndef PDR_LE_GATE_HH
+#define PDR_LE_GATE_HH
+
+#include <string>
+
+namespace pdr::le {
+
+/** A gate template: logical effort and parasitic delay of one stage. */
+struct Gate
+{
+    std::string name;       //!< For diagnostics / pretty printing.
+    double logicalEffort;   //!< g, relative to an inverter.
+    double parasitic;       //!< p, relative to inverter parasitic.
+};
+
+/** Static inverter: g = 1, p = 1 by definition. */
+Gate inverter();
+
+/** n-input static NAND: g = (n+2)/3, p = n. */
+Gate nandGate(int n);
+
+/** n-input static NOR: g = (2n+1)/3, p = n. */
+Gate norGate(int n);
+
+/**
+ * AND-OR-INVERT gate with `legs` AND legs of `width` inputs each.
+ * Worst-case logical effort mirrors a NAND of (width+1) inputs stacked
+ * with `legs` parallel pull-ups: g = (2*legs + width) / 3 on the critical
+ * input, p = legs + width.
+ */
+Gate aoiGate(int legs, int width);
+
+/** n:1 static multiplexer (transmission-gate style): g = 2, p = 2n/... */
+Gate muxGate(int n);
+
+} // namespace pdr::le
+
+#endif // PDR_LE_GATE_HH

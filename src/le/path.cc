@@ -1,0 +1,60 @@
+#include "le/path.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/math.hh"
+
+namespace pdr::le {
+
+Path &
+Path::add(const Gate &g, double electrical_effort)
+{
+    pdr_assert(electrical_effort > 0.0);
+    stages_.push_back({g, electrical_effort});
+    return *this;
+}
+
+Tau
+Path::effortDelay() const
+{
+    double t = 0.0;
+    for (const auto &s : stages_)
+        t += s.gate.logicalEffort * s.electricalEffort;
+    return Tau(t);
+}
+
+Tau
+Path::parasiticDelay() const
+{
+    double t = 0.0;
+    for (const auto &s : stages_)
+        t += s.gate.parasitic;
+    return Tau(t);
+}
+
+Tau
+Path::delay() const
+{
+    return effortDelay() + parasiticDelay();
+}
+
+Tau
+fanoutTreeDelay(double fanout)
+{
+    if (fanout <= 1.0)
+        return Tau(0.0);
+    // Stage effort 4 and parasitic 1 per inverter stage gives 5 tau
+    // (= 1 tau4) per factor-of-4 of load: T = 5 * log4(F).
+    return Tau(5.0 * log4(fanout));
+}
+
+int
+fanoutTreeStages(double fanout)
+{
+    if (fanout <= 1.0)
+        return 0;
+    return int(std::ceil(log4(fanout)));
+}
+
+} // namespace pdr::le

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Logical-effort path delay computation (EQ 2 of the paper).
+ *
+ * A Path is an ordered list of stages, each a gate template plus the
+ * electrical effort (fan-out) it drives.  Its delay is
+ *
+ *   T = sum_i(g_i * h_i) + sum_i(p_i)      [in tau]
+ *
+ * The Path also supports the classic sizing question: given a total path
+ * effort, how many stages minimize delay, and what is the resulting
+ * minimum delay (used to model optimally buffered fan-out trees, whose
+ * delay is ~5 tau per fan-out-of-4 stage, i.e. tau4 * log4(F)).
+ */
+
+#ifndef PDR_LE_PATH_HH
+#define PDR_LE_PATH_HH
+
+#include <vector>
+
+#include "common/units.hh"
+#include "le/gate.hh"
+
+namespace pdr::le {
+
+/** One stage of a path: the gate and the electrical effort it drives. */
+struct Stage
+{
+    Gate gate;
+    double electricalEffort;    //!< h = Cout / Cin.
+};
+
+/** A gate path whose delay follows EQ 2. */
+class Path
+{
+  public:
+    Path() = default;
+
+    /** Append a stage. */
+    Path &add(const Gate &g, double electrical_effort);
+
+    /** Effort delay sum(g_i * h_i), in tau. */
+    Tau effortDelay() const;
+
+    /** Parasitic delay sum(p_i), in tau. */
+    Tau parasiticDelay() const;
+
+    /** Total delay T = Teff + Tpar, in tau. */
+    Tau delay() const;
+
+    /** Number of stages. */
+    std::size_t size() const { return stages_.size(); }
+
+    const std::vector<Stage> &stages() const { return stages_; }
+
+  private:
+    std::vector<Stage> stages_;
+};
+
+/**
+ * Delay of an optimally buffered tree driving a fan-out of F with
+ * inverters of stage effort 4 (the canonical result: tau4 per quadrupling
+ * of load).  Returns 0 for F <= 1.
+ */
+Tau fanoutTreeDelay(double fanout);
+
+/**
+ * Number of inverter stages such a tree uses (ceil of log4 F), for
+ * structural reporting.
+ */
+int fanoutTreeStages(double fanout);
+
+} // namespace pdr::le
+
+#endif // PDR_LE_PATH_HH

@@ -1,0 +1,47 @@
+#include "net/adaptive_routing.hh"
+
+#include "common/logging.hh"
+
+namespace pdr::net {
+
+WestFirstRouting::WestFirstRouting(const Mesh &mesh) : mesh_(mesh)
+{
+    pdr_assert(!mesh.wraps());
+}
+
+void
+WestFirstRouting::candidates(sim::NodeId here, sim::NodeId dest,
+                             std::vector<int> &out) const
+{
+    out.clear();
+    int hx = mesh_.xOf(here), hy = mesh_.yOf(here);
+    int dx = mesh_.xOf(dest), dy = mesh_.yOf(dest);
+
+    if (here == dest) {
+        out.push_back(Local);
+        return;
+    }
+    if (dx < hx) {
+        // All west hops first; no adaptivity while heading west.
+        out.push_back(West);
+        return;
+    }
+    // Adaptive among the remaining minimal directions.
+    if (dx > hx)
+        out.push_back(East);
+    if (dy > hy)
+        out.push_back(North);
+    if (dy < hy)
+        out.push_back(South);
+    pdr_assert(!out.empty());
+}
+
+int
+WestFirstRouting::route(sim::NodeId here, sim::NodeId dest) const
+{
+    std::vector<int> cand;
+    candidates(here, dest, cand);
+    return cand.front();
+}
+
+} // namespace pdr::net

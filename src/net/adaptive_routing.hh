@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Minimal adaptive routing for the mesh using the west-first turn
+ * model (an extension in the direction of the paper's Section-6 future
+ * work, exercising the footnote-5 policy for speculative routers).
+ *
+ * West-first prohibits every turn *into* the west direction: a packet
+ * that must travel west does all its west hops first (no adaptivity),
+ * after which it may route adaptively among the remaining minimal
+ * directions (east / north / south).  With two prohibited turns the
+ * channel-dependence graph is acyclic, so the scheme is deadlock-free
+ * even for wormhole routers without VCs (Glass & Ni).
+ *
+ * The router consults candidates() and picks the port with the most
+ * downstream buffer space at each attempt; on an unsuccessful VC /
+ * switch bid it re-iterates through the routing function, as footnote
+ * 5 prescribes for a speculative router with an adaptive (Rp-range)
+ * routing function.
+ */
+
+#ifndef PDR_NET_ADAPTIVE_ROUTING_HH
+#define PDR_NET_ADAPTIVE_ROUTING_HH
+
+#include "net/topology.hh"
+#include "router/routing.hh"
+
+namespace pdr::net {
+
+/** West-first minimal adaptive routing on a (non-wrapping) mesh. */
+class WestFirstRouting : public router::RoutingFunction
+{
+  public:
+    explicit WestFirstRouting(const Mesh &mesh);
+
+    int route(sim::NodeId here, sim::NodeId dest) const override;
+    void candidates(sim::NodeId here, sim::NodeId dest,
+                    std::vector<int> &out) const override;
+    bool isAdaptive() const override { return true; }
+
+  private:
+    const Mesh &mesh_;
+};
+
+} // namespace pdr::net
+
+#endif // PDR_NET_ADAPTIVE_ROUTING_HH

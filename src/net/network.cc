@@ -1,0 +1,181 @@
+#include "net/network.hh"
+
+#include "common/logging.hh"
+
+namespace pdr::net {
+
+Network::Network(const NetworkConfig &cfg)
+    : cfg_(cfg), mesh_(cfg.k, cfg.torus),
+      ctrl_(cfg.warmup, cfg.samplePackets),
+      pattern_(traffic::makePattern(cfg.pattern, cfg.k))
+{
+    if (cfg_.router.numPorts != NumPorts)
+        pdr_fatal("mesh routers need %d ports, got %d", int(NumPorts),
+                  cfg_.router.numPorts);
+    if (cfg_.injectionRate < 0.0 || cfg_.injectionRate > 1.0)
+        pdr_fatal("injection rate %.3f out of [0, 1] flits/node/cycle",
+                  cfg_.injectionRate);
+    if (cfg_.torus) {
+        // Wraparound rings need the dateline VC classes: at least two
+        // VCs, and hence a virtual-channel flow control method.
+        if (cfg_.router.numVcs < 2)
+            pdr_fatal("torus networks need >= 2 VCs per channel for "
+                      "dateline deadlock avoidance (wormhole routers "
+                      "cannot run a torus deadlock-free)");
+        if (cfg_.adaptiveRouting)
+            pdr_fatal("adaptive routing is implemented for the mesh "
+                      "only (west-first turn model)");
+        routing_ = std::make_unique<TorusDorRouting>(mesh_);
+    } else if (cfg_.adaptiveRouting) {
+        routing_ = std::make_unique<WestFirstRouting>(mesh_);
+    } else {
+        routing_ = std::make_unique<XyRouting>(mesh_);
+    }
+
+    int n = mesh_.numNodes();
+    routers_.reserve(n);
+    for (sim::NodeId id = 0; id < n; id++) {
+        routers_.push_back(std::make_unique<router::Router>(
+            id, cfg_.router, *routing_));
+    }
+
+    // Inter-router links: one flit channel and one reverse credit
+    // channel per directed edge (wrap links included on a torus).
+    for (sim::NodeId id = 0; id < n; id++) {
+        for (int port : {North, East}) {
+            sim::NodeId nb = mesh_.neighbor(id, port);
+            if (nb == sim::Invalid)
+                continue;
+            int rport = Mesh::opposite(port);
+
+            // id --(port)--> nb
+            auto *f1 = newFlitChan(cfg_.linkLatency);
+            auto *c1 = newCreditChan(cfg_.creditLatency);
+            routers_[id]->connectOutput(port, f1, c1, false);
+            routers_[nb]->connectInput(rport, f1, c1);
+
+            // nb --(rport)--> id
+            auto *f2 = newFlitChan(cfg_.linkLatency);
+            auto *c2 = newCreditChan(cfg_.creditLatency);
+            routers_[nb]->connectOutput(rport, f2, c2, false);
+            routers_[id]->connectInput(port, f2, c2);
+        }
+    }
+
+    // Sources and sinks on the local port.
+    sources_.reserve(n);
+    sinks_.reserve(n);
+    sinkLatency_.reserve(n);
+    traffic::SourceConfig scfg;
+    scfg.numVcs = cfg_.router.numVcs;
+    scfg.bufDepth = cfg_.router.bufDepth;
+    scfg.packetLength = cfg_.packetLength;
+    scfg.packetRate = cfg_.injectionRate / cfg_.packetLength;
+    scfg.seed = cfg_.seed;
+
+    for (sim::NodeId id = 0; id < n; id++) {
+        auto *inj = newFlitChan(1);
+        auto *inj_credit = newCreditChan(1);
+        routers_[id]->connectInput(Local, inj, inj_credit);
+        sources_.push_back(std::make_unique<traffic::Source>(
+            id, scfg, *pattern_, ctrl_, inj, inj_credit));
+
+        auto *ej = newFlitChan(1);
+        routers_[id]->connectOutput(Local, ej, nullptr, true);
+        sinkLatency_.push_back(std::make_unique<stats::LatencyStats>());
+        sinks_.push_back(std::make_unique<traffic::Sink>(
+            id, cfg_.packetLength, ctrl_, ej, *sinkLatency_.back()));
+    }
+}
+
+Network::FlitChannel *
+Network::newFlitChan(sim::Cycle latency)
+{
+    flitChans_.push_back(std::make_unique<FlitChannel>(latency));
+    return flitChans_.back().get();
+}
+
+Network::CreditChannel *
+Network::newCreditChan(sim::Cycle latency)
+{
+    creditChans_.push_back(std::make_unique<CreditChannel>(latency));
+    return creditChans_.back().get();
+}
+
+void
+Network::step()
+{
+    // Components communicate only through >= 1 cycle channels, so the
+    // order within a cycle is immaterial; sources / routers / sinks is
+    // the natural reading order.
+    for (auto &s : sources_)
+        s->tick(now_);
+    for (auto &r : routers_)
+        r->tick(now_);
+    for (auto &s : sinks_)
+        s->tick(now_);
+    now_++;
+}
+
+void
+Network::run(sim::Cycle n)
+{
+    for (sim::Cycle i = 0; i < n; i++)
+        step();
+}
+
+stats::LatencyStats
+Network::latency() const
+{
+    stats::LatencyStats all;
+    for (const auto &l : sinkLatency_)
+        all.merge(*l);
+    return all;
+}
+
+double
+Network::acceptedFlitRate() const
+{
+    if (now_ <= cfg_.warmup)
+        return 0.0;
+    std::uint64_t flits = 0;
+    for (const auto &s : sinks_)
+        flits += s->measuredFlits();
+    double cycles = double(now_ - cfg_.warmup);
+    return double(flits) / (cycles * mesh_.numNodes());
+}
+
+router::RouterStats
+Network::routerTotals() const
+{
+    router::RouterStats t;
+    for (const auto &r : routers_) {
+        const auto &s = r->stats();
+        t.flitsIn += s.flitsIn;
+        t.flitsOut += s.flitsOut;
+        t.headGrants += s.headGrants;
+        t.vaGrants += s.vaGrants;
+        t.specSaAttempts += s.specSaAttempts;
+        t.specSaWins += s.specSaWins;
+        t.specSaUseful += s.specSaUseful;
+        t.creditStallCycles += s.creditStallCycles;
+    }
+    return t;
+}
+
+bool
+Network::quiescent() const
+{
+    for (const auto &r : routers_)
+        if (!r->quiescent())
+            return false;
+    for (const auto &s : sources_)
+        if (s->backlog() != 0)
+            return false;
+    for (const auto &c : flitChans_)
+        if (!c->empty())
+            return false;
+    return true;
+}
+
+} // namespace pdr::net

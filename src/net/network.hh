@@ -1,0 +1,126 @@
+/**
+ * @file
+ * A complete k x k mesh network: routers, link and credit channels,
+ * per-node sources and sinks, and aggregate statistics.
+ *
+ * The network mirrors the paper's simulation setup: an 8x8 mesh,
+ * dimension-ordered routing, credit-based flow control, 1-cycle channel
+ * propagation (credit propagation independently configurable for the
+ * Figure-18 experiment), constant-rate sources injecting fixed-length
+ * packets, and immediate ejection at the destination.
+ */
+
+#ifndef PDR_NET_NETWORK_HH
+#define PDR_NET_NETWORK_HH
+
+#include <memory>
+#include <vector>
+
+#include "net/adaptive_routing.hh"
+#include "net/topology.hh"
+#include "net/torus_routing.hh"
+#include "net/xy_routing.hh"
+#include "router/router.hh"
+#include "stats/latency.hh"
+#include "traffic/measure.hh"
+#include "traffic/sink.hh"
+#include "traffic/source.hh"
+
+namespace pdr::net {
+
+/** Full-network configuration. */
+struct NetworkConfig
+{
+    int k = 8;                          //!< Mesh radix (k x k nodes).
+    bool torus = false;                 //!< Wraparound links (torus).
+    /** West-first minimal adaptive routing instead of DOR (mesh only;
+     *  exercises the paper's footnote-5 speculative-adaptive policy). */
+    bool adaptiveRouting = false;
+    router::RouterConfig router;        //!< Per-router configuration.
+    sim::Cycle linkLatency = 1;         //!< Flit propagation (cycles).
+    sim::Cycle creditLatency = 1;       //!< Credit propagation (cycles).
+    double injectionRate = 0.1;         //!< Offered flits/node/cycle.
+    int packetLength = 5;               //!< Flits per packet.
+    traffic::PatternKind pattern = traffic::PatternKind::Uniform;
+    std::uint64_t seed = 1;
+    sim::Cycle warmup = 10000;          //!< Warm-up cycles.
+    std::uint64_t samplePackets = 100000; //!< Sample-space size.
+
+    /** Uniform-traffic capacity (flits/node/cycle, bisection bound). */
+    double capacity() const { return (torus ? 8.0 : 4.0) / k; }
+
+    /** Offered load as a fraction of uniform-traffic capacity. */
+    double offeredFraction() const { return injectionRate / capacity(); }
+
+    /** Set the injection rate from a fraction of capacity. */
+    void setOfferedFraction(double f) { injectionRate = f * capacity(); }
+};
+
+/** The simulated network. */
+class Network
+{
+  public:
+    explicit Network(const NetworkConfig &cfg);
+
+    /** Advance one cycle (sources, routers, sinks). */
+    void step();
+
+    /** Advance n cycles. */
+    void run(sim::Cycle n);
+
+    sim::Cycle now() const { return now_; }
+    const NetworkConfig &config() const { return cfg_; }
+    const Mesh &mesh() const { return mesh_; }
+    traffic::MeasureController &controller() { return ctrl_; }
+
+    router::Router &routerAt(sim::NodeId n) { return *routers_[n]; }
+    traffic::Source &sourceAt(sim::NodeId n) { return *sources_[n]; }
+    const traffic::Sink &sinkAt(sim::NodeId n) const
+    {
+        return *sinks_[n];
+    }
+
+    /** Merged latency statistics over the sample space. */
+    stats::LatencyStats latency() const;
+
+    /** Accepted traffic since warm-up, in flits per node per cycle. */
+    double acceptedFlitRate() const;
+
+    /** Accepted traffic as a fraction of uniform capacity. */
+    double acceptedFraction() const
+    {
+        return acceptedFlitRate() / mesh_.uniformCapacity();
+    }
+
+    /** Aggregate router statistics. */
+    router::RouterStats routerTotals() const;
+
+    /** All routers idle, sources drained (diagnostics). */
+    bool quiescent() const;
+
+  private:
+    using FlitChannel = sim::Channel<sim::Flit>;
+    using CreditChannel = sim::Channel<sim::Credit>;
+
+    NetworkConfig cfg_;
+    Mesh mesh_;
+    std::unique_ptr<router::RoutingFunction> routing_;
+    traffic::MeasureController ctrl_;
+    std::unique_ptr<traffic::TrafficPattern> pattern_;
+
+    std::vector<std::unique_ptr<FlitChannel>> flitChans_;
+    std::vector<std::unique_ptr<CreditChannel>> creditChans_;
+    std::vector<std::unique_ptr<router::Router>> routers_;
+    std::vector<std::unique_ptr<traffic::Source>> sources_;
+    std::vector<std::unique_ptr<traffic::Sink>> sinks_;
+    std::vector<std::unique_ptr<stats::LatencyStats>> sinkLatency_;
+
+    sim::Cycle now_ = 0;
+
+    FlitChannel *newFlitChan(sim::Cycle latency);
+    CreditChannel *newCreditChan(sim::Cycle latency);
+};
+
+} // namespace pdr::net
+
+#endif // PDR_NET_NETWORK_HH

@@ -1,0 +1,108 @@
+#include "net/topology.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace pdr::net {
+
+const char *
+portName(int port)
+{
+    switch (port) {
+      case North: return "N";
+      case East: return "E";
+      case South: return "S";
+      case West: return "W";
+      case Local: return "L";
+    }
+    return "?";
+}
+
+Mesh::Mesh(int k, bool wrap) : k_(k), wrap_(wrap)
+{
+    if (k < 2)
+        pdr_fatal("mesh radix must be >= 2, got %d", k);
+}
+
+sim::NodeId
+Mesh::neighbor(sim::NodeId n, int port) const
+{
+    int x = xOf(n), y = yOf(n);
+    if (wrap_) {
+        switch (port) {
+          case North: return node(x, (y + 1) % k_);
+          case East: return node((x + 1) % k_, y);
+          case South: return node(x, (y + k_ - 1) % k_);
+          case West: return node((x + k_ - 1) % k_, y);
+          default: return sim::Invalid;
+        }
+    }
+    switch (port) {
+      case North: return y + 1 < k_ ? node(x, y + 1) : sim::Invalid;
+      case East: return x + 1 < k_ ? node(x + 1, y) : sim::Invalid;
+      case South: return y > 0 ? node(x, y - 1) : sim::Invalid;
+      case West: return x > 0 ? node(x - 1, y) : sim::Invalid;
+      default: return sim::Invalid;
+    }
+}
+
+bool
+Mesh::isWrapLink(sim::NodeId n, int port) const
+{
+    if (!wrap_)
+        return false;
+    int x = xOf(n), y = yOf(n);
+    switch (port) {
+      case North: return y == k_ - 1;
+      case East: return x == k_ - 1;
+      case South: return y == 0;
+      case West: return x == 0;
+      default: return false;
+    }
+}
+
+int
+Mesh::opposite(int port)
+{
+    switch (port) {
+      case North: return South;
+      case East: return West;
+      case South: return North;
+      case West: return East;
+    }
+    pdr_panic("no opposite for port %d", port);
+}
+
+int
+Mesh::distance(sim::NodeId a, sim::NodeId b) const
+{
+    int dx = std::abs(xOf(a) - xOf(b));
+    int dy = std::abs(yOf(a) - yOf(b));
+    if (wrap_) {
+        dx = std::min(dx, k_ - dx);
+        dy = std::min(dy, k_ - dy);
+    }
+    return dx + dy;
+}
+
+double
+Mesh::meanUniformDistance() const
+{
+    double per_dim;
+    if (wrap_) {
+        // Ring distance averaged over all offsets (includes offset 0).
+        double sum = 0.0;
+        for (int d = 0; d < k_; d++)
+            sum += std::min(d, k_ - d);
+        per_dim = sum / k_;
+    } else {
+        per_dim = (k_ * k_ - 1.0) / (3.0 * k_);
+    }
+    double incl_self = 2.0 * per_dim;
+    double n = numNodes();
+    return incl_self * n / (n - 1.0);
+}
+
+} // namespace pdr::net

@@ -1,0 +1,66 @@
+#include "net/torus_routing.hh"
+
+#include "common/logging.hh"
+
+namespace pdr::net {
+
+TorusDorRouting::TorusDorRouting(const Mesh &torus) : mesh_(torus)
+{
+    pdr_assert(torus.wraps());
+}
+
+int
+TorusDorRouting::dimOf(int port)
+{
+    return (port == East || port == West) ? 0 : 1;
+}
+
+int
+TorusDorRouting::route(sim::NodeId here, sim::NodeId dest) const
+{
+    int k = mesh_.radix();
+    int hx = mesh_.xOf(here), hy = mesh_.yOf(here);
+    int dx = mesh_.xOf(dest), dy = mesh_.yOf(dest);
+
+    if (hx != dx) {
+        // Shortest way around the X ring; ties go East.
+        int east = (dx - hx + k) % k;
+        return east <= k - east ? East : West;
+    }
+    if (hy != dy) {
+        int north = (dy - hy + k) % k;
+        return north <= k - north ? North : South;
+    }
+    return Local;
+}
+
+std::uint32_t
+TorusDorRouting::vcMask(int vclass, sim::NodeId here, sim::NodeId,
+                        int out_port, int num_vcs) const
+{
+    if (out_port == Local)
+        return ~0u;
+    pdr_assert(num_vcs >= 2);
+    // Class on the next link: crossing the dateline promotes to 1.
+    int d = dimOf(out_port);
+    bool crossed = ((vclass >> d) & 1) ||
+                   mesh_.isWrapLink(here, out_port);
+    // Lower half of the VCs for class 0, upper half for class 1.
+    int half = num_vcs / 2;
+    std::uint32_t lower = (1u << half) - 1;
+    std::uint32_t all = num_vcs >= 32 ? ~0u : (1u << num_vcs) - 1;
+    return crossed ? (all & ~lower) : lower;
+}
+
+int
+TorusDorRouting::nextClass(int vclass, sim::NodeId here,
+                           int out_port) const
+{
+    if (out_port == Local)
+        return 0;
+    if (mesh_.isWrapLink(here, out_port))
+        return vclass | (1 << dimOf(out_port));
+    return vclass;
+}
+
+} // namespace pdr::net

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Dimension-ordered routing for the torus with dateline deadlock
+ * avoidance (an extension in the direction of the paper's Section-6
+ * future work: "other topologies").
+ *
+ * Routing is minimal DOR: correct X first (shortest way around the
+ * ring, ties broken toward East), then Y.  Wraparound closes a ring in
+ * each dimension, so channel dependences cycle; the classic dateline
+ * scheme breaks them: every packet starts on the lower half of the VCs
+ * of a ring (class 0) and switches to the upper half (class 1) when it
+ * crosses the dateline (the wrap link).  Requires >= 2 VCs per
+ * physical channel.
+ */
+
+#ifndef PDR_NET_TORUS_ROUTING_HH
+#define PDR_NET_TORUS_ROUTING_HH
+
+#include "net/topology.hh"
+#include "router/routing.hh"
+
+namespace pdr::net {
+
+/** Minimal DOR on a torus with dateline VC classes. */
+class TorusDorRouting : public router::RoutingFunction
+{
+  public:
+    explicit TorusDorRouting(const Mesh &torus);
+
+    int route(sim::NodeId here, sim::NodeId dest) const override;
+
+    std::uint32_t vcMask(int vclass, sim::NodeId here,
+                         sim::NodeId dest, int out_port,
+                         int num_vcs) const override;
+
+    int nextClass(int vclass, sim::NodeId here,
+                  int out_port) const override;
+
+  private:
+    /** 0 for X-dimension ports (E/W), 1 for Y (N/S). */
+    static int dimOf(int port);
+
+    const Mesh &mesh_;
+};
+
+} // namespace pdr::net
+
+#endif // PDR_NET_TORUS_ROUTING_HH

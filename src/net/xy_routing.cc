@@ -1,0 +1,21 @@
+#include "net/xy_routing.hh"
+
+namespace pdr::net {
+
+int
+XyRouting::route(sim::NodeId here, sim::NodeId dest) const
+{
+    int hx = mesh_.xOf(here), hy = mesh_.yOf(here);
+    int dx = mesh_.xOf(dest), dy = mesh_.yOf(dest);
+    if (dx > hx)
+        return East;
+    if (dx < hx)
+        return West;
+    if (dy > hy)
+        return North;
+    if (dy < hy)
+        return South;
+    return Local;
+}
+
+} // namespace pdr::net

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Dimension-ordered (XY) routing for the mesh: correct X first, then Y.
+ * Deterministic and deadlock-free on a mesh; this is the routing policy
+ * of the paper's simulations (Section 5).
+ */
+
+#ifndef PDR_NET_XY_ROUTING_HH
+#define PDR_NET_XY_ROUTING_HH
+
+#include "net/topology.hh"
+#include "router/routing.hh"
+
+namespace pdr::net {
+
+/** XY dimension-ordered routing on a Mesh. */
+class XyRouting : public router::RoutingFunction
+{
+  public:
+    explicit XyRouting(const Mesh &mesh) : mesh_(mesh) {}
+
+    int route(sim::NodeId here, sim::NodeId dest) const override;
+
+  private:
+    const Mesh &mesh_;
+};
+
+} // namespace pdr::net
+
+#endif // PDR_NET_XY_ROUTING_HH

@@ -1,0 +1,96 @@
+#include "pipeline/designer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pdr::pipeline {
+
+Tau
+Stage::occupancy() const
+{
+    Tau t;
+    for (const auto &s : slices)
+        t += s.occupied;
+    return t;
+}
+
+namespace {
+
+/** Delay that counts against the stage budget when m is the last module
+ *  of the stage. */
+Tau
+fitDelay(const delay::AtomicModule &m, FitPolicy policy)
+{
+    if (policy == FitPolicy::Strict)
+        return m.delay.total();
+    return m.delay.latency;
+}
+
+} // namespace
+
+PipelineDesign
+design(const std::vector<delay::AtomicModule> &path, Tau clk,
+       FitPolicy policy)
+{
+    pdr_assert(clk.value() > 0.0);
+    PipelineDesign dsgn;
+    dsgn.clock = clk;
+
+    Stage cur;
+    Tau cur_t;  // sum of t_i of modules already in `cur`
+
+    auto flush = [&]() {
+        if (!cur.slices.empty()) {
+            dsgn.stages.push_back(std::move(cur));
+            cur = Stage();
+            cur_t = Tau(0.0);
+        }
+    };
+
+    for (const auto &m : path) {
+        Tau fd = fitDelay(m, policy);
+
+        if (fd > clk) {
+            // Oversized atomic module: keep it intact across
+            // ceil(fd / clk) dedicated stages (footnote 4: pipelining
+            // inside an atomic module sacrifices correctness or
+            // performance, so we simply give it whole cycles).
+            flush();
+            int cycles = int(std::ceil(fd.value() / clk.value()));
+            // Slices carry the module latency (the overhead extends the
+            // stage count but is not "useful" occupancy).
+            Tau remaining = m.delay.latency;
+            for (int c = 0; c < cycles; c++) {
+                Stage s;
+                Tau occ = std::min(clk, remaining);
+                s.slices.push_back({m.kind, occ, c + 1 < cycles});
+                remaining = remaining - occ;
+                dsgn.stages.push_back(std::move(s));
+            }
+            continue;
+        }
+
+        // EQ 1: the new module would be the last of the stage, so its
+        // overhead (Strict) counts against the budget; prior modules
+        // contribute latency only.
+        if (!cur.slices.empty() && cur_t + fd > clk)
+            flush();
+
+        cur.slices.push_back({m.kind, m.delay.latency, false});
+        cur_t += m.delay.latency;
+    }
+    flush();
+
+    pdr_assert(!dsgn.stages.empty());
+    return dsgn;
+}
+
+PipelineDesign
+designRouter(const delay::RouterParams &params, Tau clk, FitPolicy policy)
+{
+    return design(delay::criticalPath(params), clk, policy);
+}
+
+} // namespace pdr::pipeline

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The general router model's pipeline designer (EQ 1 of the paper).
+ *
+ * Given the critical path of atomic modules (each with latency t_i and
+ * overhead h_i) and a fixed clock cycle, pack modules into pipeline
+ * stages: a stage holding modules a..b is legal iff
+ *
+ *     sum_{i=a..b} t_i + h_b <= clk                       (EQ 1, Strict)
+ *
+ * and stages are filled greedily (a module moves to the next stage when
+ * adding it would overflow the current one).  A single atomic module
+ * whose own delay exceeds the cycle must still be kept intact (footnote 4
+ * discusses why pipelining *inside* an atomic module is problematic), so
+ * it occupies ceil((t_i + h_i) / clk) consecutive cycles.
+ *
+ * Because the paper's Figure 11 / Section 4 prose rounds a few marginal
+ * configurations into one cycle (e.g. the Rpv VA at 8 VCs computes to
+ * 21.7 tau4 against a 20 tau4 clock), the designer also offers a Relaxed
+ * policy that fits on t_i alone (overhead overlapped with the next
+ * stage's first module, which is legal when the overhead is a local state
+ * update such as a matrix-priority refresh).  Benches report both.
+ */
+
+#ifndef PDR_PIPELINE_DESIGNER_HH
+#define PDR_PIPELINE_DESIGNER_HH
+
+#include <vector>
+
+#include "delay/modules.hh"
+#include "delay/router_delay.hh"
+
+namespace pdr::pipeline {
+
+/** Stage-fit policy; see file comment. */
+enum class FitPolicy { Strict, Relaxed };
+
+/** A module's occupancy of one pipeline stage. */
+struct Slice
+{
+    delay::ModuleKind kind;     //!< Which module.
+    Tau occupied;               //!< Delay spent in this stage.
+    bool continues;             //!< Module spills into the next stage.
+};
+
+/** One pipeline stage: slices of the modules it contains. */
+struct Stage
+{
+    std::vector<Slice> slices;
+
+    /** Total module delay packed into this stage. */
+    Tau occupancy() const;
+};
+
+/** A complete pipeline design for a router. */
+struct PipelineDesign
+{
+    std::vector<Stage> stages;
+    Tau clock;
+
+    /** Number of pipeline stages (the per-hop router latency, cycles). */
+    int depth() const { return int(stages.size()); }
+
+    /** Per-node latency in cycles (== depth; kept for readability). */
+    int perHopCycles() const { return depth(); }
+};
+
+/**
+ * Pack a critical path into pipeline stages per EQ 1.
+ *
+ * @param path critical path from delay::criticalPath().
+ * @param clk clock cycle (default: the paper's typical 20 tau4).
+ * @param policy Strict (EQ 1 verbatim) or Relaxed (fit on t_i only).
+ */
+PipelineDesign design(const std::vector<delay::AtomicModule> &path,
+                      Tau clk = typicalClock,
+                      FitPolicy policy = FitPolicy::Strict);
+
+/** Convenience: critical path + design for a parameterized router. */
+PipelineDesign designRouter(const delay::RouterParams &params,
+                            Tau clk = typicalClock,
+                            FitPolicy policy = FitPolicy::Strict);
+
+} // namespace pdr::pipeline
+
+#endif // PDR_PIPELINE_DESIGNER_HH

@@ -1,0 +1,58 @@
+#include "router/config.hh"
+
+#include "common/logging.hh"
+
+namespace pdr::router {
+
+const char *
+toString(RouterModel m)
+{
+    switch (m) {
+      case RouterModel::Wormhole: return "WH";
+      case RouterModel::VirtualChannel: return "VC";
+      case RouterModel::SpecVirtualChannel: return "specVC";
+    }
+    return "?";
+}
+
+int
+RouterConfig::pipelineDepth() const
+{
+    if (singleCycle)
+        return 1;
+    switch (model) {
+      case RouterModel::Wormhole: return 3;
+      case RouterModel::VirtualChannel: return 4;
+      case RouterModel::SpecVirtualChannel: return 3;
+    }
+    return 1;
+}
+
+int
+RouterConfig::effectiveCreditProc() const
+{
+    if (creditProcCycles >= 0)
+        return creditProcCycles;
+    // Default: an arriving credit is usable by this cycle's allocation.
+    // The longer credit turnaround of the non-speculative VC router
+    // (5 cycles vs 4, Section 5.2) emerges structurally from its switch
+    // allocation sitting one pipeline stage deeper, so no extra
+    // processing delay is modelled here.
+    return 0;
+}
+
+void
+RouterConfig::validate() const
+{
+    if (numPorts < 2)
+        pdr_fatal("router needs at least 2 ports, got %d", numPorts);
+    if (numVcs < 1)
+        pdr_fatal("numVcs must be >= 1, got %d", numVcs);
+    if (model == RouterModel::Wormhole && numVcs != 1)
+        pdr_fatal("wormhole routers have no virtual channels "
+                  "(numVcs == 1), got %d", numVcs);
+    if (bufDepth < 1)
+        pdr_fatal("bufDepth must be >= 1, got %d", bufDepth);
+}
+
+} // namespace pdr::router

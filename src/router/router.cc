@@ -1,0 +1,432 @@
+#include "router/router.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pdr::router {
+
+Router::Router(sim::NodeId id, const RouterConfig &cfg,
+               const RoutingFunction &routing)
+    : id_(id), cfg_(cfg), routing_(routing)
+{
+    cfg_.validate();
+    int p = cfg_.numPorts;
+    int v = cfg_.numVcs;
+
+    inputs_.resize(p);
+    outputs_.resize(p);
+    for (int i = 0; i < p; i++) {
+        inputs_[i].vcs.resize(v);
+        outputs_[i].vcs.resize(v);
+        for (auto &ovc : outputs_[i].vcs)
+            ovc.credits = cfg_.bufDepth;
+    }
+
+    switch (cfg_.model) {
+      case RouterModel::Wormhole:
+        whArb_ = std::make_unique<arb::WormholeSwitchArbiter>(p);
+        break;
+      case RouterModel::VirtualChannel:
+        vcAlloc_ = std::make_unique<arb::VcAllocator>(p, v);
+        saAlloc_ = std::make_unique<arb::SeparableSwitchAllocator>(p, v);
+        break;
+      case RouterModel::SpecVirtualChannel:
+        vcAlloc_ = std::make_unique<arb::VcAllocator>(p, v);
+        if (cfg_.singleCycle || cfg_.specEqualPriority) {
+            // Unit-latency model (VA and SA complete in the same
+            // cycle, no speculation needed) or the equal-priority
+            // ablation: one separable allocator over all requests.
+            saAlloc_ =
+                std::make_unique<arb::SeparableSwitchAllocator>(p, v);
+        } else {
+            specAlloc_ =
+                std::make_unique<arb::SpeculativeSwitchAllocator>(p, v);
+        }
+        break;
+    }
+}
+
+void
+Router::connectInput(int port, FlitChannel *in, CreditChannel *credit_out)
+{
+    pdr_assert(port >= 0 && port < cfg_.numPorts);
+    inputs_[port].in = in;
+    inputs_[port].creditOut = credit_out;
+}
+
+void
+Router::connectOutput(int port, FlitChannel *out, CreditChannel *credit_in,
+                      bool is_sink)
+{
+    pdr_assert(port >= 0 && port < cfg_.numPorts);
+    outputs_[port].out = out;
+    outputs_[port].creditIn = credit_in;
+    outputs_[port].isSink = is_sink;
+}
+
+int
+Router::credits(int out_port, int out_vc) const
+{
+    return outputs_[out_port].vcs[out_vc].credits;
+}
+
+int
+Router::buffered(int port) const
+{
+    int n = 0;
+    for (const auto &vc : inputs_[port].vcs)
+        n += int(vc.fifo.size());
+    return n;
+}
+
+bool
+Router::quiescent() const
+{
+    for (const auto &ip : inputs_)
+        for (const auto &vc : ip.vcs)
+            if (!vc.fifo.empty() || vc.state != VcState::Idle)
+                return false;
+    for (const auto &op : outputs_) {
+        if (op.heldBy != sim::Invalid)
+            return false;
+        for (const auto &ovc : op.vcs)
+            if (ovc.busy)
+                return false;
+    }
+    return true;
+}
+
+bool
+Router::hasCredit(int out_port, int out_vc) const
+{
+    const auto &op = outputs_[out_port];
+    return op.isSink || op.vcs[out_vc].credits > 0;
+}
+
+int
+Router::portScore(int out_port) const
+{
+    const auto &op = outputs_[out_port];
+    if (op.isSink)
+        return cfg_.numVcs * cfg_.bufDepth + 1;
+    if (cfg_.model == RouterModel::Wormhole) {
+        if (op.heldBy != sim::Invalid)
+            return 0;
+        return op.vcs[0].credits;
+    }
+    int score = 0;
+    for (const auto &ovc : op.vcs)
+        if (!ovc.busy)
+            score += ovc.credits;
+    return score;
+}
+
+int
+Router::selectRoute(const sim::Flit &head)
+{
+    routing_.candidates(id_, head.dest, candScratch_);
+    pdr_assert(!candScratch_.empty());
+    int best = candScratch_.front();
+    if (candScratch_.size() > 1) {
+        int best_score = portScore(best);
+        for (std::size_t i = 1; i < candScratch_.size(); i++) {
+            int score = portScore(candScratch_[i]);
+            if (score > best_score) {
+                best = candScratch_[i];
+                best_score = score;
+            }
+        }
+    }
+    pdr_assert(best >= 0 && best < cfg_.numPorts);
+    return best;
+}
+
+void
+Router::tick(sim::Cycle now)
+{
+    receiveCredits(now);
+    receiveFlits(now);
+    if (cfg_.model == RouterModel::Wormhole) {
+        saPhaseWormhole(now);
+    } else {
+        vaPhase(now);
+        saPhaseVc(now);
+    }
+}
+
+void
+Router::receiveCredits(sim::Cycle now)
+{
+    // Accept newly arrived credits into the processing pipeline first:
+    // with proc == 0 a credit is usable by this very cycle's allocation.
+    int proc = cfg_.effectiveCreditProc();
+    for (int port = 0; port < cfg_.numPorts; port++) {
+        auto *chan = outputs_[port].creditIn;
+        if (!chan)
+            continue;
+        while (auto c = chan->pop(now)) {
+            pdr_assert(c->vc >= 0 && c->vc < cfg_.numVcs);
+            pendingCredits_.push_back(
+                {now + sim::Cycle(proc), port, c->vc});
+        }
+    }
+
+    // Apply credits that finished the processing pipeline.
+    while (!pendingCredits_.empty() &&
+           pendingCredits_.front().applyAt <= now) {
+        const auto &pc = pendingCredits_.front();
+        outputs_[pc.port].vcs[pc.vc].credits++;
+        pdr_assert(outputs_[pc.port].vcs[pc.vc].credits <= cfg_.bufDepth);
+        pendingCredits_.pop_front();
+    }
+}
+
+void
+Router::receiveFlits(sim::Cycle now)
+{
+    for (int port = 0; port < cfg_.numPorts; port++) {
+        auto *chan = inputs_[port].in;
+        if (!chan)
+            continue;
+        while (auto f = chan->pop(now)) {
+            pdr_assert(f->vc >= 0 && f->vc < cfg_.numVcs);
+            auto &ivc = inputs_[port].vcs[f->vc];
+            pdr_assert(int(ivc.fifo.size()) < cfg_.bufDepth);
+            f->eligible = now + firstActionDelay();
+            if (sim::isHead(f->type) && ivc.state == VcState::Idle) {
+                // Empty VC: decode + route this packet immediately (the
+                // RC stage); otherwise the head waits for takeover when
+                // the previous tail departs.
+                pdr_assert(ivc.fifo.empty());
+                ivc.state = VcState::RouteWait;
+                ivc.route = selectRoute(*f);
+                ivc.actReady = f->eligible;
+            }
+            ivc.fifo.push_back(*f);
+            stats_.flitsIn++;
+        }
+    }
+}
+
+void
+Router::vaPhase(sim::Cycle now)
+{
+    vaReqs_.clear();
+    saReqs_.clear();
+    bool spec = cfg_.model == RouterModel::SpecVirtualChannel &&
+                !cfg_.singleCycle;
+
+    for (int port = 0; port < cfg_.numPorts; port++) {
+        for (int vc = 0; vc < cfg_.numVcs; vc++) {
+            auto &ivc = inputs_[port].vcs[vc];
+            ivc.vaGrantedNow = false;
+            if (ivc.state != VcState::RouteWait || now < ivc.actReady)
+                continue;
+            pdr_assert(!ivc.fifo.empty());
+            const auto &head = ivc.fifo.front();
+            pdr_assert(sim::isHead(head.type));
+            if (routing_.isAdaptive()) {
+                // Footnote 5: re-iterate through the routing function
+                // on every attempt, picking one output port.
+                ivc.route = selectRoute(head);
+            }
+            vaReqs_.push_back({port, vc, ivc.route,
+                               routing_.vcMask(head.vclass, id_,
+                                               head.dest, ivc.route,
+                                               cfg_.numVcs)});
+            if (spec) {
+                // Speculative switch bid issued in parallel with the VA
+                // request, before its outcome is known.
+                saReqs_.push_back({port, vc, ivc.route, true});
+                stats_.specSaAttempts++;
+            }
+        }
+    }
+
+    if (vaReqs_.empty())
+        return;
+
+    auto grants = vcAlloc_->allocate(
+        vaReqs_, [this](int out_port, int out_vc) {
+            return !outputs_[out_port].vcs[out_vc].busy;
+        });
+    for (const auto &g : grants) {
+        auto &ivc = inputs_[g.inPort].vcs[g.inVc];
+        outputs_[g.outPort].vcs[g.outVc].busy = true;
+        ivc.outVc = g.outVc;
+        ivc.state = VcState::Active;
+        ivc.vaGrantTick = now;
+        ivc.vaGrantedNow = true;
+        // Non-speculative switch requests start next cycle (same cycle
+        // for the unit-latency model).
+        ivc.saReady = now + (cfg_.singleCycle ? 0 : 1);
+        stats_.vaGrants++;
+    }
+}
+
+void
+Router::saPhaseWormhole(sim::Cycle now)
+{
+    saReqs_.clear();
+    for (int port = 0; port < cfg_.numPorts; port++) {
+        auto &ivc = inputs_[port].vcs[0];
+        if (ivc.fifo.empty())
+            continue;
+        const auto &f = ivc.fifo.front();
+        if (now < f.eligible)
+            continue;
+        if (ivc.state == VcState::RouteWait && now >= ivc.actReady) {
+            // Head arbitrates for a free output port; it also needs a
+            // downstream buffer to move into.
+            pdr_assert(sim::isHead(f.type));
+            if (routing_.isAdaptive())
+                ivc.route = selectRoute(f);
+            if (outputs_[ivc.route].heldBy == sim::Invalid &&
+                hasCredit(ivc.route, 0)) {
+                saReqs_.push_back({port, 0, ivc.route, false});
+            } else if (outputs_[ivc.route].heldBy == sim::Invalid) {
+                stats_.creditStallCycles++;
+            }
+        } else if (ivc.state == VcState::Active) {
+            // Port is held: body/tail flits flow without arbitration.
+            pdr_assert(outputs_[ivc.route].heldBy == port);
+            if (hasCredit(ivc.route, 0))
+                departFlit(port, 0, ivc.route, 0, now);
+            else
+                stats_.creditStallCycles++;
+        }
+    }
+
+    if (saReqs_.empty())
+        return;
+
+    for (const auto &g : whArb_->allocate(saReqs_)) {
+        auto &ivc = inputs_[g.inPort].vcs[0];
+        outputs_[g.outPort].heldBy = g.inPort;
+        ivc.state = VcState::Active;
+        stats_.headGrants++;
+        departFlit(g.inPort, 0, g.outPort, 0, now);
+    }
+}
+
+void
+Router::saPhaseVc(sim::Cycle now)
+{
+    // Non-speculative requests from Active VCs (saReqs_ already holds
+    // this tick's speculative bids, pushed by vaPhase).
+    for (int port = 0; port < cfg_.numPorts; port++) {
+        for (int vc = 0; vc < cfg_.numVcs; vc++) {
+            auto &ivc = inputs_[port].vcs[vc];
+            if (ivc.state != VcState::Active || ivc.fifo.empty())
+                continue;
+            if (ivc.vaGrantedNow && !cfg_.singleCycle)
+                continue;   // Covered by its speculative bid (specVC).
+            const auto &f = ivc.fifo.front();
+            if (now < f.eligible || now < ivc.saReady)
+                continue;
+            if (!hasCredit(ivc.route, ivc.outVc)) {
+                stats_.creditStallCycles++;
+                continue;
+            }
+            saReqs_.push_back({port, vc, ivc.route, false});
+        }
+    }
+
+    if (saReqs_.empty())
+        return;
+
+    auto grants = specAlloc_ ? specAlloc_->allocate(saReqs_)
+                             : saAlloc_->allocate(saReqs_);
+    bool equal_prio = cfg_.model == RouterModel::SpecVirtualChannel &&
+                      cfg_.specEqualPriority && !cfg_.singleCycle;
+    for (const auto &g : grants) {
+        auto &ivc = inputs_[g.inPort].vcs[g.inVc];
+        // In the equal-priority ablation the allocator does not track
+        // the spec flag; a grant is speculative iff the VC was still
+        // bidding for (or just received) its output VC this cycle.
+        bool spec = g.spec ||
+                    (equal_prio && (ivc.state == VcState::RouteWait ||
+                                    ivc.vaGrantedNow));
+        if (spec) {
+            stats_.specSaWins++;
+            // Speculation pays off only if VA succeeded this very cycle
+            // and the granted output VC has a buffer; otherwise the
+            // crossbar slot is wasted (Section 3.1).
+            if (!ivc.vaGrantedNow || !hasCredit(ivc.route, ivc.outVc))
+                continue;
+            stats_.specSaUseful++;
+        }
+        if (sim::isHead(ivc.fifo.front().type))
+            stats_.headGrants++;
+        departFlit(g.inPort, g.inVc, ivc.route, ivc.outVc, now);
+    }
+}
+
+void
+Router::departFlit(int in_port, int in_vc, int out_port, int out_vc,
+                   sim::Cycle now)
+{
+    auto &ivc = inputs_[in_port].vcs[in_vc];
+    pdr_assert(!ivc.fifo.empty());
+    sim::Flit f = ivc.fifo.front();
+    ivc.fifo.pop_front();
+
+    // Freed buffer slot: return a credit upstream (none for injection
+    // ports fed by a source? sources also track credits, so send).
+    if (inputs_[in_port].creditOut)
+        inputs_[in_port].creditOut->push(sim::Credit{in_vc}, now);
+
+    auto &op = outputs_[out_port];
+    if (!op.isSink) {
+        pdr_assert(op.vcs[out_vc].credits > 0);
+        op.vcs[out_vc].credits--;
+    }
+
+    // Crossbar traversal (ST) is the extra cycle before the wire; the
+    // unit-latency model folds it into the single cycle.
+    sim::Cycle st_extra = cfg_.singleCycle ? 0 : 1;
+    f.vc = out_vc;
+    f.vclass =
+        std::uint8_t(routing_.nextClass(f.vclass, id_, out_port));
+    pdr_assert(op.out);
+    op.out->push(f, now, st_extra);
+    stats_.flitsOut++;
+
+    if (sim::isTail(f.type))
+        releaseAndTakeOver(in_port, in_vc, out_port, out_vc, now);
+}
+
+void
+Router::releaseAndTakeOver(int in_port, int in_vc, int out_port,
+                           int out_vc, sim::Cycle now)
+{
+    auto &ivc = inputs_[in_port].vcs[in_vc];
+    auto &op = outputs_[out_port];
+
+    if (cfg_.model == RouterModel::Wormhole) {
+        pdr_assert(op.heldBy == in_port);
+        op.heldBy = sim::Invalid;
+    } else {
+        pdr_assert(op.isSink || op.vcs[out_vc].busy);
+        op.vcs[out_vc].busy = false;
+    }
+    ivc.outVc = sim::Invalid;
+
+    if (ivc.fifo.empty()) {
+        ivc.state = VcState::Idle;
+        ivc.route = sim::Invalid;
+        return;
+    }
+
+    // The next packet's head takes over the VC and is routed now (its
+    // RC stage runs in the next cycle).
+    const auto &head = ivc.fifo.front();
+    pdr_assert(sim::isHead(head.type));
+    ivc.state = VcState::RouteWait;
+    ivc.route = selectRoute(head);
+    ivc.actReady =
+        std::max(head.eligible, now + firstActionDelay());
+}
+
+} // namespace pdr::router

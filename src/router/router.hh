@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Cycle-accurate models of the paper's three router microarchitectures.
+ *
+ * One Router class implements all three flow-control methods (plus the
+ * single-cycle idealization); the differences are confined to which
+ * allocation phases run and when flits become eligible:
+ *
+ *   Wormhole:  head flits arbitrate for the whole output port, which is
+ *              then held until the tail departs; body flits flow without
+ *              arbitration (Figure 2's canonical architecture).
+ *   VC:        heads allocate an output VC (VA) and then compete, flit by
+ *              flit, in a separable switch allocator (Figure 3).
+ *   SpecVC:    heads bid for the switch *speculatively* in the same cycle
+ *              as VA; non-speculative requests are prioritized, so failed
+ *              speculation only wastes the crossbar slot (Section 3.1).
+ *
+ * Timing (pipelined routers, all at 20 tau4 clock, Figure 11):
+ *   A flit arriving at cycle t is decoded/buffered during t+1 and may
+ *   take its first allocation action at t+2.  Granted flits traverse the
+ *   crossbar the following cycle and spend linkLatency cycles on the
+ *   wire, so per-hop latency is 3 (WH, specVC) or 4 (VC) cycles plus the
+ *   link.  The single-cycle model acts at t+1 with no crossbar stage.
+ *
+ * Credits: a departing flit frees its input-buffer slot and sends a
+ * credit upstream; an arriving credit becomes usable by allocation after
+ * creditProcCycles (default: the pipeline depth), reproducing the
+ * paper's 4/5/4/2-cycle buffer-turnaround analysis (Section 5.2).
+ */
+
+#ifndef PDR_ROUTER_ROUTER_HH
+#define PDR_ROUTER_ROUTER_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "arb/switch_allocator.hh"
+#include "arb/vc_allocator.hh"
+#include "router/config.hh"
+#include "router/routing.hh"
+#include "sim/channel.hh"
+#include "sim/flit.hh"
+
+namespace pdr::router {
+
+/** Counters exposed for tests, benches and examples. */
+struct RouterStats
+{
+    std::uint64_t flitsIn = 0;
+    std::uint64_t flitsOut = 0;
+    std::uint64_t headGrants = 0;       //!< Heads granted switch passage.
+    std::uint64_t vaGrants = 0;         //!< Output VCs allocated.
+    std::uint64_t specSaAttempts = 0;   //!< Speculative switch requests.
+    std::uint64_t specSaWins = 0;       //!< Spec grants surviving priority.
+    std::uint64_t specSaUseful = 0;     //!< Spec grants actually used.
+    std::uint64_t creditStallCycles = 0;//!< VC ready but zero credits.
+};
+
+/** A cycle-accurate pipelined router. */
+class Router
+{
+  public:
+    using FlitChannel = sim::Channel<sim::Flit>;
+    using CreditChannel = sim::Channel<sim::Credit>;
+
+    Router(sim::NodeId id, const RouterConfig &cfg,
+           const RoutingFunction &routing);
+
+    /**
+     * Wire input port `port`: flits arrive on `in`; credits for freed
+     * buffers are returned upstream on `credit_out` (nullptr for an
+     * unused edge port).
+     */
+    void connectInput(int port, FlitChannel *in,
+                      CreditChannel *credit_out);
+
+    /**
+     * Wire output port `port`: departing flits go to `out`; credits
+     * from the downstream input buffer come back on `credit_in`.
+     * `is_sink` marks an ejection port (infinite downstream buffering,
+     * per the paper's immediate-ejection assumption).
+     */
+    void connectOutput(int port, FlitChannel *out,
+                       CreditChannel *credit_in, bool is_sink);
+
+    /** Advance one clock cycle. */
+    void tick(sim::Cycle now);
+
+    sim::NodeId id() const { return id_; }
+    const RouterConfig &config() const { return cfg_; }
+    const RouterStats &stats() const { return stats_; }
+
+    /** Credits currently available for (outPort, outVc) (tests). */
+    int credits(int out_port, int out_vc) const;
+    /** Total flits buffered in the input FIFOs of `port` (tests). */
+    int buffered(int port) const;
+    /** All input FIFOs empty and no resources held (tests). */
+    bool quiescent() const;
+
+  private:
+    /** Input-VC pipeline states (invc_state / inpc_state of Figs 2, 3). */
+    enum class VcState : std::uint8_t
+    {
+        Idle,       //!< No packet.
+        RouteWait,  //!< Head buffered; routed; awaiting VA (VC) / SA (WH).
+        Active,     //!< Resources held; flits flow through SA/ST.
+    };
+
+    /** Per input virtual channel (per input port for WH). */
+    struct InputVc
+    {
+        std::deque<sim::Flit> fifo;
+        VcState state = VcState::Idle;
+        sim::Cycle actReady = 0;    //!< Earliest first allocation action.
+        sim::Cycle saReady = 0;     //!< Earliest switch request (VC).
+        sim::Cycle vaGrantTick = 0; //!< When VA succeeded (spec check).
+        bool vaGrantedNow = false;  //!< VA granted in the current tick.
+        int route = sim::Invalid;   //!< Routed output port.
+        int outVc = sim::Invalid;   //!< Allocated output VC.
+    };
+
+    struct InputPort
+    {
+        FlitChannel *in = nullptr;
+        CreditChannel *creditOut = nullptr;
+        std::vector<InputVc> vcs;
+    };
+
+    /** Downstream buffer tracking for one output VC. */
+    struct OutVcState
+    {
+        bool busy = false;          //!< Allocated to some input VC.
+        int credits = 0;
+    };
+
+    struct OutputPort
+    {
+        FlitChannel *out = nullptr;
+        CreditChannel *creditIn = nullptr;
+        bool isSink = false;
+        int heldBy = sim::Invalid;  //!< Wormhole per-packet port hold.
+        std::vector<OutVcState> vcs;
+    };
+
+    /** Credit received, waiting out the processing pipeline. */
+    struct PendingCredit
+    {
+        sim::Cycle applyAt;
+        int port;
+        int vc;
+    };
+
+    // Tick phases, in order.
+    void receiveCredits(sim::Cycle now);
+    void receiveFlits(sim::Cycle now);
+    void vaPhase(sim::Cycle now);
+    void saPhaseWormhole(sim::Cycle now);
+    void saPhaseVc(sim::Cycle now);
+
+    /** Dequeue the front flit of (port, vc) and send it out. */
+    void departFlit(int in_port, int in_vc, int out_port, int out_vc,
+                    sim::Cycle now);
+    /** Tail departed: free VC/port and hand the FIFO to the next head. */
+    void releaseAndTakeOver(int in_port, int in_vc, int out_port,
+                            int out_vc, sim::Cycle now);
+
+    bool hasCredit(int out_port, int out_vc) const;
+    /** Earliest allocation action for a flit arriving now. */
+    sim::Cycle firstActionDelay() const { return cfg_.singleCycle ? 1 : 2; }
+
+    /**
+     * Route selection for a head flit.  Deterministic routing returns
+     * the single route; adaptive routing picks the candidate with the
+     * most downstream buffer space (re-evaluated on every allocation
+     * attempt, per the paper's footnote-5 re-iteration policy).
+     */
+    int selectRoute(const sim::Flit &head);
+    /** Free downstream buffer space through `out_port` (adaptivity
+     *  metric). */
+    int portScore(int out_port) const;
+
+    sim::NodeId id_;
+    RouterConfig cfg_;
+    const RoutingFunction &routing_;
+
+    std::vector<InputPort> inputs_;
+    std::vector<OutputPort> outputs_;
+    std::deque<PendingCredit> pendingCredits_;
+
+    // Allocators (constructed per model).
+    std::unique_ptr<arb::WormholeSwitchArbiter> whArb_;
+    std::unique_ptr<arb::VcAllocator> vcAlloc_;
+    std::unique_ptr<arb::SeparableSwitchAllocator> saAlloc_;
+    std::unique_ptr<arb::SpeculativeSwitchAllocator> specAlloc_;
+
+    // Per-tick scratch.
+    std::vector<arb::VaRequest> vaReqs_;
+    std::vector<arb::SaRequest> saReqs_;
+    std::vector<int> candScratch_;
+
+    RouterStats stats_;
+};
+
+} // namespace pdr::router
+
+#endif // PDR_ROUTER_ROUTER_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Routing-function interface.
+ *
+ * The paper treats routing as a black box occupying the first pipeline
+ * stage; the simulations use deterministic dimension-ordered routing (a
+ * routing function of range Rp: it names a single output physical
+ * channel, and the VC allocator may pick any free VC on it).
+ */
+
+#ifndef PDR_ROUTER_ROUTING_HH
+#define PDR_ROUTER_ROUTING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace pdr::router {
+
+/** Deterministic routing function: destination -> output port. */
+class RoutingFunction
+{
+  public:
+    virtual ~RoutingFunction() = default;
+
+    /**
+     * Output port at router `here` for a packet addressed to `dest`.
+     * Must return the local/ejection port when here == dest.
+     */
+    virtual int route(sim::NodeId here, sim::NodeId dest) const = 0;
+
+    /**
+     * Adaptive candidates: legal output ports at `here` for `dest`, in
+     * preference order.  The router picks one per attempt (the paper's
+     * footnote-5 policy for speculative routers: the routing function
+     * is limited to returning a single output port, and the packet
+     * re-iterates through routing upon an unsuccessful bid).  Default:
+     * the single deterministic route.
+     */
+    virtual void
+    candidates(sim::NodeId here, sim::NodeId dest,
+               std::vector<int> &out) const
+    {
+        out.clear();
+        out.push_back(route(here, dest));
+    }
+
+    /** True if candidates() may return more than one port. */
+    virtual bool isAdaptive() const { return false; }
+
+    /**
+     * Output VCs a packet of deadlock class `vclass` may be allocated
+     * on `out_port` (bit i = VC i).  Default: no restriction.  Used by
+     * torus dateline routing, where class-1 packets (past the
+     * dateline) are confined to the upper half of the VCs.
+     */
+    virtual std::uint32_t
+    vcMask(int vclass, sim::NodeId here, sim::NodeId dest,
+           int out_port, int num_vcs) const
+    {
+        (void)vclass;
+        (void)here;
+        (void)dest;
+        (void)out_port;
+        (void)num_vcs;
+        return ~0u;
+    }
+
+    /**
+     * Deadlock class of the packet after traversing `out_port` from
+     * `here` (e.g. set to 1 when the link crosses a dateline, reset to
+     * 0 when the packet turns into a new dimension).  Default: 0.
+     */
+    virtual int
+    nextClass(int vclass, sim::NodeId here, int out_port) const
+    {
+        (void)vclass;
+        (void)here;
+        (void)out_port;
+        return 0;
+    }
+};
+
+} // namespace pdr::router
+
+#endif // PDR_ROUTER_ROUTING_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Fixed-latency channels (delay lines) connecting routers.
+ *
+ * A channel models a pipelined wire: items pushed at cycle t with a
+ * latency L become visible to the receiver at cycle t + L.  Both the
+ * flit path and the backward credit path are channels; the paper's
+ * experiments vary the credit channel's propagation latency (Figure 18).
+ *
+ * Senders may add extra delay per push (e.g. the crossbar-traversal
+ * stage between switch allocation and the wire).
+ */
+
+#ifndef PDR_SIM_CHANNEL_HH
+#define PDR_SIM_CHANNEL_HH
+
+#include <deque>
+#include <optional>
+
+#include "common/logging.hh"
+#include "sim/types.hh"
+
+namespace pdr::sim {
+
+/** A fixed-latency delay line carrying items of type T. */
+template <typename T>
+class Channel
+{
+  public:
+    explicit Channel(Cycle latency = 1) : latency_(latency)
+    {
+        pdr_assert(latency >= 1);
+    }
+
+    /** Wire propagation latency in cycles. */
+    Cycle latency() const { return latency_; }
+
+    /**
+     * Push an item at cycle `now`; it is deliverable at
+     * now + latency + extra.  Pushes must be issued in nondecreasing
+     * ready order (guaranteed when `extra` is constant per sender).
+     */
+    void
+    push(const T &item, Cycle now, Cycle extra = 0)
+    {
+        Cycle ready = now + latency_ + extra;
+        pdr_assert(q_.empty() || q_.back().ready <= ready);
+        q_.push_back({ready, item});
+    }
+
+    /** Pop the next item if it has arrived by cycle `now`. */
+    std::optional<T>
+    pop(Cycle now)
+    {
+        if (q_.empty() || q_.front().ready > now)
+            return std::nullopt;
+        T item = q_.front().item;
+        q_.pop_front();
+        return item;
+    }
+
+    /** Items still in flight. */
+    std::size_t inFlight() const { return q_.size(); }
+
+    bool empty() const { return q_.empty(); }
+
+  private:
+    struct Entry
+    {
+        Cycle ready;
+        T item;
+    };
+
+    Cycle latency_;
+    std::deque<Entry> q_;
+};
+
+} // namespace pdr::sim
+
+#endif // PDR_SIM_CHANNEL_HH

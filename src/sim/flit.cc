@@ -1,0 +1,17 @@
+#include "sim/flit.hh"
+
+namespace pdr::sim {
+
+const char *
+toString(FlitType t)
+{
+    switch (t) {
+      case FlitType::Head: return "head";
+      case FlitType::Body: return "body";
+      case FlitType::Tail: return "tail";
+      case FlitType::HeadTail: return "head+tail";
+    }
+    return "?";
+}
+
+} // namespace pdr::sim

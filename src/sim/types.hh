@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Fundamental simulation types.
+ */
+
+#ifndef PDR_SIM_TYPES_HH
+#define PDR_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace pdr::sim {
+
+/** Simulation time in clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Node (router) identifier: row-major index into the mesh. */
+using NodeId = std::int32_t;
+
+/** Packet identifier, unique across the simulation. */
+using PacketId = std::uint64_t;
+
+/** Invalid marker for ids/ports/VCs. */
+constexpr int Invalid = -1;
+
+} // namespace pdr::sim
+
+#endif // PDR_SIM_TYPES_HH

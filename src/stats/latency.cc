@@ -1,0 +1,93 @@
+#include "stats/latency.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pdr::stats {
+
+LatencyStats::LatencyStats()
+{
+    bins_.assign(binCount_, 0);
+}
+
+void
+LatencyStats::record(double latency, bool measured)
+{
+    if (!measured) {
+        unmeasured_++;
+        return;
+    }
+    if (count_ == 0) {
+        min_ = max_ = latency;
+    } else {
+        min_ = std::min(min_, latency);
+        max_ = std::max(max_, latency);
+    }
+    count_++;
+    sum_ += latency;
+    sumSq_ += latency * latency;
+    int bin = int(latency);
+    if (bin >= 0 && bin < binCount_)
+        bins_[bin]++;
+    else
+        overflow_++;
+}
+
+void
+LatencyStats::merge(const LatencyStats &other)
+{
+    if (other.count_ == 0) {
+        unmeasured_ += other.unmeasured_;
+        return;
+    }
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    unmeasured_ += other.unmeasured_;
+    sum_ += other.sum_;
+    sumSq_ += other.sumSq_;
+    overflow_ += other.overflow_;
+    for (int i = 0; i < binCount_; i++)
+        bins_[i] += other.bins_[i];
+}
+
+double
+LatencyStats::mean() const
+{
+    return count_ ? sum_ / double(count_) : 0.0;
+}
+
+double
+LatencyStats::stddev() const
+{
+    if (count_ < 2)
+        return 0.0;
+    double n = double(count_);
+    double var = (sumSq_ - sum_ * sum_ / n) / (n - 1.0);
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double
+LatencyStats::percentile(double pct) const
+{
+    pdr_assert(pct >= 0.0 && pct <= 100.0);
+    if (count_ == 0)
+        return 0.0;
+    std::uint64_t target = std::uint64_t(pct / 100.0 * double(count_));
+    std::uint64_t seen = 0;
+    for (int i = 0; i < binCount_; i++) {
+        seen += bins_[i];
+        if (seen >= target && bins_[i] > 0)
+            return double(i);
+    }
+    return max_;
+}
+
+} // namespace pdr::stats

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Latency statistics: mean / min / max plus a coarse histogram and
+ * percentile queries over the measured sample space.
+ */
+
+#ifndef PDR_STATS_LATENCY_HH
+#define PDR_STATS_LATENCY_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace pdr::stats {
+
+/** Accumulates packet latencies; "measured" samples form the sample
+ *  space of the paper's protocol, others are tracked separately. */
+class LatencyStats
+{
+  public:
+    LatencyStats();
+
+    /** Record one packet latency. */
+    void record(double latency, bool measured);
+
+    /** Merge another accumulator (per-sink partials). */
+    void merge(const LatencyStats &other);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const;
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    /** Sample standard deviation. */
+    double stddev() const;
+    /** Approximate percentile in [0, 100] from the histogram. */
+    double percentile(double pct) const;
+
+    /** Packets seen outside the sample space. */
+    std::uint64_t unmeasuredCount() const { return unmeasured_; }
+
+  private:
+    // Histogram with 1-cycle bins up to `binCount_`, overflow beyond.
+    static constexpr int binCount_ = 4096;
+    std::vector<std::uint32_t> bins_;
+    std::uint64_t overflow_ = 0;
+
+    std::uint64_t count_ = 0;
+    std::uint64_t unmeasured_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace pdr::stats
+
+#endif // PDR_STATS_LATENCY_HH

@@ -1,0 +1,20 @@
+#include "traffic/measure.hh"
+
+namespace pdr::traffic {
+
+MeasureController::MeasureController(sim::Cycle warmup,
+                                     std::uint64_t sample_packets)
+    : warmup_(warmup), sample_(sample_packets)
+{
+}
+
+bool
+MeasureController::tryTag(sim::Cycle now)
+{
+    if (now < warmup_ || tagged_ >= sample_)
+        return false;
+    tagged_++;
+    return true;
+}
+
+} // namespace pdr::traffic

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Measurement protocol of the paper's Section 5.
+ *
+ * Each simulation runs a warm-up phase (10,000 cycles in the paper);
+ * thereafter the next `samplePackets` injected packets (100,000 in the
+ * paper) form the sample space and the simulation continues until all of
+ * them have been received.  Sources keep injecting while the sample
+ * drains so the network stays loaded.  Latency spans packet creation to
+ * last-flit ejection, including source queueing.
+ */
+
+#ifndef PDR_TRAFFIC_MEASURE_HH
+#define PDR_TRAFFIC_MEASURE_HH
+
+#include "sim/types.hh"
+
+namespace pdr::traffic {
+
+/** Shared controller tracking the sample space across sources/sinks. */
+class MeasureController
+{
+  public:
+    MeasureController(sim::Cycle warmup, std::uint64_t sample_packets);
+
+    /**
+     * A source is creating a packet at `now`; returns true if the packet
+     * belongs to the sample space (tagged for measurement).
+     */
+    bool tryTag(sim::Cycle now);
+
+    /** A tagged packet was fully received. */
+    void taggedReceived() { received_++; }
+
+    /** All tagged packets created and received. */
+    bool done() const
+    {
+        return tagged_ == sample_ && received_ == tagged_;
+    }
+
+    sim::Cycle warmup() const { return warmup_; }
+    std::uint64_t tagged() const { return tagged_; }
+    std::uint64_t received() const { return received_; }
+    std::uint64_t sampleSize() const { return sample_; }
+
+  private:
+    sim::Cycle warmup_;
+    std::uint64_t sample_;
+    std::uint64_t tagged_ = 0;
+    std::uint64_t received_ = 0;
+};
+
+} // namespace pdr::traffic
+
+#endif // PDR_TRAFFIC_MEASURE_HH

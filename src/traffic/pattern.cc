@@ -1,0 +1,121 @@
+#include "traffic/pattern.hh"
+
+#include "common/logging.hh"
+#include "common/math.hh"
+
+namespace pdr::traffic {
+
+UniformPattern::UniformPattern(int k) : numNodes_(k * k)
+{
+    pdr_assert(numNodes_ >= 2);
+}
+
+sim::NodeId
+UniformPattern::pick(sim::NodeId src, Rng &rng) const
+{
+    // Uniform over the other N-1 nodes.
+    auto d = sim::NodeId(rng.range(numNodes_ - 1));
+    if (d >= src)
+        d++;
+    return d;
+}
+
+TransposePattern::TransposePattern(int k) : k_(k) {}
+
+sim::NodeId
+TransposePattern::pick(sim::NodeId src, Rng &rng) const
+{
+    int x = int(src) % k_, y = int(src) / k_;
+    auto d = sim::NodeId(x * k_ + y);
+    if (d == src) {
+        // Diagonal nodes map to themselves; fall back to uniform so
+        // every node still offers load.
+        return UniformPattern(k_).pick(src, rng);
+    }
+    return d;
+}
+
+BitComplementPattern::BitComplementPattern(int k) : numNodes_(k * k)
+{
+    if (!isPow2(unsigned(numNodes_)))
+        pdr_fatal("bit-complement needs a power-of-two node count");
+}
+
+sim::NodeId
+BitComplementPattern::pick(sim::NodeId src, Rng &) const
+{
+    return sim::NodeId((~unsigned(src)) & unsigned(numNodes_ - 1));
+}
+
+TornadoPattern::TornadoPattern(int k) : k_(k) {}
+
+sim::NodeId
+TornadoPattern::pick(sim::NodeId src, Rng &) const
+{
+    int x = int(src) % k_, y = int(src) / k_;
+    int shift = (k_ + 1) / 2 - 1;
+    if (shift == 0)
+        shift = 1;
+    int dx = (x + shift) % k_;
+    return sim::NodeId(y * k_ + dx);
+}
+
+NeighborPattern::NeighborPattern(int k) : k_(k) {}
+
+sim::NodeId
+NeighborPattern::pick(sim::NodeId src, Rng &) const
+{
+    int x = int(src) % k_, y = int(src) / k_;
+    return sim::NodeId(y * k_ + (x + 1) % k_);
+}
+
+HotspotPattern::HotspotPattern(int k, sim::NodeId hotspot, double fraction)
+    : uniform_(k), hotspot_(hotspot), fraction_(fraction)
+{
+    pdr_assert(fraction >= 0.0 && fraction <= 1.0);
+}
+
+sim::NodeId
+HotspotPattern::pick(sim::NodeId src, Rng &rng) const
+{
+    if (src != hotspot_ && rng.bernoulli(fraction_))
+        return hotspot_;
+    return uniform_.pick(src, rng);
+}
+
+std::unique_ptr<TrafficPattern>
+makePattern(PatternKind kind, int k)
+{
+    switch (kind) {
+      case PatternKind::Uniform:
+        return std::make_unique<UniformPattern>(k);
+      case PatternKind::Transpose:
+        return std::make_unique<TransposePattern>(k);
+      case PatternKind::BitComplement:
+        return std::make_unique<BitComplementPattern>(k);
+      case PatternKind::Tornado:
+        return std::make_unique<TornadoPattern>(k);
+      case PatternKind::Neighbor:
+        return std::make_unique<NeighborPattern>(k);
+      case PatternKind::Hotspot:
+        return std::make_unique<HotspotPattern>(k, k * k / 2 + k / 2,
+                                                0.1);
+    }
+    pdr_panic("bad pattern kind");
+}
+
+const char *
+toString(PatternKind k)
+{
+    switch (k) {
+      case PatternKind::Uniform: return "uniform";
+      case PatternKind::Transpose: return "transpose";
+      case PatternKind::BitComplement: return "bitcomp";
+      case PatternKind::Tornado: return "tornado";
+      case PatternKind::Neighbor: return "neighbor";
+      case PatternKind::Hotspot: return "hotspot";
+    }
+    return "?";
+}
+
+} // namespace pdr::traffic

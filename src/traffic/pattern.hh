@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Traffic patterns: mappings from source node to destination node.
+ *
+ * The paper evaluates uniformly distributed traffic (chosen because flow
+ * control is relatively insensitive to the pattern, unlike routing).
+ * The standard synthetic patterns of the interconnection-network
+ * literature are provided as extensions for the example programs and
+ * ablation benches.
+ */
+
+#ifndef PDR_TRAFFIC_PATTERN_HH
+#define PDR_TRAFFIC_PATTERN_HH
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hh"
+#include "sim/types.hh"
+
+namespace pdr::traffic {
+
+/** Destination selector for generated packets. */
+class TrafficPattern
+{
+  public:
+    virtual ~TrafficPattern() = default;
+
+    /** Destination for a packet created at `src` (never src itself). */
+    virtual sim::NodeId pick(sim::NodeId src, Rng &rng) const = 0;
+
+    /** Pattern name for reports. */
+    virtual std::string name() const = 0;
+};
+
+/** Uniform random over all other nodes. */
+class UniformPattern : public TrafficPattern
+{
+  public:
+    explicit UniformPattern(int k);
+    sim::NodeId pick(sim::NodeId src, Rng &rng) const override;
+    std::string name() const override { return "uniform"; }
+
+  private:
+    int numNodes_;
+};
+
+/** Matrix transpose: (x, y) -> (y, x). */
+class TransposePattern : public TrafficPattern
+{
+  public:
+    explicit TransposePattern(int k);
+    sim::NodeId pick(sim::NodeId src, Rng &rng) const override;
+    std::string name() const override { return "transpose"; }
+
+  private:
+    int k_;
+};
+
+/** Bit complement: node i -> ~i (over log2(N) bits). */
+class BitComplementPattern : public TrafficPattern
+{
+  public:
+    explicit BitComplementPattern(int k);
+    sim::NodeId pick(sim::NodeId src, Rng &rng) const override;
+    std::string name() const override { return "bitcomp"; }
+
+  private:
+    int numNodes_;
+};
+
+/** Tornado: half-way around each dimension. */
+class TornadoPattern : public TrafficPattern
+{
+  public:
+    explicit TornadoPattern(int k);
+    sim::NodeId pick(sim::NodeId src, Rng &rng) const override;
+    std::string name() const override { return "tornado"; }
+
+  private:
+    int k_;
+};
+
+/** Nearest neighbor: +1 in x (wrapping). */
+class NeighborPattern : public TrafficPattern
+{
+  public:
+    explicit NeighborPattern(int k);
+    sim::NodeId pick(sim::NodeId src, Rng &rng) const override;
+    std::string name() const override { return "neighbor"; }
+
+  private:
+    int k_;
+};
+
+/**
+ * Hotspot: with probability `fraction`, send to the hotspot node;
+ * otherwise uniform random.
+ */
+class HotspotPattern : public TrafficPattern
+{
+  public:
+    HotspotPattern(int k, sim::NodeId hotspot, double fraction);
+    sim::NodeId pick(sim::NodeId src, Rng &rng) const override;
+    std::string name() const override { return "hotspot"; }
+
+  private:
+    UniformPattern uniform_;
+    sim::NodeId hotspot_;
+    double fraction_;
+};
+
+/** Pattern kinds for configuration. */
+enum class PatternKind
+{
+    Uniform,
+    Transpose,
+    BitComplement,
+    Tornado,
+    Neighbor,
+    Hotspot,
+};
+
+/** Factory. `k` is the mesh radix. */
+std::unique_ptr<TrafficPattern> makePattern(PatternKind kind, int k);
+
+const char *toString(PatternKind k);
+
+} // namespace pdr::traffic
+
+#endif // PDR_TRAFFIC_PATTERN_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Ejection sink: absorbs flits at the destination node ("immediate
+ * ejection"), validates packet integrity, and records latency and
+ * throughput statistics.
+ */
+
+#ifndef PDR_TRAFFIC_SINK_HH
+#define PDR_TRAFFIC_SINK_HH
+
+#include <unordered_map>
+
+#include "sim/channel.hh"
+#include "sim/flit.hh"
+#include "stats/latency.hh"
+#include "traffic/measure.hh"
+
+namespace pdr::traffic {
+
+/** Per-node ejection sink. */
+class Sink
+{
+  public:
+    using FlitChannel = sim::Channel<sim::Flit>;
+
+    Sink(sim::NodeId node, int packet_length, MeasureController &ctrl,
+         FlitChannel *from_router, stats::LatencyStats &latency);
+
+    /** Drain arrived flits. */
+    void tick(sim::Cycle now);
+
+    /** Flits received after the warm-up point (for throughput). */
+    std::uint64_t measuredFlits() const { return measuredFlits_; }
+    /** All flits ever received. */
+    std::uint64_t totalFlits() const { return totalFlits_; }
+    /** Complete packets received. */
+    std::uint64_t packets() const { return packets_; }
+
+  private:
+    sim::NodeId node_;
+    int packetLength_;
+    MeasureController &ctrl_;
+    FlitChannel *in_;
+    stats::LatencyStats &latency_;
+
+    /** Next expected sequence number per in-flight packet. */
+    std::unordered_map<sim::PacketId, int> expectSeq_;
+
+    std::uint64_t measuredFlits_ = 0;
+    std::uint64_t totalFlits_ = 0;
+    std::uint64_t packets_ = 0;
+};
+
+} // namespace pdr::traffic
+
+#endif // PDR_TRAFFIC_SINK_HH

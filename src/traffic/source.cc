@@ -1,0 +1,126 @@
+#include "traffic/source.hh"
+
+#include "common/logging.hh"
+
+namespace pdr::traffic {
+
+Source::Source(sim::NodeId node, const SourceConfig &cfg,
+               const TrafficPattern &pattern, MeasureController &ctrl,
+               FlitChannel *to_router, CreditChannel *credits_back)
+    : node_(node), cfg_(cfg), pattern_(pattern), ctrl_(ctrl),
+      out_(to_router), creditIn_(credits_back),
+      rng_(cfg.seed ^ (0xabcd1234ULL * (node + 1))),
+      nextId_((sim::PacketId(node) << 40) + 1)
+{
+    pdr_assert(cfg.numVcs >= 1);
+    pdr_assert(cfg.packetLength >= 1);
+    pdr_assert(cfg.packetRate >= 0.0 && cfg.packetRate <= 1.0);
+    streams_.resize(cfg.numVcs);
+    credits_.assign(cfg.numVcs, cfg.bufDepth);
+}
+
+int
+Source::active() const
+{
+    int n = 0;
+    for (const auto &s : streams_)
+        n += s.busy ? 1 : 0;
+    return n;
+}
+
+void
+Source::tick(sim::Cycle now)
+{
+    applyCredits(now);
+    generate(now);
+    inject(now);
+}
+
+void
+Source::applyCredits(sim::Cycle now)
+{
+    // Credits become usable the cycle after arrival (the source has a
+    // single-stage credit pipeline).
+    while (!pendingCredits_.empty() &&
+           pendingCredits_.front().first <= now) {
+        credits_[pendingCredits_.front().second]++;
+        pdr_assert(credits_[pendingCredits_.front().second] <=
+                   cfg_.bufDepth);
+        pendingCredits_.pop_front();
+    }
+    if (creditIn_) {
+        while (auto c = creditIn_->pop(now)) {
+            pdr_assert(c->vc >= 0 && c->vc < cfg_.numVcs);
+            pendingCredits_.push_back({now + 1, c->vc});
+        }
+    }
+}
+
+void
+Source::generate(sim::Cycle now)
+{
+    if (cfg_.packetRate <= 0.0 || !rng_.bernoulli(cfg_.packetRate))
+        return;
+    PendingPacket p;
+    p.id = nextId_++;
+    p.dest = pattern_.pick(node_, rng_);
+    pdr_assert(p.dest != node_);
+    p.ctime = now;
+    p.measured = ctrl_.tryTag(now);
+    queue_.push_back(p);
+    created_++;
+}
+
+void
+Source::inject(sim::Cycle now)
+{
+    // Assign queued packets to idle injection VCs (round-robin).
+    for (int k = 0; k < cfg_.numVcs && !queue_.empty(); k++) {
+        int vc = (rrAssign_ + k) % cfg_.numVcs;
+        if (!streams_[vc].busy) {
+            streams_[vc].busy = true;
+            streams_[vc].pkt = queue_.front();
+            streams_[vc].nextSeq = 0;
+            queue_.pop_front();
+            rrAssign_ = (vc + 1) % cfg_.numVcs;
+        }
+    }
+
+    // Send at most one flit this cycle, round-robin over the active
+    // streams that have a downstream buffer available.
+    for (int k = 0; k < cfg_.numVcs; k++) {
+        int vc = (rrVc_ + k) % cfg_.numVcs;
+        auto &s = streams_[vc];
+        if (!s.busy || credits_[vc] <= 0)
+            continue;
+
+        sim::Flit f;
+        f.packet = s.pkt.id;
+        int len = cfg_.packetLength;
+        if (len == 1)
+            f.type = sim::FlitType::HeadTail;
+        else if (s.nextSeq == 0)
+            f.type = sim::FlitType::Head;
+        else if (s.nextSeq == len - 1)
+            f.type = sim::FlitType::Tail;
+        else
+            f.type = sim::FlitType::Body;
+        f.vc = vc;
+        f.src = node_;
+        f.dest = s.pkt.dest;
+        f.seq = std::uint8_t(s.nextSeq);
+        f.ctime = s.pkt.ctime;
+        f.measured = s.pkt.measured;
+
+        out_->push(f, now);
+        credits_[vc]--;
+        flitsSent_++;
+        s.nextSeq++;
+        if (s.nextSeq == len)
+            s.busy = false;
+        rrVc_ = (vc + 1) % cfg_.numVcs;
+        break;
+    }
+}
+
+} // namespace pdr::traffic

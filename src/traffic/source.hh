@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Constant-rate packet source (Section 5 of the paper).
+ *
+ * Each node has a source that creates fixed-length packets by a
+ * Bernoulli process at the configured rate and queues them (the source
+ * queue is unbounded; source queueing time counts toward latency).  The
+ * source streams packets into the router's injection port flit by flit,
+ * respecting credit-based flow control exactly like an upstream router:
+ * it tracks per-VC credits for the injection input buffers and may
+ * stream up to `numVcs` packets concurrently (one per VC), sending at
+ * most one flit per cycle over the injection channel.
+ */
+
+#ifndef PDR_TRAFFIC_SOURCE_HH
+#define PDR_TRAFFIC_SOURCE_HH
+
+#include <deque>
+#include <vector>
+
+#include "common/rng.hh"
+#include "sim/channel.hh"
+#include "sim/flit.hh"
+#include "traffic/measure.hh"
+#include "traffic/pattern.hh"
+
+namespace pdr::traffic {
+
+/** Source configuration. */
+struct SourceConfig
+{
+    int numVcs = 1;
+    int bufDepth = 8;          //!< Injection input-buffer depth per VC.
+    int packetLength = 5;      //!< Flits per packet.
+    double packetRate = 0.0;   //!< Packets per cycle (Bernoulli).
+    std::uint64_t seed = 1;
+};
+
+/** Per-node constant-rate source. */
+class Source
+{
+  public:
+    using FlitChannel = sim::Channel<sim::Flit>;
+    using CreditChannel = sim::Channel<sim::Credit>;
+
+    Source(sim::NodeId node, const SourceConfig &cfg,
+           const TrafficPattern &pattern, MeasureController &ctrl,
+           FlitChannel *to_router, CreditChannel *credits_back);
+
+    /** Advance one cycle: collect credits, generate, inject. */
+    void tick(sim::Cycle now);
+
+    /** Packets created so far. */
+    std::uint64_t created() const { return created_; }
+    /** Flits sent so far. */
+    std::uint64_t flitsSent() const { return flitsSent_; }
+    /** Packets waiting or streaming. */
+    std::size_t backlog() const { return queue_.size() + active(); }
+    /** Streams currently active. */
+    int active() const;
+
+  private:
+    /** A queued packet awaiting injection. */
+    struct PendingPacket
+    {
+        sim::PacketId id;
+        sim::NodeId dest;
+        sim::Cycle ctime;
+        bool measured;
+    };
+
+    /** A packet currently streaming on an injection VC. */
+    struct Stream
+    {
+        bool busy = false;
+        PendingPacket pkt;
+        int nextSeq = 0;
+    };
+
+    void applyCredits(sim::Cycle now);
+    void generate(sim::Cycle now);
+    void inject(sim::Cycle now);
+
+    sim::NodeId node_;
+    SourceConfig cfg_;
+    const TrafficPattern &pattern_;
+    MeasureController &ctrl_;
+    FlitChannel *out_;
+    CreditChannel *creditIn_;
+
+    Rng rng_;
+    std::deque<PendingPacket> queue_;
+    std::vector<Stream> streams_;      //!< One per injection VC.
+    std::vector<int> credits_;         //!< Per injection VC.
+    std::deque<std::pair<sim::Cycle, int>> pendingCredits_;
+    int rrVc_ = 0;                     //!< Round-robin send pointer.
+    int rrAssign_ = 0;                 //!< Round-robin VC assignment.
+
+    std::uint64_t created_ = 0;
+    std::uint64_t flitsSent_ = 0;
+    sim::PacketId nextId_;
+};
+
+} // namespace pdr::traffic
+
+#endif // PDR_TRAFFIC_SOURCE_HH

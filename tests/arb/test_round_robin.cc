@@ -1,0 +1,68 @@
+/** @file Unit tests for the round-robin arbiter. */
+
+#include <gtest/gtest.h>
+
+#include "arb/round_robin_arbiter.hh"
+
+using namespace pdr::arb;
+
+namespace {
+
+std::vector<bool>
+mask(int n, std::initializer_list<int> set)
+{
+    std::vector<bool> m(n, false);
+    for (int i : set)
+        m[std::size_t(i)] = true;
+    return m;
+}
+
+} // namespace
+
+TEST(RoundRobin, NoRequestsNoGrant)
+{
+    RoundRobinArbiter arb(4);
+    EXPECT_EQ(arb.arbitrate(mask(4, {})), NoGrant);
+}
+
+TEST(RoundRobin, PointerAdvancesPastWinner)
+{
+    RoundRobinArbiter arb(4);
+    auto all = mask(4, {0, 1, 2, 3});
+    EXPECT_EQ(arb.arbitrate(all), 0);
+    arb.update(0);
+    EXPECT_EQ(arb.arbitrate(all), 1);
+    arb.update(1);
+    EXPECT_EQ(arb.arbitrate(all), 2);
+}
+
+TEST(RoundRobin, WrapsAround)
+{
+    RoundRobinArbiter arb(3);
+    arb.update(2);  // Pointer now at 0.
+    EXPECT_EQ(arb.arbitrate(mask(3, {0})), 0);
+    arb.update(0);  // Pointer at 1.
+    EXPECT_EQ(arb.arbitrate(mask(3, {0})), 0);  // Wraps to find 0.
+}
+
+TEST(RoundRobin, SkipsNonRequestors)
+{
+    RoundRobinArbiter arb(4);
+    EXPECT_EQ(arb.arbitrate(mask(4, {2, 3})), 2);
+    arb.update(2);
+    EXPECT_EQ(arb.arbitrate(mask(4, {1, 3})), 3);
+}
+
+TEST(RoundRobin, FairUnderFullLoad)
+{
+    RoundRobinArbiter arb(5);
+    std::vector<bool> all(5, true);
+    std::vector<int> served(5, 0);
+    for (int i = 0; i < 50; i++) {
+        int w = arb.arbitrate(all);
+        served[std::size_t(w)]++;
+        arb.update(w);
+    }
+    for (int i = 0; i < 5; i++)
+        EXPECT_EQ(served[std::size_t(i)], 10);
+}

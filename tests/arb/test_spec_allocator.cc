@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the speculative switch allocator (Figure 7(c)): parallel
+ * non-spec / spec allocation with strict non-spec priority.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arb/switch_allocator.hh"
+#include "common/rng.hh"
+
+using namespace pdr;
+using namespace pdr::arb;
+
+TEST(SpecAllocator, SpecGrantedWhenUncontended)
+{
+    SpeculativeSwitchAllocator alloc(5, 2);
+    auto g = alloc.allocate({{0, 0, 3, true}});
+    ASSERT_EQ(g.size(), 1u);
+    EXPECT_TRUE(g[0].spec);
+    EXPECT_EQ(g[0].outPort, 3);
+}
+
+TEST(SpecAllocator, NonSpecBeatsSpecOnSameOutput)
+{
+    SpeculativeSwitchAllocator alloc(5, 2);
+    for (int round = 0; round < 20; round++) {
+        auto g = alloc.allocate({{0, 0, 3, true}, {1, 0, 3, false}});
+        ASSERT_EQ(g.size(), 1u);
+        EXPECT_FALSE(g[0].spec);
+        EXPECT_EQ(g[0].inPort, 1);
+    }
+}
+
+TEST(SpecAllocator, NonSpecOnInputMasksSpecFromSameInput)
+{
+    // A non-spec winner from input 0 means input 0 cannot also send a
+    // speculative flit through the crossbar this cycle.
+    SpeculativeSwitchAllocator alloc(5, 2);
+    auto g = alloc.allocate({{0, 0, 1, false}, {0, 1, 2, true}});
+    ASSERT_EQ(g.size(), 1u);
+    EXPECT_FALSE(g[0].spec);
+    EXPECT_EQ(g[0].inVc, 0);
+}
+
+TEST(SpecAllocator, SpecFillsLeftoverPorts)
+{
+    SpeculativeSwitchAllocator alloc(5, 2);
+    auto g = alloc.allocate({{0, 0, 1, false}, {1, 0, 2, true},
+                             {2, 0, 3, true}});
+    // Non-spec takes out 1; spec requests for 2 and 3 are disjoint and
+    // should both land.
+    std::set<int> outs;
+    int spec_count = 0;
+    for (const auto &gr : g) {
+        outs.insert(gr.outPort);
+        spec_count += gr.spec ? 1 : 0;
+    }
+    EXPECT_EQ(g.size(), 3u);
+    EXPECT_EQ(spec_count, 2);
+    EXPECT_TRUE(outs.count(1) && outs.count(2) && outs.count(3));
+}
+
+TEST(SpecAllocator, NeverTwoGrantsPerPort)
+{
+    SpeculativeSwitchAllocator alloc(5, 4);
+    Rng rng(7);
+    for (int round = 0; round < 3000; round++) {
+        std::vector<SaRequest> reqs;
+        for (int in = 0; in < 5; in++) {
+            for (int vc = 0; vc < 4; vc++) {
+                if (rng.bernoulli(0.25)) {
+                    reqs.push_back({in, vc, int(rng.range(5)),
+                                    rng.bernoulli(0.5)});
+                }
+            }
+        }
+        auto grants = alloc.allocate(reqs);
+        std::set<int> ins, outs;
+        for (const auto &g : grants) {
+            EXPECT_TRUE(ins.insert(g.inPort).second);
+            EXPECT_TRUE(outs.insert(g.outPort).second);
+        }
+    }
+}
+
+TEST(SpecAllocator, NonSpecThroughputUnaffectedBySpecLoad)
+{
+    // Conservative speculation: the set of non-spec grants must be
+    // identical whether or not speculative requests are present.
+    SpeculativeSwitchAllocator with_spec(5, 2);
+    SpeculativeSwitchAllocator without_spec(5, 2);
+    Rng rng(21);
+    for (int round = 0; round < 2000; round++) {
+        std::vector<SaRequest> ns;
+        for (int in = 0; in < 5; in++)
+            if (rng.bernoulli(0.4))
+                ns.push_back({in, int(rng.range(2)),
+                              int(rng.range(5)), false});
+        std::vector<SaRequest> all = ns;
+        for (int in = 0; in < 5; in++)
+            if (rng.bernoulli(0.4))
+                all.push_back({in, int(rng.range(2)),
+                               int(rng.range(5)), true});
+
+        auto g_with = with_spec.allocate(all);
+        auto g_without = without_spec.allocate(ns);
+
+        std::set<std::tuple<int, int, int>> ns_with, ns_without;
+        for (const auto &g : g_with)
+            if (!g.spec)
+                ns_with.insert({g.inPort, g.inVc, g.outPort});
+        for (const auto &g : g_without)
+            ns_without.insert({g.inPort, g.inVc, g.outPort});
+        EXPECT_EQ(ns_with, ns_without) << "round " << round;
+    }
+}
+
+TEST(SpecAllocator, SpecOnlyTrafficBehavesLikeSeparable)
+{
+    SpeculativeSwitchAllocator spec_alloc(4, 2);
+    SeparableSwitchAllocator plain(4, 2);
+    Rng rng(5);
+    for (int round = 0; round < 500; round++) {
+        std::vector<SaRequest> reqs;
+        for (int in = 0; in < 4; in++)
+            if (rng.bernoulli(0.5))
+                reqs.push_back({in, int(rng.range(2)),
+                                int(rng.range(4)), true});
+        std::vector<SaRequest> plain_reqs = reqs;
+        for (auto &r : plain_reqs)
+            r.spec = false;
+        auto a = spec_alloc.allocate(reqs);
+        auto b = plain.allocate(plain_reqs);
+        EXPECT_EQ(a.size(), b.size()) << "round " << round;
+    }
+}

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the wormhole switch arbiter and the separable switch
+ * allocator (Figure 7(a)/(b)).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arb/switch_allocator.hh"
+#include "common/rng.hh"
+
+using namespace pdr;
+using namespace pdr::arb;
+
+TEST(WormholeArbiter, SingleRequestGranted)
+{
+    WormholeSwitchArbiter arb(5);
+    auto g = arb.allocate({{2, 0, 4, false}});
+    ASSERT_EQ(g.size(), 1u);
+    EXPECT_EQ(g[0].inPort, 2);
+    EXPECT_EQ(g[0].outPort, 4);
+}
+
+TEST(WormholeArbiter, ContentionYieldsOneWinnerPerOutput)
+{
+    WormholeSwitchArbiter arb(5);
+    auto g = arb.allocate({{0, 0, 3, false}, {1, 0, 3, false},
+                           {2, 0, 3, false}});
+    ASSERT_EQ(g.size(), 1u);
+    EXPECT_EQ(g[0].outPort, 3);
+}
+
+TEST(WormholeArbiter, DistinctOutputsAllGranted)
+{
+    WormholeSwitchArbiter arb(5);
+    auto g = arb.allocate({{0, 0, 1, false}, {1, 0, 2, false},
+                           {2, 0, 3, false}});
+    EXPECT_EQ(g.size(), 3u);
+}
+
+TEST(WormholeArbiter, RepeatedContentionIsFair)
+{
+    WormholeSwitchArbiter arb(3);
+    std::vector<int> wins(3, 0);
+    for (int i = 0; i < 30; i++) {
+        auto g = arb.allocate({{0, 0, 2, false}, {1, 0, 2, false},
+                               {2, 0, 2, false}});
+        ASSERT_EQ(g.size(), 1u);
+        wins[std::size_t(g[0].inPort)]++;
+    }
+    for (int i = 0; i < 3; i++)
+        EXPECT_EQ(wins[std::size_t(i)], 10);
+}
+
+namespace {
+
+/** No two grants share an input port or an output port. */
+void
+expectConflictFree(const std::vector<SaGrant> &grants)
+{
+    std::set<int> ins, outs;
+    for (const auto &g : grants) {
+        EXPECT_TRUE(ins.insert(g.inPort * 64 + g.inVc).second)
+            << "duplicate input VC grant";
+        EXPECT_TRUE(outs.insert(g.outPort).second)
+            << "duplicate output port grant";
+    }
+    // Also at most one grant per input *port* (one crossbar input).
+    std::set<int> inports;
+    for (const auto &g : grants)
+        EXPECT_TRUE(inports.insert(g.inPort).second)
+            << "two VCs of one input port granted";
+}
+
+} // namespace
+
+TEST(SeparableAllocator, GrantsAreConflictFree)
+{
+    SeparableSwitchAllocator alloc(5, 4);
+    Rng rng(42);
+    for (int round = 0; round < 2000; round++) {
+        std::vector<SaRequest> reqs;
+        for (int in = 0; in < 5; in++)
+            for (int vc = 0; vc < 4; vc++)
+                if (rng.bernoulli(0.3))
+                    reqs.push_back({in, vc, int(rng.range(5)), false});
+        auto grants = alloc.allocate(reqs);
+        expectConflictFree(grants);
+        // Every grant matches a request.
+        for (const auto &g : grants) {
+            bool found = false;
+            for (const auto &r : reqs)
+                found |= r.inPort == g.inPort && r.inVc == g.inVc &&
+                         r.outPort == g.outPort;
+            EXPECT_TRUE(found);
+        }
+    }
+}
+
+TEST(SeparableAllocator, SingleRequestAlwaysGranted)
+{
+    SeparableSwitchAllocator alloc(5, 2);
+    for (int in = 0; in < 5; in++) {
+        auto g = alloc.allocate({{in, 1, (in + 1) % 5, false}});
+        ASSERT_EQ(g.size(), 1u);
+        EXPECT_EQ(g[0].inPort, in);
+        EXPECT_EQ(g[0].inVc, 1);
+    }
+}
+
+TEST(SeparableAllocator, ParallelRequestsAllGranted)
+{
+    // Disjoint inputs and outputs: separable allocation grants all.
+    SeparableSwitchAllocator alloc(5, 2);
+    auto g = alloc.allocate({{0, 0, 1, false}, {1, 0, 2, false},
+                             {2, 1, 3, false}, {3, 1, 4, false},
+                             {4, 0, 0, false}});
+    EXPECT_EQ(g.size(), 5u);
+}
+
+TEST(SeparableAllocator, InputStageFairAcrossVcs)
+{
+    // Two VCs of one input contending for different outputs: over
+    // rounds, both get service.
+    SeparableSwitchAllocator alloc(5, 2);
+    std::vector<int> wins(2, 0);
+    for (int i = 0; i < 40; i++) {
+        auto g = alloc.allocate({{0, 0, 1, false}, {0, 1, 2, false}});
+        ASSERT_EQ(g.size(), 1u);
+        wins[std::size_t(g[0].inVc)]++;
+    }
+    EXPECT_EQ(wins[0], 20);
+    EXPECT_EQ(wins[1], 20);
+}
+
+TEST(SeparableAllocator, OutputStageFairAcrossInputs)
+{
+    SeparableSwitchAllocator alloc(4, 1);
+    std::vector<int> wins(4, 0);
+    for (int i = 0; i < 40; i++) {
+        std::vector<SaRequest> reqs;
+        for (int in = 0; in < 4; in++)
+            reqs.push_back({in, 0, 0, false});
+        auto g = alloc.allocate(reqs);
+        ASSERT_EQ(g.size(), 1u);
+        wins[std::size_t(g[0].inPort)]++;
+    }
+    for (int i = 0; i < 4; i++)
+        EXPECT_EQ(wins[std::size_t(i)], 10);
+}
+
+TEST(SeparableAllocator, LoserKeepsPriority)
+{
+    // A VC that won stage 1 but lost stage 2 must not lose its input
+    // arbiter priority (update-on-consume policy).
+    SeparableSwitchAllocator alloc(2, 2);
+    // Round 1: in0/vc0 and in1/vc0 both want out 0; one loses.
+    auto g1 = alloc.allocate({{0, 0, 0, false}, {1, 0, 0, false}});
+    ASSERT_EQ(g1.size(), 1u);
+    int loser = g1[0].inPort == 0 ? 1 : 0;
+    // Round 2: loser's vc0 vs its vc1 -> vc0 must still win stage 1
+    // (its priority was not consumed).
+    auto g2 = alloc.allocate({{loser, 0, 0, false},
+                              {loser, 1, 1, false}});
+    bool vc0_granted = false;
+    for (const auto &g : g2)
+        vc0_granted |= g.inPort == loser && g.inVc == 0;
+    EXPECT_TRUE(vc0_granted);
+}

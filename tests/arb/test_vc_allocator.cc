@@ -1,0 +1,142 @@
+/** @file Tests for the separable virtual-channel allocator (Figure 8). */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "arb/vc_allocator.hh"
+#include "common/rng.hh"
+
+using namespace pdr;
+using namespace pdr::arb;
+
+namespace {
+
+/** All output VCs free. */
+bool
+allFree(int, int)
+{
+    return true;
+}
+
+} // namespace
+
+TEST(VcAllocator, SingleRequestGetsFreeVc)
+{
+    VcAllocator alloc(5, 2);
+    auto g = alloc.allocate({{0, 0, 3}}, allFree);
+    ASSERT_EQ(g.size(), 1u);
+    EXPECT_EQ(g[0].inPort, 0);
+    EXPECT_EQ(g[0].outPort, 3);
+    EXPECT_GE(g[0].outVc, 0);
+    EXPECT_LT(g[0].outVc, 2);
+}
+
+TEST(VcAllocator, NoGrantWhenAllBusy)
+{
+    VcAllocator alloc(5, 2);
+    auto g = alloc.allocate({{0, 0, 3}},
+                            [](int, int) { return false; });
+    EXPECT_TRUE(g.empty());
+}
+
+TEST(VcAllocator, RespectsFreePredicate)
+{
+    VcAllocator alloc(5, 4);
+    // Only VC 2 of port 1 is free.
+    auto g = alloc.allocate({{0, 0, 1}}, [](int port, int vc) {
+        return port == 1 && vc == 2;
+    });
+    ASSERT_EQ(g.size(), 1u);
+    EXPECT_EQ(g[0].outVc, 2);
+}
+
+TEST(VcAllocator, TwoRequestersOneFreeVc)
+{
+    VcAllocator alloc(5, 2);
+    auto g = alloc.allocate({{0, 0, 3}, {1, 1, 3}},
+                            [](int, int vc) { return vc == 0; });
+    ASSERT_EQ(g.size(), 1u);
+    EXPECT_EQ(g[0].outVc, 0);
+}
+
+TEST(VcAllocator, DistinctOutputsBothGranted)
+{
+    VcAllocator alloc(5, 2);
+    auto g = alloc.allocate({{0, 0, 1}, {1, 0, 2}}, allFree);
+    EXPECT_EQ(g.size(), 2u);
+}
+
+TEST(VcAllocator, NeverGrantsSameOutVcTwice)
+{
+    VcAllocator alloc(5, 4);
+    Rng rng(3);
+    for (int round = 0; round < 2000; round++) {
+        std::vector<VaRequest> reqs;
+        for (int in = 0; in < 5; in++)
+            for (int vc = 0; vc < 4; vc++)
+                if (rng.bernoulli(0.3))
+                    reqs.push_back({in, vc, int(rng.range(5))});
+        auto grants = alloc.allocate(reqs, allFree);
+        std::set<int> ovcs, ivcs;
+        for (const auto &g : grants) {
+            EXPECT_TRUE(ovcs.insert(g.outPort * 4 + g.outVc).second)
+                << "output VC double-granted";
+            EXPECT_TRUE(ivcs.insert(g.inPort * 4 + g.inVc).second)
+                << "input VC double-granted";
+        }
+    }
+}
+
+TEST(VcAllocator, GrantsMatchRequests)
+{
+    VcAllocator alloc(3, 2);
+    Rng rng(17);
+    for (int round = 0; round < 500; round++) {
+        std::vector<VaRequest> reqs;
+        for (int in = 0; in < 3; in++)
+            for (int vc = 0; vc < 2; vc++)
+                if (rng.bernoulli(0.5))
+                    reqs.push_back({in, vc, int(rng.range(3))});
+        for (const auto &g : alloc.allocate(reqs, allFree)) {
+            bool matches = false;
+            for (const auto &r : reqs)
+                matches |= r.inPort == g.inPort && r.inVc == g.inVc &&
+                           r.outPort == g.outPort;
+            EXPECT_TRUE(matches);
+        }
+    }
+}
+
+TEST(VcAllocator, SpreadsLoadOverOutputVcs)
+{
+    // Repeated solo requests should rotate across the output VCs of
+    // the port rather than always picking VC 0.
+    VcAllocator alloc(5, 4);
+    std::map<int, int> used;
+    for (int i = 0; i < 40; i++) {
+        auto g = alloc.allocate({{0, 0, 2}}, allFree);
+        ASSERT_EQ(g.size(), 1u);
+        used[g[0].outVc]++;
+    }
+    EXPECT_EQ(used.size(), 4u);
+    for (const auto &[vc, n] : used)
+        EXPECT_EQ(n, 10) << "vc " << vc;
+}
+
+TEST(VcAllocator, FairAcrossCompetingInputVcs)
+{
+    // Many input VCs fighting for one output VC: matrix arbitration
+    // serves them all evenly over time.
+    VcAllocator alloc(3, 1);
+    std::vector<int> wins(3, 0);
+    for (int round = 0; round < 30; round++) {
+        auto g = alloc.allocate({{0, 0, 2}, {1, 0, 2}, {2, 0, 2}},
+                                allFree);
+        ASSERT_EQ(g.size(), 1u);
+        wins[std::size_t(g[0].inPort)]++;
+    }
+    for (int in = 0; in < 3; in++)
+        EXPECT_EQ(wins[std::size_t(in)], 10);
+}

@@ -1,0 +1,43 @@
+/** @file Unit tests for logging helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+using namespace pdr;
+
+TEST(Logging, Csprintf)
+{
+    EXPECT_EQ(csprintf("x=%d", 5), "x=5");
+    EXPECT_EQ(csprintf("%s-%s", "a", "b"), "a-b");
+    EXPECT_EQ(csprintf("%.2f", 1.5), "1.50");
+    EXPECT_EQ(csprintf("plain"), "plain");
+}
+
+TEST(Logging, CsprintfLongString)
+{
+    std::string big(500, 'x');
+    EXPECT_EQ(csprintf("%s", big.c_str()), big);
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(pdr_panic("boom %d", 3), "boom 3");
+}
+
+TEST(LoggingDeath, AssertAborts)
+{
+    EXPECT_DEATH(pdr_assert(1 == 2), "assertion");
+}
+
+TEST(LoggingDeath, FatalExits)
+{
+    EXPECT_EXIT(pdr_fatal("bad config"),
+                testing::ExitedWithCode(1), "bad config");
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    pdr_assert(1 + 1 == 2);     // Must not abort.
+    SUCCEED();
+}

@@ -1,0 +1,64 @@
+/** @file Unit tests for math helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/math.hh"
+
+using namespace pdr;
+
+TEST(MathHelpers, Log4)
+{
+    EXPECT_DOUBLE_EQ(log4(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(log4(4.0), 1.0);
+    EXPECT_DOUBLE_EQ(log4(16.0), 2.0);
+    EXPECT_DOUBLE_EQ(log4(64.0), 3.0);
+    EXPECT_NEAR(log4(5.0), 1.160964, 1e-6);
+}
+
+TEST(MathHelpers, Log8)
+{
+    EXPECT_DOUBLE_EQ(log8(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(log8(8.0), 1.0);
+    EXPECT_DOUBLE_EQ(log8(64.0), 2.0);
+}
+
+TEST(MathHelpers, Log2)
+{
+    EXPECT_DOUBLE_EQ(log2d(2.0), 1.0);
+    EXPECT_DOUBLE_EQ(log2d(32.0), 5.0);
+}
+
+TEST(MathHelpers, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(10, 5), 2);
+    EXPECT_EQ(ceilDiv(11, 5), 3);
+    EXPECT_EQ(ceilDiv(1, 5), 1);
+    EXPECT_EQ(ceilDiv(5, 5), 1);
+}
+
+TEST(MathHelpers, IsPow2)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_TRUE(isPow2(64));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_FALSE(isPow2(12));
+}
+
+class LogIdentityTest : public testing::TestWithParam<double>
+{
+};
+
+TEST_P(LogIdentityTest, BaseChangeIdentity)
+{
+    double x = GetParam();
+    // log4(x) = log2(x)/2 and log8(x) = log2(x)/3 by construction;
+    // verify against the pow inverse instead.
+    EXPECT_NEAR(std::pow(4.0, log4(x)), x, 1e-9 * x);
+    EXPECT_NEAR(std::pow(8.0, log8(x)), x, 1e-9 * x);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LogIdentityTest,
+                         testing::Values(1.0, 2.0, 5.0, 7.0, 10.0, 32.0,
+                                         160.0, 1024.0));

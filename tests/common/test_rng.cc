@@ -1,0 +1,84 @@
+/** @file Unit tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+using namespace pdr;
+
+TEST(RngTest, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; i++)
+        if (a.next() == b.next())
+            same++;
+    EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; i++) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformMeanNearHalf)
+{
+    Rng r(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; i++)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, RangeBounds)
+{
+    Rng r(3);
+    for (std::uint32_t n : {1u, 2u, 7u, 64u}) {
+        for (int i = 0; i < 1000; i++) {
+            auto v = r.range(n);
+            EXPECT_LT(v, n);
+        }
+    }
+}
+
+TEST(RngTest, RangeCoversAllValues)
+{
+    Rng r(5);
+    std::vector<int> hits(8, 0);
+    for (int i = 0; i < 8000; i++)
+        hits[r.range(8)]++;
+    for (int v = 0; v < 8; v++)
+        EXPECT_GT(hits[v], 800) << "value " << v << " under-represented";
+}
+
+TEST(RngTest, BernoulliRate)
+{
+    Rng r(13);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; i++)
+        hits += r.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / double(n), 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliExtremes)
+{
+    Rng r(17);
+    for (int i = 0; i < 100; i++) {
+        EXPECT_FALSE(r.bernoulli(0.0));
+        EXPECT_TRUE(r.bernoulli(1.0));
+    }
+}

@@ -1,0 +1,50 @@
+/** @file Unit tests for the tau / tau4 delay units. */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+
+using namespace pdr;
+
+TEST(Units, Tau4IsFiveTau)
+{
+    EXPECT_DOUBLE_EQ(Tau::tau4PerTau, 5.0);
+    EXPECT_DOUBLE_EQ(fromTau4(1.0).value(), 5.0);
+    EXPECT_DOUBLE_EQ(Tau(5.0).inTau4(), 1.0);
+}
+
+TEST(Units, TypicalClockIs20Tau4)
+{
+    EXPECT_DOUBLE_EQ(typicalClock.inTau4(), 20.0);
+    EXPECT_DOUBLE_EQ(typicalClock.value(), 100.0);
+}
+
+TEST(Units, Arithmetic)
+{
+    Tau a(10.0), b(2.5);
+    EXPECT_DOUBLE_EQ((a + b).value(), 12.5);
+    EXPECT_DOUBLE_EQ((a - b).value(), 7.5);
+    EXPECT_DOUBLE_EQ((a * 2.0).value(), 20.0);
+    EXPECT_DOUBLE_EQ((3.0 * b).value(), 7.5);
+    a += b;
+    EXPECT_DOUBLE_EQ(a.value(), 12.5);
+}
+
+TEST(Units, Comparison)
+{
+    EXPECT_LT(Tau(1.0), Tau(2.0));
+    EXPECT_EQ(Tau(3.0), Tau(3.0));
+    EXPECT_GE(Tau(4.0), Tau(3.0));
+}
+
+TEST(Units, DefaultIsZero)
+{
+    EXPECT_DOUBLE_EQ(Tau().value(), 0.0);
+}
+
+TEST(Units, RoundTripConversion)
+{
+    for (double t4 : {0.5, 1.0, 8.4, 16.9, 20.0}) {
+        EXPECT_DOUBLE_EQ(fromTau4(t4).inTau4(), t4);
+    }
+}

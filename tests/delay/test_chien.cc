@@ -1,0 +1,87 @@
+/** @file Tests for the Chien baseline model (Section 2). */
+
+#include <gtest/gtest.h>
+
+#include "delay/chien.hh"
+#include "delay/equations.hh"
+#include "pipeline/designer.hh"
+
+using namespace pdr;
+using namespace pdr::delay;
+
+TEST(ChienModel, BreakdownSums)
+{
+    auto b = chien::evaluate(5, 2, 32);
+    EXPECT_DOUBLE_EQ(b.total().value(),
+                     (b.decode + b.routing + b.arbitration +
+                      b.crossbar + b.vcControl).value());
+    EXPECT_DOUBLE_EQ(chien::routerLatency(5, 2, 32).value(),
+                     b.total().value());
+}
+
+TEST(ChienModel, GrowsWithVcs)
+{
+    double prev = 0.0;
+    for (int v : {1, 2, 4, 8, 16}) {
+        double t = chien::routerLatency(5, v, 32).value();
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(ChienModel, CrossbarTermGrowsWithPvNotP)
+{
+    // The paper's core criticism: Chien's crossbar arbitration and
+    // traversal scale with p*v.  Doubling v must grow those terms as
+    // much as doubling p does.
+    auto b_v = chien::evaluate(5, 8, 32);
+    auto b_p = chien::evaluate(10, 4, 32);
+    EXPECT_DOUBLE_EQ(b_v.arbitration.value(), b_p.arbitration.value());
+    EXPECT_DOUBLE_EQ(b_v.crossbar.value(), b_p.crossbar.value());
+}
+
+TEST(ChienModel, AdaptiveRoutingCostsMore)
+{
+    EXPECT_GT(chien::routerLatency(5, 2, 32, 4).value(),
+              chien::routerLatency(5, 2, 32, 1).value());
+}
+
+TEST(ChienModel, UnpipelinedLatencyExceedsPipelinedCycleBudget)
+{
+    // Chien's single-cycle assumption implies the cycle time equals
+    // the router latency; already at v=2 that is several times the
+    // paper's 20-tau4 clock.
+    double t = chien::routerLatency(5, 2, 32).inTau4();
+    EXPECT_GT(t, 20.0);
+}
+
+TEST(ChienModel, SharedPortCrossbarScalesBetter)
+{
+    // The Peh-Dally canonical architecture shares crossbar ports
+    // across VCs: its combined-stage delay grows much more slowly with
+    // v than Chien's p*v-port crossbar path.
+    double chien_2 = chien::routerLatency(5, 2, 32).value();
+    double chien_16 = chien::routerLatency(5, 16, 32).value();
+    double pd_2 = (tSpecCombined(RoutingRange::Rv, 5, 2) +
+                   tXB(5, 32)).value();
+    double pd_16 = (tSpecCombined(RoutingRange::Rv, 5, 16) +
+                    tXB(5, 32)).value();
+    EXPECT_GT(chien_16 - chien_2, pd_16 - pd_2);
+}
+
+TEST(ChienModel, PipelinedRouterDeliversHigherClockRate)
+{
+    // At v >= 2 the Peh-Dally pipeline runs at 20 tau4 per cycle while
+    // Chien's model needs its whole latency per cycle: the bandwidth
+    // ratio (Chien cycle / 20 tau4) exceeds 1.5x.
+    for (int v : {2, 4, 8}) {
+        double chien_cycle = chien::routerLatency(5, v, 32).inTau4();
+        EXPECT_GT(chien_cycle / 20.0, 1.5) << "v=" << v;
+    }
+}
+
+TEST(ChienModel, RejectsBadParameters)
+{
+    EXPECT_DEATH((void)chien::evaluate(1, 2, 32), "");
+    EXPECT_DEATH((void)chien::evaluate(5, 0, 32), "");
+}

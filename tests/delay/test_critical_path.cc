@@ -1,0 +1,91 @@
+/** @file Tests for router critical-path construction (Figure 4). */
+
+#include <gtest/gtest.h>
+
+#include "delay/modules.hh"
+#include "delay/router_delay.hh"
+
+using namespace pdr;
+using namespace pdr::delay;
+
+namespace {
+
+RouterParams
+params(RouterKind kind, int v = 2, RoutingRange r = RoutingRange::Rv)
+{
+    RouterParams prm;
+    prm.kind = kind;
+    prm.p = 5;
+    prm.w = 32;
+    prm.v = v;
+    prm.range = r;
+    return prm;
+}
+
+} // namespace
+
+TEST(CriticalPath, WormholeModules)
+{
+    auto path = criticalPath(params(RouterKind::Wormhole, 1));
+    ASSERT_EQ(path.size(), 3u);
+    EXPECT_EQ(path[0].kind, ModuleKind::RouteDecode);
+    EXPECT_EQ(path[1].kind, ModuleKind::SwitchArb);
+    EXPECT_EQ(path[2].kind, ModuleKind::Crossbar);
+}
+
+TEST(CriticalPath, VirtualChannelModules)
+{
+    auto path = criticalPath(params(RouterKind::VirtualChannel));
+    ASSERT_EQ(path.size(), 4u);
+    EXPECT_EQ(path[0].kind, ModuleKind::RouteDecode);
+    EXPECT_EQ(path[1].kind, ModuleKind::VcAlloc);
+    EXPECT_EQ(path[2].kind, ModuleKind::SwitchAlloc);
+    EXPECT_EQ(path[3].kind, ModuleKind::Crossbar);
+}
+
+TEST(CriticalPath, SpeculativeModules)
+{
+    auto path = criticalPath(params(RouterKind::SpecVirtualChannel));
+    ASSERT_EQ(path.size(), 3u);
+    EXPECT_EQ(path[0].kind, ModuleKind::RouteDecode);
+    EXPECT_EQ(path[1].kind, ModuleKind::SpecCombined);
+    EXPECT_EQ(path[2].kind, ModuleKind::Crossbar);
+}
+
+TEST(CriticalPath, SpeculationShortensVcPath)
+{
+    auto vc = criticalPath(params(RouterKind::VirtualChannel));
+    auto sp = criticalPath(params(RouterKind::SpecVirtualChannel));
+    EXPECT_LT(criticalPathLatency(sp).value(),
+              criticalPathLatency(vc).value());
+}
+
+TEST(CriticalPath, WormholeShortestOverall)
+{
+    auto wh = criticalPath(params(RouterKind::Wormhole, 1));
+    auto vc = criticalPath(params(RouterKind::VirtualChannel));
+    auto sp = criticalPath(params(RouterKind::SpecVirtualChannel));
+    EXPECT_LT(criticalPathTotal(wh).value(),
+              criticalPathTotal(sp).value());
+    EXPECT_LT(criticalPathTotal(sp).value(),
+              criticalPathTotal(vc).value());
+}
+
+TEST(CriticalPath, SummariesConsistent)
+{
+    auto path = criticalPath(params(RouterKind::VirtualChannel, 4));
+    Tau lat = criticalPathLatency(path);
+    Tau tot = criticalPathTotal(path);
+    Tau widest = widestModule(path);
+    EXPECT_GE(tot.value(), lat.value());
+    for (const auto &m : path)
+        EXPECT_LE(m.delay.total().value(), widest.value());
+}
+
+TEST(CriticalPath, ModuleNamesResolve)
+{
+    auto path = criticalPath(params(RouterKind::SpecVirtualChannel));
+    for (const auto &m : path)
+        EXPECT_FALSE(m.name().empty());
+    EXPECT_STREQ(toString(RouterKind::Wormhole), "wormhole");
+}

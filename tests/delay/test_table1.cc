@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Reproduction of Table 1's numeric example column: every parametric
+ * equation evaluated at p=5, w=32, v=2 must reproduce the published
+ * (t_i + h_i) values in tau4 exactly (to the printed precision).
+ * The published Synopsys validation column is also checked to stay
+ * within the paper's ~2 tau4 agreement bound.
+ */
+
+#include <gtest/gtest.h>
+
+#include "delay/equations.hh"
+
+using namespace pdr;
+using namespace pdr::delay;
+
+namespace {
+
+constexpr int P = 5;
+constexpr int W = 32;
+constexpr int V = 2;
+
+double
+totalTau4(Tau t, Tau h)
+{
+    return (t + h).inTau4();
+}
+
+} // namespace
+
+TEST(Table1, SwitchArbiterWormhole)
+{
+    EXPECT_NEAR(totalTau4(tSB(P), hSB(P)), 9.6, 0.05);
+}
+
+TEST(Table1, CrossbarTraversal)
+{
+    EXPECT_NEAR(totalTau4(tXB(P, W), hXB(P, W)), 8.4, 0.05);
+}
+
+TEST(Table1, VcAllocatorRv)
+{
+    EXPECT_NEAR(totalTau4(tVA(RoutingRange::Rv, P, V),
+                          hVA(RoutingRange::Rv, P, V)),
+                11.8, 0.05);
+}
+
+TEST(Table1, VcAllocatorRp)
+{
+    EXPECT_NEAR(totalTau4(tVA(RoutingRange::Rp, P, V),
+                          hVA(RoutingRange::Rp, P, V)),
+                13.1, 0.05);
+}
+
+TEST(Table1, VcAllocatorRpv)
+{
+    EXPECT_NEAR(totalTau4(tVA(RoutingRange::Rpv, P, V),
+                          hVA(RoutingRange::Rpv, P, V)),
+                16.9, 0.05);
+}
+
+TEST(Table1, SwitchAllocatorVc)
+{
+    EXPECT_NEAR(totalTau4(tSL(P, V), hSL(P, V)), 10.9, 0.05);
+}
+
+TEST(Table1, SpecCombinedRv)
+{
+    EXPECT_NEAR(totalTau4(tSpecCombined(RoutingRange::Rv, P, V),
+                          Tau(0.0)),
+                14.6, 0.1);
+}
+
+TEST(Table1, SpecCombinedRp)
+{
+    EXPECT_NEAR(totalTau4(tSpecCombined(RoutingRange::Rp, P, V),
+                          Tau(0.0)),
+                14.6, 0.1);
+}
+
+TEST(Table1, SpecCombinedRpv)
+{
+    EXPECT_NEAR(totalTau4(tSpecCombined(RoutingRange::Rpv, P, V),
+                          Tau(0.0)),
+                18.3, 0.1);
+}
+
+TEST(Table1, SynopsysValidationBound)
+{
+    // The paper reports Synopsys timing for the same configuration and
+    // says projections are within ~2 tau4.  Keep our model inside a
+    // slightly padded bound of the published synthesis numbers.
+    struct Row { double model; double synopsys; };
+    const Row rows[] = {
+        {totalTau4(tSB(P), hSB(P)), 9.9},
+        {totalTau4(tXB(P, W), hXB(P, W)), 10.5},
+        {totalTau4(tVA(RoutingRange::Rv, P, V),
+                   hVA(RoutingRange::Rv, P, V)), 11.0},
+        {totalTau4(tVA(RoutingRange::Rp, P, V),
+                   hVA(RoutingRange::Rp, P, V)), 13.3},
+        {totalTau4(tVA(RoutingRange::Rpv, P, V),
+                   hVA(RoutingRange::Rpv, P, V)), 15.3},
+        {totalTau4(tSL(P, V), hSL(P, V)), 12.0},
+        {totalTau4(tSpecCombined(RoutingRange::Rv, P, V), Tau(0.0)),
+         16.2},
+        {totalTau4(tSpecCombined(RoutingRange::Rp, P, V), Tau(0.0)),
+         16.2},
+        {totalTau4(tSpecCombined(RoutingRange::Rpv, P, V), Tau(0.0)),
+         16.8},
+    };
+    for (const auto &r : rows)
+        EXPECT_NEAR(r.model, r.synopsys, 2.2);
+}
+
+TEST(Table1, OverheadValues)
+{
+    // All matrix-arbiter based modules pay the 9-tau priority update;
+    // crossbar and pure combination logic pay none.
+    EXPECT_DOUBLE_EQ(hSB(P).value(), 9.0);
+    EXPECT_DOUBLE_EQ(hVA(RoutingRange::Rpv, P, V).value(), 9.0);
+    EXPECT_DOUBLE_EQ(hSL(P, V).value(), 9.0);
+    EXPECT_DOUBLE_EQ(hSS(P, V).value(), 0.0);
+    EXPECT_DOUBLE_EQ(hCB(P, V).value(), 0.0);
+    EXPECT_DOUBLE_EQ(hXB(P, W).value(), 0.0);
+}
+
+TEST(Table1, RouteDecodeIsOneTypicalCycle)
+{
+    EXPECT_DOUBLE_EQ(tRouteDecode().inTau4(), 20.0);
+}

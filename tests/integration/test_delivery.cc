@@ -1,0 +1,118 @@
+/**
+ * @file
+ * End-to-end delivery invariants: every tagged packet is delivered
+ * exactly once, in order, for every router model and several traffic
+ * patterns.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/simulation.hh"
+
+using namespace pdr;
+using router::RouterModel;
+
+namespace {
+
+struct DeliveryCase
+{
+    RouterModel model;
+    int vcs;
+    int buf;
+    bool singleCycle;
+    traffic::PatternKind pattern;
+    double load;
+};
+
+std::string
+caseName(const testing::TestParamInfo<DeliveryCase> &info)
+{
+    const auto &c = info.param;
+    std::string n = router::toString(c.model);
+    n += c.singleCycle ? "1cyc" : "pipe";
+    n += "_v" + std::to_string(c.vcs) + "b" + std::to_string(c.buf);
+    n += "_";
+    n += traffic::toString(c.pattern);
+    n += "_l" + std::to_string(int(c.load * 100));
+    return n;
+}
+
+class DeliveryTest : public testing::TestWithParam<DeliveryCase>
+{
+};
+
+} // namespace
+
+TEST_P(DeliveryTest, AllTaggedPacketsArrive)
+{
+    const auto &c = GetParam();
+    api::SimConfig cfg;
+    cfg.net.k = 4;              // Small mesh keeps the sweep fast.
+    cfg.net.router.model = c.model;
+    cfg.net.router.singleCycle = c.singleCycle;
+    cfg.net.router.numVcs = c.vcs;
+    cfg.net.router.bufDepth = c.buf;
+    cfg.net.pattern = c.pattern;
+    cfg.net.warmup = 500;
+    cfg.net.samplePackets = 2000;
+    cfg.net.seed = 7;
+    cfg.net.setOfferedFraction(c.load);
+    cfg.maxCycles = 300000;
+
+    auto res = api::runSimulation(cfg);
+    EXPECT_TRUE(res.drained) << "sample did not drain";
+    EXPECT_EQ(res.sampleReceived, res.sampleSize);
+    EXPECT_GT(res.avgLatency, 0.0);
+    // Conservation: a router never emits more flits than it absorbed.
+    EXPECT_GE(res.routers.flitsIn, res.routers.flitsOut);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, DeliveryTest,
+    testing::Values(
+        DeliveryCase{RouterModel::Wormhole, 1, 8, false,
+                     traffic::PatternKind::Uniform, 0.2},
+        DeliveryCase{RouterModel::Wormhole, 1, 2, false,
+                     traffic::PatternKind::Uniform, 0.3},
+        DeliveryCase{RouterModel::VirtualChannel, 2, 4, false,
+                     traffic::PatternKind::Uniform, 0.3},
+        DeliveryCase{RouterModel::VirtualChannel, 4, 2, false,
+                     traffic::PatternKind::Uniform, 0.3},
+        DeliveryCase{RouterModel::SpecVirtualChannel, 2, 4, false,
+                     traffic::PatternKind::Uniform, 0.3},
+        DeliveryCase{RouterModel::SpecVirtualChannel, 4, 4, false,
+                     traffic::PatternKind::Uniform, 0.4},
+        DeliveryCase{RouterModel::Wormhole, 1, 8, true,
+                     traffic::PatternKind::Uniform, 0.3},
+        DeliveryCase{RouterModel::VirtualChannel, 2, 4, true,
+                     traffic::PatternKind::Uniform, 0.3},
+        DeliveryCase{RouterModel::SpecVirtualChannel, 2, 4, true,
+                     traffic::PatternKind::Uniform, 0.3},
+        DeliveryCase{RouterModel::VirtualChannel, 2, 4, false,
+                     traffic::PatternKind::Transpose, 0.2},
+        DeliveryCase{RouterModel::SpecVirtualChannel, 2, 4, false,
+                     traffic::PatternKind::BitComplement, 0.2},
+        DeliveryCase{RouterModel::Wormhole, 1, 8, false,
+                     traffic::PatternKind::Tornado, 0.2},
+        DeliveryCase{RouterModel::VirtualChannel, 2, 4, false,
+                     traffic::PatternKind::Neighbor, 0.3},
+        DeliveryCase{RouterModel::SpecVirtualChannel, 2, 4, false,
+                     traffic::PatternKind::Hotspot, 0.1}),
+    caseName);
+
+TEST(Delivery, SampleDrainsPromptlyAtModerateLoad)
+{
+    net::NetworkConfig ncfg;
+    ncfg.k = 4;
+    ncfg.router.model = RouterModel::SpecVirtualChannel;
+    ncfg.router.numVcs = 2;
+    ncfg.router.bufDepth = 4;
+    ncfg.warmup = 0;
+    ncfg.samplePackets = 500;
+    ncfg.setOfferedFraction(0.3);
+    net::Network network(ncfg);
+
+    while (!network.controller().done() && network.now() < 100000)
+        network.step();
+    ASSERT_TRUE(network.controller().done());
+}

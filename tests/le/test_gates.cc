@@ -1,0 +1,62 @@
+/** @file Unit tests for logical-effort gate templates. */
+
+#include <gtest/gtest.h>
+
+#include "le/gate.hh"
+
+using namespace pdr::le;
+
+TEST(Gates, InverterIsUnit)
+{
+    Gate inv = inverter();
+    EXPECT_DOUBLE_EQ(inv.logicalEffort, 1.0);
+    EXPECT_DOUBLE_EQ(inv.parasitic, 1.0);
+}
+
+TEST(Gates, NandEffort)
+{
+    // g = (n+2)/3 per Sutherland/Sproull/Harris.
+    EXPECT_DOUBLE_EQ(nandGate(2).logicalEffort, 4.0 / 3.0);
+    EXPECT_DOUBLE_EQ(nandGate(3).logicalEffort, 5.0 / 3.0);
+    EXPECT_DOUBLE_EQ(nandGate(4).logicalEffort, 2.0);
+    EXPECT_DOUBLE_EQ(nandGate(2).parasitic, 2.0);
+    EXPECT_DOUBLE_EQ(nandGate(4).parasitic, 4.0);
+}
+
+TEST(Gates, NorEffort)
+{
+    // g = (2n+1)/3.
+    EXPECT_DOUBLE_EQ(norGate(2).logicalEffort, 5.0 / 3.0);
+    EXPECT_DOUBLE_EQ(norGate(3).logicalEffort, 7.0 / 3.0);
+    EXPECT_DOUBLE_EQ(norGate(2).parasitic, 2.0);
+}
+
+TEST(Gates, SingleInputDegeneratesToInverter)
+{
+    EXPECT_DOUBLE_EQ(nandGate(1).logicalEffort, 1.0);
+    EXPECT_DOUBLE_EQ(norGate(1).logicalEffort, 1.0);
+}
+
+TEST(Gates, NorCostsMoreThanNand)
+{
+    // PMOS stacking makes NOR worse than NAND at equal fan-in.
+    for (int n = 2; n <= 6; n++)
+        EXPECT_GT(norGate(n).logicalEffort, nandGate(n).logicalEffort);
+}
+
+TEST(Gates, AoiEffort)
+{
+    Gate a = aoiGate(2, 2);
+    EXPECT_DOUBLE_EQ(a.logicalEffort, 2.0);
+    EXPECT_DOUBLE_EQ(a.parasitic, 4.0);
+}
+
+TEST(Gates, EffortMonotonicInFanIn)
+{
+    for (int n = 2; n < 8; n++) {
+        EXPECT_LT(nandGate(n).logicalEffort,
+                  nandGate(n + 1).logicalEffort);
+        EXPECT_LT(norGate(n).logicalEffort,
+                  norGate(n + 1).logicalEffort);
+    }
+}

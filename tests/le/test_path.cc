@@ -1,0 +1,65 @@
+/** @file Unit tests for logical-effort path delay (EQ 2 / EQ 3). */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "le/path.hh"
+
+using namespace pdr;
+using namespace pdr::le;
+
+TEST(PathDelay, EmptyPathIsZero)
+{
+    Path p;
+    EXPECT_DOUBLE_EQ(p.delay().value(), 0.0);
+}
+
+TEST(PathDelay, Fo4InverterIsFiveTau)
+{
+    // EQ 3 of the paper: an inverter driving 4 inverters has delay
+    // T = g*h + p = 1*4 + 1 = 5 tau, i.e. tau4 = 5 tau.
+    Path p;
+    p.add(inverter(), 4.0);
+    EXPECT_DOUBLE_EQ(p.delay().value(), 5.0);
+    EXPECT_DOUBLE_EQ(p.delay().inTau4(), 1.0);
+}
+
+TEST(PathDelay, EffortAndParasiticSeparate)
+{
+    Path p;
+    p.add(nandGate(2), 3.0);    // eff 4/3*3 = 4, par 2
+    p.add(inverter(), 2.0);     // eff 2, par 1
+    EXPECT_DOUBLE_EQ(p.effortDelay().value(), 6.0);
+    EXPECT_DOUBLE_EQ(p.parasiticDelay().value(), 3.0);
+    EXPECT_DOUBLE_EQ(p.delay().value(), 9.0);
+}
+
+TEST(PathDelay, FanoutTreeLogGrowth)
+{
+    // Optimally buffered fan-out tree: tau4 per factor of 4.
+    EXPECT_DOUBLE_EQ(fanoutTreeDelay(1.0).value(), 0.0);
+    EXPECT_DOUBLE_EQ(fanoutTreeDelay(4.0).value(), 5.0);
+    EXPECT_DOUBLE_EQ(fanoutTreeDelay(16.0).value(), 10.0);
+    EXPECT_DOUBLE_EQ(fanoutTreeDelay(64.0).value(), 15.0);
+}
+
+TEST(PathDelay, FanoutTreeStages)
+{
+    EXPECT_EQ(fanoutTreeStages(1.0), 0);
+    EXPECT_EQ(fanoutTreeStages(4.0), 1);
+    EXPECT_EQ(fanoutTreeStages(5.0), 2);
+    EXPECT_EQ(fanoutTreeStages(16.0), 2);
+    EXPECT_EQ(fanoutTreeStages(17.0), 3);
+}
+
+TEST(PathDelay, DelayMonotonicInStages)
+{
+    Path p;
+    double prev = 0.0;
+    for (int i = 0; i < 6; i++) {
+        p.add(nandGate(2), 2.0);
+        EXPECT_GT(p.delay().value(), prev);
+        prev = p.delay().value();
+    }
+    EXPECT_EQ(p.size(), 6u);
+}

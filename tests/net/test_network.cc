@@ -1,0 +1,142 @@
+/** @file Tests for network construction and bookkeeping. */
+
+#include <gtest/gtest.h>
+
+#include "net/network.hh"
+
+using namespace pdr;
+using namespace pdr::net;
+
+namespace {
+
+NetworkConfig
+smallConfig()
+{
+    NetworkConfig cfg;
+    cfg.k = 4;
+    cfg.router.model = router::RouterModel::SpecVirtualChannel;
+    cfg.router.numVcs = 2;
+    cfg.router.bufDepth = 4;
+    cfg.warmup = 100;
+    cfg.samplePackets = 200;
+    cfg.setOfferedFraction(0.2);
+    return cfg;
+}
+
+} // namespace
+
+TEST(NetworkTest, OfferedFractionRoundTrip)
+{
+    NetworkConfig cfg;
+    cfg.k = 8;
+    cfg.setOfferedFraction(0.4);
+    EXPECT_DOUBLE_EQ(cfg.injectionRate, 0.2);   // 0.4 * 0.5 capacity.
+    EXPECT_DOUBLE_EQ(cfg.offeredFraction(), 0.4);
+}
+
+TEST(NetworkTest, BuildsAndIdlesCleanly)
+{
+    auto cfg = smallConfig();
+    cfg.injectionRate = 0.0;
+    Network n(cfg);
+    n.run(200);
+    EXPECT_EQ(n.now(), 200u);
+    EXPECT_TRUE(n.quiescent());
+    EXPECT_EQ(n.routerTotals().flitsIn, 0u);
+}
+
+TEST(NetworkTest, TrafficFlowsEndToEnd)
+{
+    Network n(smallConfig());
+    n.run(2000);
+    auto totals = n.routerTotals();
+    EXPECT_GT(totals.flitsIn, 0u);
+    EXPECT_GT(totals.flitsOut, 0u);
+    std::uint64_t delivered = 0;
+    for (sim::NodeId id = 0; id < 16; id++)
+        delivered += n.sinkAt(id).totalFlits();
+    EXPECT_GT(delivered, 0u);
+}
+
+TEST(NetworkTest, AcceptedMatchesOfferedAtLowLoad)
+{
+    auto cfg = smallConfig();
+    cfg.setOfferedFraction(0.15);
+    Network n(cfg);
+    n.run(20000);
+    EXPECT_NEAR(n.acceptedFraction(), 0.15, 0.02);
+}
+
+TEST(NetworkTest, LatencyAggregationAcrossSinks)
+{
+    Network n(smallConfig());
+    while (!n.controller().done() && n.now() < 50000)
+        n.step();
+    ASSERT_TRUE(n.controller().done());
+    auto lat = n.latency();
+    EXPECT_EQ(lat.count(), 200u);
+    EXPECT_GT(lat.mean(), 0.0);
+    EXPECT_LE(lat.min(), lat.mean());
+    EXPECT_LE(lat.mean(), lat.max());
+}
+
+TEST(NetworkTest, DeterministicForSeed)
+{
+    auto cfg = smallConfig();
+    Network a(cfg), b(cfg);
+    for (int i = 0; i < 3000; i++) {
+        a.step();
+        b.step();
+    }
+    EXPECT_EQ(a.routerTotals().flitsOut, b.routerTotals().flitsOut);
+    EXPECT_DOUBLE_EQ(a.latency().mean(), b.latency().mean());
+}
+
+TEST(NetworkTest, SeedChangesOutcome)
+{
+    auto cfg = smallConfig();
+    Network a(cfg);
+    cfg.seed = 999;
+    Network b(cfg);
+    for (int i = 0; i < 3000; i++) {
+        a.step();
+        b.step();
+    }
+    EXPECT_NE(a.routerTotals().flitsOut, b.routerTotals().flitsOut);
+}
+
+TEST(NetworkTest, WormholeNetworkRuns)
+{
+    auto cfg = smallConfig();
+    cfg.router.model = router::RouterModel::Wormhole;
+    cfg.router.numVcs = 1;
+    cfg.router.bufDepth = 8;
+    Network n(cfg);
+    while (!n.controller().done() && n.now() < 50000)
+        n.step();
+    EXPECT_TRUE(n.controller().done());
+}
+
+TEST(NetworkTest, CreditLatencyConfigurable)
+{
+    auto cfg = smallConfig();
+    cfg.creditLatency = 4;
+    Network n(cfg);
+    while (!n.controller().done() && n.now() < 50000)
+        n.step();
+    EXPECT_TRUE(n.controller().done());
+}
+
+TEST(NetworkDeath, WrongPortCountRejected)
+{
+    auto cfg = smallConfig();
+    cfg.router.numPorts = 4;
+    EXPECT_EXIT(Network n(cfg), testing::ExitedWithCode(1), "ports");
+}
+
+TEST(NetworkDeath, SillyInjectionRateRejected)
+{
+    auto cfg = smallConfig();
+    cfg.injectionRate = 1.5;
+    EXPECT_EXIT(Network n(cfg), testing::ExitedWithCode(1), "rate");
+}

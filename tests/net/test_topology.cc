@@ -1,0 +1,102 @@
+/** @file Tests for mesh topology helpers. */
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hh"
+
+using namespace pdr;
+using namespace pdr::net;
+
+TEST(Topology, CoordinatesRoundTrip)
+{
+    Mesh m(8);
+    for (int x = 0; x < 8; x++) {
+        for (int y = 0; y < 8; y++) {
+            auto n = m.node(x, y);
+            EXPECT_EQ(m.xOf(n), x);
+            EXPECT_EQ(m.yOf(n), y);
+        }
+    }
+}
+
+TEST(Topology, NeighborsInterior)
+{
+    Mesh m(8);
+    auto n = m.node(3, 3);
+    EXPECT_EQ(m.neighbor(n, North), m.node(3, 4));
+    EXPECT_EQ(m.neighbor(n, South), m.node(3, 2));
+    EXPECT_EQ(m.neighbor(n, East), m.node(4, 3));
+    EXPECT_EQ(m.neighbor(n, West), m.node(2, 3));
+}
+
+TEST(Topology, EdgesHaveNoNeighbor)
+{
+    Mesh m(8);
+    EXPECT_EQ(m.neighbor(m.node(0, 0), West), sim::Invalid);
+    EXPECT_EQ(m.neighbor(m.node(0, 0), South), sim::Invalid);
+    EXPECT_EQ(m.neighbor(m.node(7, 7), East), sim::Invalid);
+    EXPECT_EQ(m.neighbor(m.node(7, 7), North), sim::Invalid);
+}
+
+TEST(Topology, NeighborSymmetry)
+{
+    Mesh m(4);
+    for (sim::NodeId n = 0; n < m.numNodes(); n++) {
+        for (int port : {North, East, South, West}) {
+            auto nb = m.neighbor(n, port);
+            if (nb != sim::Invalid)
+                EXPECT_EQ(m.neighbor(nb, Mesh::opposite(port)), n);
+        }
+    }
+}
+
+TEST(Topology, OppositePorts)
+{
+    EXPECT_EQ(Mesh::opposite(North), South);
+    EXPECT_EQ(Mesh::opposite(South), North);
+    EXPECT_EQ(Mesh::opposite(East), West);
+    EXPECT_EQ(Mesh::opposite(West), East);
+}
+
+TEST(Topology, Distance)
+{
+    Mesh m(8);
+    EXPECT_EQ(m.distance(m.node(0, 0), m.node(7, 7)), 14);
+    EXPECT_EQ(m.distance(m.node(3, 3), m.node(3, 3)), 0);
+    EXPECT_EQ(m.distance(m.node(1, 2), m.node(4, 0)), 5);
+}
+
+TEST(Topology, UniformCapacityBisectionBound)
+{
+    EXPECT_DOUBLE_EQ(Mesh(8).uniformCapacity(), 0.5);
+    EXPECT_DOUBLE_EQ(Mesh(4).uniformCapacity(), 1.0);
+    EXPECT_DOUBLE_EQ(Mesh(16).uniformCapacity(), 0.25);
+}
+
+TEST(Topology, MeanUniformDistance)
+{
+    Mesh m(8);
+    // Brute force check.
+    double sum = 0.0;
+    int pairs = 0;
+    for (sim::NodeId a = 0; a < m.numNodes(); a++) {
+        for (sim::NodeId b = 0; b < m.numNodes(); b++) {
+            if (a == b)
+                continue;
+            sum += m.distance(a, b);
+            pairs++;
+        }
+    }
+    EXPECT_NEAR(m.meanUniformDistance(), sum / pairs, 1e-9);
+}
+
+TEST(Topology, PortNames)
+{
+    EXPECT_STREQ(portName(North), "N");
+    EXPECT_STREQ(portName(Local), "L");
+}
+
+TEST(TopologyDeath, RadixTooSmall)
+{
+    EXPECT_EXIT(Mesh(1), testing::ExitedWithCode(1), "radix");
+}

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Torus extension tests: wrap topology, minimal DOR with dateline VC
+ * classes, deadlock-free operation under load.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/simulation.hh"
+#include "net/torus_routing.hh"
+
+using namespace pdr;
+using namespace pdr::net;
+
+TEST(Torus, NeighborsWrap)
+{
+    Mesh t(4, true);
+    EXPECT_EQ(t.neighbor(t.node(3, 1), East), t.node(0, 1));
+    EXPECT_EQ(t.neighbor(t.node(0, 1), West), t.node(3, 1));
+    EXPECT_EQ(t.neighbor(t.node(2, 3), North), t.node(2, 0));
+    EXPECT_EQ(t.neighbor(t.node(2, 0), South), t.node(2, 3));
+}
+
+TEST(Torus, WrapLinksAreDatelines)
+{
+    Mesh t(4, true);
+    EXPECT_TRUE(t.isWrapLink(t.node(3, 0), East));
+    EXPECT_TRUE(t.isWrapLink(t.node(0, 0), West));
+    EXPECT_TRUE(t.isWrapLink(t.node(1, 3), North));
+    EXPECT_TRUE(t.isWrapLink(t.node(1, 0), South));
+    EXPECT_FALSE(t.isWrapLink(t.node(1, 0), East));
+    // A plain mesh has no wrap links at all.
+    Mesh m(4);
+    EXPECT_FALSE(m.isWrapLink(m.node(3, 0), East));
+}
+
+TEST(Torus, WrapDistance)
+{
+    Mesh t(8, true);
+    // Opposite corners are only (4 + 4) hops on the torus.
+    EXPECT_EQ(t.distance(t.node(0, 0), t.node(7, 7)), 2);
+    EXPECT_EQ(t.distance(t.node(0, 0), t.node(4, 4)), 8);
+    EXPECT_EQ(t.distance(t.node(1, 1), t.node(6, 1)), 3);
+}
+
+TEST(Torus, CapacityDoubles)
+{
+    EXPECT_DOUBLE_EQ(Mesh(8, true).uniformCapacity(), 1.0);
+    EXPECT_DOUBLE_EQ(Mesh(8, false).uniformCapacity(), 0.5);
+}
+
+TEST(Torus, RoutingTakesShortestWay)
+{
+    Mesh t(8, true);
+    TorusDorRouting r(t);
+    // x: 1 -> 6 is shorter going West (3 hops) than East (5).
+    EXPECT_EQ(r.route(t.node(1, 0), t.node(6, 0)), West);
+    EXPECT_EQ(r.route(t.node(6, 0), t.node(1, 0)), East);
+    // Exactly half-way: tie broken East.
+    EXPECT_EQ(r.route(t.node(0, 0), t.node(4, 0)), East);
+    // X before Y.
+    EXPECT_EQ(r.route(t.node(0, 0), t.node(7, 5)), West);
+    EXPECT_EQ(r.route(t.node(7, 0), t.node(7, 5)), South);  // 3 < 5.
+    EXPECT_EQ(r.route(t.node(7, 0), t.node(7, 2)), North);
+    EXPECT_EQ(r.route(t.node(7, 7), t.node(7, 5)), South);
+    EXPECT_EQ(r.route(t.node(3, 3), t.node(3, 3)), Local);
+}
+
+TEST(Torus, RoutingReachesEveryPairMinimally)
+{
+    Mesh t(6, true);
+    TorusDorRouting r(t);
+    for (sim::NodeId src = 0; src < t.numNodes(); src++) {
+        for (sim::NodeId dest = 0; dest < t.numNodes(); dest++) {
+            sim::NodeId cur = src;
+            int hops = 0;
+            while (cur != dest) {
+                int port = r.route(cur, dest);
+                ASSERT_NE(port, Local);
+                cur = t.neighbor(cur, port);
+                ASSERT_LE(++hops, 6);
+            }
+            EXPECT_EQ(hops, t.distance(src, dest));
+        }
+    }
+}
+
+TEST(Torus, DatelinePromotesVcClass)
+{
+    Mesh t(4, true);
+    TorusDorRouting r(t);
+    // Crossing the East wrap link sets the X-class bit.
+    EXPECT_EQ(r.nextClass(0, t.node(3, 0), East), 1);
+    EXPECT_EQ(r.nextClass(0, t.node(1, 0), East), 0);
+    // Y dateline sets the Y bit, preserving the X bit.
+    EXPECT_EQ(r.nextClass(1, t.node(0, 3), North), 3);
+    // Ejection clears the class.
+    EXPECT_EQ(r.nextClass(3, t.node(0, 0), Local), 0);
+}
+
+TEST(Torus, VcMaskSplitsClasses)
+{
+    Mesh t(4, true);
+    TorusDorRouting r(t);
+    // 4 VCs: class 0 -> VCs {0,1}, class 1 -> {2,3}.
+    EXPECT_EQ(r.vcMask(0, t.node(1, 0), t.node(3, 0), East, 4), 0x3u);
+    EXPECT_EQ(r.vcMask(1, t.node(1, 0), t.node(3, 0), East, 4), 0xcu);
+    // Crossing link itself already uses the promoted class.
+    EXPECT_EQ(r.vcMask(0, t.node(3, 0), t.node(0, 0), East, 4), 0xcu);
+    // Ejection unrestricted.
+    EXPECT_EQ(r.vcMask(1, t.node(0, 0), t.node(0, 0), Local, 4), ~0u);
+}
+
+namespace {
+
+api::SimConfig
+torusConfig(double load, traffic::PatternKind pattern =
+                             traffic::PatternKind::Uniform)
+{
+    api::SimConfig cfg;
+    cfg.net.k = 4;
+    cfg.net.torus = true;
+    cfg.net.router.model = router::RouterModel::SpecVirtualChannel;
+    cfg.net.router.numVcs = 2;
+    cfg.net.router.bufDepth = 4;
+    cfg.net.pattern = pattern;
+    cfg.net.warmup = 1000;
+    cfg.net.samplePackets = 3000;
+    cfg.net.seed = 3;
+    cfg.net.setOfferedFraction(load);
+    cfg.maxCycles = 200000;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Torus, DeliversUnderLoad)
+{
+    // Wrap-heavy load on a small torus: the dateline classes keep it
+    // deadlock-free and everything drains.
+    for (auto pattern : {traffic::PatternKind::Uniform,
+                         traffic::PatternKind::Tornado,
+                         traffic::PatternKind::BitComplement}) {
+        auto res = api::runSimulation(torusConfig(0.3, pattern));
+        EXPECT_TRUE(res.drained)
+            << "pattern " << traffic::toString(pattern);
+        EXPECT_EQ(res.sampleReceived, res.sampleSize);
+    }
+}
+
+TEST(Torus, ShorterPathsThanMesh)
+{
+    auto torus = api::runSimulation(torusConfig(0.1));
+    auto cfg = torusConfig(0.1);
+    cfg.net.torus = false;
+    auto mesh = api::runSimulation(cfg);
+    ASSERT_TRUE(torus.drained && mesh.drained);
+    // Wraparound shortens average distance -> lower zero-load latency.
+    EXPECT_LT(torus.avgLatency, mesh.avgLatency);
+}
+
+TEST(Torus, NonSpecVcRouterAlsoRuns)
+{
+    auto cfg = torusConfig(0.3);
+    cfg.net.router.model = router::RouterModel::VirtualChannel;
+    auto res = api::runSimulation(cfg);
+    EXPECT_TRUE(res.drained);
+}
+
+TEST(TorusDeath, WormholeRejected)
+{
+    auto cfg = torusConfig(0.2);
+    cfg.net.router.model = router::RouterModel::Wormhole;
+    cfg.net.router.numVcs = 1;
+    EXPECT_EXIT(net::Network n(cfg.net), testing::ExitedWithCode(1),
+                "dateline");
+}

@@ -1,0 +1,79 @@
+/** @file Tests for dimension-ordered XY routing. */
+
+#include <gtest/gtest.h>
+
+#include "net/xy_routing.hh"
+
+using namespace pdr;
+using namespace pdr::net;
+
+class XyTest : public testing::Test
+{
+  protected:
+    Mesh mesh{8};
+    XyRouting xy{mesh};
+};
+
+TEST_F(XyTest, LocalAtDestination)
+{
+    for (sim::NodeId n : {0, 21, 63})
+        EXPECT_EQ(xy.route(n, n), Local);
+}
+
+TEST_F(XyTest, XCorrectedFirst)
+{
+    // From (0,0) to (3,5): go East until x matches.
+    EXPECT_EQ(xy.route(mesh.node(0, 0), mesh.node(3, 5)), East);
+    EXPECT_EQ(xy.route(mesh.node(2, 0), mesh.node(3, 5)), East);
+    EXPECT_EQ(xy.route(mesh.node(3, 0), mesh.node(3, 5)), North);
+    EXPECT_EQ(xy.route(mesh.node(5, 2), mesh.node(3, 5)), West);
+}
+
+TEST_F(XyTest, YOnlyWhenAligned)
+{
+    EXPECT_EQ(xy.route(mesh.node(4, 6), mesh.node(4, 2)), South);
+    EXPECT_EQ(xy.route(mesh.node(4, 1), mesh.node(4, 2)), North);
+}
+
+TEST_F(XyTest, EveryPairTerminates)
+{
+    // Property: following the routing function always reaches dest in
+    // exactly distance(src, dest) hops.
+    for (sim::NodeId src = 0; src < mesh.numNodes(); src++) {
+        for (sim::NodeId dest = 0; dest < mesh.numNodes(); dest++) {
+            sim::NodeId cur = src;
+            int hops = 0;
+            while (cur != dest) {
+                int port = xy.route(cur, dest);
+                ASSERT_NE(port, Local);
+                cur = mesh.neighbor(cur, port);
+                ASSERT_NE(cur, sim::Invalid)
+                    << "routed off the mesh edge";
+                ASSERT_LE(++hops, 14);
+            }
+            EXPECT_EQ(hops, mesh.distance(src, dest));
+        }
+    }
+}
+
+TEST_F(XyTest, NoYThenXTurns)
+{
+    // Dimension order: once a packet moves in Y it never moves in X
+    // again (deadlock freedom of DOR on the mesh).
+    for (sim::NodeId src = 0; src < mesh.numNodes(); src += 3) {
+        for (sim::NodeId dest = 0; dest < mesh.numNodes(); dest += 5) {
+            if (src == dest)
+                continue;
+            sim::NodeId cur = src;
+            bool moved_y = false;
+            while (cur != dest) {
+                int port = xy.route(cur, dest);
+                if (port == North || port == South)
+                    moved_y = true;
+                else if (port == East || port == West)
+                    ASSERT_FALSE(moved_y) << "X move after Y move";
+                cur = mesh.neighbor(cur, port);
+            }
+        }
+    }
+}

@@ -1,0 +1,121 @@
+/** @file Unit tests for the EQ-1 pipeline designer. */
+
+#include <gtest/gtest.h>
+
+#include "pipeline/designer.hh"
+
+using namespace pdr;
+using namespace pdr::delay;
+using namespace pdr::pipeline;
+
+namespace {
+
+AtomicModule
+mod(ModuleKind k, double t, double h)
+{
+    return {k, {Tau(t), Tau(h)}};
+}
+
+} // namespace
+
+TEST(Designer, SingleSmallModuleOneStage)
+{
+    std::vector<AtomicModule> path = {mod(ModuleKind::SwitchArb, 40, 9)};
+    auto d = design(path, Tau(100));
+    EXPECT_EQ(d.depth(), 1);
+    EXPECT_DOUBLE_EQ(d.stages[0].occupancy().value(), 40.0);
+}
+
+TEST(Designer, TwoModulesPackIntoOneStage)
+{
+    std::vector<AtomicModule> path = {
+        mod(ModuleKind::VcAlloc, 40, 9),
+        mod(ModuleKind::SwitchAlloc, 45, 9),
+    };
+    // 40 + 45 + 9 = 94 <= 100: fits one stage under EQ 1.
+    auto d = design(path, Tau(100));
+    EXPECT_EQ(d.depth(), 1);
+    EXPECT_EQ(d.stages[0].slices.size(), 2u);
+}
+
+TEST(Designer, OverheadOfLastModuleCounts)
+{
+    std::vector<AtomicModule> path = {
+        mod(ModuleKind::VcAlloc, 50, 9),
+        mod(ModuleKind::SwitchAlloc, 45, 9),
+    };
+    // 50 + 45 + 9 = 104 > 100: strict EQ 1 splits; relaxed (t_i only,
+    // 95 <= 100) packs.
+    EXPECT_EQ(design(path, Tau(100), FitPolicy::Strict).depth(), 2);
+    EXPECT_EQ(design(path, Tau(100), FitPolicy::Relaxed).depth(), 1);
+}
+
+TEST(Designer, OversizedModuleTakesMultipleStages)
+{
+    std::vector<AtomicModule> path = {mod(ModuleKind::VcAlloc, 230, 9)};
+    auto d = design(path, Tau(100));
+    // 239 tau over 100-tau cycles -> 3 stages, kept atomic.
+    EXPECT_EQ(d.depth(), 3);
+    EXPECT_TRUE(d.stages[0].slices[0].continues);
+    EXPECT_TRUE(d.stages[1].slices[0].continues);
+    EXPECT_FALSE(d.stages[2].slices[0].continues);
+}
+
+TEST(Designer, ExactFitBoundary)
+{
+    // t + h == clk exactly must fit in one stage.
+    std::vector<AtomicModule> path = {mod(ModuleKind::Crossbar, 91, 9)};
+    EXPECT_EQ(design(path, Tau(100)).depth(), 1);
+}
+
+TEST(Designer, RouteDecodeOccupiesFullCycle)
+{
+    auto d = designRouter({RouterKind::Wormhole, 5, 32, 1,
+                           RoutingRange::Rv});
+    // RC fills its cycle; SB and XB each get one stage at 20 tau4:
+    // 3-stage wormhole pipeline (Figure 11 reference bar).
+    EXPECT_EQ(d.depth(), 3);
+    EXPECT_EQ(d.stages[0].slices[0].kind, ModuleKind::RouteDecode);
+    EXPECT_DOUBLE_EQ(d.stages[0].occupancy().value(),
+                     typicalClock.value());
+}
+
+TEST(Designer, StagesNeverOverflowClock)
+{
+    for (int v : {1, 2, 4, 8, 16, 32}) {
+        auto d = designRouter({RouterKind::VirtualChannel, 7, 32, v,
+                               RoutingRange::Rpv});
+        for (const auto &s : d.stages)
+            EXPECT_LE(s.occupancy().value(),
+                      typicalClock.value() + 1e-9);
+    }
+}
+
+TEST(Designer, FasterClockNeverFewerStages)
+{
+    RouterParams prm{RouterKind::VirtualChannel, 5, 32, 8,
+                     RoutingRange::Rpv};
+    int depth_slow = designRouter(prm, fromTau4(30)).depth();
+    int depth_typ = designRouter(prm, fromTau4(20)).depth();
+    int depth_fast = designRouter(prm, fromTau4(10)).depth();
+    EXPECT_LE(depth_slow, depth_typ);
+    EXPECT_LE(depth_typ, depth_fast);
+}
+
+TEST(Designer, RelaxedNeverDeeperThanStrict)
+{
+    for (int v : {2, 4, 8, 16, 32}) {
+        RouterParams prm{RouterKind::SpecVirtualChannel, 5, 32, v,
+                         RoutingRange::Rv};
+        EXPECT_LE(designRouter(prm, typicalClock,
+                               FitPolicy::Relaxed).depth(),
+                  designRouter(prm, typicalClock,
+                               FitPolicy::Strict).depth());
+    }
+}
+
+TEST(Designer, RejectsNonPositiveClock)
+{
+    std::vector<AtomicModule> path = {mod(ModuleKind::Crossbar, 10, 0)};
+    EXPECT_DEATH((void)design(path, Tau(0.0)), "");
+}

@@ -1,0 +1,61 @@
+/** @file Tests for RouterConfig validation and derived parameters. */
+
+#include <gtest/gtest.h>
+
+#include "router/config.hh"
+
+using namespace pdr::router;
+
+TEST(RouterConfigTest, PipelineDepths)
+{
+    RouterConfig cfg;
+    cfg.model = RouterModel::Wormhole;
+    EXPECT_EQ(cfg.pipelineDepth(), 3);
+    cfg.model = RouterModel::VirtualChannel;
+    EXPECT_EQ(cfg.pipelineDepth(), 4);
+    cfg.model = RouterModel::SpecVirtualChannel;
+    EXPECT_EQ(cfg.pipelineDepth(), 3);
+    cfg.singleCycle = true;
+    EXPECT_EQ(cfg.pipelineDepth(), 1);
+}
+
+TEST(RouterConfigTest, CreditProcDefaultsToZero)
+{
+    RouterConfig cfg;
+    for (auto m : {RouterModel::Wormhole, RouterModel::VirtualChannel,
+                   RouterModel::SpecVirtualChannel}) {
+        cfg.model = m;
+        EXPECT_EQ(cfg.effectiveCreditProc(), 0);
+    }
+    cfg.creditProcCycles = 3;
+    EXPECT_EQ(cfg.effectiveCreditProc(), 3);
+}
+
+TEST(RouterConfigTest, Names)
+{
+    EXPECT_STREQ(toString(RouterModel::Wormhole), "WH");
+    EXPECT_STREQ(toString(RouterModel::VirtualChannel), "VC");
+    EXPECT_STREQ(toString(RouterModel::SpecVirtualChannel), "specVC");
+}
+
+TEST(RouterConfigDeath, WormholeWithVcsRejected)
+{
+    RouterConfig cfg;
+    cfg.model = RouterModel::Wormhole;
+    cfg.numVcs = 2;
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1), "wormhole");
+}
+
+TEST(RouterConfigDeath, BadPortCountRejected)
+{
+    RouterConfig cfg;
+    cfg.numPorts = 1;
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1), "ports");
+}
+
+TEST(RouterConfigDeath, BadBufDepthRejected)
+{
+    RouterConfig cfg;
+    cfg.bufDepth = 0;
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1), "bufDepth");
+}

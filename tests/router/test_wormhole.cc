@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Wormhole router behaviour: 3-stage head timing, per-packet port
+ * holding, body flits flowing without arbitration, credit discipline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness.hh"
+
+using namespace pdr;
+using namespace pdr::test;
+using router::RouterConfig;
+using router::RouterModel;
+using sim::FlitType;
+
+namespace {
+
+RouterConfig
+whConfig(int buf = 8)
+{
+    RouterConfig cfg;
+    cfg.model = RouterModel::Wormhole;
+    cfg.numVcs = 1;
+    cfg.bufDepth = buf;
+    return cfg;
+}
+
+/** Inject a whole packet of `len` flits into `port` for `out_port`. */
+void
+injectPacket(SingleRouter &h, int port, int out_port, sim::PacketId id,
+             int len)
+{
+    for (int i = 0; i < len; i++) {
+        FlitType t = len == 1 ? FlitType::HeadTail
+                     : i == 0 ? FlitType::Head
+                     : i == len - 1 ? FlitType::Tail
+                                    : FlitType::Body;
+        h.inject(port, SingleRouter::makeFlit(id, t, 0, out_port,
+                                              std::uint8_t(i)));
+    }
+}
+
+} // namespace
+
+TEST(Wormhole, HeadTakesThreeCyclesThroughRouter)
+{
+    SingleRouter h(whConfig());
+    // Inject at cycle 0 -> arrives at router cycle 1 -> SA at 3 ->
+    // departure grant observed at step index 3.
+    h.inject(0, SingleRouter::makeFlit(1, FlitType::HeadTail, 0, 1, 0));
+    for (int cycle = 0; cycle < 10; cycle++) {
+        auto outs = h.step();
+        if (!outs.empty()) {
+            EXPECT_EQ(cycle, 3);
+            EXPECT_EQ(outs[0].first, 1);
+            return;
+        }
+    }
+    FAIL() << "flit never departed";
+}
+
+TEST(Wormhole, PacketStreamsAtOneFlitPerCycle)
+{
+    SingleRouter h(whConfig());
+    injectPacket(h, 0, 1, 7, 5);
+    std::vector<sim::Cycle> departures;
+    for (int cycle = 0; cycle < 15; cycle++) {
+        for (auto &[port, f] : h.step()) {
+            EXPECT_EQ(port, 1);
+            departures.push_back(h.now() - 1);
+        }
+    }
+    ASSERT_EQ(departures.size(), 5u);
+    for (std::size_t i = 1; i < 5; i++)
+        EXPECT_EQ(departures[i], departures[i - 1] + 1)
+            << "stream stalled at flit " << i;
+}
+
+TEST(Wormhole, OutputPortHeldForWholePacket)
+{
+    SingleRouter h(whConfig());
+    // Two packets from different inputs to the same output.
+    injectPacket(h, 0, 2, 1, 3);
+    injectPacket(h, 1, 2, 2, 3);
+    std::vector<sim::PacketId> order;
+    for (int cycle = 0; cycle < 25; cycle++)
+        for (auto &[port, f] : h.step())
+            order.push_back(f.packet);
+    ASSERT_EQ(order.size(), 6u);
+    // No interleaving: first packet's 3 flits, then the other's.
+    EXPECT_EQ(order[0], order[1]);
+    EXPECT_EQ(order[1], order[2]);
+    EXPECT_EQ(order[3], order[4]);
+    EXPECT_EQ(order[4], order[5]);
+    EXPECT_NE(order[0], order[3]);
+}
+
+TEST(Wormhole, DistinctOutputsProceedInParallel)
+{
+    SingleRouter h(whConfig());
+    injectPacket(h, 0, 1, 1, 3);
+    injectPacket(h, 2, 3, 2, 3);
+    int firsts = 0;
+    sim::Cycle first_cycle = 0;
+    for (int cycle = 0; cycle < 20 && firsts < 2; cycle++) {
+        for (auto &[port, f] : h.step()) {
+            if (f.seq == 0) {
+                firsts++;
+                if (firsts == 1)
+                    first_cycle = h.now();
+                else
+                    EXPECT_EQ(h.now(), first_cycle)
+                        << "second head delayed";
+            }
+        }
+    }
+    EXPECT_EQ(firsts, 2);
+}
+
+TEST(Wormhole, StallsWithoutCredits)
+{
+    SingleRouter h(whConfig(2));   // 2 buffers, 2 downstream credits.
+    // First two flits of a 4-flit packet: both depart, spending the
+    // output's two credits.
+    h.inject(0, SingleRouter::makeFlit(1, FlitType::Head, 0, 1, 0));
+    h.inject(0, SingleRouter::makeFlit(1, FlitType::Body, 0, 1, 1));
+    int departed = 0;
+    for (int cycle = 0; cycle < 8; cycle++)
+        departed += int(h.step().size());
+    EXPECT_EQ(departed, 2);
+    // Two more flits: buffered but stalled on zero credits.
+    h.inject(0, SingleRouter::makeFlit(1, FlitType::Body, 0, 1, 2));
+    h.inject(0, SingleRouter::makeFlit(1, FlitType::Tail, 0, 1, 3));
+    for (int cycle = 0; cycle < 8; cycle++)
+        departed += int(h.step().size());
+    EXPECT_EQ(departed, 2);
+    // Returning credits resumes the stream.
+    h.credit(1, 0);
+    h.credit(1, 0);
+    for (int cycle = 0; cycle < 8; cycle++)
+        departed += int(h.step().size());
+    EXPECT_EQ(departed, 4);
+}
+
+TEST(Wormhole, CreditSentUpstreamPerDepartedFlit)
+{
+    SingleRouter h(whConfig());
+    injectPacket(h, 0, 1, 1, 5);
+    int departed = 0;
+    for (int cycle = 0; cycle < 15; cycle++)
+        departed += int(h.step().size());
+    EXPECT_EQ(departed, 5);
+    EXPECT_EQ(h.drainCreditsFromUs(0), 5);
+}
+
+TEST(Wormhole, PortFreedAfterTailNextHeadWins)
+{
+    SingleRouter h(whConfig());
+    injectPacket(h, 0, 1, 1, 2);
+    // Second packet on the same input, queued behind.
+    injectPacket(h, 0, 1, 2, 2);
+    std::vector<std::pair<sim::PacketId, sim::Cycle>> seen;
+    for (int cycle = 0; cycle < 25; cycle++)
+        for (auto &[port, f] : h.step())
+            seen.push_back({f.packet, h.now() - 1});
+    ASSERT_EQ(seen.size(), 4u);
+    // Tail of pkt 1 at t; new head needs RC + SA: t+3 (takeover RC at
+    // t+1/t+2, SA at t+2...): assert a bubble of >= 2 cycles.
+    EXPECT_GE(seen[2].second - seen[1].second, 2u);
+}
+
+TEST(Wormhole, BufferBackpressureNeverOverflows)
+{
+    SingleRouter h(whConfig(4));
+    // Saturate input 0 with a long packet while the output has only 4
+    // credits and none returned: only 4 flits may cross; the rest
+    // must stay buffered upstream of the router (the channel): the
+    // router asserts internally if its FIFO overflows.
+    injectPacket(h, 0, 1, 1, 4);
+    for (int cycle = 0; cycle < 20; cycle++)
+        h.step();
+    EXPECT_LE(h.router().buffered(0), 4);
+}
+
+TEST(Wormhole, SingleCycleModelDepartsNextCycle)
+{
+    auto cfg = whConfig();
+    cfg.singleCycle = true;
+    SingleRouter h(cfg);
+    h.inject(0, SingleRouter::makeFlit(1, FlitType::HeadTail, 0, 1, 0));
+    for (int cycle = 0; cycle < 6; cycle++) {
+        auto outs = h.step();
+        if (!outs.empty()) {
+            EXPECT_EQ(cycle, 2);    // Arrive at 1, grant at 2.
+            return;
+        }
+    }
+    FAIL() << "flit never departed";
+}

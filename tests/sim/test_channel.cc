@@ -1,0 +1,71 @@
+/** @file Tests for the fixed-latency channel (delay line). */
+
+#include <gtest/gtest.h>
+
+#include "sim/channel.hh"
+
+using namespace pdr::sim;
+
+TEST(ChannelTest, DeliversAfterLatency)
+{
+    Channel<int> c(3);
+    c.push(42, 10);
+    EXPECT_FALSE(c.pop(10).has_value());
+    EXPECT_FALSE(c.pop(12).has_value());
+    auto v = c.pop(13);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 42);
+}
+
+TEST(ChannelTest, ExtraDelayAdds)
+{
+    Channel<int> c(1);
+    c.push(7, 5, 2);    // Ready at 5 + 1 + 2 = 8.
+    EXPECT_FALSE(c.pop(7).has_value());
+    ASSERT_TRUE(c.pop(8).has_value());
+}
+
+TEST(ChannelTest, FifoOrderPreserved)
+{
+    Channel<int> c(1);
+    for (int i = 0; i < 5; i++)
+        c.push(i, Cycle(i));
+    for (int i = 0; i < 5; i++) {
+        auto v = c.pop(Cycle(i + 1));
+        ASSERT_TRUE(v.has_value());
+        EXPECT_EQ(*v, i);
+    }
+}
+
+TEST(ChannelTest, PopOnlyMatured)
+{
+    Channel<int> c(2);
+    c.push(1, 0);
+    c.push(2, 1);
+    EXPECT_EQ(*c.pop(2), 1);
+    EXPECT_FALSE(c.pop(2).has_value());  // Second not ready until 3.
+    EXPECT_EQ(*c.pop(3), 2);
+}
+
+TEST(ChannelTest, InFlightCount)
+{
+    Channel<int> c(4);
+    EXPECT_TRUE(c.empty());
+    c.push(1, 0);
+    c.push(2, 1);
+    EXPECT_EQ(c.inFlight(), 2u);
+    (void)c.pop(4);
+    EXPECT_EQ(c.inFlight(), 1u);
+}
+
+TEST(ChannelTest, LatencyOneMinimum)
+{
+    EXPECT_DEATH(Channel<int>(0), "");
+}
+
+TEST(ChannelTest, OutOfOrderPushPanics)
+{
+    Channel<int> c(1);
+    c.push(1, 10, 5);   // Ready 16.
+    EXPECT_DEATH(c.push(2, 11, 0), "");  // Ready 12 < 16.
+}

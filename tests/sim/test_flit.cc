@@ -1,0 +1,37 @@
+/** @file Tests for flit / packet descriptors. */
+
+#include <gtest/gtest.h>
+
+#include "sim/flit.hh"
+
+using namespace pdr::sim;
+
+TEST(FlitTest, HeadTailPredicates)
+{
+    EXPECT_TRUE(isHead(FlitType::Head));
+    EXPECT_TRUE(isHead(FlitType::HeadTail));
+    EXPECT_FALSE(isHead(FlitType::Body));
+    EXPECT_FALSE(isHead(FlitType::Tail));
+
+    EXPECT_TRUE(isTail(FlitType::Tail));
+    EXPECT_TRUE(isTail(FlitType::HeadTail));
+    EXPECT_FALSE(isTail(FlitType::Head));
+    EXPECT_FALSE(isTail(FlitType::Body));
+}
+
+TEST(FlitTest, Names)
+{
+    EXPECT_STREQ(toString(FlitType::Head), "head");
+    EXPECT_STREQ(toString(FlitType::Body), "body");
+    EXPECT_STREQ(toString(FlitType::Tail), "tail");
+    EXPECT_STREQ(toString(FlitType::HeadTail), "head+tail");
+}
+
+TEST(FlitTest, Defaults)
+{
+    Flit f;
+    EXPECT_EQ(f.vc, 0);
+    EXPECT_EQ(f.src, Invalid);
+    EXPECT_EQ(f.dest, Invalid);
+    EXPECT_FALSE(f.measured);
+}

@@ -1,0 +1,101 @@
+/** @file Tests for latency statistics. */
+
+#include <gtest/gtest.h>
+
+#include "stats/latency.hh"
+
+using namespace pdr::stats;
+
+TEST(LatencyStats, EmptyIsZero)
+{
+    LatencyStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(LatencyStats, MeanMinMax)
+{
+    LatencyStats s;
+    for (double v : {10.0, 20.0, 30.0})
+        s.record(v, true);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 20.0);
+    EXPECT_DOUBLE_EQ(s.min(), 10.0);
+    EXPECT_DOUBLE_EQ(s.max(), 30.0);
+}
+
+TEST(LatencyStats, UnmeasuredTrackedSeparately)
+{
+    LatencyStats s;
+    s.record(100.0, false);
+    s.record(10.0, true);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.unmeasuredCount(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 10.0);
+}
+
+TEST(LatencyStats, Stddev)
+{
+    LatencyStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.record(v, true);
+    EXPECT_NEAR(s.stddev(), 2.138, 0.01);   // Sample stddev.
+}
+
+TEST(LatencyStats, Percentiles)
+{
+    LatencyStats s;
+    for (int i = 1; i <= 100; i++)
+        s.record(double(i), true);
+    EXPECT_NEAR(s.percentile(50.0), 50.0, 1.0);
+    EXPECT_NEAR(s.percentile(99.0), 99.0, 1.0);
+    EXPECT_NEAR(s.percentile(100.0), 100.0, 1.0);
+}
+
+TEST(LatencyStats, Merge)
+{
+    LatencyStats a, b;
+    a.record(10.0, true);
+    a.record(20.0, true);
+    b.record(30.0, true);
+    b.record(40.0, true);
+    b.record(1.0, false);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_DOUBLE_EQ(a.mean(), 25.0);
+    EXPECT_DOUBLE_EQ(a.min(), 10.0);
+    EXPECT_DOUBLE_EQ(a.max(), 40.0);
+    EXPECT_EQ(a.unmeasuredCount(), 1u);
+}
+
+TEST(LatencyStats, MergeIntoEmpty)
+{
+    LatencyStats a, b;
+    b.record(5.0, true);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_DOUBLE_EQ(a.min(), 5.0);
+}
+
+TEST(LatencyStats, MergeEmptyKeepsValues)
+{
+    LatencyStats a, b;
+    a.record(5.0, true);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+}
+
+TEST(LatencyStats, OverflowBinHandled)
+{
+    LatencyStats s;
+    s.record(1e6, true);    // Beyond histogram range.
+    s.record(10.0, true);
+    EXPECT_EQ(s.count(), 2u);
+    EXPECT_DOUBLE_EQ(s.max(), 1e6);
+    // Percentile falls back to max for the overflow mass.
+    EXPECT_GE(s.percentile(99.0), 10.0);
+}

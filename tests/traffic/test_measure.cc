@@ -1,0 +1,54 @@
+/** @file Tests for the measurement controller (paper Section 5). */
+
+#include <gtest/gtest.h>
+
+#include "traffic/measure.hh"
+
+using namespace pdr::traffic;
+
+TEST(Measure, NoTaggingDuringWarmup)
+{
+    MeasureController c(1000, 10);
+    EXPECT_FALSE(c.tryTag(0));
+    EXPECT_FALSE(c.tryTag(999));
+    EXPECT_EQ(c.tagged(), 0u);
+}
+
+TEST(Measure, TagsExactlySampleSize)
+{
+    MeasureController c(100, 5);
+    int tagged = 0;
+    for (int i = 0; i < 20; i++)
+        tagged += c.tryTag(100 + i) ? 1 : 0;
+    EXPECT_EQ(tagged, 5);
+    EXPECT_EQ(c.tagged(), 5u);
+}
+
+TEST(Measure, DoneOnlyWhenAllReceived)
+{
+    MeasureController c(0, 3);
+    EXPECT_FALSE(c.done());
+    for (int i = 0; i < 3; i++)
+        EXPECT_TRUE(c.tryTag(1));
+    EXPECT_FALSE(c.done());
+    c.taggedReceived();
+    c.taggedReceived();
+    EXPECT_FALSE(c.done());
+    c.taggedReceived();
+    EXPECT_TRUE(c.done());
+}
+
+TEST(Measure, WarmupBoundaryInclusive)
+{
+    MeasureController c(50, 1);
+    EXPECT_FALSE(c.tryTag(49));
+    EXPECT_TRUE(c.tryTag(50));
+}
+
+TEST(Measure, Accessors)
+{
+    MeasureController c(10, 100);
+    EXPECT_EQ(c.warmup(), 10u);
+    EXPECT_EQ(c.sampleSize(), 100u);
+    EXPECT_EQ(c.received(), 0u);
+}

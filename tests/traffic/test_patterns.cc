@@ -1,0 +1,126 @@
+/** @file Tests for traffic patterns. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "traffic/pattern.hh"
+
+using namespace pdr;
+using namespace pdr::traffic;
+
+namespace {
+constexpr int K = 8;
+constexpr int N = K * K;
+} // namespace
+
+TEST(Patterns, UniformNeverPicksSelf)
+{
+    UniformPattern p(K);
+    Rng rng(1);
+    for (sim::NodeId src : {0, 7, 31, 63}) {
+        for (int i = 0; i < 2000; i++) {
+            auto d = p.pick(src, rng);
+            EXPECT_NE(d, src);
+            EXPECT_GE(d, 0);
+            EXPECT_LT(d, N);
+        }
+    }
+}
+
+TEST(Patterns, UniformCoversAllDestinations)
+{
+    UniformPattern p(K);
+    Rng rng(2);
+    std::map<sim::NodeId, int> hits;
+    for (int i = 0; i < 63 * 400; i++)
+        hits[p.pick(0, rng)]++;
+    EXPECT_EQ(hits.size(), std::size_t(N - 1));
+    for (const auto &[d, n] : hits)
+        EXPECT_GT(n, 200) << "dest " << d;
+}
+
+TEST(Patterns, TransposeMapsCoordinates)
+{
+    TransposePattern p(K);
+    Rng rng(3);
+    // (x=2, y=5) = node 42 -> (x=5, y=2) = node 21.
+    EXPECT_EQ(p.pick(5 * K + 2, rng), sim::NodeId(2 * K + 5));
+}
+
+TEST(Patterns, TransposeDiagonalFallsBackToUniform)
+{
+    TransposePattern p(K);
+    Rng rng(4);
+    sim::NodeId diag = 3 * K + 3;
+    for (int i = 0; i < 100; i++)
+        EXPECT_NE(p.pick(diag, rng), diag);
+}
+
+TEST(Patterns, BitComplement)
+{
+    BitComplementPattern p(K);
+    Rng rng(5);
+    EXPECT_EQ(p.pick(0, rng), sim::NodeId(63));
+    EXPECT_EQ(p.pick(63, rng), sim::NodeId(0));
+    EXPECT_EQ(p.pick(21, rng), sim::NodeId(42));
+}
+
+TEST(Patterns, TornadoHalfwayInX)
+{
+    TornadoPattern p(K);
+    Rng rng(6);
+    // x -> (x + 3) mod 8 for k=8 (ceil(k/2)-1 = 3), same y.
+    EXPECT_EQ(p.pick(0, rng), sim::NodeId(3));
+    EXPECT_EQ(p.pick(6, rng), sim::NodeId(1));
+    EXPECT_EQ(p.pick(K + 0, rng), sim::NodeId(K + 3));
+}
+
+TEST(Patterns, NeighborWraps)
+{
+    NeighborPattern p(K);
+    Rng rng(7);
+    EXPECT_EQ(p.pick(0, rng), sim::NodeId(1));
+    EXPECT_EQ(p.pick(7, rng), sim::NodeId(0));
+    EXPECT_EQ(p.pick(2 * K + 7, rng), sim::NodeId(2 * K + 0));
+}
+
+TEST(Patterns, HotspotBias)
+{
+    sim::NodeId hot = 36;
+    HotspotPattern p(K, hot, 0.25);
+    Rng rng(8);
+    int to_hot = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; i++)
+        if (p.pick(0, rng) == hot)
+            to_hot++;
+    // 25% direct + ~1/63 of the uniform remainder.
+    double expect = 0.25 + 0.75 / 63.0;
+    EXPECT_NEAR(to_hot / double(n), expect, 0.02);
+}
+
+TEST(Patterns, FactoryProducesAllKinds)
+{
+    for (auto kind : {PatternKind::Uniform, PatternKind::Transpose,
+                      PatternKind::BitComplement, PatternKind::Tornado,
+                      PatternKind::Neighbor, PatternKind::Hotspot}) {
+        auto p = makePattern(kind, K);
+        ASSERT_NE(p, nullptr);
+        EXPECT_FALSE(p->name().empty());
+        Rng rng(9);
+        for (int i = 0; i < 50; i++) {
+            auto d = p->pick(5, rng);
+            EXPECT_GE(d, 0);
+            EXPECT_LT(d, N);
+        }
+    }
+}
+
+TEST(Patterns, DeterministicGivenRngSeed)
+{
+    UniformPattern p(K);
+    Rng a(77), b(77);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(p.pick(3, a), p.pick(3, b));
+}
