@@ -10,9 +10,12 @@
  *  D. Torus vs mesh topology (extension; paper future work).
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hh"
+#include "exec/thread_pool.hh"
 
 using namespace pdr;
 using router::RouterModel;
@@ -29,6 +32,14 @@ saturation(api::SimConfig cfg)
     return api::findSaturation(cfg, 4.0, 0.02);
 }
 
+/** Run each config's (serial) bisection search as one parallel job. */
+std::vector<double>
+saturations(const std::vector<api::SimConfig> &cfgs)
+{
+    return exec::parallelMap(
+        cfgs, [](const api::SimConfig &cfg) { return saturation(cfg); });
+}
+
 } // namespace
 
 int
@@ -42,38 +53,50 @@ main()
     {
         auto cfg = bench::routerConfig(RouterModel::SpecVirtualChannel,
                                        2, 4);
-        double prio = saturation(cfg);
-        cfg.net.router.specEqualPriority = true;
-        double equal = saturation(cfg);
+        auto equal_cfg = cfg;
+        equal_cfg.net.router.specEqualPriority = true;
         auto nonspec = bench::routerConfig(RouterModel::VirtualChannel,
                                            2, 4);
-        double plain = saturation(nonspec);
+        auto sats = saturations({cfg, equal_cfg, nonspec});
         std::printf("  prioritized (paper): %.2f | equal priority: "
-                    "%.2f | no speculation: %.2f\n", prio, equal,
-                    plain);
+                    "%.2f | no speculation: %.2f\n", sats[0], sats[1],
+                    sats[2]);
         std::printf("  (paper claim: prioritization makes speculation"
                     " conservative -- never worse)\n");
     }
 
     std::printf("\nB. VC count at 16 flits of buffering per port "
                 "(specVC):\n");
-    for (int v : {1, 2, 4, 8}) {
-        auto cfg = bench::routerConfig(RouterModel::SpecVirtualChannel,
-                                       v, 16 / v);
-        std::printf("  %d VCs x %2d bufs: saturation %.2f\n", v,
-                    16 / v, saturation(cfg));
-        std::fflush(stdout);
+    {
+        const std::vector<int> vcs{1, 2, 4, 8};
+        std::vector<api::SimConfig> cfgs;
+        for (int v : vcs) {
+            cfgs.push_back(bench::routerConfig(
+                RouterModel::SpecVirtualChannel, v, 16 / v));
+        }
+        auto sats = saturations(cfgs);
+        for (std::size_t i = 0; i < vcs.size(); i++) {
+            std::printf("  %d VCs x %2d bufs: saturation %.2f\n",
+                        vcs[i], 16 / vcs[i], sats[i]);
+        }
     }
 
     std::printf("\nC. extra credit-processing pipeline (specVC "
                 "2vcsX4bufs):\n");
-    for (int proc : {0, 1, 2, 3}) {
-        auto cfg = bench::routerConfig(RouterModel::SpecVirtualChannel,
-                                       2, 4);
-        cfg.net.router.creditProcCycles = proc;
-        std::printf("  +%d cycles: saturation %.2f\n", proc,
-                    saturation(cfg));
-        std::fflush(stdout);
+    {
+        const std::vector<int> procs{0, 1, 2, 3};
+        std::vector<api::SimConfig> cfgs;
+        for (int proc : procs) {
+            auto cfg = bench::routerConfig(
+                RouterModel::SpecVirtualChannel, 2, 4);
+            cfg.net.router.creditProcCycles = proc;
+            cfgs.push_back(cfg);
+        }
+        auto sats = saturations(cfgs);
+        for (std::size_t i = 0; i < procs.size(); i++) {
+            std::printf("  +%d cycles: saturation %.2f\n", procs[i],
+                        sats[i]);
+        }
     }
 
     std::printf("\nD. torus vs mesh (specVC 2vcsX4bufs, dateline "
@@ -85,14 +108,16 @@ main()
         torus.net.torus = true;
         mesh.net.setOfferedFraction(0.1);
         torus.net.setOfferedFraction(0.1);
-        auto rm = api::runSimulation(mesh);
-        auto rt = api::runSimulation(torus);
+        auto zl = api::runSweep({{"mesh", mesh}, {"torus", torus}});
+        zl.throwIfFailed();
         std::printf("  zero-load latency: mesh %.1f cy | torus %.1f "
-                    "cy (shorter paths)\n", rm.avgLatency,
-                    rt.avgLatency);
+                    "cy (shorter paths)\n",
+                    zl.points[0].res.avgLatency,
+                    zl.points[1].res.avgLatency);
+        auto sats = saturations({mesh, torus});
         std::printf("  saturation:        mesh %.2f | torus %.2f "
-                    "(of each topology's capacity)\n",
-                    saturation(mesh), saturation(torus));
+                    "(of each topology's capacity)\n", sats[0],
+                    sats[1]);
     }
     return 0;
 }

@@ -13,8 +13,12 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.hh"
+#include "common/logging.hh"
+#include "exec/thread_pool.hh"
 #include "pipeline/designer.hh"
 
 using namespace pdr;
@@ -23,39 +27,45 @@ using namespace pdr::pipeline;
 
 namespace {
 
-void
-printDesign(const char *label, const PipelineDesign &d)
+std::string
+formatDesign(const std::string &label, const PipelineDesign &d)
 {
-    std::printf("%-14s %d stages |", label, d.depth());
+    std::string out = csprintf("%-14s %d stages |", label.c_str(),
+                               d.depth());
     for (const auto &stage : d.stages) {
-        double frac = stage.occupancy().value() / d.clock.value();
         for (const auto &slice : stage.slices) {
-            std::printf(" %s(%.0f%%)", toString(slice.kind),
-                        100.0 * slice.occupied.value() /
-                            d.clock.value());
+            out += csprintf(" %s(%.0f%%)", toString(slice.kind),
+                            100.0 * slice.occupied.value() /
+                                d.clock.value());
             if (slice.continues)
-                std::printf("...");
+                out += "...";
         }
-        (void)frac;
-        std::printf(" |");
+        out += " |";
     }
-    std::printf("\n");
+    return out;
 }
 
 void
 sweep(RouterKind kind, RoutingRange range, bool overlap_cb,
       FitPolicy policy)
 {
-    for (int p : {5, 7}) {
-        for (int v : {2, 4, 8, 16, 32}) {
+    // The (p, v) design grid, evaluated in parallel on the sweep
+    // engine's pool, printed in grid order.
+    std::vector<std::pair<int, int>> grid;
+    for (int p : {5, 7})
+        for (int v : {2, 4, 8, 16, 32})
+            grid.push_back({p, v});
+
+    auto rows = exec::parallelMap(
+        grid, [&](const std::pair<int, int> &pv) {
+            auto [p, v] = pv;
             RouterParams prm{kind, p, 32, v, range};
             prm.overlapCombination = overlap_cb;
             auto d = designRouter(prm, typicalClock, policy);
-            char label[32];
-            std::snprintf(label, sizeof label, "%2dvcs,%dpcs", v, p);
-            printDesign(label, d);
-        }
-    }
+            return formatDesign(csprintf("%2dvcs,%dpcs", v, p), d);
+        });
+    for (const auto &row : rows)
+        std::printf("%s\n", row.c_str());
 }
 
 } // namespace
@@ -70,9 +80,11 @@ main()
                   "16 VCs per physical channel.");
 
     std::printf("\nreference wormhole router:\n");
-    printDesign("wormhole",
-                designRouter({RouterKind::Wormhole, 5, 32, 1,
-                              RoutingRange::Rv}));
+    std::printf("%s\n",
+                formatDesign("wormhole",
+                             designRouter({RouterKind::Wormhole, 5, 32,
+                                           1, RoutingRange::Rv}))
+                    .c_str());
 
     std::printf("\n(a) non-speculative VC router, Rpv "
                 "(strict EQ-1 fit):\n");

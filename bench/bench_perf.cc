@@ -1,7 +1,9 @@
 /**
  * @file
  * Simulator performance benchmarks (google-benchmark): arbiter and
- * allocator primitives, router ticks, and whole-network cycles/sec.
+ * allocator primitives, router ticks, whole-network cycles/sec, and
+ * the parallel sweep engine (serial vs thread-pool execution of an
+ * offered-load grid).
  */
 
 #include <benchmark/benchmark.h>
@@ -11,6 +13,7 @@
 #include "arb/switch_allocator.hh"
 #include "arb/vc_allocator.hh"
 #include "common/rng.hh"
+#include "exec/sweep.hh"
 
 using namespace pdr;
 
@@ -126,5 +129,46 @@ BM_FullSimulation(benchmark::State &state)
     }
 }
 BENCHMARK(BM_FullSimulation)->Unit(benchmark::kMillisecond);
+
+/**
+ * The figure-bench workload shape: a latency-throughput grid of small
+ * simulations fanned over the sweep engine's pool.  Arg = thread
+ * count (0 = PDR_THREADS / hardware concurrency); compare Arg(1) vs
+ * higher counts for the parallel speedup.
+ */
+static void
+BM_SweepLoadGrid(benchmark::State &state)
+{
+    api::SimConfig base;
+    base.net.router.model = router::RouterModel::SpecVirtualChannel;
+    base.net.router.numVcs = 2;
+    base.net.router.bufDepth = 4;
+    base.net.warmup = 500;
+    base.net.samplePackets = 1000;
+
+    auto points = exec::SweepBuilder(base)
+                      .loads({0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.1, 0.2,
+                              0.3, 0.4, 0.5, 0.6})
+                      .build();
+
+    exec::SweepOptions opts;
+    opts.threads = int(state.range(0));
+    exec::SweepRunner runner(opts);
+    for (auto _ : state) {
+        auto results = runner.run(points);
+        if (results.failures() != 0)
+            state.SkipWithError("sweep point failed");
+        benchmark::DoNotOptimize(results);
+    }
+    state.SetItemsProcessed(state.iterations() * points.size());
+}
+BENCHMARK(BM_SweepLoadGrid)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 BENCHMARK_MAIN();

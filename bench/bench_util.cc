@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 namespace pdr::bench {
 
@@ -62,8 +63,39 @@ routerConfig(router::RouterModel model, int vcs, int buf,
 }
 
 void
+maybeExportCsv(const exec::SweepResults &results)
+{
+    const char *path = std::getenv("PDR_SWEEP_CSV");
+    if (!path || !path[0])
+        return;
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write PDR_SWEEP_CSV=%s\n", path);
+        return;
+    }
+    results.toTable().writeCsv(out);
+    std::printf("(raw sweep results written to %s)\n", path);
+}
+
+void
 runAndPrintCurves(const std::vector<Curve> &curves)
 {
+    // One sweep point per (load, curve) pair, loads-major so the
+    // results can be consumed row by row below.
+    auto loads = loadGrid();
+    std::vector<exec::SweepPoint> points;
+    points.reserve(loads.size() * curves.size());
+    for (double f : loads) {
+        for (const auto &c : curves) {
+            auto cfg = c.cfg;
+            cfg.net.setOfferedFraction(f);
+            points.push_back({c.label, cfg});
+        }
+    }
+
+    auto results = api::runSweep(points);
+    results.throwIfFailed();
+
     std::printf("%-8s", "load");
     for (const auto &c : curves)
         std::printf(" %16s", c.label.c_str());
@@ -78,12 +110,11 @@ runAndPrintCurves(const std::vector<Curve> &curves)
     std::vector<bool> saturated(curves.size(), false);
 
     bool first_row = true;
-    for (double f : loadGrid()) {
-        std::printf("%-8.2f", f);
+    for (std::size_t row = 0; row < loads.size(); row++) {
+        std::printf("%-8.2f", loads[row]);
         for (std::size_t i = 0; i < curves.size(); i++) {
-            auto cfg = curves[i].cfg;
-            cfg.net.setOfferedFraction(f);
-            auto res = api::runSimulation(cfg);
+            const auto &res =
+                results.points[row * curves.size() + i].res;
             if (first_row)
                 zero_load[i] = res.avgLatency;
             // Saturation: the sample failed to drain, accepted traffic
@@ -97,7 +128,7 @@ runAndPrintCurves(const std::vector<Curve> &curves)
             } else {
                 std::printf(" %16.1f", res.avgLatency);
                 if (!saturated[i])
-                    knee[i] = f;
+                    knee[i] = loads[row];
             }
         }
         std::printf("\n");
@@ -114,6 +145,10 @@ runAndPrintCurves(const std::vector<Curve> &curves)
     std::printf("(sat* = latency blew past 4x zero-load or the sample"
                 " failed to drain;\n latency shown is of received "
                 "packets only and is unbounded past saturation)\n");
+    std::printf("sweep: %zu points on %d threads in %.1f s "
+                "(PDR_THREADS to change)\n", results.points.size(),
+                results.threads, results.wallMs / 1000.0);
+    maybeExportCsv(results);
 }
 
 } // namespace pdr::bench

@@ -12,6 +12,9 @@
  *   PDR_WARMUP     warm-up cycles (default 10000, as in the paper)
  *   PDR_MAX_CYCLES simulation cycle cap for saturated points
  *   PDR_FAST=1     coarse load grid + small sample for smoke runs
+ *   PDR_THREADS    sweep worker threads (default: hardware concurrency;
+ *                  per-point results are independent of this)
+ *   PDR_SWEEP_CSV  write the raw sweep results to this CSV file
  */
 
 #ifndef PDR_BENCH_UTIL_HH
@@ -21,6 +24,7 @@
 #include <vector>
 
 #include "api/simulation.hh"
+#include "exec/sweep.hh"
 
 namespace pdr::bench {
 
@@ -45,11 +49,17 @@ struct Curve
 };
 
 /**
- * Run every curve over the load grid and print a table: one row per
+ * Run every curve over the load grid -- all (load, curve) points in
+ * parallel on the sweep engine -- and print a table: one row per
  * offered load, one latency column per curve ("sat" once the sample no
- * longer drains).  Also prints each curve's measured saturation knee.
+ * longer drains).  Also prints each curve's measured saturation knee
+ * and the sweep wall-clock/thread summary.  With PDR_SWEEP_CSV set,
+ * dumps the raw per-point results to that file.
  */
 void runAndPrintCurves(const std::vector<Curve> &curves);
+
+/** Write a sweep's raw results to $PDR_SWEEP_CSV, if set. */
+void maybeExportCsv(const pdr::exec::SweepResults &results);
 
 } // namespace pdr::bench
 

@@ -12,8 +12,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 #include "api/simulation.hh"
+#include "exec/thread_pool.hh"
 
 using namespace pdr;
 using router::RouterModel;
@@ -35,8 +37,11 @@ main(int argc, char **argv)
         std::printf(" %7llu", static_cast<unsigned long long>(cp));
     std::printf("\n");
 
+    // The whole (buffers x credit-latency) grid in parallel: each
+    // cell's bisection search is one job on the sweep engine's pool
+    // (PDR_THREADS controls the width).
+    std::vector<api::SimConfig> grid;
     for (int buf : bufs) {
-        std::printf("%-12d", buf);
         for (auto cp : cps) {
             api::SimConfig cfg;
             cfg.net.router.model = RouterModel::SpecVirtualChannel;
@@ -47,10 +52,19 @@ main(int argc, char **argv)
             cfg.net.samplePackets = 4000;
             cfg.maxCycles = 100000;
             cfg.applyEnvDefaults();
-            double sat = api::findSaturation(cfg, 4.0, 0.02);
-            std::printf(" %7.2f", sat);
-            std::fflush(stdout);
+            grid.push_back(cfg);
         }
+    }
+
+    auto sats = exec::parallelMap(grid, [](const api::SimConfig &cfg) {
+        return api::findSaturation(cfg, 4.0, 0.02);
+    });
+
+    const std::size_t ncols = sizeof cps / sizeof cps[0];
+    for (std::size_t r = 0; r < sizeof bufs / sizeof bufs[0]; r++) {
+        std::printf("%-12d", bufs[r]);
+        for (std::size_t c = 0; c < ncols; c++)
+            std::printf(" %7.2f", sats[r * ncols + c]);
         std::printf("\n");
     }
 

@@ -8,12 +8,19 @@
  * methodology as a command-line tool).
  *
  *   $ ./pipeline_explorer wh|vc|spec [p] [v] [w] [clk_tau4] [rv|rp|rpv]
+ *
+ * Passing "all" for [v] sweeps v in {1,2,4,8,16,32} in parallel on
+ * the sweep engine's pool and prints one summary line per VC count.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
+#include <vector>
 
+#include "common/logging.hh"
+#include "exec/thread_pool.hh"
 #include "pipeline/designer.hh"
 
 using namespace pdr;
@@ -45,10 +52,15 @@ main(int argc, char **argv)
             return 1;
         }
     }
+    bool sweep_v = false;
     if (argc > 2)
         prm.p = std::atoi(argv[2]);
-    if (argc > 3)
-        prm.v = std::atoi(argv[3]);
+    if (argc > 3) {
+        if (!std::strcmp(argv[3], "all"))
+            sweep_v = true;
+        else
+            prm.v = std::atoi(argv[3]);
+    }
     if (argc > 4)
         prm.w = std::atoi(argv[4]);
     if (argc > 5)
@@ -65,6 +77,37 @@ main(int argc, char **argv)
         prm.v = 1;
 
     Tau clk = fromTau4(clk_tau4);
+
+    if (sweep_v) {
+        // One design job per VC count, fanned across the pool
+        // (PDR_THREADS controls the width), printed in order.
+        // Wormhole routers have no VCs, so their "sweep" is v=1 only.
+        std::vector<int> vcs{1, 2, 4, 8, 16, 32};
+        if (prm.kind == RouterKind::Wormhole)
+            vcs = {1};
+        std::string axis;
+        for (std::size_t i = 0; i < vcs.size(); i++)
+            axis += csprintf(i ? ",%d" : "%d", vcs[i]);
+        std::printf("router: %s, p=%d, v in {%s}, w=%d, clk=%.1f "
+                    "tau4, range=%s\n\n", toString(prm.kind), prm.p,
+                    axis.c_str(), prm.w, clk_tau4,
+                    toString(prm.range));
+        auto rows = exec::parallelMap(vcs, [&](int v) {
+            RouterParams sp = prm;
+            sp.v = v;
+            auto path = criticalPath(sp);
+            auto strict = design(path, clk, FitPolicy::Strict);
+            auto relaxed = design(path, clk, FitPolicy::Relaxed);
+            return csprintf("v=%-3d unpipelined %6.1f tau4 | strict "
+                            "%d stages | relaxed %d stages", v,
+                            criticalPathTotal(path).inTau4(),
+                            strict.depth(), relaxed.depth());
+        });
+        for (const auto &row : rows)
+            std::printf("%s\n", row.c_str());
+        return 0;
+    }
+
     std::printf("router: %s, p=%d, v=%d, w=%d, clk=%.1f tau4, "
                 "range=%s\n\n", toString(prm.kind), prm.p, prm.v,
                 prm.w, clk_tau4, toString(prm.range));

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "exec/sweep.hh"
 
 namespace pdr::api {
 
@@ -65,13 +66,38 @@ runSimulation(const SimConfig &cfg)
 std::vector<SimResults>
 sweepLoad(SimConfig cfg, const std::vector<double> &offered_fractions)
 {
-    std::vector<SimResults> curve;
-    curve.reserve(offered_fractions.size());
+    std::vector<exec::SweepPoint> points;
+    points.reserve(offered_fractions.size());
     for (double f : offered_fractions) {
         cfg.net.setOfferedFraction(f);
-        curve.push_back(runSimulation(cfg));
+        points.push_back({csprintf("%.3f", f), cfg});
     }
+
+    // Keep each point's configured seed: a parallel run then produces
+    // exactly what the historical serial loop produced.
+    exec::SweepOptions opts;
+    opts.deriveSeeds = false;
+    auto sweep = runSweep(points, opts);
+    sweep.throwIfFailed();
+
+    std::vector<SimResults> curve;
+    curve.reserve(sweep.points.size());
+    for (auto &p : sweep.points)
+        curve.push_back(p.res);
     return curve;
+}
+
+exec::SweepResults
+runSweep(const std::vector<exec::SweepPoint> &points)
+{
+    return exec::SweepRunner().run(points);
+}
+
+exec::SweepResults
+runSweep(const std::vector<exec::SweepPoint> &points,
+         const exec::SweepOptions &opts)
+{
+    return exec::SweepRunner(opts).run(points);
 }
 
 double

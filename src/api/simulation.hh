@@ -22,6 +22,12 @@
 
 #include "net/network.hh"
 
+namespace pdr::exec {
+struct SweepPoint;
+struct SweepOptions;
+struct SweepResults;
+} // namespace pdr::exec
+
 namespace pdr::api {
 
 /** Simulation configuration: the network plus protocol limits. */
@@ -62,9 +68,24 @@ struct SimResults
 /** Run warm-up + sample + drain; aggregate results. */
 SimResults runSimulation(const SimConfig &cfg);
 
-/** A latency-throughput curve: one run per offered load point. */
+/**
+ * A latency-throughput curve: one run per offered load point, executed
+ * in parallel on the sweep engine (PDR_THREADS controls the pool; the
+ * per-point results are independent of the thread count).  Every point
+ * keeps cfg's seed, matching the historical serial behavior.
+ */
 std::vector<SimResults>
 sweepLoad(SimConfig cfg, const std::vector<double> &offered_fractions);
+
+/**
+ * Run a batch of sweep points across the fixed thread pool of
+ * exec::SweepRunner and return ordered, per-point results.  Include
+ * exec/sweep.hh for the point/option/result types; see that header for
+ * the determinism contract (seeds derive from (base seed, index)).
+ */
+exec::SweepResults runSweep(const std::vector<exec::SweepPoint> &points);
+exec::SweepResults runSweep(const std::vector<exec::SweepPoint> &points,
+                            const exec::SweepOptions &opts);
 
 /**
  * Estimate saturation throughput (fraction of capacity) by bisection on

@@ -4,7 +4,14 @@ namespace pdr {
 
 namespace {
 
-/** splitmix64, used to expand the seed into the xoshiro state. */
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
 std::uint64_t
 splitmix64(std::uint64_t &x)
 {
@@ -16,12 +23,16 @@ splitmix64(std::uint64_t &x)
 }
 
 std::uint64_t
-rotl(std::uint64_t x, int k)
+deriveSeed(std::uint64_t base, std::uint64_t index)
 {
-    return (x << k) | (x >> (64 - k));
+    // Two mixing rounds decorrelate (base, index) pairs that differ in
+    // only a few bits; seeds depend on nothing but these two values, so
+    // any work scheduled by index is reproducible under any threading.
+    std::uint64_t x = base;
+    (void)splitmix64(x);
+    x ^= 0x9e3779b97f4a7c15ULL * (index + 1);
+    return splitmix64(x);
 }
-
-} // namespace
 
 Rng::Rng(std::uint64_t seed)
 {

@@ -14,6 +14,17 @@
 
 namespace pdr {
 
+/**
+ * One splitmix64 mixing step: returns the mixed value and advances the
+ * state.  Also the canonical way to derive independent stream seeds
+ * (e.g. one per sweep point) from a base seed: statistically unrelated
+ * outputs for related inputs.
+ */
+std::uint64_t splitmix64(std::uint64_t &state);
+
+/** Derive an independent sub-seed from (base seed, stream index). */
+std::uint64_t deriveSeed(std::uint64_t base, std::uint64_t index);
+
 /** xoshiro256** pseudo random number generator. */
 class Rng
 {

@@ -14,8 +14,6 @@
 #ifndef PDR_COMMON_UNITS_HH
 #define PDR_COMMON_UNITS_HH
 
-#include <compare>
-
 namespace pdr {
 
 /** Delay expressed in tau (inverter fanout-of-1 delay). */
@@ -35,7 +33,12 @@ class Tau
     constexpr Tau operator-(Tau o) const { return Tau(value_ - o.value_); }
     constexpr Tau operator*(double s) const { return Tau(value_ * s); }
     constexpr Tau &operator+=(Tau o) { value_ += o.value_; return *this; }
-    constexpr auto operator<=>(const Tau &) const = default;
+    constexpr bool operator==(Tau o) const { return value_ == o.value_; }
+    constexpr bool operator!=(Tau o) const { return value_ != o.value_; }
+    constexpr bool operator<(Tau o) const { return value_ < o.value_; }
+    constexpr bool operator<=(Tau o) const { return value_ <= o.value_; }
+    constexpr bool operator>(Tau o) const { return value_ > o.value_; }
+    constexpr bool operator>=(Tau o) const { return value_ >= o.value_; }
 
     /** Number of tau in one tau4 (derived via logical effort, EQ 3). */
     static constexpr double tau4PerTau = 5.0;

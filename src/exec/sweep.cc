@@ -1,0 +1,222 @@
+#include "exec/sweep.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "exec/thread_pool.hh"
+
+namespace pdr::exec {
+
+namespace {
+
+double
+msSince(std::chrono::steady_clock::time_point start)
+{
+    using namespace std::chrono;
+    return duration<double, std::milli>(steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+std::size_t
+SweepResults::failures() const
+{
+    std::size_t n = 0;
+    for (const auto &p : points)
+        n += p.ok ? 0 : 1;
+    return n;
+}
+
+void
+SweepResults::throwIfFailed() const
+{
+    for (const auto &p : points) {
+        if (!p.ok) {
+            throw std::runtime_error("sweep point '" + p.label +
+                                     "' failed: " + p.error);
+        }
+    }
+}
+
+stats::Table
+SweepResults::toTable() const
+{
+    stats::Table t({"index", "label", "seed", "offered_fraction",
+                    "accepted_fraction", "avg_latency", "p99_latency",
+                    "drained", "cycles", "wall_ms", "ok", "error"});
+    for (std::size_t i = 0; i < points.size(); i++) {
+        const auto &p = points[i];
+        t.addRow({stats::Table::cell(std::uint64_t(i)), p.label,
+                  stats::Table::cell(std::uint64_t(p.cfg.net.seed)),
+                  stats::Table::cell(p.res.offeredFraction),
+                  stats::Table::cell(p.res.acceptedFraction),
+                  stats::Table::cell(p.res.avgLatency),
+                  stats::Table::cell(p.res.p99Latency),
+                  stats::Table::cell(p.res.drained),
+                  stats::Table::cell(std::uint64_t(p.res.cycles)),
+                  stats::Table::cell(p.wallMs),
+                  stats::Table::cell(p.ok), p.error});
+    }
+    return t;
+}
+
+SweepRunner::SweepRunner(SweepOptions opts) : opts_(opts) {}
+
+std::uint64_t
+SweepRunner::pointSeed(std::uint64_t base, std::size_t index)
+{
+    return deriveSeed(base, index);
+}
+
+SweepResults
+SweepRunner::run(const std::vector<SweepPoint> &points) const
+{
+    return run(points,
+               [](const api::SimConfig &cfg) {
+                   return api::runSimulation(cfg);
+               });
+}
+
+SweepResults
+SweepRunner::run(const std::vector<SweepPoint> &points,
+                 const RunFn &fn) const
+{
+    auto sweep_start = std::chrono::steady_clock::now();
+
+    SweepResults results;
+    results.points.resize(points.size());
+
+    ThreadPool pool(opts_.threads);
+    results.threads = pool.size();
+
+    for (std::size_t i = 0; i < points.size(); i++) {
+        results.points[i].label = points[i].label;
+        results.points[i].cfg = points[i].cfg;
+        if (opts_.deriveSeeds)
+            results.points[i].cfg.net.seed = pointSeed(opts_.baseSeed, i);
+
+        PointResult *slot = &results.points[i];
+        pool.submit([slot, &fn] {
+            auto start = std::chrono::steady_clock::now();
+            try {
+                slot->res = fn(slot->cfg);
+                slot->ok = true;
+            } catch (const std::exception &e) {
+                slot->error = e.what();
+            } catch (...) {
+                slot->error = "unknown exception";
+            }
+            slot->wallMs = msSince(start);
+        });
+    }
+    pool.wait();
+
+    results.wallMs = msSince(sweep_start);
+    return results;
+}
+
+SweepBuilder::SweepBuilder(api::SimConfig base) : base_(std::move(base)) {}
+
+SweepBuilder &
+SweepBuilder::model(const std::string &label, router::RouterModel model,
+                    int vcs, int buf, bool single_cycle)
+{
+    api::SimConfig cfg = base_;
+    cfg.net.router.model = model;
+    cfg.net.router.numVcs = vcs;
+    cfg.net.router.bufDepth = buf;
+    cfg.net.router.singleCycle = single_cycle;
+    return variant(label, cfg);
+}
+
+SweepBuilder &
+SweepBuilder::variant(const std::string &label, const api::SimConfig &cfg)
+{
+    variants_.push_back({label, cfg});
+    return *this;
+}
+
+SweepBuilder &
+SweepBuilder::loads(std::vector<double> fractions)
+{
+    loads_ = std::move(fractions);
+    return *this;
+}
+
+SweepBuilder &
+SweepBuilder::pattern(traffic::PatternKind kind)
+{
+    patterns_.push_back(kind);
+    return *this;
+}
+
+SweepBuilder &
+SweepBuilder::topology(int k, bool torus)
+{
+    topologies_.push_back({k, torus});
+    return *this;
+}
+
+std::vector<SweepPoint>
+SweepBuilder::build() const
+{
+    // Implicit single entries for untouched axes.
+    std::vector<SweepPoint> variants = variants_;
+    if (variants.empty())
+        variants.push_back({"", base_});
+    std::vector<double> loads = loads_;
+    if (loads.empty())
+        loads.push_back(base_.net.offeredFraction());
+    std::vector<traffic::PatternKind> patterns = patterns_;
+    std::vector<std::pair<int, bool>> topologies = topologies_;
+
+    std::vector<SweepPoint> points;
+    points.reserve(loads.size() * variants.size() *
+                   std::max<std::size_t>(patterns.size(), 1) *
+                   std::max<std::size_t>(topologies.size(), 1));
+
+    for (double f : loads) {
+        for (const auto &v : variants) {
+            auto expand_pattern = [&](SweepPoint pt) {
+                if (patterns.empty()) {
+                    points.push_back(std::move(pt));
+                    return;
+                }
+                for (auto kind : patterns) {
+                    SweepPoint p = pt;
+                    p.cfg.net.pattern = kind;
+                    p.label += std::string("/") + traffic::toString(kind);
+                    points.push_back(std::move(p));
+                }
+            };
+
+            SweepPoint pt{v.label, v.cfg};
+            pt.cfg.net.setOfferedFraction(f);
+            if (!pt.label.empty())
+                pt.label += "@";
+            pt.label += csprintf("%.3f", f);
+
+            if (topologies.empty()) {
+                expand_pattern(std::move(pt));
+                continue;
+            }
+            for (const auto &[k, torus] : topologies) {
+                SweepPoint p = pt;
+                p.cfg.net.k = k;
+                p.cfg.net.torus = torus;
+                // Keep the offered fraction: the injection rate depends
+                // on the topology's capacity.
+                p.cfg.net.setOfferedFraction(f);
+                p.label += csprintf("/%s%d", torus ? "torus" : "mesh", k);
+                expand_pattern(std::move(p));
+            }
+        }
+    }
+    return points;
+}
+
+} // namespace pdr::exec

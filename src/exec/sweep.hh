@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Parallel sweep-execution engine.
+ *
+ * A sweep is an ordered list of simulation points (label + SimConfig).
+ * SweepRunner fans the points across a fixed ThreadPool and returns
+ * SweepResults in input order, with per-point wall-clock timing and
+ * error capture (a throwing point is recorded as failed; it neither
+ * kills a worker nor hangs the pool).
+ *
+ * Determinism: each point gets an RNG seed derived from (base seed,
+ * point index) via pdr::deriveSeed, and every simulation object down
+ * the stack (Network, Source, ...) is per-instance state -- there is no
+ * global or static mutable state in the simulator (src/common/rng.cc
+ * holds the audit's canonical mixer).  Results are therefore
+ * bit-identical for any thread count or scheduling order.
+ *
+ * SweepBuilder expands the cross product of offered-load grids, router
+ * models, traffic patterns and topologies into a point list, in the
+ * deterministic order loads x (models x patterns x topologies).
+ *
+ * Typical use (also exposed as pdr::api::runSweep):
+ *
+ *   auto points = exec::SweepBuilder(bench::baseConfig())
+ *                     .model("specVC", ...)
+ *                     .loads(bench::loadGrid())
+ *                     .build();
+ *   auto results = exec::SweepRunner().run(points);
+ *   results.toTable().writeCsv(file);
+ */
+
+#ifndef PDR_EXEC_SWEEP_HH
+#define PDR_EXEC_SWEEP_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "api/simulation.hh"
+#include "stats/export.hh"
+
+namespace pdr::exec {
+
+/** One unit of sweep work: a labelled simulation configuration. */
+struct SweepPoint
+{
+    std::string label;
+    api::SimConfig cfg;
+};
+
+/** Outcome of one sweep point. */
+struct PointResult
+{
+    std::string label;
+    api::SimConfig cfg;        //!< As run (including the derived seed).
+    api::SimResults res;       //!< Valid only when ok.
+    double wallMs = 0.0;       //!< Wall-clock time of this point.
+    bool ok = false;
+    std::string error;         //!< Exception message when !ok.
+};
+
+/** Ordered results of a sweep run. */
+struct SweepResults
+{
+    std::vector<PointResult> points;    //!< Input order.
+    double wallMs = 0.0;                //!< Whole-sweep wall clock.
+    int threads = 1;                    //!< Pool size used.
+
+    std::size_t failures() const;
+
+    /** Throw std::runtime_error on the first failed point, if any. */
+    void throwIfFailed() const;
+
+    /** Render as a table (one row per point) for CSV/JSON export. */
+    stats::Table toTable() const;
+};
+
+/** Execution options for a sweep. */
+struct SweepOptions
+{
+    /** Worker threads; 0 = PDR_THREADS env or hardware concurrency. */
+    int threads = 0;
+    /** Base seed each point's seed is derived from. */
+    std::uint64_t baseSeed = 1;
+    /**
+     * Derive per-point seeds from (baseSeed, index).  Off, every point
+     * keeps the seed already in its SimConfig (e.g. to reproduce a
+     * legacy serial sweep that reused one seed).
+     */
+    bool deriveSeeds = true;
+};
+
+/** Fans sweep points across a fixed thread pool. */
+class SweepRunner
+{
+  public:
+    /** Point evaluator; the default is api::runSimulation. */
+    using RunFn = std::function<api::SimResults(const api::SimConfig &)>;
+
+    explicit SweepRunner(SweepOptions opts = {});
+
+    /** Run all points through api::runSimulation. */
+    SweepResults run(const std::vector<SweepPoint> &points) const;
+
+    /** Run all points through a custom evaluator. */
+    SweepResults run(const std::vector<SweepPoint> &points,
+                     const RunFn &fn) const;
+
+    const SweepOptions &options() const { return opts_; }
+
+    /** The seed point `index` receives under base seed `base`. */
+    static std::uint64_t pointSeed(std::uint64_t base, std::size_t index);
+
+  private:
+    SweepOptions opts_;
+};
+
+/** Expands parameter axes into a deterministic sweep point list. */
+class SweepBuilder
+{
+  public:
+    explicit SweepBuilder(api::SimConfig base);
+
+    /** Add a router-model variant (label + model/vcs/buf). */
+    SweepBuilder &model(const std::string &label,
+                        router::RouterModel model, int vcs, int buf,
+                        bool single_cycle = false);
+
+    /** Add a pre-configured variant (arbitrary config overrides). */
+    SweepBuilder &variant(const std::string &label,
+                          const api::SimConfig &cfg);
+
+    /** Sweep offered load over these fractions of capacity. */
+    SweepBuilder &loads(std::vector<double> fractions);
+
+    /** Add a traffic-pattern axis value. */
+    SweepBuilder &pattern(traffic::PatternKind kind);
+
+    /** Add a topology axis value (mesh radix, torus wraparound). */
+    SweepBuilder &topology(int k, bool torus);
+
+    /**
+     * Cross product of the configured axes, ordered loads-major then
+     * variants x patterns x topologies.  Axes never touched keep the
+     * base config's value (a single implicit entry).
+     */
+    std::vector<SweepPoint> build() const;
+
+  private:
+    api::SimConfig base_;
+    std::vector<SweepPoint> variants_;
+    std::vector<double> loads_;
+    std::vector<traffic::PatternKind> patterns_;
+    std::vector<std::pair<int, bool>> topologies_;
+};
+
+} // namespace pdr::exec
+
+#endif // PDR_EXEC_SWEEP_HH

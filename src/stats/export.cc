@@ -1,0 +1,176 @@
+#include "stats/export.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace pdr::stats {
+
+namespace {
+
+/**
+ * Is the cell a valid JSON number (so writeJson can emit it raw)?
+ * Deliberately stricter than strtod: hex, inf/nan, "+5", ".5" and
+ * "5." all parse as C doubles but are not JSON numbers.
+ */
+bool
+looksNumeric(const std::string &s)
+{
+    std::size_t i = 0;
+    const std::size_t n = s.size();
+    if (i < n && s[i] == '-')
+        i++;
+    std::size_t int_start = i;
+    while (i < n && s[i] >= '0' && s[i] <= '9')
+        i++;
+    std::size_t int_len = i - int_start;
+    if (int_len == 0 || (int_len > 1 && s[int_start] == '0'))
+        return false;
+    if (i < n && s[i] == '.') {
+        i++;
+        std::size_t frac_start = i;
+        while (i < n && s[i] >= '0' && s[i] <= '9')
+            i++;
+        if (i == frac_start)
+            return false;
+    }
+    if (i < n && (s[i] == 'e' || s[i] == 'E')) {
+        i++;
+        if (i < n && (s[i] == '+' || s[i] == '-'))
+            i++;
+        std::size_t exp_start = i;
+        while (i < n && s[i] >= '0' && s[i] <= '9')
+            i++;
+        if (i == exp_start)
+            return false;
+    }
+    return i == n;
+}
+
+void
+writeCsvCell(std::ostream &os, const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos) {
+        os << s;
+        return;
+    }
+    os << '"';
+    for (char c : s) {
+        if (c == '"')
+            os << '"';
+        os << c;
+    }
+    os << '"';
+}
+
+void
+writeJsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          case '\r': os << "\\r"; break;
+          default: os << c;
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header))
+{
+    pdr_assert(!header_.empty());
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    pdr_assert(cells.size() == header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::cell(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
+std::string
+Table::cell(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+Table::cell(bool v)
+{
+    return v ? "true" : "false";
+}
+
+void
+Table::writeCsv(std::ostream &os) const
+{
+    for (std::size_t c = 0; c < header_.size(); c++) {
+        if (c)
+            os << ',';
+        writeCsvCell(os, header_[c]);
+    }
+    os << '\n';
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); c++) {
+            if (c)
+                os << ',';
+            writeCsvCell(os, row[c]);
+        }
+        os << '\n';
+    }
+}
+
+void
+Table::writeJson(std::ostream &os) const
+{
+    os << "[\n";
+    for (std::size_t r = 0; r < rows_.size(); r++) {
+        os << "  {";
+        for (std::size_t c = 0; c < header_.size(); c++) {
+            if (c)
+                os << ", ";
+            writeJsonString(os, header_[c]);
+            os << ": ";
+            // "true"/"false" stay quoted: cell(bool) targets CSV
+            // friendliness, and a quoted literal is unambiguous.
+            if (looksNumeric(rows_[r][c]))
+                os << rows_[r][c];
+            else
+                writeJsonString(os, rows_[r][c]);
+        }
+        os << (r + 1 < rows_.size() ? "},\n" : "}\n");
+    }
+    os << "]\n";
+}
+
+std::string
+Table::toCsv() const
+{
+    std::ostringstream os;
+    writeCsv(os);
+    return os.str();
+}
+
+std::string
+Table::toJson() const
+{
+    std::ostringstream os;
+    writeJson(os);
+    return os.str();
+}
+
+} // namespace pdr::stats

@@ -1,0 +1,114 @@
+/** @file Tests for the fixed worker thread pool. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
+#include "exec/thread_pool.hh"
+
+using namespace pdr;
+using exec::ThreadPool;
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; i++)
+        pool.submit([&count] { count++; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitRethrowsFirstTaskError)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 10; i++) {
+        pool.submit([&count, i] {
+            if (i == 3)
+                throw std::runtime_error("task failed");
+            count++;
+        });
+    }
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_EQ(count.load(), 9);
+
+    // The pool survives the error and accepts further work.
+    pool.submit([&count] { count++; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, WaitIsReusableAcrossBatches)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int round = 0; round < 3; round++) {
+        for (int i = 0; i < 8; i++)
+            pool.submit([&count] { count++; });
+        pool.wait();
+        EXPECT_EQ(count.load(), 8 * (round + 1));
+    }
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndicesOnce)
+{
+    std::vector<std::atomic<int>> hits(64);
+    exec::parallelFor(64, [&](std::size_t i) { hits[i]++; }, 4);
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIterationDespiteThrow)
+{
+    std::atomic<int> done{0};
+    EXPECT_THROW(exec::parallelFor(
+                     16,
+                     [&](std::size_t i) {
+                         if (i == 5)
+                             throw std::runtime_error("x");
+                         done++;
+                     },
+                     2),
+                 std::runtime_error);
+    EXPECT_EQ(done.load(), 15);
+}
+
+TEST(ThreadPool, ParallelMapPreservesOrder)
+{
+    std::vector<int> items;
+    for (int i = 0; i < 32; i++)
+        items.push_back(i);
+    auto out = exec::parallelMap(
+        items,
+        [](int v) {
+            // Reverse the natural completion order.
+            std::this_thread::sleep_for(
+                std::chrono::microseconds((32 - v) * 50));
+            return v * v;
+        },
+        4);
+    ASSERT_EQ(out.size(), items.size());
+    for (int i = 0; i < 32; i++)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, ResolveThreadsPrefersExplicitThenEnv)
+{
+    EXPECT_EQ(ThreadPool::resolveThreads(3), 3);
+
+    setenv("PDR_THREADS", "5", 1);
+    EXPECT_EQ(ThreadPool::resolveThreads(0), 5);
+    EXPECT_EQ(ThreadPool::resolveThreads(2), 2);
+
+    setenv("PDR_THREADS", "garbage", 1);
+    EXPECT_GE(ThreadPool::resolveThreads(0), 1);
+
+    unsetenv("PDR_THREADS");
+    EXPECT_GE(ThreadPool::resolveThreads(0), 1);
+}

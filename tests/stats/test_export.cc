@@ -1,0 +1,73 @@
+/** @file Tests for CSV/JSON table export. */
+
+#include <gtest/gtest.h>
+
+#include "stats/export.hh"
+
+using pdr::stats::Table;
+
+TEST(TableExport, CsvRoundTripSimple)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "x"});
+    t.addRow({"2.5", "y"});
+    EXPECT_EQ(t.toCsv(), "a,b\n1,x\n2.5,y\n");
+}
+
+TEST(TableExport, CsvQuotesSpecialCells)
+{
+    Table t({"label", "note"});
+    t.addRow({"a,b", "he said \"hi\""});
+    EXPECT_EQ(t.toCsv(),
+              "label,note\n\"a,b\",\"he said \"\"hi\"\"\"\n");
+}
+
+TEST(TableExport, JsonEmitsNumbersUnquoted)
+{
+    Table t({"name", "value"});
+    t.addRow({"zero_load", "29.5"});
+    t.addRow({"comment", "not a number"});
+    auto json = t.toJson();
+    EXPECT_NE(json.find("\"value\": 29.5"), std::string::npos);
+    EXPECT_NE(json.find("\"value\": \"not a number\""),
+              std::string::npos);
+}
+
+TEST(TableExport, JsonQuotesNonJsonNumerics)
+{
+    // strtod-parsable but not valid JSON numbers: must stay quoted.
+    Table t({"v"});
+    for (const char *s :
+         {"0x1A", "+5", ".5", "5.", "inf", "nan", "007", "1e"})
+        t.addRow({s});
+    t.addRow({"-0.5"});
+    t.addRow({"1e+06"});
+    auto json = t.toJson();
+    EXPECT_NE(json.find("\"v\": \"0x1A\""), std::string::npos);
+    EXPECT_NE(json.find("\"v\": \"+5\""), std::string::npos);
+    EXPECT_NE(json.find("\"v\": \".5\""), std::string::npos);
+    EXPECT_NE(json.find("\"v\": \"5.\""), std::string::npos);
+    EXPECT_NE(json.find("\"v\": \"inf\""), std::string::npos);
+    EXPECT_NE(json.find("\"v\": \"nan\""), std::string::npos);
+    EXPECT_NE(json.find("\"v\": \"007\""), std::string::npos);
+    EXPECT_NE(json.find("\"v\": \"1e\""), std::string::npos);
+    EXPECT_NE(json.find("\"v\": -0.5"), std::string::npos);
+    EXPECT_NE(json.find("\"v\": 1e+06"), std::string::npos);
+}
+
+TEST(TableExport, JsonEscapesStrings)
+{
+    Table t({"s"});
+    t.addRow({"line\nbreak \"q\" back\\slash"});
+    auto json = t.toJson();
+    EXPECT_NE(json.find("line\\nbreak \\\"q\\\" back\\\\slash"),
+              std::string::npos);
+}
+
+TEST(TableExport, CellFormatting)
+{
+    EXPECT_EQ(Table::cell(1.25), "1.25");
+    EXPECT_EQ(Table::cell(std::uint64_t(42)), "42");
+    EXPECT_EQ(Table::cell(true), "true");
+    EXPECT_EQ(Table::cell(false), "false");
+}
