@@ -15,7 +15,6 @@
 #include <vector>
 
 #include "bench_util.hh"
-#include "exec/thread_pool.hh"
 
 using namespace pdr;
 using router::RouterModel;
@@ -32,12 +31,16 @@ saturation(api::SimConfig cfg)
     return api::findSaturation(cfg, 4.0, 0.02);
 }
 
-/** Run each config's (serial) bisection search as one parallel job. */
+/** findSaturation parallelizes its own bracketing grid, so the
+ *  configs run back to back. */
 std::vector<double>
 saturations(const std::vector<api::SimConfig> &cfgs)
 {
-    return exec::parallelMap(
-        cfgs, [](const api::SimConfig &cfg) { return saturation(cfg); });
+    std::vector<double> out;
+    out.reserve(cfgs.size());
+    for (const auto &cfg : cfgs)
+        out.push_back(saturation(cfg));
+    return out;
 }
 
 } // namespace
@@ -105,7 +108,7 @@ main()
         auto mesh = bench::routerConfig(RouterModel::SpecVirtualChannel,
                                         2, 4);
         auto torus = mesh;
-        torus.net.torus = true;
+        torus.net.topology = "torus";
         mesh.net.setOfferedFraction(0.1);
         torus.net.setOfferedFraction(0.1);
         auto zl = api::runSweep({{"mesh", mesh}, {"torus", torus}});

@@ -4,6 +4,11 @@
  * VC (2 VCs x 4 buffers) and speculative VC (2 VCs x 4 buffers) routers
  * on an 8x8 mesh under uniform traffic.
  *
+ * The whole scenario is data: experiments/fig13.exp declares the base
+ * config, the load grid and the three curves; this bench only loads
+ * and prints it.  `pdr sweep --file experiments/fig13.exp` runs the
+ * identical grid.
+ *
  * Paper: zero-load 29 / 36 / 30 cycles; saturation 40% / 50% / 55% of
  * capacity.
  */
@@ -11,7 +16,6 @@
 #include "bench_util.hh"
 
 using namespace pdr;
-using router::RouterModel;
 
 int
 main()
@@ -21,13 +25,6 @@ main()
                   "8x8 mesh, uniform traffic,\n5-flit packets.  Paper: "
                   "zero-load 29/36/30 cycles; saturation 0.40/0.50/"
                   "0.55.");
-    bench::runAndPrintCurves({
-        {"WH (8 bufs)",
-         bench::routerConfig(RouterModel::Wormhole, 1, 8)},
-        {"VC (2x4)",
-         bench::routerConfig(RouterModel::VirtualChannel, 2, 4)},
-        {"specVC (2x4)",
-         bench::routerConfig(RouterModel::SpecVirtualChannel, 2, 4)},
-    });
+    bench::runAndPrintExperiment(bench::loadExperiment("fig13.exp"));
     return 0;
 }

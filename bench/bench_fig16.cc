@@ -6,57 +6,23 @@
  *  1. The analytic timeline of one buffer slot's credit loop for each
  *     router model (the figure's narrative), from the pipeline
  *     position of switch allocation and the channel latencies.
- *  2. An empirical measurement: a saturated single-hop stream (k=2
- *     mesh, neighbor traffic, both directions disjoint) with B buffers
+ *  2. An empirical measurement, declared in experiments/fig16.exp: a
+ *     saturated single-hop stream (k=2 mesh, neighbor traffic, both
+ *     directions disjoint) in fixed-horizon mode, swept over buffer
+ *     depth B for five router variants.  A stream with B buffers
  *     sustains min(1, B / T_loop) flits/cycle, so the measured rate
  *     reveals the effective buffer turnaround T_loop per router model.
+ *     `pdr sweep --file experiments/fig16.exp` runs the same grid.
  */
 
 #include <cstdio>
-#include <vector>
 
 #include "bench_util.hh"
 #include "common/logging.hh"
 
 using namespace pdr;
-using router::RouterModel;
 
 namespace {
-
-api::SimConfig
-streamConfig(RouterModel model, int vcs, int buf, bool single_cycle,
-             sim::Cycle credit_latency)
-{
-    api::SimConfig cfg;
-    cfg.net.k = 2;
-    cfg.net.router.model = model;
-    cfg.net.router.singleCycle = single_cycle;
-    cfg.net.router.numVcs = vcs;
-    cfg.net.router.bufDepth = buf;
-    cfg.net.creditLatency = credit_latency;
-    cfg.net.pattern = traffic::PatternKind::Neighbor;
-    cfg.net.injectionRate = 1.0;    // Saturate the injection port.
-    cfg.net.warmup = 2000;
-    cfg.net.samplePackets = 1;      // Protocol not used; fixed horizon.
-    cfg.net.packetLength = 5;
-    return cfg;
-}
-
-/**
- * Fixed-horizon evaluator for the sweep engine: ignore the measurement
- * protocol, run 22k cycles, report the accepted rate.
- */
-api::SimResults
-steadyRate(const api::SimConfig &cfg)
-{
-    net::Network network(cfg.net);
-    network.run(22000);
-    api::SimResults res;
-    res.acceptedFraction = network.acceptedFraction();
-    res.cycles = network.now();
-    res.drained = true;
-    return res;
-}
 
 void
 timeline(const char *model, int sa_offset, int credit_prop)
@@ -93,45 +59,26 @@ main()
                 "flits/node/cycle vs buffers B\n");
     std::printf("(rate = min(1, B / T_loop): the knee reveals the "
                 "effective turnaround)\n\n");
-    std::printf("%-24s", "B =");
-    for (int b = 1; b <= 10; b++)
-        std::printf(" %5d", b);
-    std::printf("\n");
 
-    struct Row
-    {
-        const char *label;
-        RouterModel model;
-        int vcs;
-        bool single;
-        sim::Cycle cp;
-    };
-    const Row rows[] = {
-        {"single-cycle WH", RouterModel::Wormhole, 1, true, 1},
-        {"wormhole", RouterModel::Wormhole, 1, false, 1},
-        {"specVC (1 VC)", RouterModel::SpecVirtualChannel, 1, false, 1},
-        {"VC (1 VC)", RouterModel::VirtualChannel, 1, false, 1},
-        {"specVC, credit prop 4", RouterModel::SpecVirtualChannel, 1,
-         false, 4},
-    };
-
-    // All (row, B) measurements as one parallel sweep, rows-major.
-    std::vector<exec::SweepPoint> points;
-    for (const auto &r : rows) {
-        for (int b = 1; b <= 10; b++) {
-            points.push_back({csprintf("%s/B=%d", r.label, b),
-                              streamConfig(r.model, r.vcs, b, r.single,
-                                           r.cp)});
-        }
-    }
-    auto results = exec::SweepRunner().run(points, steadyRate);
+    // The (router variant x buffer depth) grid is declared in
+    // experiments/fig16.exp: curves = router variants, one sweep axis
+    // over router.buf_depth, fixed-horizon mode.
+    auto exp = bench::loadExperiment("fig16.exp");
+    auto results = api::runSweep(exp.points());
     results.throwIfFailed();
 
-    std::size_t idx = 0;
-    for (const auto &r : rows) {
-        std::printf("%-24s", r.label);
-        for (int b = 1; b <= 10; b++) {
-            const auto &p = results.points[idx++];
+    const auto &bufs = exp.axes.at(0).values;
+    std::printf("%-24s", "B =");
+    for (const auto &b : bufs)
+        std::printf(" %5s", b.c_str());
+    std::printf("\n");
+
+    // Points are axis-major (buffer depth outer, curves inner).
+    const std::size_t ncurves = exp.curves.size();
+    for (std::size_t r = 0; r < ncurves; r++) {
+        std::printf("%-24s", exp.curves[r].label.c_str());
+        for (std::size_t b = 0; b < bufs.size(); b++) {
+            const auto &p = results.points[b * ncurves + r];
             // acceptedFraction is of uniform capacity; scale back to
             // flits/node/cycle for the figure's axis.
             std::printf(" %5.2f",

@@ -3,6 +3,10 @@
  * Figure 18 reproduction: effect of credit propagation latency on a
  * speculative VC router (2 VCs x 4 buffers).
  *
+ * The scenario is declared in experiments/fig18.exp; this bench loads
+ * and prints it, and `pdr sweep --file experiments/fig18.exp` runs the
+ * identical grid (same points, same seeds, same CSV).
+ *
  * Paper: raising credit propagation from 1 to 4 cycles (credit
  * turnaround 4 -> 7 cycles) cuts saturation throughput by 18%, from
  * 55% to 45% of capacity, while zero-load latency barely moves.
@@ -11,7 +15,6 @@
 #include "bench_util.hh"
 
 using namespace pdr;
-using router::RouterModel;
 
 int
 main()
@@ -20,13 +23,6 @@ main()
                   "specVC (2vcsX4bufs) with 1-cycle vs 4-cycle credit "
                   "propagation.  Paper:\nsaturation drops 0.55 -> 0.45 "
                   "(-18%).");
-    auto cp1 = bench::routerConfig(RouterModel::SpecVirtualChannel, 2,
-                                   4);
-    auto cp4 = cp1;
-    cp4.net.creditLatency = 4;
-    bench::runAndPrintCurves({
-        {"specVC cp=1", cp1},
-        {"specVC cp=4", cp4},
-    });
+    bench::runAndPrintExperiment(bench::loadExperiment("fig18.exp"));
     return 0;
 }

@@ -3,6 +3,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <stdexcept>
+
+#ifndef PDR_EXPERIMENTS_DIR
+#define PDR_EXPERIMENTS_DIR "experiments"
+#endif
 
 namespace pdr::bench {
 
@@ -13,6 +18,72 @@ fastMode()
 {
     const char *env = std::getenv("PDR_FAST");
     return env && env[0] == '1';
+}
+
+/**
+ * Print the latency table for a loads x curves sweep: one row per
+ * offered load, one column per curve, plus the measured saturation
+ * knees and the wall-clock summary.  `results` must be loads-major
+ * (point index = row * #curves + curve).
+ */
+void
+printCurveTable(const std::vector<double> &loads,
+                const std::vector<std::string> &labels,
+                const exec::SweepResults &results)
+{
+    std::printf("%-8s", "load");
+    for (const auto &label : labels)
+        std::printf(" %16s", label.c_str());
+    std::printf("\n");
+    std::printf("%-8s", "");
+    for (std::size_t i = 0; i < labels.size(); i++)
+        std::printf(" %16s", "latency (cyc)");
+    std::printf("\n");
+
+    std::vector<double> knee(labels.size(), 0.0);
+    std::vector<double> zero_load(labels.size(), 0.0);
+    std::vector<bool> saturated(labels.size(), false);
+
+    bool first_row = true;
+    for (std::size_t row = 0; row < loads.size(); row++) {
+        std::printf("%-8.2f", loads[row]);
+        for (std::size_t i = 0; i < labels.size(); i++) {
+            const auto &res =
+                results.points[row * labels.size() + i].res;
+            if (first_row)
+                zero_load[i] = res.avgLatency;
+            // Saturation: the sample failed to drain, accepted traffic
+            // lags offered, or latency left the flat region (4x the
+            // lowest-load latency -- the knee of the paper's figures).
+            bool sat = res.saturated() ||
+                       res.avgLatency > 4.0 * zero_load[i];
+            if (sat) {
+                std::printf(" %11.1f sat*", res.avgLatency);
+                saturated[i] = true;
+            } else {
+                std::printf(" %16.1f", res.avgLatency);
+                if (!saturated[i])
+                    knee[i] = loads[row];
+            }
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+        first_row = false;
+    }
+
+    std::printf("\nmeasured saturation (last load on the grid with "
+                "latency < 4x zero-load):\n");
+    for (std::size_t i = 0; i < labels.size(); i++)
+        std::printf("  %-20s ~%.2f of capacity "
+                    "(zero-load %.1f cycles)\n",
+                    labels[i].c_str(), knee[i], zero_load[i]);
+    std::printf("(sat* = latency blew past 4x zero-load or the sample"
+                " failed to drain;\n latency shown is of received "
+                "packets only and is unbounded past saturation)\n");
+    std::printf("sweep: %zu points on %d threads in %.1f s "
+                "(PDR_THREADS to change)\n", results.points.size(),
+                results.threads, results.wallMs / 1000.0);
+    maybeExportCsv(results);
 }
 
 } // namespace
@@ -96,59 +167,49 @@ runAndPrintCurves(const std::vector<Curve> &curves)
     auto results = api::runSweep(points);
     results.throwIfFailed();
 
-    std::printf("%-8s", "load");
+    std::vector<std::string> labels;
     for (const auto &c : curves)
-        std::printf(" %16s", c.label.c_str());
-    std::printf("\n");
-    std::printf("%-8s", "");
-    for (std::size_t i = 0; i < curves.size(); i++)
-        std::printf(" %16s", "latency (cyc)");
-    std::printf("\n");
+        labels.push_back(c.label);
+    printCurveTable(loads, labels, results);
+}
 
-    std::vector<double> knee(curves.size(), 0.0);
-    std::vector<double> zero_load(curves.size(), 0.0);
-    std::vector<bool> saturated(curves.size(), false);
+std::string
+experimentFile(const std::string &name)
+{
+    const char *dir = std::getenv("PDR_EXPERIMENTS_DIR");
+    std::string base = dir && dir[0] ? dir : PDR_EXPERIMENTS_DIR;
+    return base + "/" + name;
+}
 
-    bool first_row = true;
-    for (std::size_t row = 0; row < loads.size(); row++) {
-        std::printf("%-8.2f", loads[row]);
-        for (std::size_t i = 0; i < curves.size(); i++) {
-            const auto &res =
-                results.points[row * curves.size() + i].res;
-            if (first_row)
-                zero_load[i] = res.avgLatency;
-            // Saturation: the sample failed to drain, accepted traffic
-            // lags offered, or latency left the flat region (4x the
-            // lowest-load latency -- the knee of the paper's figures).
-            bool sat = res.saturated() ||
-                       res.avgLatency > 4.0 * zero_load[i];
-            if (sat) {
-                std::printf(" %11.1f sat*", res.avgLatency);
-                saturated[i] = true;
-            } else {
-                std::printf(" %16.1f", res.avgLatency);
-                if (!saturated[i])
-                    knee[i] = loads[row];
-            }
-        }
-        std::printf("\n");
-        std::fflush(stdout);
-        first_row = false;
+api::Experiment
+loadExperiment(const std::string &name)
+{
+    auto exp = api::Experiment::load(experimentFile(name));
+    exp.applyEnv();
+    return exp;
+}
+
+void
+runAndPrintExperiment(const api::Experiment &exp)
+{
+    if (exp.axes.size() != 1 ||
+        exp.axes[0].key != api::Experiment::kLoadsKey) {
+        throw std::invalid_argument(
+            "runAndPrintExperiment needs exactly one sweep.loads axis");
     }
 
-    std::printf("\nmeasured saturation (last load on the grid with "
-                "latency < 4x zero-load):\n");
-    for (std::size_t i = 0; i < curves.size(); i++)
-        std::printf("  %-20s ~%.2f of capacity "
-                    "(zero-load %.1f cycles)\n",
-                    curves[i].label.c_str(), knee[i], zero_load[i]);
-    std::printf("(sat* = latency blew past 4x zero-load or the sample"
-                " failed to drain;\n latency shown is of received "
-                "packets only and is unbounded past saturation)\n");
-    std::printf("sweep: %zu points on %d threads in %.1f s "
-                "(PDR_THREADS to change)\n", results.points.size(),
-                results.threads, results.wallMs / 1000.0);
-    maybeExportCsv(results);
+    std::vector<double> loads;
+    for (const auto &v : exp.axes[0].values)
+        loads.push_back(std::strtod(v.c_str(), nullptr));
+    std::vector<std::string> labels;
+    for (const auto &c : exp.curves)
+        labels.push_back(c.label);
+    if (labels.empty())
+        labels.push_back("");
+
+    auto results = api::runSweep(exp.points());
+    results.throwIfFailed();
+    printCurveTable(loads, labels, results);
 }
 
 } // namespace pdr::bench

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "api/params.hh"
 #include "api/simulation.hh"
 #include "exec/sweep.hh"
 
@@ -60,6 +61,24 @@ void runAndPrintCurves(const std::vector<Curve> &curves);
 
 /** Write a sweep's raw results to $PDR_SWEEP_CSV, if set. */
 void maybeExportCsv(const pdr::exec::SweepResults &results);
+
+/**
+ * Path of a shipped experiment file: $PDR_EXPERIMENTS_DIR (if set) or
+ * the source tree's experiments/ directory compiled into the bench.
+ */
+std::string experimentFile(const std::string &name);
+
+/** Load a shipped experiment and fold in the environment
+ *  (PDR_FAST, PDR_PACKETS, ...), exactly as `pdr sweep` does. */
+api::Experiment loadExperiment(const std::string &name);
+
+/**
+ * Run a single-load-axis experiment (e.g. fig13/fig18) and print the
+ * same latency table as runAndPrintCurves.  The sweep points come from
+ * Experiment::points(), so the PDR_SWEEP_CSV output is row-for-row
+ * identical to `pdr sweep --file <experiment>`.
+ */
+void runAndPrintExperiment(const api::Experiment &exp);
 
 } // namespace pdr::bench
 

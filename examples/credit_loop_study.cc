@@ -15,7 +15,6 @@
 #include <vector>
 
 #include "api/simulation.hh"
-#include "exec/thread_pool.hh"
 
 using namespace pdr;
 using router::RouterModel;
@@ -37,9 +36,10 @@ main(int argc, char **argv)
         std::printf(" %7llu", static_cast<unsigned long long>(cp));
     std::printf("\n");
 
-    // The whole (buffers x credit-latency) grid in parallel: each
-    // cell's bisection search is one job on the sweep engine's pool
-    // (PDR_THREADS controls the width).
+    // One cell per (buffers x credit-latency) pair; findSaturation
+    // itself evaluates its whole bracketing grid in parallel on the
+    // sweep engine (PDR_THREADS controls the width), so the cells run
+    // back to back.
     std::vector<api::SimConfig> grid;
     for (int buf : bufs) {
         for (auto cp : cps) {
@@ -56,9 +56,10 @@ main(int argc, char **argv)
         }
     }
 
-    auto sats = exec::parallelMap(grid, [](const api::SimConfig &cfg) {
-        return api::findSaturation(cfg, 4.0, 0.02);
-    });
+    std::vector<double> sats;
+    sats.reserve(grid.size());
+    for (const auto &cfg : grid)
+        sats.push_back(api::findSaturation(cfg, 4.0, 0.02));
 
     const std::size_t ncols = sizeof cps / sizeof cps[0];
     for (std::size_t r = 0; r < sizeof bufs / sizeof bufs[0]; r++) {

@@ -5,39 +5,20 @@
  * dateline VCs -- the directions the paper's Section 6 lists as future
  * work, side by side.
  *
+ * Declarative: each column is an experiment curve overriding
+ * net.topology / net.routing by registry name; the pattern axis spans
+ * the rows.
+ *
  *   $ ./topology_tour [offered_fraction] [k]
  */
 
 #include <cstdio>
 #include <cstdlib>
 
-#include "api/simulation.hh"
+#include "api/params.hh"
+#include "common/logging.hh"
 
 using namespace pdr;
-using router::RouterModel;
-
-namespace {
-
-api::SimResults
-run(int k, bool torus, bool adaptive, traffic::PatternKind pattern,
-    double offered)
-{
-    api::SimConfig cfg;
-    cfg.net.k = k;
-    cfg.net.torus = torus;
-    cfg.net.adaptiveRouting = adaptive;
-    cfg.net.router.model = RouterModel::SpecVirtualChannel;
-    cfg.net.router.numVcs = 2;
-    cfg.net.router.bufDepth = 4;
-    cfg.net.pattern = pattern;
-    cfg.net.warmup = 4000;
-    cfg.net.samplePackets = 8000;
-    cfg.net.setOfferedFraction(offered);
-    cfg.applyEnvDefaults();
-    return api::runSimulation(cfg);
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -45,22 +26,49 @@ main(int argc, char **argv)
     double offered = argc > 1 ? std::atof(argv[1]) : 0.3;
     int k = argc > 2 ? std::atoi(argv[2]) : 8;
 
+    std::string frac = csprintf("%.6f", offered);
+
+    api::Experiment exp;
+    exp.name = "topology-tour";
+    exp.set("net.k", std::to_string(k));
+    exp.set("router.model", "specVC");
+    exp.set("router.num_vcs", "2");
+    exp.set("router.buf_depth", "4");
+    exp.set("sim.warmup", "4000");
+    exp.set("sim.sample_packets", "8000");
+    exp.set("sweep.traffic.pattern",
+            "uniform transpose tornado hotspot");
+    // The offered fraction is re-applied per curve AFTER the topology
+    // override, so each column is normalized to its own capacity.
+    exp.curves = {
+        {"mesh + DOR",
+         {{"net.topology", "mesh"},
+          {"traffic.offered_fraction", frac}}},
+        {"mesh + west-first",
+         {{"net.topology", "mesh"},
+          {"net.routing", "westfirst"},
+          {"traffic.offered_fraction", frac}}},
+        {"torus + dateline",
+         {{"net.topology", "torus"},
+          {"traffic.offered_fraction", frac}}},
+    };
+    exp.applyEnv();
+
     std::printf("specVC (2 VCs x 4 bufs), %dx%d network, offered "
                 "%.0f%% of each topology's\nuniform capacity\n\n", k,
                 k, 100.0 * offered);
     std::printf("%-14s %22s %22s %22s\n", "pattern", "mesh + DOR",
                 "mesh + west-first", "torus + dateline");
 
-    const traffic::PatternKind kinds[] = {
-        traffic::PatternKind::Uniform,
-        traffic::PatternKind::Transpose,
-        traffic::PatternKind::Tornado,
-        traffic::PatternKind::Hotspot,
-    };
-    for (auto kind : kinds) {
-        std::printf("%-14s", traffic::toString(kind));
-        for (int mode = 0; mode < 3; mode++) {
-            auto res = run(k, mode == 2, mode == 1, kind, offered);
+    auto results = api::runSweep(exp.points());
+    results.throwIfFailed();
+
+    const auto &kinds = exp.axes.at(0).values;
+    for (std::size_t p = 0; p < kinds.size(); p++) {
+        std::printf("%-14s", kinds[p].c_str());
+        for (std::size_t c = 0; c < exp.curves.size(); c++) {
+            const auto &res =
+                results.points[p * exp.curves.size() + c].res;
             std::printf("      %8.1f cy (%3.0f%%)", res.avgLatency,
                         100.0 * res.acceptedFraction);
         }

@@ -6,22 +6,49 @@
  * the paper argues flow control is relatively pattern-insensitive --
  * this example lets you check).
  *
+ * Declarative: the whole grid is an api::Experiment -- every pattern
+ * registered in traffic::PatternRegistry becomes one axis value, so a
+ * pattern you register yourself shows up in the table automatically.
+ *
  *   $ ./traffic_patterns [offered_fraction]
  */
 
 #include <cstdio>
 #include <cstdlib>
 
-#include "api/simulation.hh"
+#include "api/params.hh"
+#include "common/logging.hh"
+#include "traffic/pattern.hh"
 
 using namespace pdr;
-using router::RouterModel;
-using traffic::PatternKind;
 
 int
 main(int argc, char **argv)
 {
     double offered = argc > 1 ? std::atof(argv[1]) : 0.3;
+
+    api::Experiment exp;
+    exp.name = "traffic-patterns";
+    exp.set("net.k", "8");
+    exp.set("sim.warmup", "4000");
+    exp.set("sim.sample_packets", "8000");
+    exp.set("traffic.offered_fraction", csprintf("%.6f", offered));
+    // One axis value per registered pattern, WH vs specVC curves.
+    std::string patterns;
+    for (const auto &name : traffic::PatternRegistry::instance().names())
+        patterns += (patterns.empty() ? "" : " ") + name;
+    exp.set("sweep.traffic.pattern", patterns);
+    exp.curves = {
+        {"WH",
+         {{"router.model", "WH"},
+          {"router.num_vcs", "1"},
+          {"router.buf_depth", "8"}}},
+        {"specVC",
+         {{"router.model", "specVC"},
+          {"router.num_vcs", "2"},
+          {"router.buf_depth", "4"}}},
+    };
+    exp.applyEnv();
 
     std::printf("specVC (2 VCs x 4 bufs) vs wormhole (8 bufs), 8x8 "
                 "mesh, offered %.0f%% of\nuniform capacity\n\n",
@@ -29,41 +56,23 @@ main(int argc, char **argv)
     std::printf("%-12s %20s %20s\n", "pattern", "WH latency (acc%)",
                 "specVC latency (acc%)");
 
-    const PatternKind kinds[] = {
-        PatternKind::Uniform, PatternKind::Transpose,
-        PatternKind::BitComplement, PatternKind::Tornado,
-        PatternKind::Neighbor, PatternKind::Hotspot,
-    };
+    auto results = api::runSweep(exp.points());
 
-    for (auto kind : kinds) {
-        double lat[2], acc[2];
-        bool sat[2];
-        for (int i = 0; i < 2; i++) {
-            api::SimConfig cfg;
-            if (i == 0) {
-                cfg.net.router.model = RouterModel::Wormhole;
-                cfg.net.router.numVcs = 1;
-                cfg.net.router.bufDepth = 8;
-            } else {
-                cfg.net.router.model =
-                    RouterModel::SpecVirtualChannel;
-                cfg.net.router.numVcs = 2;
-                cfg.net.router.bufDepth = 4;
+    const auto &kinds = exp.axes.at(0).values;
+    for (std::size_t p = 0; p < kinds.size(); p++) {
+        std::printf("%-12s", kinds[p].c_str());
+        for (std::size_t c = 0; c < exp.curves.size(); c++) {
+            const auto &pt = results.points[p * exp.curves.size() + c];
+            if (!pt.ok) {
+                // E.g. bitcomp on a non-power-of-two node count.
+                std::printf(" %13s       ", "n/a");
+                continue;
             }
-            cfg.net.pattern = kind;
-            cfg.net.warmup = 4000;
-            cfg.net.samplePackets = 8000;
-            cfg.net.setOfferedFraction(offered);
-            cfg.applyEnvDefaults();
-            auto res = api::runSimulation(cfg);
-            lat[i] = res.avgLatency;
-            acc[i] = 100.0 * res.acceptedFraction;
-            sat[i] = res.saturated();
+            std::printf(" %11.1f (%4.0f%%)%s", pt.res.avgLatency,
+                        100.0 * pt.res.acceptedFraction,
+                        pt.res.saturated() ? "*" : " ");
         }
-        std::printf("%-12s %11.1f (%4.0f%%)%s %11.1f (%4.0f%%)%s\n",
-                    traffic::toString(kind), lat[0], acc[0],
-                    sat[0] ? "*" : " ", lat[1], acc[1],
-                    sat[1] ? "*" : " ");
+        std::printf("\n");
     }
     std::printf("\n(* = saturated at this load; latency reflects "
                 "delivered packets only)\n");

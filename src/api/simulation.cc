@@ -1,6 +1,7 @@
 #include "api/simulation.hh"
 
 #include <cstdlib>
+#include <stdexcept>
 
 #include "common/logging.hh"
 #include "exec/sweep.hh"
@@ -38,16 +39,28 @@ SimResults::saturated() const
 SimResults
 runSimulation(const SimConfig &cfg)
 {
+    if (cfg.mode != "sample" && cfg.mode != "fixed") {
+        throw std::invalid_argument("sim.mode must be 'sample' or "
+                                    "'fixed', got '" + cfg.mode + "'");
+    }
+
     net::Network network(cfg.net);
     auto &ctrl = network.controller();
 
-    // Warm-up phase.
-    network.run(cfg.net.warmup);
+    if (cfg.mode == "fixed") {
+        // Fixed horizon: ignore the measurement protocol and report
+        // steady-state rates after exactly `horizon` cycles.
+        network.run(cfg.horizon);
+    } else {
+        // Warm-up phase.
+        network.run(cfg.net.warmup);
 
-    // Sample phase: run until the sample space is tagged and received,
-    // or the cycle cap is reached (saturated networks never drain).
-    while (!ctrl.done() && network.now() < cfg.maxCycles)
-        network.step();
+        // Sample phase: run until the sample space is tagged and
+        // received, or the cycle cap is reached (saturated networks
+        // never drain).
+        while (!ctrl.done() && network.now() < cfg.maxCycles)
+            network.step();
+    }
 
     SimResults res;
     res.offeredFraction = cfg.net.offeredFraction();
@@ -57,7 +70,9 @@ runSimulation(const SimConfig &cfg)
     res.p99Latency = lat.percentile(99.0);
     res.sampleReceived = ctrl.received();
     res.sampleSize = ctrl.sampleSize();
-    res.drained = ctrl.done();
+    // Fixed-horizon runs do not use the measurement protocol; report
+    // them as drained so saturated() reflects accepted-vs-offered only.
+    res.drained = cfg.mode == "fixed" || ctrl.done();
     res.cycles = network.now();
     res.routers = network.routerTotals();
     return res;
@@ -103,26 +118,66 @@ runSweep(const std::vector<exec::SweepPoint> &points,
 double
 findSaturation(SimConfig cfg, double latency_limit, double tolerance)
 {
+    pdr_assert(tolerance > 0.0);
+
     // Zero-load latency reference at 2 % load.
     cfg.net.setOfferedFraction(0.02);
     double zero_load = runSimulation(cfg).avgLatency;
     pdr_assert(zero_load > 0.0);
 
-    auto ok = [&](double f) {
-        cfg.net.setOfferedFraction(f);
-        SimResults r = runSimulation(cfg);
-        return r.drained && r.avgLatency <= latency_limit * zero_load;
+    // Evaluate a whole batch of candidate loads in one parallel sweep.
+    // Each point keeps cfg's own seed, so a load evaluates to exactly
+    // what a serial probe at that load would have measured, and the
+    // fixed candidate grid makes the estimate independent of the
+    // thread count.
+    auto eval_ok = [&](const std::vector<double> &loads) {
+        std::vector<exec::SweepPoint> points;
+        points.reserve(loads.size());
+        for (double f : loads) {
+            auto c = cfg;
+            c.net.setOfferedFraction(f);
+            points.push_back({csprintf("%.4f", f), c});
+        }
+        exec::SweepOptions opts;
+        opts.deriveSeeds = false;
+        auto sweep = exec::SweepRunner(opts).run(points);
+        sweep.throwIfFailed();
+        std::vector<bool> ok(points.size());
+        for (std::size_t i = 0; i < sweep.points.size(); i++) {
+            const auto &r = sweep.points[i].res;
+            ok[i] = r.drained &&
+                    r.avgLatency <= latency_limit * zero_load;
+        }
+        return ok;
     };
 
     double lo = 0.02, hi = 1.0;
-    if (!ok(lo))
+    if (!eval_ok({lo})[0])
         return 0.0;
+
+    // Bracketing grid search: each round splits [lo, hi] into
+    // `fanout` + 1 intervals and evaluates all interior candidates at
+    // once, narrowing to the interval around the knee (assuming the
+    // same monotone response bisection assumes).
+    constexpr int fanout = 7;
     while (hi - lo > tolerance) {
-        double mid = 0.5 * (lo + hi);
-        if (ok(mid))
-            lo = mid;
-        else
-            hi = mid;
+        std::vector<double> grid;
+        grid.reserve(fanout);
+        for (int i = 1; i <= fanout; i++)
+            grid.push_back(lo + (hi - lo) * i / (fanout + 1));
+        auto ok = eval_ok(grid);
+
+        double new_lo = lo, new_hi = hi;
+        for (int i = 0; i < fanout; i++) {
+            if (ok[i]) {
+                new_lo = grid[i];
+            } else {
+                new_hi = grid[i];
+                break;
+            }
+        }
+        lo = new_lo;
+        hi = new_hi;
     }
     return lo;
 }

@@ -36,6 +36,14 @@ struct SimConfig
     net::NetworkConfig net;
     /** Hard cap on simulated cycles (saturated runs never drain). */
     sim::Cycle maxCycles = 300000;
+    /**
+     * Measurement mode: "sample" runs the paper's warm-up + sample +
+     * drain protocol; "fixed" runs exactly `horizon` cycles and
+     * reports steady-state rates (e.g. the Figure-16 saturated-stream
+     * measurement).
+     */
+    std::string mode = "sample";
+    sim::Cycle horizon = 20000;     //!< Cycles run in "fixed" mode.
 
     /**
      * Scale the sample-space size (and warm-up) from the environment:
@@ -44,6 +52,19 @@ struct SimConfig
      */
     void applyEnvDefaults();
 };
+
+inline bool
+operator==(const SimConfig &a, const SimConfig &b)
+{
+    return a.net == b.net && a.maxCycles == b.maxCycles &&
+           a.mode == b.mode && a.horizon == b.horizon;
+}
+
+inline bool
+operator!=(const SimConfig &a, const SimConfig &b)
+{
+    return !(a == b);
+}
 
 /** One simulation outcome. */
 struct SimResults
@@ -88,9 +109,15 @@ exec::SweepResults runSweep(const std::vector<exec::SweepPoint> &points,
                             const exec::SweepOptions &opts);
 
 /**
- * Estimate saturation throughput (fraction of capacity) by bisection on
- * offered load: the largest load that still drains with average latency
- * below `latency_limit` times the zero-load latency.
+ * Estimate saturation throughput (fraction of capacity): the largest
+ * load that still drains with average latency below `latency_limit`
+ * times the zero-load latency.
+ *
+ * The bracket is narrowed by evaluating a whole candidate grid per
+ * round through the sweep engine (parallel across PDR_THREADS), rather
+ * than one serial bisection probe at a time.  The candidate grid is
+ * fixed, so the estimate is independent of the thread count and stays
+ * within `tolerance` of what serial bisection returns.
  */
 double findSaturation(SimConfig cfg, double latency_limit = 4.0,
                       double tolerance = 0.01);

@@ -47,7 +47,7 @@ SweepResults::toTable() const
 {
     stats::Table t({"index", "label", "seed", "offered_fraction",
                     "accepted_fraction", "avg_latency", "p99_latency",
-                    "drained", "cycles", "wall_ms", "ok", "error"});
+                    "drained", "cycles", "ok", "error"});
     for (std::size_t i = 0; i < points.size(); i++) {
         const auto &p = points[i];
         t.addRow({stats::Table::cell(std::uint64_t(i)), p.label,
@@ -58,7 +58,6 @@ SweepResults::toTable() const
                   stats::Table::cell(p.res.p99Latency),
                   stats::Table::cell(p.res.drained),
                   stats::Table::cell(std::uint64_t(p.res.cycles)),
-                  stats::Table::cell(p.wallMs),
                   stats::Table::cell(p.ok), p.error});
     }
     return t;
@@ -98,7 +97,32 @@ SweepRunner::run(const std::vector<SweepPoint> &points,
         results.points[i].cfg = points[i].cfg;
         if (opts_.deriveSeeds)
             results.points[i].cfg.net.seed = pointSeed(opts_.baseSeed, i);
+    }
 
+    // Submission order: heaviest (highest offered load) first, so the
+    // long saturated runs do not trail the sweep.  Seeds were assigned
+    // above by input index, and every slot is written in input order,
+    // so scheduling cannot change any per-point result.
+    std::vector<std::size_t> order(points.size());
+    for (std::size_t i = 0; i < order.size(); i++)
+        order[i] = i;
+    if (opts_.heaviestFirst) {
+        std::vector<double> weight(points.size(), 0.0);
+        for (std::size_t i = 0; i < points.size(); i++) {
+            try {
+                weight[i] = points[i].cfg.net.offeredFraction();
+            } catch (...) {
+                // Invalid config: weight 0; the point itself will be
+                // recorded as failed when it runs.
+            }
+        }
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return weight[a] > weight[b];
+                         });
+    }
+
+    for (std::size_t i : order) {
         PointResult *slot = &results.points[i];
         pool.submit([slot, &fn] {
             auto start = std::chrono::steady_clock::now();
@@ -148,16 +172,16 @@ SweepBuilder::loads(std::vector<double> fractions)
 }
 
 SweepBuilder &
-SweepBuilder::pattern(traffic::PatternKind kind)
+SweepBuilder::pattern(const std::string &name)
 {
-    patterns_.push_back(kind);
+    patterns_.push_back(name);
     return *this;
 }
 
 SweepBuilder &
-SweepBuilder::topology(int k, bool torus)
+SweepBuilder::topology(int k, const std::string &topo)
 {
-    topologies_.push_back({k, torus});
+    topologies_.push_back({k, topo});
     return *this;
 }
 
@@ -171,8 +195,8 @@ SweepBuilder::build() const
     std::vector<double> loads = loads_;
     if (loads.empty())
         loads.push_back(base_.net.offeredFraction());
-    std::vector<traffic::PatternKind> patterns = patterns_;
-    std::vector<std::pair<int, bool>> topologies = topologies_;
+    std::vector<std::string> patterns = patterns_;
+    std::vector<std::pair<int, std::string>> topologies = topologies_;
 
     std::vector<SweepPoint> points;
     points.reserve(loads.size() * variants.size() *
@@ -186,10 +210,10 @@ SweepBuilder::build() const
                     points.push_back(std::move(pt));
                     return;
                 }
-                for (auto kind : patterns) {
+                for (const auto &name : patterns) {
                     SweepPoint p = pt;
-                    p.cfg.net.pattern = kind;
-                    p.label += std::string("/") + traffic::toString(kind);
+                    p.cfg.net.pattern = name;
+                    p.label += "/" + name;
                     points.push_back(std::move(p));
                 }
             };
@@ -204,14 +228,14 @@ SweepBuilder::build() const
                 expand_pattern(std::move(pt));
                 continue;
             }
-            for (const auto &[k, torus] : topologies) {
+            for (const auto &[k, topo] : topologies) {
                 SweepPoint p = pt;
                 p.cfg.net.k = k;
-                p.cfg.net.torus = torus;
+                p.cfg.net.topology = topo;
                 // Keep the offered fraction: the injection rate depends
                 // on the topology's capacity.
                 p.cfg.net.setOfferedFraction(f);
-                p.label += csprintf("/%s%d", torus ? "torus" : "mesh", k);
+                p.label += csprintf("/%s%d", topo.c_str(), k);
                 expand_pattern(std::move(p));
             }
         }

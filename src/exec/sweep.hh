@@ -71,7 +71,12 @@ struct SweepResults
     /** Throw std::runtime_error on the first failed point, if any. */
     void throwIfFailed() const;
 
-    /** Render as a table (one row per point) for CSV/JSON export. */
+    /**
+     * Render as a table (one row per point) for CSV/JSON export.  The
+     * table carries only deterministic columns (no wall-clock), so two
+     * exports of the same sweep are bit-identical regardless of thread
+     * count -- `diff` is a valid reproducibility check.
+     */
     stats::Table toTable() const;
 };
 
@@ -88,6 +93,14 @@ struct SweepOptions
      * legacy serial sweep that reused one seed).
      */
     bool deriveSeeds = true;
+    /**
+     * Submit the heaviest points (highest offered fraction) first.
+     * Saturated points run much longer than low-load points, so
+     * starting them early tightens the sweep's critical path.  Pure
+     * scheduling: per-point seeds and results are bit-identical either
+     * way, and results always come back in input order.
+     */
+    bool heaviestFirst = true;
 };
 
 /** Fans sweep points across a fixed thread pool. */
@@ -133,11 +146,11 @@ class SweepBuilder
     /** Sweep offered load over these fractions of capacity. */
     SweepBuilder &loads(std::vector<double> fractions);
 
-    /** Add a traffic-pattern axis value. */
-    SweepBuilder &pattern(traffic::PatternKind kind);
+    /** Add a traffic-pattern axis value (PatternRegistry name). */
+    SweepBuilder &pattern(const std::string &name);
 
-    /** Add a topology axis value (mesh radix, torus wraparound). */
-    SweepBuilder &topology(int k, bool torus);
+    /** Add a topology axis value (radix, TopologyRegistry name). */
+    SweepBuilder &topology(int k, const std::string &topo);
 
     /**
      * Cross product of the configured axes, ordered loads-major then
@@ -150,8 +163,8 @@ class SweepBuilder
     api::SimConfig base_;
     std::vector<SweepPoint> variants_;
     std::vector<double> loads_;
-    std::vector<traffic::PatternKind> patterns_;
-    std::vector<std::pair<int, bool>> topologies_;
+    std::vector<std::string> patterns_;
+    std::vector<std::pair<int, std::string>> topologies_;
 };
 
 } // namespace pdr::exec

@@ -1,36 +1,81 @@
 #include "net/network.hh"
 
+#include <stdexcept>
+
 #include "common/logging.hh"
 
 namespace pdr::net {
 
+std::string
+NetworkConfig::resolvedRouting() const
+{
+    if (routing != "auto")
+        return routing;
+    return TopologyRegistry::instance().at(topology).defaultRouting;
+}
+
+double
+NetworkConfig::capacity() const
+{
+    return TopologyRegistry::instance().at(topology).make(k)
+        .uniformCapacity();
+}
+
+bool
+operator==(const NetworkConfig &a, const NetworkConfig &b)
+{
+    return a.k == b.k && a.topology == b.topology &&
+           a.routing == b.routing && a.router == b.router &&
+           a.linkLatency == b.linkLatency &&
+           a.creditLatency == b.creditLatency &&
+           a.injectionRate == b.injectionRate &&
+           a.packetLength == b.packetLength &&
+           a.pattern == b.pattern && a.seed == b.seed &&
+           a.warmup == b.warmup && a.samplePackets == b.samplePackets;
+}
+
+void
+NetworkConfig::validate() const
+{
+    router.validate();
+    auto mesh = TopologyRegistry::instance().at(topology).make(k);
+    if (router.numPorts != NumPorts) {
+        throw std::invalid_argument(csprintf(
+            "router.num_ports: mesh routers need %d ports, got %d",
+            int(NumPorts), router.numPorts));
+    }
+    // Negated comparison so NaN is rejected too.
+    if (!(injectionRate >= 0.0 && injectionRate <= 1.0)) {
+        throw std::invalid_argument(csprintf(
+            "traffic.injection_rate %.3f out of [0, 1] "
+            "flits/node/cycle", injectionRate));
+    }
+    if (packetLength < 1) {
+        throw std::invalid_argument(csprintf(
+            "traffic.packet_length must be >= 1, got %d",
+            packetLength));
+    }
+    // Wraparound rings need the dateline VC classes: at least two
+    // VCs, and hence a virtual-channel flow control method.
+    if (mesh.wraps() && router.numVcs < 2) {
+        throw std::invalid_argument(
+            "torus networks need >= 2 VCs per channel for dateline "
+            "deadlock avoidance (wormhole routers cannot run a torus "
+            "deadlock-free)");
+    }
+    (void)traffic::makePattern(pattern, k);
+    (void)RoutingRegistry::instance().at(resolvedRouting())(mesh);
+}
+
 Network::Network(const NetworkConfig &cfg)
-    : cfg_(cfg), mesh_(cfg.k, cfg.torus),
+    : cfg_(cfg),
+      mesh_(TopologyRegistry::instance().at(cfg.topology).make(cfg.k)),
       ctrl_(cfg.warmup, cfg.samplePackets),
       pattern_(traffic::makePattern(cfg.pattern, cfg.k))
 {
-    if (cfg_.router.numPorts != NumPorts)
-        pdr_fatal("mesh routers need %d ports, got %d", int(NumPorts),
-                  cfg_.router.numPorts);
-    if (cfg_.injectionRate < 0.0 || cfg_.injectionRate > 1.0)
-        pdr_fatal("injection rate %.3f out of [0, 1] flits/node/cycle",
-                  cfg_.injectionRate);
-    if (cfg_.torus) {
-        // Wraparound rings need the dateline VC classes: at least two
-        // VCs, and hence a virtual-channel flow control method.
-        if (cfg_.router.numVcs < 2)
-            pdr_fatal("torus networks need >= 2 VCs per channel for "
-                      "dateline deadlock avoidance (wormhole routers "
-                      "cannot run a torus deadlock-free)");
-        if (cfg_.adaptiveRouting)
-            pdr_fatal("adaptive routing is implemented for the mesh "
-                      "only (west-first turn model)");
-        routing_ = std::make_unique<TorusDorRouting>(mesh_);
-    } else if (cfg_.adaptiveRouting) {
-        routing_ = std::make_unique<WestFirstRouting>(mesh_);
-    } else {
-        routing_ = std::make_unique<XyRouting>(mesh_);
-    }
+    cfg_.validate();
+    routing_ =
+        RoutingRegistry::instance().at(cfg_.resolvedRouting())(mesh_);
 
     int n = mesh_.numNodes();
     routers_.reserve(n);

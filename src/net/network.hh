@@ -14,12 +14,11 @@
 #define PDR_NET_NETWORK_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
-#include "net/adaptive_routing.hh"
+#include "net/registry.hh"
 #include "net/topology.hh"
-#include "net/torus_routing.hh"
-#include "net/xy_routing.hh"
 #include "router/router.hh"
 #include "stats/latency.hh"
 #include "traffic/measure.hh"
@@ -28,26 +27,46 @@
 
 namespace pdr::net {
 
-/** Full-network configuration. */
+/**
+ * Full-network configuration.  The scenario axes (topology, routing
+ * function, traffic pattern) are string keys into the corresponding
+ * registries, so externally registered scenarios are reachable from
+ * experiment files without touching this struct.  Invalid values throw
+ * std::invalid_argument at Network construction (or earlier, from
+ * api::params::validate).
+ */
 struct NetworkConfig
 {
-    int k = 8;                          //!< Mesh radix (k x k nodes).
-    bool torus = false;                 //!< Wraparound links (torus).
-    /** West-first minimal adaptive routing instead of DOR (mesh only;
-     *  exercises the paper's footnote-5 speculative-adaptive policy). */
-    bool adaptiveRouting = false;
+    int k = 8;                          //!< Radix (k x k nodes).
+    std::string topology = "mesh";      //!< TopologyRegistry name.
+    /** RoutingRegistry name; "auto" picks the topology's default
+     *  ("xy" on the mesh, "dateline" on the torus). */
+    std::string routing = "auto";
     router::RouterConfig router;        //!< Per-router configuration.
     sim::Cycle linkLatency = 1;         //!< Flit propagation (cycles).
     sim::Cycle creditLatency = 1;       //!< Credit propagation (cycles).
     double injectionRate = 0.1;         //!< Offered flits/node/cycle.
     int packetLength = 5;               //!< Flits per packet.
-    traffic::PatternKind pattern = traffic::PatternKind::Uniform;
+    std::string pattern = "uniform";    //!< PatternRegistry name.
     std::uint64_t seed = 1;
     sim::Cycle warmup = 10000;          //!< Warm-up cycles.
     std::uint64_t samplePackets = 100000; //!< Sample-space size.
 
-    /** Uniform-traffic capacity (flits/node/cycle, bisection bound). */
-    double capacity() const { return (torus ? 8.0 : 4.0) / k; }
+    /** The routing name after resolving "auto" via the topology. */
+    std::string resolvedRouting() const;
+
+    /**
+     * Full cross-field validation without building the network:
+     * registry names, router constraints, topology/routing/pattern
+     * compatibility, rate ranges.  Throws std::invalid_argument with
+     * a precise message.  The Network constructor runs the same
+     * checks, so anything this accepts will construct.
+     */
+    void validate() const;
+
+    /** Uniform-traffic capacity (flits/node/cycle, bisection bound);
+     *  throws on an unknown topology or bad radix. */
+    double capacity() const;
 
     /** Offered load as a fraction of uniform-traffic capacity. */
     double offeredFraction() const { return injectionRate / capacity(); }
@@ -55,6 +74,13 @@ struct NetworkConfig
     /** Set the injection rate from a fraction of capacity. */
     void setOfferedFraction(double f) { injectionRate = f * capacity(); }
 };
+
+bool operator==(const NetworkConfig &a, const NetworkConfig &b);
+inline bool
+operator!=(const NetworkConfig &a, const NetworkConfig &b)
+{
+    return !(a == b);
+}
 
 /** The simulated network. */
 class Network

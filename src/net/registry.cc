@@ -1,0 +1,72 @@
+#include "net/registry.hh"
+
+#include <stdexcept>
+
+#include "net/adaptive_routing.hh"
+#include "net/torus_routing.hh"
+#include "net/xy_routing.hh"
+
+namespace pdr::net {
+
+TopologyRegistry::TopologyRegistry()
+    : FactoryRegistry<TopologySpec>("topology")
+{
+    add("mesh",
+        {[](int k) { return Mesh(k, false); }, "xy"},
+        "k x k mesh (the paper's 8x8 setup)");
+    add("torus",
+        {[](int k) { return Mesh(k, true); }, "dateline"},
+        "k x k torus: wraparound links, dateline VC classes");
+}
+
+TopologyRegistry &
+TopologyRegistry::instance()
+{
+    static TopologyRegistry reg;
+    return reg;
+}
+
+RoutingRegistry::RoutingRegistry()
+    : FactoryRegistry<RoutingFactory>("routing function")
+{
+    add("xy",
+        [](const Mesh &mesh) -> std::unique_ptr<router::RoutingFunction> {
+            if (mesh.wraps()) {
+                throw std::invalid_argument(
+                    "net.routing=xy runs on the mesh only; a torus "
+                    "needs dateline deadlock avoidance");
+            }
+            return std::make_unique<XyRouting>(mesh);
+        },
+        "dimension-ordered (x then y) deterministic routing, mesh only");
+    add("westfirst",
+        [](const Mesh &mesh) -> std::unique_ptr<router::RoutingFunction> {
+            if (mesh.wraps()) {
+                throw std::invalid_argument(
+                    "net.routing=westfirst: adaptive routing is "
+                    "implemented for the mesh only (west-first turn "
+                    "model)");
+            }
+            return std::make_unique<WestFirstRouting>(mesh);
+        },
+        "west-first minimal adaptive routing (turn model), mesh only");
+    add("dateline",
+        [](const Mesh &mesh) -> std::unique_ptr<router::RoutingFunction> {
+            if (!mesh.wraps()) {
+                throw std::invalid_argument(
+                    "net.routing=dateline needs wraparound links "
+                    "(net.topology=torus)");
+            }
+            return std::make_unique<TorusDorRouting>(mesh);
+        },
+        "minimal DOR with dateline VC classes, torus only");
+}
+
+RoutingRegistry &
+RoutingRegistry::instance()
+{
+    static RoutingRegistry reg;
+    return reg;
+}
+
+} // namespace pdr::net

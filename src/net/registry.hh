@@ -1,0 +1,63 @@
+/**
+ * @file
+ * String-keyed registries for topologies and routing functions.
+ *
+ * A topology entry builds the network geometry (a Mesh, optionally with
+ * wraparound) and names the routing function used when
+ * NetworkConfig::routing is "auto".  A routing entry builds a
+ * RoutingFunction for a given geometry, checking its own compatibility
+ * (e.g. dateline routing needs wrap links).
+ *
+ * Built-ins: topologies "mesh" and "torus"; routings "xy" (DOR),
+ * "westfirst" (minimal adaptive, mesh only) and "dateline" (torus DOR
+ * with dateline VC classes).  New entries register in one line via
+ * TopologyRegistry::instance().add(...) and are then reachable from
+ * experiment files and the pdr CLI by name.
+ */
+
+#ifndef PDR_NET_REGISTRY_HH
+#define PDR_NET_REGISTRY_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/registry.hh"
+#include "net/topology.hh"
+#include "router/routing.hh"
+
+namespace pdr::net {
+
+/** How to build a topology of radix k, and how to route on it. */
+struct TopologySpec
+{
+    std::function<Mesh(int k)> make;
+    /** Routing used when NetworkConfig::routing == "auto". */
+    std::string defaultRouting;
+};
+
+class TopologyRegistry : public FactoryRegistry<TopologySpec>
+{
+  public:
+    static TopologyRegistry &instance();
+
+  private:
+    TopologyRegistry();
+};
+
+/** Builds a routing function; throws on incompatible geometry. */
+using RoutingFactory =
+    std::function<std::unique_ptr<router::RoutingFunction>(const Mesh &)>;
+
+class RoutingRegistry : public FactoryRegistry<RoutingFactory>
+{
+  public:
+    static RoutingRegistry &instance();
+
+  private:
+    RoutingRegistry();
+};
+
+} // namespace pdr::net
+
+#endif // PDR_NET_REGISTRY_HH

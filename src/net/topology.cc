@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <stdexcept>
 
 #include "common/logging.hh"
 
@@ -22,8 +23,10 @@ portName(int port)
 
 Mesh::Mesh(int k, bool wrap) : k_(k), wrap_(wrap)
 {
-    if (k < 2)
-        pdr_fatal("mesh radix must be >= 2, got %d", k);
+    if (k < 2) {
+        throw std::invalid_argument(
+            csprintf("net.k: mesh radix must be >= 2, got %d", k));
+    }
 }
 
 sim::NodeId

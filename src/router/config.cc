@@ -1,5 +1,7 @@
 #include "router/config.hh"
 
+#include <stdexcept>
+
 #include "common/logging.hh"
 
 namespace pdr::router {
@@ -41,18 +43,45 @@ RouterConfig::effectiveCreditProc() const
     return 0;
 }
 
+RouterModel
+routerModelFromString(const std::string &name)
+{
+    if (name == "WH")
+        return RouterModel::Wormhole;
+    if (name == "VC")
+        return RouterModel::VirtualChannel;
+    if (name == "specVC")
+        return RouterModel::SpecVirtualChannel;
+    throw std::invalid_argument("unknown router model '" + name +
+                                "' (known: WH, VC, specVC)");
+}
+
 void
 RouterConfig::validate() const
 {
-    if (numPorts < 2)
-        pdr_fatal("router needs at least 2 ports, got %d", numPorts);
-    if (numVcs < 1)
-        pdr_fatal("numVcs must be >= 1, got %d", numVcs);
-    if (model == RouterModel::Wormhole && numVcs != 1)
-        pdr_fatal("wormhole routers have no virtual channels "
-                  "(numVcs == 1), got %d", numVcs);
-    if (bufDepth < 1)
-        pdr_fatal("bufDepth must be >= 1, got %d", bufDepth);
+    if (numPorts < 2) {
+        throw std::invalid_argument(csprintf(
+            "router.num_ports: routers need at least 2 ports, got %d",
+            numPorts));
+    }
+    if (numVcs < 1) {
+        throw std::invalid_argument(csprintf(
+            "router.num_vcs must be >= 1, got %d", numVcs));
+    }
+    if (model == RouterModel::Wormhole && numVcs != 1) {
+        throw std::invalid_argument(csprintf(
+            "wormhole routers have no virtual channels "
+            "(router.num_vcs == 1), got %d", numVcs));
+    }
+    if (bufDepth < 1) {
+        throw std::invalid_argument(csprintf(
+            "router.buf_depth must be >= 1, got %d", bufDepth));
+    }
+    if (creditProcCycles < -1) {
+        throw std::invalid_argument(csprintf(
+            "router.credit_proc must be >= -1 (-1 = pipeline depth), "
+            "got %d", creditProcCycles));
+    }
 }
 
 } // namespace pdr::router

@@ -25,6 +25,8 @@
 #ifndef PDR_ROUTER_CONFIG_HH
 #define PDR_ROUTER_CONFIG_HH
 
+#include <string>
+
 #include "sim/types.hh"
 
 namespace pdr::router {
@@ -38,6 +40,9 @@ enum class RouterModel
 };
 
 const char *toString(RouterModel m);
+
+/** Parse "WH" / "VC" / "specVC"; throws std::invalid_argument. */
+RouterModel routerModelFromString(const std::string &name);
 
 /** Static configuration of one router. */
 struct RouterConfig
@@ -69,9 +74,27 @@ struct RouterConfig
     /** Effective credit processing delay. */
     int effectiveCreditProc() const;
 
-    /** Sanity-check the configuration; fatal on user error. */
+    /** Sanity-check the configuration; throws std::invalid_argument
+     *  naming the offending parameter, so the sweep engine and CLI can
+     *  report bad configs as per-point errors. */
     void validate() const;
 };
+
+inline bool
+operator==(const RouterConfig &a, const RouterConfig &b)
+{
+    return a.model == b.model && a.singleCycle == b.singleCycle &&
+           a.numPorts == b.numPorts && a.numVcs == b.numVcs &&
+           a.bufDepth == b.bufDepth &&
+           a.creditProcCycles == b.creditProcCycles &&
+           a.specEqualPriority == b.specEqualPriority;
+}
+
+inline bool
+operator!=(const RouterConfig &a, const RouterConfig &b)
+{
+    return !(a == b);
+}
 
 } // namespace pdr::router
 

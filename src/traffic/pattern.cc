@@ -1,5 +1,7 @@
 #include "traffic/pattern.hh"
 
+#include <stdexcept>
+
 #include "common/logging.hh"
 #include "common/math.hh"
 
@@ -37,8 +39,11 @@ TransposePattern::pick(sim::NodeId src, Rng &rng) const
 
 BitComplementPattern::BitComplementPattern(int k) : numNodes_(k * k)
 {
-    if (!isPow2(unsigned(numNodes_)))
-        pdr_fatal("bit-complement needs a power-of-two node count");
+    if (!isPow2(unsigned(numNodes_))) {
+        throw std::invalid_argument(csprintf(
+            "traffic.pattern=bitcomp needs a power-of-two node count, "
+            "got k=%d (%d nodes)", k, numNodes_));
+    }
 }
 
 sim::NodeId
@@ -83,39 +88,43 @@ HotspotPattern::pick(sim::NodeId src, Rng &rng) const
     return uniform_.pick(src, rng);
 }
 
-std::unique_ptr<TrafficPattern>
-makePattern(PatternKind kind, int k)
+PatternRegistry::PatternRegistry()
+    : FactoryRegistry<PatternFactory>("traffic pattern")
 {
-    switch (kind) {
-      case PatternKind::Uniform:
-        return std::make_unique<UniformPattern>(k);
-      case PatternKind::Transpose:
-        return std::make_unique<TransposePattern>(k);
-      case PatternKind::BitComplement:
-        return std::make_unique<BitComplementPattern>(k);
-      case PatternKind::Tornado:
-        return std::make_unique<TornadoPattern>(k);
-      case PatternKind::Neighbor:
-        return std::make_unique<NeighborPattern>(k);
-      case PatternKind::Hotspot:
-        return std::make_unique<HotspotPattern>(k, k * k / 2 + k / 2,
-                                                0.1);
-    }
-    pdr_panic("bad pattern kind");
+    add("uniform",
+        [](int k) { return std::make_unique<UniformPattern>(k); },
+        "uniform random over all other nodes (the paper's workload)");
+    add("transpose",
+        [](int k) { return std::make_unique<TransposePattern>(k); },
+        "matrix transpose: (x, y) -> (y, x)");
+    add("bitcomp",
+        [](int k) { return std::make_unique<BitComplementPattern>(k); },
+        "bit complement: node i -> ~i (power-of-two node counts)");
+    add("tornado",
+        [](int k) { return std::make_unique<TornadoPattern>(k); },
+        "tornado: half-way around the x dimension");
+    add("neighbor",
+        [](int k) { return std::make_unique<NeighborPattern>(k); },
+        "nearest neighbor: +1 in x (wrapping)");
+    add("hotspot",
+        [](int k) {
+            return std::make_unique<HotspotPattern>(
+                k, k * k / 2 + k / 2, 0.1);
+        },
+        "10% of traffic to the center node, the rest uniform");
 }
 
-const char *
-toString(PatternKind k)
+PatternRegistry &
+PatternRegistry::instance()
 {
-    switch (k) {
-      case PatternKind::Uniform: return "uniform";
-      case PatternKind::Transpose: return "transpose";
-      case PatternKind::BitComplement: return "bitcomp";
-      case PatternKind::Tornado: return "tornado";
-      case PatternKind::Neighbor: return "neighbor";
-      case PatternKind::Hotspot: return "hotspot";
-    }
-    return "?";
+    static PatternRegistry reg;
+    return reg;
+}
+
+std::unique_ptr<TrafficPattern>
+makePattern(const std::string &name, int k)
+{
+    return PatternRegistry::instance().at(name)(k);
 }
 
 } // namespace pdr::traffic

@@ -12,9 +12,11 @@
 #ifndef PDR_TRAFFIC_PATTERN_HH
 #define PDR_TRAFFIC_PATTERN_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 
+#include "common/registry.hh"
 #include "common/rng.hh"
 #include "sim/types.hh"
 
@@ -110,21 +112,34 @@ class HotspotPattern : public TrafficPattern
     double fraction_;
 };
 
-/** Pattern kinds for configuration. */
-enum class PatternKind
+/** Builds a pattern for a k x k network. */
+using PatternFactory =
+    std::function<std::unique_ptr<TrafficPattern>(int k)>;
+
+/**
+ * String-keyed pattern registry.  The built-in patterns (uniform,
+ * transpose, bitcomp, tornado, neighbor, hotspot) are pre-registered;
+ * new scenarios add themselves in one line:
+ *
+ *   PatternRegistry::instance().add("mine",
+ *       [](int k) { return std::make_unique<MyPattern>(k); },
+ *       "what it does");
+ *
+ * and are then reachable from NetworkConfig::pattern, experiment
+ * files, and the pdr CLI by name.
+ */
+class PatternRegistry : public FactoryRegistry<PatternFactory>
 {
-    Uniform,
-    Transpose,
-    BitComplement,
-    Tornado,
-    Neighbor,
-    Hotspot,
+  public:
+    static PatternRegistry &instance();
+
+  private:
+    PatternRegistry();
 };
 
-/** Factory. `k` is the mesh radix. */
-std::unique_ptr<TrafficPattern> makePattern(PatternKind kind, int k);
-
-const char *toString(PatternKind k);
+/** Build the registered pattern `name`; throws on unknown names. */
+std::unique_ptr<TrafficPattern> makePattern(const std::string &name,
+                                            int k);
 
 } // namespace pdr::traffic
 

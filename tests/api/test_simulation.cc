@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <stdexcept>
 
 #include "api/simulation.hh"
 
@@ -70,6 +71,50 @@ TEST(ApiSimulation, FindSaturationReasonableRange)
     double sat = api::findSaturation(cfg, 4.0, 0.05);
     EXPECT_GT(sat, 0.2);
     EXPECT_LT(sat, 1.0);
+}
+
+TEST(ApiSimulation, FindSaturationMatchesSerialBisection)
+{
+    auto cfg = tinyConfig();
+    cfg.net.samplePackets = 800;
+    const double limit = 4.0, tol = 0.04;
+
+    // Reference: the historical serial bisection, evaluated with the
+    // same per-load semantics (config seed kept for every probe).
+    auto ref_cfg = cfg;
+    ref_cfg.net.setOfferedFraction(0.02);
+    double zero_load = api::runSimulation(ref_cfg).avgLatency;
+    auto ok = [&](double f) {
+        auto c = cfg;
+        c.net.setOfferedFraction(f);
+        auto r = api::runSimulation(c);
+        return r.drained && r.avgLatency <= limit * zero_load;
+    };
+    double lo = 0.02, hi = 1.0;
+    ASSERT_TRUE(ok(lo));
+    while (hi - lo > tol) {
+        double mid = 0.5 * (lo + hi);
+        (ok(mid) ? lo : hi) = mid;
+    }
+
+    double parallel = api::findSaturation(cfg, limit, tol);
+    EXPECT_NEAR(parallel, lo, tol);
+}
+
+TEST(ApiSimulation, FixedHorizonMode)
+{
+    auto cfg = tinyConfig(0.3);
+    cfg.mode = "fixed";
+    cfg.horizon = 5000;
+    auto res = api::runSimulation(cfg);
+    EXPECT_EQ(res.cycles, 5000u);
+    EXPECT_GT(res.acceptedFraction, 0.0);
+    // Fixed-horizon runs do not use the measurement protocol and must
+    // not be misreported as undrained/saturated.
+    EXPECT_TRUE(res.drained);
+
+    cfg.mode = "bogus";
+    EXPECT_THROW(api::runSimulation(cfg), std::invalid_argument);
 }
 
 TEST(ApiSimulation, EnvOverrides)

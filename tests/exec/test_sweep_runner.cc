@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -219,12 +220,14 @@ TEST(SweepBuilder, TopologyAxisPreservesOfferedFraction)
     cfg.net.router.numVcs = 2;
     auto points = exec::SweepBuilder(cfg)
                       .loads({0.4})
-                      .topology(4, false)
-                      .topology(4, true)
+                      .topology(4, "mesh")
+                      .topology(4, "torus")
                       .build();
     ASSERT_EQ(points.size(), 2u);
-    EXPECT_FALSE(points[0].cfg.net.torus);
-    EXPECT_TRUE(points[1].cfg.net.torus);
+    EXPECT_EQ(points[0].cfg.net.topology, "mesh");
+    EXPECT_EQ(points[1].cfg.net.topology, "torus");
+    EXPECT_EQ(points[0].label, "0.400/mesh4");
+    EXPECT_EQ(points[1].label, "0.400/torus4");
     // Same fraction of each topology's own capacity.
     EXPECT_NEAR(points[0].cfg.net.offeredFraction(), 0.4, 1e-9);
     EXPECT_NEAR(points[1].cfg.net.offeredFraction(), 0.4, 1e-9);
@@ -244,4 +247,41 @@ TEST(SweepResults, TableExportHasOneRowPerPoint)
     EXPECT_NE(csv.find("avg_latency"), std::string::npos);
     auto json = table.toJson();
     EXPECT_NE(json.find("\"label\": "), std::string::npos);
+    // No wall-clock column: exports are diffable across thread counts.
+    EXPECT_EQ(csv.find("wall_ms"), std::string::npos);
+}
+
+TEST(SweepRunner, HeaviestFirstSubmitsByDescendingLoad)
+{
+    // Ascending-load input; a single worker executes in submission
+    // order, so the observed order reveals the schedule.
+    auto points = tinyGrid();
+    SweepOptions opts;
+    opts.threads = 1;
+    std::vector<double> seen;
+    std::mutex mu;
+    auto res = SweepRunner(opts).run(
+        points, [&](const api::SimConfig &cfg) {
+            std::lock_guard<std::mutex> lock(mu);
+            seen.push_back(cfg.net.offeredFraction());
+            return api::SimResults{};
+        });
+    ASSERT_EQ(seen.size(), 4u);
+    for (std::size_t i = 1; i < seen.size(); i++)
+        EXPECT_GE(seen[i - 1], seen[i]) << "position " << i;
+    // Results still come back in input (ascending-load) order.
+    for (std::size_t i = 1; i < res.points.size(); i++)
+        EXPECT_LT(res.points[i - 1].cfg.net.offeredFraction(),
+                  res.points[i].cfg.net.offeredFraction());
+}
+
+TEST(SweepRunner, SchedulingDoesNotChangeResults)
+{
+    auto points = tinyGrid();
+    SweepOptions first, fifo;
+    first.heaviestFirst = true;
+    fifo.heaviestFirst = false;
+    auto ra = SweepRunner(first).run(points);
+    auto rb = SweepRunner(fifo).run(points);
+    expectIdentical(ra, rb);
 }

@@ -20,7 +20,7 @@ struct DeliveryCase
     int vcs;
     int buf;
     bool singleCycle;
-    traffic::PatternKind pattern;
+    const char *pattern;
     double load;
 };
 
@@ -32,7 +32,7 @@ caseName(const testing::TestParamInfo<DeliveryCase> &info)
     n += c.singleCycle ? "1cyc" : "pipe";
     n += "_v" + std::to_string(c.vcs) + "b" + std::to_string(c.buf);
     n += "_";
-    n += traffic::toString(c.pattern);
+    n += c.pattern;
     n += "_l" + std::to_string(int(c.load * 100));
     return n;
 }
@@ -71,33 +71,33 @@ INSTANTIATE_TEST_SUITE_P(
     Models, DeliveryTest,
     testing::Values(
         DeliveryCase{RouterModel::Wormhole, 1, 8, false,
-                     traffic::PatternKind::Uniform, 0.2},
+                     "uniform", 0.2},
         DeliveryCase{RouterModel::Wormhole, 1, 2, false,
-                     traffic::PatternKind::Uniform, 0.3},
+                     "uniform", 0.3},
         DeliveryCase{RouterModel::VirtualChannel, 2, 4, false,
-                     traffic::PatternKind::Uniform, 0.3},
+                     "uniform", 0.3},
         DeliveryCase{RouterModel::VirtualChannel, 4, 2, false,
-                     traffic::PatternKind::Uniform, 0.3},
+                     "uniform", 0.3},
         DeliveryCase{RouterModel::SpecVirtualChannel, 2, 4, false,
-                     traffic::PatternKind::Uniform, 0.3},
+                     "uniform", 0.3},
         DeliveryCase{RouterModel::SpecVirtualChannel, 4, 4, false,
-                     traffic::PatternKind::Uniform, 0.4},
+                     "uniform", 0.4},
         DeliveryCase{RouterModel::Wormhole, 1, 8, true,
-                     traffic::PatternKind::Uniform, 0.3},
+                     "uniform", 0.3},
         DeliveryCase{RouterModel::VirtualChannel, 2, 4, true,
-                     traffic::PatternKind::Uniform, 0.3},
+                     "uniform", 0.3},
         DeliveryCase{RouterModel::SpecVirtualChannel, 2, 4, true,
-                     traffic::PatternKind::Uniform, 0.3},
+                     "uniform", 0.3},
         DeliveryCase{RouterModel::VirtualChannel, 2, 4, false,
-                     traffic::PatternKind::Transpose, 0.2},
+                     "transpose", 0.2},
         DeliveryCase{RouterModel::SpecVirtualChannel, 2, 4, false,
-                     traffic::PatternKind::BitComplement, 0.2},
+                     "bitcomp", 0.2},
         DeliveryCase{RouterModel::Wormhole, 1, 8, false,
-                     traffic::PatternKind::Tornado, 0.2},
+                     "tornado", 0.2},
         DeliveryCase{RouterModel::VirtualChannel, 2, 4, false,
-                     traffic::PatternKind::Neighbor, 0.3},
+                     "neighbor", 0.3},
         DeliveryCase{RouterModel::SpecVirtualChannel, 2, 4, false,
-                     traffic::PatternKind::Hotspot, 0.1}),
+                     "hotspot", 0.1}),
     caseName);
 
 TEST(Delivery, SampleDrainsPromptlyAtModerateLoad)

@@ -6,8 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "api/simulation.hh"
 #include "net/adaptive_routing.hh"
+#include "net/xy_routing.hh"
 
 using namespace pdr;
 using namespace pdr::net;
@@ -91,11 +95,11 @@ TEST_F(WestFirstTest, NoTurnIntoWestEver)
 namespace {
 
 api::SimConfig
-adaptiveConfig(double load, traffic::PatternKind pattern)
+adaptiveConfig(double load, const std::string &pattern)
 {
     api::SimConfig cfg;
     cfg.net.k = 8;
-    cfg.net.adaptiveRouting = true;
+    cfg.net.routing = "westfirst";
     cfg.net.router.model = router::RouterModel::SpecVirtualChannel;
     cfg.net.router.numVcs = 2;
     cfg.net.router.bufDepth = 4;
@@ -115,7 +119,7 @@ TEST(Adaptive, DeliversUnderLoadAllModels)
     for (auto model : {router::RouterModel::Wormhole,
                        router::RouterModel::VirtualChannel,
                        router::RouterModel::SpecVirtualChannel}) {
-        auto cfg = adaptiveConfig(0.3, traffic::PatternKind::Uniform);
+        auto cfg = adaptiveConfig(0.3, "uniform");
         cfg.net.router.model = model;
         if (model == router::RouterModel::Wormhole) {
             cfg.net.router.numVcs = 1;
@@ -134,21 +138,22 @@ TEST(Adaptive, HelpsOnTranspose)
     // adaptivity spreads east-bound traffic over both dimensions, so
     // at a load where DOR is past its knee the adaptive router should
     // not be (meaningfully) worse.
-    auto cfg = adaptiveConfig(0.35, traffic::PatternKind::Transpose);
+    auto cfg = adaptiveConfig(0.35, "transpose");
     auto adaptive = api::runSimulation(cfg);
-    cfg.net.adaptiveRouting = false;
+    cfg.net.routing = "xy";
     auto dor = api::runSimulation(cfg);
     ASSERT_TRUE(adaptive.drained);
-    if (dor.drained)
+    if (dor.drained) {
         EXPECT_LE(adaptive.avgLatency, dor.avgLatency * 1.25);
+    }
 }
 
 TEST(Adaptive, ZeroLoadLatencyUnchanged)
 {
     // Minimal adaptivity cannot change path lengths.
-    auto cfg = adaptiveConfig(0.02, traffic::PatternKind::Uniform);
+    auto cfg = adaptiveConfig(0.02, "uniform");
     auto adaptive = api::runSimulation(cfg);
-    cfg.net.adaptiveRouting = false;
+    cfg.net.routing = "xy";
     auto dor = api::runSimulation(cfg);
     ASSERT_TRUE(adaptive.drained && dor.drained);
     EXPECT_NEAR(adaptive.avgLatency, dor.avgLatency, 1.0);
@@ -156,8 +161,14 @@ TEST(Adaptive, ZeroLoadLatencyUnchanged)
 
 TEST(AdaptiveDeath, TorusCombinationRejected)
 {
-    auto cfg = adaptiveConfig(0.1, traffic::PatternKind::Uniform);
-    cfg.net.torus = true;
-    EXPECT_EXIT(net::Network n(cfg.net), testing::ExitedWithCode(1),
-                "adaptive");
+    auto cfg = adaptiveConfig(0.1, "uniform");
+    cfg.net.topology = "torus";
+    try {
+        net::Network n(cfg.net);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("adaptive"),
+                  std::string::npos)
+            << "message: " << e.what();
+    }
 }

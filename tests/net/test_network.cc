@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "net/network.hh"
 
 using namespace pdr;
@@ -131,12 +134,32 @@ TEST(NetworkDeath, WrongPortCountRejected)
 {
     auto cfg = smallConfig();
     cfg.router.numPorts = 4;
-    EXPECT_EXIT(Network n(cfg), testing::ExitedWithCode(1), "ports");
+    EXPECT_THROW(Network n(cfg), std::invalid_argument);
 }
 
 TEST(NetworkDeath, SillyInjectionRateRejected)
 {
     auto cfg = smallConfig();
     cfg.injectionRate = 1.5;
-    EXPECT_EXIT(Network n(cfg), testing::ExitedWithCode(1), "rate");
+    EXPECT_THROW(Network n(cfg), std::invalid_argument);
+}
+
+TEST(NetworkDeath, UnknownPatternRejected)
+{
+    auto cfg = smallConfig();
+    cfg.pattern = "no-such-pattern";
+    try {
+        Network n(cfg);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("no-such-pattern"),
+                  std::string::npos);
+    }
+}
+
+TEST(NetworkDeath, UnknownTopologyRejected)
+{
+    auto cfg = smallConfig();
+    cfg.topology = "hypercube";
+    EXPECT_THROW(Network n(cfg), std::invalid_argument);
 }

@@ -1,0 +1,86 @@
+/** @file Tests for the topology and routing registries. */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "net/network.hh"
+#include "net/registry.hh"
+
+using namespace pdr;
+using namespace pdr::net;
+
+TEST(TopologyRegistry, ContainsBuiltins)
+{
+    auto &reg = TopologyRegistry::instance();
+    for (const char *name : {"mesh", "torus"}) {
+        EXPECT_TRUE(reg.contains(name)) << name;
+        EXPECT_FALSE(reg.description(name).empty()) << name;
+    }
+}
+
+TEST(TopologyRegistry, BuildsTheRightGeometry)
+{
+    auto &reg = TopologyRegistry::instance();
+    auto mesh = reg.at("mesh").make(4);
+    EXPECT_FALSE(mesh.wraps());
+    EXPECT_EQ(mesh.numNodes(), 16);
+    auto torus = reg.at("torus").make(4);
+    EXPECT_TRUE(torus.wraps());
+    EXPECT_EQ(reg.at("mesh").defaultRouting, "xy");
+    EXPECT_EQ(reg.at("torus").defaultRouting, "dateline");
+}
+
+TEST(TopologyRegistry, UnknownNameListsKnownOnes)
+{
+    try {
+        TopologyRegistry::instance().at("hypercube");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("hypercube"), std::string::npos);
+        EXPECT_NE(msg.find("mesh"), std::string::npos);
+        EXPECT_NE(msg.find("torus"), std::string::npos);
+    }
+}
+
+TEST(RoutingRegistry, BuildsEveryBuiltinOnItsTopology)
+{
+    auto &reg = RoutingRegistry::instance();
+    Mesh mesh(4, false), torus(4, true);
+    EXPECT_NE(reg.at("xy")(mesh), nullptr);
+    EXPECT_NE(reg.at("westfirst")(mesh), nullptr);
+    EXPECT_NE(reg.at("dateline")(torus), nullptr);
+}
+
+TEST(RoutingRegistry, RejectsIncompatibleGeometry)
+{
+    auto &reg = RoutingRegistry::instance();
+    Mesh mesh(4, false), torus(4, true);
+    EXPECT_THROW(reg.at("xy")(torus), std::invalid_argument);
+    EXPECT_THROW(reg.at("westfirst")(torus), std::invalid_argument);
+    EXPECT_THROW(reg.at("dateline")(mesh), std::invalid_argument);
+    EXPECT_THROW(reg.at("no-such-routing"), std::invalid_argument);
+}
+
+TEST(NetworkConfig, ResolvedRoutingFollowsTopology)
+{
+    NetworkConfig cfg;
+    EXPECT_EQ(cfg.resolvedRouting(), "xy");
+    cfg.topology = "torus";
+    EXPECT_EQ(cfg.resolvedRouting(), "dateline");
+    cfg.routing = "westfirst";
+    EXPECT_EQ(cfg.resolvedRouting(), "westfirst");
+}
+
+TEST(NetworkConfig, CapacityComesFromTheTopology)
+{
+    NetworkConfig cfg;
+    cfg.k = 8;
+    EXPECT_DOUBLE_EQ(cfg.capacity(), 0.5);
+    cfg.topology = "torus";
+    EXPECT_DOUBLE_EQ(cfg.capacity(), 1.0);
+    cfg.topology = "nope";
+    EXPECT_THROW(cfg.capacity(), std::invalid_argument);
+}

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "net/topology.hh"
 
 using namespace pdr;
@@ -98,5 +100,5 @@ TEST(Topology, PortNames)
 
 TEST(TopologyDeath, RadixTooSmall)
 {
-    EXPECT_EXIT(Mesh(1), testing::ExitedWithCode(1), "radix");
+    EXPECT_THROW(Mesh(1), std::invalid_argument);
 }

@@ -2,9 +2,31 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "router/config.hh"
 
 using namespace pdr::router;
+
+namespace {
+
+/** Expect cfg.validate() to throw std::invalid_argument whose message
+ *  contains `substr`. */
+void
+expectInvalid(const RouterConfig &cfg, const std::string &substr)
+{
+    try {
+        cfg.validate();
+        FAIL() << "expected std::invalid_argument (" << substr << ")";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find(substr),
+                  std::string::npos)
+            << "message: " << e.what();
+    }
+}
+
+} // namespace
 
 TEST(RouterConfigTest, PipelineDepths)
 {
@@ -38,24 +60,40 @@ TEST(RouterConfigTest, Names)
     EXPECT_STREQ(toString(RouterModel::SpecVirtualChannel), "specVC");
 }
 
-TEST(RouterConfigDeath, WormholeWithVcsRejected)
+TEST(RouterConfigValidate, WormholeWithVcsRejected)
 {
     RouterConfig cfg;
     cfg.model = RouterModel::Wormhole;
     cfg.numVcs = 2;
-    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1), "wormhole");
+    expectInvalid(cfg, "wormhole");
 }
 
-TEST(RouterConfigDeath, BadPortCountRejected)
+TEST(RouterConfigValidate, BadPortCountRejected)
 {
     RouterConfig cfg;
     cfg.numPorts = 1;
-    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1), "ports");
+    expectInvalid(cfg, "router.num_ports");
 }
 
-TEST(RouterConfigDeath, BadBufDepthRejected)
+TEST(RouterConfigValidate, BadBufDepthRejected)
 {
     RouterConfig cfg;
     cfg.bufDepth = 0;
-    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1), "bufDepth");
+    expectInvalid(cfg, "router.buf_depth");
+}
+
+TEST(RouterConfigValidate, BadCreditProcRejected)
+{
+    RouterConfig cfg;
+    cfg.creditProcCycles = -2;
+    expectInvalid(cfg, "router.credit_proc");
+}
+
+TEST(RouterConfigValidate, ModelFromString)
+{
+    EXPECT_EQ(routerModelFromString("WH"), RouterModel::Wormhole);
+    EXPECT_EQ(routerModelFromString("VC"), RouterModel::VirtualChannel);
+    EXPECT_EQ(routerModelFromString("specVC"),
+              RouterModel::SpecVirtualChannel);
+    EXPECT_THROW(routerModelFromString("bogus"), std::invalid_argument);
 }

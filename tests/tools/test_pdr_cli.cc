@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Smoke tests for the pdr CLI: drive the real binary (path compiled in
+ * as PDR_CLI_PATH) and assert output shape and exit codes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifndef PDR_CLI_PATH
+#error "PDR_CLI_PATH must point at the pdr binary"
+#endif
+#ifndef PDR_EXPERIMENTS_DIR
+#error "PDR_EXPERIMENTS_DIR must point at the experiments directory"
+#endif
+
+namespace {
+
+struct CmdResult
+{
+    int status = -1;
+    std::string out;    //!< stdout + stderr, interleaved.
+};
+
+CmdResult
+run(const std::string &args)
+{
+    CmdResult res;
+    std::string cmd = std::string(PDR_CLI_PATH) + " " + args + " 2>&1";
+    FILE *pipe = popen(cmd.c_str(), "r");
+    if (!pipe)
+        return res;
+    char buf[4096];
+    std::size_t n;
+    while ((n = fread(buf, 1, sizeof buf, pipe)) > 0)
+        res.out.append(buf, n);
+    int rc = pclose(pipe);
+    res.status = WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+    return res;
+}
+
+std::vector<std::string>
+lines(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line))
+        out.push_back(line);
+    return out;
+}
+
+std::size_t
+countFields(const std::string &csv_row)
+{
+    // Good enough for rows without quoted commas.
+    std::size_t n = 1;
+    for (char c : csv_row)
+        n += c == ',' ? 1 : 0;
+    return n;
+}
+
+} // namespace
+
+TEST(PdrCli, SweepEmitsOneCsvRowPerPoint)
+{
+    // 4x4 mesh, 3 loads, 1 implicit curve -> header + 3 rows.
+    auto res = run("sweep --net.k=4 --router.model=specVC "
+                   "--router.num_vcs=2 --router.buf_depth=4 "
+                   "--sim.warmup=200 --sim.sample_packets=300 "
+                   "--sweep.loads=0.1,0.2,0.3");
+    EXPECT_EQ(res.status, 0) << res.out;
+
+    auto ls = lines(res.out);
+    // Drop the stderr summary ("sweep: ..."), interleaved at the end.
+    std::vector<std::string> csv;
+    for (const auto &l : ls) {
+        if (l.rfind("sweep:", 0) != 0)
+            csv.push_back(l);
+    }
+    ASSERT_EQ(csv.size(), 4u) << res.out;
+    EXPECT_NE(csv[0].find("label"), std::string::npos);
+    EXPECT_NE(csv[0].find("offered_fraction"), std::string::npos);
+    EXPECT_NE(csv[0].find("avg_latency"), std::string::npos);
+    auto ncols = countFields(csv[0]);
+    for (std::size_t i = 1; i < csv.size(); i++)
+        EXPECT_EQ(countFields(csv[i]), ncols) << csv[i];
+    EXPECT_NE(csv[1].find("0.100"), std::string::npos);
+    EXPECT_NE(csv[3].find("0.300"), std::string::npos);
+}
+
+TEST(PdrCli, DescribeListsSchemaAndRegistries)
+{
+    auto res = run("describe");
+    EXPECT_EQ(res.status, 0);
+    for (const char *needle :
+         {"net.k", "router.model", "traffic.pattern", "sweep.loads",
+          "uniform", "tornado", "mesh", "torus", "xy", "westfirst",
+          "dateline"}) {
+        EXPECT_NE(res.out.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST(PdrCli, DescribeValidatesShippedExperiments)
+{
+    for (const char *exp : {"fig13.exp", "fig16.exp", "fig18.exp"}) {
+        auto res = run(std::string("describe --file ") +
+                       PDR_EXPERIMENTS_DIR + "/" + exp);
+        EXPECT_EQ(res.status, 0) << exp << ": " << res.out;
+        EXPECT_NE(res.out.find("points:"), std::string::npos) << exp;
+    }
+}
+
+TEST(PdrCli, FlagsAcceptEqualsSyntax)
+{
+    auto res = run(std::string("describe --file=") +
+                   PDR_EXPERIMENTS_DIR + "/fig18.exp");
+    EXPECT_EQ(res.status, 0) << res.out;
+    EXPECT_NE(res.out.find("fig18"), std::string::npos);
+}
+
+TEST(PdrCli, NanInjectionRateRejected)
+{
+    auto res = run("run --traffic.injection_rate=nan");
+    EXPECT_NE(res.status, 0);
+    EXPECT_NE(res.out.find("traffic.injection_rate"),
+              std::string::npos)
+        << res.out;
+}
+
+TEST(PdrCli, UnknownKeyFailsNamingIt)
+{
+    auto res = run("run --no.such.key=1");
+    EXPECT_NE(res.status, 0);
+    EXPECT_NE(res.out.find("no.such.key"), std::string::npos)
+        << res.out;
+}
+
+TEST(PdrCli, RunPrintsResultFields)
+{
+    auto res = run("run --net.k=4 --router.model=specVC "
+                   "--router.num_vcs=2 --router.buf_depth=4 "
+                   "--sim.warmup=200 --sim.sample_packets=300 "
+                   "--traffic.offered_fraction=0.2");
+    EXPECT_EQ(res.status, 0) << res.out;
+    EXPECT_NE(res.out.find("avg_latency"), std::string::npos);
+    EXPECT_NE(res.out.find("drained"), std::string::npos);
+}

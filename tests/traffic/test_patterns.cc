@@ -1,8 +1,10 @@
-/** @file Tests for traffic patterns. */
+/** @file Tests for traffic patterns and the pattern registry. */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+#include <stdexcept>
 
 #include "traffic/pattern.hh"
 
@@ -100,14 +102,22 @@ TEST(Patterns, HotspotBias)
     EXPECT_NEAR(to_hot / double(n), expect, 0.02);
 }
 
-TEST(Patterns, FactoryProducesAllKinds)
+TEST(PatternRegistry, ContainsEveryBuiltin)
 {
-    for (auto kind : {PatternKind::Uniform, PatternKind::Transpose,
-                      PatternKind::BitComplement, PatternKind::Tornado,
-                      PatternKind::Neighbor, PatternKind::Hotspot}) {
-        auto p = makePattern(kind, K);
-        ASSERT_NE(p, nullptr);
-        EXPECT_FALSE(p->name().empty());
+    auto &reg = PatternRegistry::instance();
+    for (const char *name : {"uniform", "transpose", "bitcomp",
+                             "tornado", "neighbor", "hotspot"}) {
+        EXPECT_TRUE(reg.contains(name)) << name;
+        EXPECT_FALSE(reg.description(name).empty()) << name;
+    }
+}
+
+TEST(PatternRegistry, FactoryProducesAllRegisteredPatterns)
+{
+    for (const auto &name : PatternRegistry::instance().names()) {
+        auto p = makePattern(name, K);
+        ASSERT_NE(p, nullptr) << name;
+        EXPECT_FALSE(p->name().empty()) << name;
         Rng rng(9);
         for (int i = 0; i < 50; i++) {
             auto d = p->pick(5, rng);
@@ -115,6 +125,54 @@ TEST(Patterns, FactoryProducesAllKinds)
             EXPECT_LT(d, N);
         }
     }
+}
+
+TEST(PatternRegistry, UnknownNameThrowsListingKnownNames)
+{
+    try {
+        makePattern("no-such-pattern", K);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("no-such-pattern"), std::string::npos);
+        EXPECT_NE(msg.find("uniform"), std::string::npos);
+    }
+}
+
+TEST(PatternRegistry, BitcompRejectsNonPow2NodeCount)
+{
+    EXPECT_THROW(makePattern("bitcomp", 3), std::invalid_argument);
+}
+
+namespace {
+
+/** A scenario extension: everyone sends to node 0. */
+class ToZeroPattern : public TrafficPattern
+{
+  public:
+    sim::NodeId
+    pick(sim::NodeId src, Rng &rng) const override
+    {
+        (void)rng;
+        return src == 0 ? sim::NodeId(1) : sim::NodeId(0);
+    }
+    std::string name() const override { return "tozero"; }
+};
+
+} // namespace
+
+TEST(PatternRegistry, OneLineRegistrationMakesPatternReachable)
+{
+    PatternRegistry::instance().add(
+        "tozero", [](int) { return std::make_unique<ToZeroPattern>(); },
+        "everyone sends to node 0");
+
+    auto names = PatternRegistry::instance().names();
+    EXPECT_NE(std::find(names.begin(), names.end(), "tozero"),
+              names.end());
+    auto p = makePattern("tozero", K);
+    Rng rng(1);
+    EXPECT_EQ(p->pick(5, rng), sim::NodeId(0));
 }
 
 TEST(Patterns, DeterministicGivenRngSeed)

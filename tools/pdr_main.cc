@@ -1,0 +1,322 @@
+/**
+ * @file
+ * `pdr` -- the declarative experiment driver.
+ *
+ *   pdr run      [--file F] [--key=value ...]          one simulation
+ *   pdr sweep    [--file F] [--key=value ...] [...]    a full sweep
+ *   pdr describe [--file F] [--key=value ...]          schema / files
+ *
+ * Experiments are data: an INI-style file (see the experiments/
+ * directory) or `--key=value` overrides build an api::Experiment;
+ * `pdr sweep`
+ * expands it to sweep points, runs them on the parallel sweep engine
+ * and emits CSV (default) or JSON via stats::Table.  Bad configs are
+ * reported per point (ok/error columns), not fatally.
+ *
+ * The same expansion backs the ported figure benches, so
+ * `pdr sweep --file experiments/fig18.exp --csv out.csv` matches
+ * bench_fig18's PDR_SWEEP_CSV output row for row, for any PDR_THREADS.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/params.hh"
+#include "api/simulation.hh"
+#include "common/logging.hh"
+#include "exec/sweep.hh"
+#include "net/registry.hh"
+#include "traffic/pattern.hh"
+
+using namespace pdr;
+
+namespace {
+
+int
+usage(FILE *out)
+{
+    std::fprintf(out,
+        "usage: pdr <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  run        run the base configuration once, print results\n"
+        "  sweep      expand axes x curves, run all points in "
+        "parallel,\n"
+        "             emit CSV (default) or JSON\n"
+        "  describe   list parameter keys and registries; with "
+        "--file,\n"
+        "             validate and summarize an experiment\n"
+        "\n"
+        "options:\n"
+        "  --file PATH        load an INI-style experiment file\n"
+        "  --KEY=VALUE        override any parameter key (net.k, \n"
+        "                     router.model, traffic.pattern, "
+        "sweep.loads, ...)\n"
+        "  --csv PATH         sweep: write CSV here instead of "
+        "stdout\n"
+        "  --json [PATH]      sweep: emit JSON (to PATH or stdout); \n"
+        "                     run: print the result row as JSON\n"
+        "  --threads N        sweep worker threads (default: "
+        "PDR_THREADS\n"
+        "                     or hardware concurrency)\n"
+        "  --seed N           base seed for derived per-point seeds\n"
+        "\n"
+        "environment: PDR_FAST=1 coarsens the load axis; PDR_PACKETS,\n"
+        "PDR_WARMUP, PDR_MAX_CYCLES override the base config.\n"
+        "\n"
+        "example:\n"
+        "  pdr sweep --net.k=4 --router.model=specVC "
+        "--router.num_vcs=2 \\\n"
+        "            --router.buf_depth=4 --sweep.loads=0.1,0.3,0.5\n");
+    return out == stdout ? 0 : 2;
+}
+
+struct Options
+{
+    std::string command;
+    std::string file;
+    std::string csvPath;
+    std::string jsonPath;
+    bool json = false;
+    int threads = 0;
+    std::uint64_t seed = 1;
+    /** --key=value overrides, in command-line order. */
+    std::vector<std::pair<std::string, std::string>> overrides;
+};
+
+bool
+parseArgs(int argc, char **argv, Options &opt)
+{
+    opt.command = argv[1];
+    for (int i = 2; i < argc; i++) {
+        std::string arg = argv[i];
+        // Flags accept both "--flag value" and "--flag=value".
+        std::string inline_value;
+        bool has_inline = false;
+        auto eq = arg.find('=');
+        if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+            inline_value = arg.substr(eq + 1);
+            has_inline = true;
+            arg = arg.substr(0, eq);
+        }
+        auto want_value = [&](const char *flag) -> std::string {
+            if (has_inline)
+                return inline_value;
+            if (i + 1 >= argc) {
+                throw std::invalid_argument(
+                    std::string(flag) + " needs a value");
+            }
+            return argv[++i];
+        };
+        if (arg == "--file") {
+            opt.file = want_value("--file");
+        } else if (arg == "--csv") {
+            opt.csvPath = want_value("--csv");
+        } else if (arg == "--json") {
+            opt.json = true;
+            if (has_inline)
+                opt.jsonPath = inline_value;
+            else if (i + 1 < argc && argv[i + 1][0] != '-')
+                opt.jsonPath = argv[++i];
+        } else if (arg == "--threads") {
+            opt.threads = std::atoi(want_value("--threads").c_str());
+        } else if (arg == "--seed") {
+            opt.seed = std::strtoull(want_value("--seed").c_str(),
+                                     nullptr, 10);
+        } else if (has_inline && arg.rfind("--", 0) == 0) {
+            opt.overrides.push_back({arg.substr(2), inline_value});
+        } else {
+            throw std::invalid_argument("unknown argument '" + arg +
+                                        "'");
+        }
+    }
+    return true;
+}
+
+api::Experiment
+buildExperiment(const Options &opt)
+{
+    api::Experiment exp;
+    if (!opt.file.empty())
+        exp = api::Experiment::load(opt.file);
+    for (const auto &[k, v] : opt.overrides)
+        exp.set(k, v);
+    return exp;
+}
+
+void
+writeTable(const stats::Table &table, bool json,
+           const std::string &path)
+{
+    if (path.empty() || path == "-") {
+        if (json)
+            table.writeJson(std::cout);
+        else
+            table.writeCsv(std::cout);
+        return;
+    }
+    std::ofstream out(path);
+    if (!out) {
+        throw std::invalid_argument("cannot write '" + path + "'");
+    }
+    if (json)
+        table.writeJson(out);
+    else
+        table.writeCsv(out);
+}
+
+int
+cmdRun(const Options &opt)
+{
+    auto exp = buildExperiment(opt);
+    exp.applyEnv();
+    if (!exp.curves.empty() || !exp.axes.empty()) {
+        std::fprintf(stderr,
+                     "pdr: warning: 'run' uses the base config only; "
+                     "this experiment declares %zu curve(s) and %zu "
+                     "axis/axes -- use 'pdr sweep' to run them\n",
+                     exp.curves.size(), exp.axes.size());
+    }
+    api::params::validate(exp.base);
+
+    auto res = api::runSimulation(exp.base);
+    if (opt.json || !opt.csvPath.empty()) {
+        exec::SweepResults one;
+        one.points.resize(1);
+        one.points[0].label = exp.name.empty() ? "run" : exp.name;
+        one.points[0].cfg = exp.base;
+        one.points[0].res = res;
+        one.points[0].ok = true;
+        writeTable(one.toTable(), opt.json,
+                   opt.json ? opt.jsonPath : opt.csvPath);
+        return 0;
+    }
+    std::printf("offered_fraction   %.4f\n", res.offeredFraction);
+    std::printf("accepted_fraction  %.4f\n", res.acceptedFraction);
+    std::printf("avg_latency        %.2f cycles\n", res.avgLatency);
+    std::printf("p99_latency        %.2f cycles\n", res.p99Latency);
+    std::printf("sample             %llu / %llu received\n",
+                static_cast<unsigned long long>(res.sampleReceived),
+                static_cast<unsigned long long>(res.sampleSize));
+    std::printf("drained            %s\n", res.drained ? "true"
+                                                       : "false");
+    std::printf("saturated          %s\n", res.saturated() ? "true"
+                                                           : "false");
+    std::printf("cycles             %llu\n",
+                static_cast<unsigned long long>(res.cycles));
+    return 0;
+}
+
+int
+cmdSweep(const Options &opt)
+{
+    auto exp = buildExperiment(opt);
+    exp.applyEnv();
+
+    auto points = exp.points();
+    if (points.empty())
+        throw std::invalid_argument("experiment expands to no points");
+
+    exec::SweepOptions sweep_opts;
+    sweep_opts.threads = opt.threads;
+    sweep_opts.baseSeed = opt.seed;
+    auto results = api::runSweep(points, sweep_opts);
+
+    writeTable(results.toTable(), opt.json,
+               opt.json ? opt.jsonPath : opt.csvPath);
+
+    std::fprintf(stderr, "sweep: %zu points on %d threads in %.1f s\n",
+                 results.points.size(), results.threads,
+                 results.wallMs / 1000.0);
+    for (const auto &p : results.points) {
+        if (!p.ok) {
+            std::fprintf(stderr, "point '%s' failed: %s\n",
+                         p.label.c_str(), p.error.c_str());
+        }
+    }
+    return results.failures() == 0 ? 0 : 1;
+}
+
+int
+cmdDescribe(const Options &opt)
+{
+    if (opt.file.empty() && opt.overrides.empty()) {
+        std::printf("parameter keys (defaults shown):\n");
+        api::SimConfig defaults;
+        for (const auto &p : api::params::schema()) {
+            std::printf("  %-28s %-10s %s\n", p.key.c_str(),
+                        api::params::get(defaults, p.key).c_str(),
+                        p.description.c_str());
+        }
+        std::printf("  %-28s %-10s %s\n", "sweep.loads", "-",
+                    "offered-load axis (fractions of capacity)");
+        std::printf("  %-28s %-10s %s\n", "sweep.<key>", "-",
+                    "sweep axis over any parameter key");
+
+        auto show = [](const char *what, auto &reg) {
+            std::printf("\n%s:\n", what);
+            for (const auto &n : reg.names()) {
+                std::printf("  %-12s %s\n", n.c_str(),
+                            reg.description(n).c_str());
+            }
+        };
+        show("traffic patterns", traffic::PatternRegistry::instance());
+        show("topologies", net::TopologyRegistry::instance());
+        show("routing functions", net::RoutingRegistry::instance());
+        return 0;
+    }
+
+    auto exp = buildExperiment(opt);
+    exp.validate();
+    auto points = exp.points();
+    std::printf("name:        %s\n",
+                exp.name.empty() ? "(unnamed)" : exp.name.c_str());
+    if (!exp.description.empty())
+        std::printf("description: %s\n", exp.description.c_str());
+    std::printf("curves:      %zu\n", exp.curves.size());
+    for (const auto &c : exp.curves)
+        std::printf("  [curve %s] (%zu overrides)\n", c.label.c_str(),
+                    c.overrides.size());
+    std::printf("axes:        %zu\n", exp.axes.size());
+    for (const auto &a : exp.axes)
+        std::printf("  %s (%zu values)\n", a.key.c_str(),
+                    a.values.size());
+    std::printf("points:      %zu\n", points.size());
+    std::printf("\neffective base config:\n%s",
+                api::params::dump(exp.base).c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(stderr);
+    std::string cmd = argv[1];
+    if (cmd == "help" || cmd == "--help" || cmd == "-h")
+        return usage(stdout);
+
+    try {
+        Options opt;
+        parseArgs(argc, argv, opt);
+        if (cmd == "run")
+            return cmdRun(opt);
+        if (cmd == "sweep")
+            return cmdSweep(opt);
+        if (cmd == "describe")
+            return cmdDescribe(opt);
+        std::fprintf(stderr, "pdr: unknown command '%s'\n\n",
+                     cmd.c_str());
+        return usage(stderr);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "pdr: error: %s\n", e.what());
+        return 1;
+    }
+}
