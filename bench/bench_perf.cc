@@ -113,6 +113,33 @@ BENCHMARK(BM_NetworkCycle)
     ->Arg(int(router::RouterModel::VirtualChannel))
     ->Arg(int(router::RouterModel::SpecVirtualChannel));
 
+/**
+ * The full-network scenarios BENCH_core.json tracks (see
+ * tools/bench_core.cc): a specVC 8x8 mesh at a fixed fraction of
+ * capacity.  Arg = offered load in percent.  The low-load point (10%)
+ * is where activity-driven ticking pays -- most of every
+ * latency-throughput curve runs there -- and the 90% point guards the
+ * saturated regime against scheduling overhead.
+ */
+static void
+BM_NetworkLoadPoint(benchmark::State &state)
+{
+    net::NetworkConfig cfg;
+    cfg.k = 8;
+    cfg.router.model = router::RouterModel::SpecVirtualChannel;
+    cfg.router.numVcs = 2;
+    cfg.router.bufDepth = 4;
+    cfg.warmup = 0;
+    cfg.samplePackets = 1u << 30;
+    cfg.setOfferedFraction(state.range(0) / 100.0);
+    net::Network n(cfg);
+    n.run(2000);    // Warm the network into steady state.
+    for (auto _ : state)
+        n.step();
+    state.SetItemsProcessed(state.iterations());    // Network cycles.
+}
+BENCHMARK(BM_NetworkLoadPoint)->Arg(10)->Arg(50)->Arg(90);
+
 static void
 BM_FullSimulation(benchmark::State &state)
 {

@@ -1,5 +1,6 @@
 #include "net/network.hh"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "common/logging.hh"
@@ -78,11 +79,22 @@ Network::Network(const NetworkConfig &cfg)
         RoutingRegistry::instance().at(cfg_.resolvedRouting())(mesh_);
 
     int n = mesh_.numNodes();
-    routers_.reserve(n);
-    for (sim::NodeId id = 0; id < n; id++) {
-        routers_.push_back(std::make_unique<router::Router>(
-            id, cfg_.router, *routing_));
-    }
+    wakeAt_.assign(std::size_t(3 * n), 0);  // Everyone runs at cycle 0.
+
+    // Count the directed inter-router links so every slab can be
+    // reserved exactly; growing a slab later would invalidate the
+    // channel pointers already handed to components.
+    int edges = 0;
+    for (sim::NodeId id = 0; id < n; id++)
+        for (int port : {North, East})
+            if (mesh_.neighbor(id, port) != sim::Invalid)
+                edges += 2;
+    flitChans_.reserve(std::size_t(edges + 2 * n));   // links+inj+ej
+    creditChans_.reserve(std::size_t(edges + n));     // links+inj
+
+    routers_.reserve(std::size_t(n));
+    for (sim::NodeId id = 0; id < n; id++)
+        routers_.emplace_back(id, cfg_.router, *routing_, pool_);
 
     // Inter-router links: one flit channel and one reverse credit
     // channel per directed edge (wrap links included on a torus).
@@ -94,23 +106,23 @@ Network::Network(const NetworkConfig &cfg)
             int rport = Mesh::opposite(port);
 
             // id --(port)--> nb
-            auto *f1 = newFlitChan(cfg_.linkLatency);
-            auto *c1 = newCreditChan(cfg_.creditLatency);
-            routers_[id]->connectOutput(port, f1, c1, false);
-            routers_[nb]->connectInput(rport, f1, c1);
+            auto *f1 = newFlitChan(cfg_.linkLatency, rtrComp(nb));
+            auto *c1 = newCreditChan(cfg_.creditLatency, rtrComp(id));
+            routers_[id].connectOutput(port, f1, c1, false);
+            routers_[nb].connectInput(rport, f1, c1);
 
             // nb --(rport)--> id
-            auto *f2 = newFlitChan(cfg_.linkLatency);
-            auto *c2 = newCreditChan(cfg_.creditLatency);
-            routers_[nb]->connectOutput(rport, f2, c2, false);
-            routers_[id]->connectInput(port, f2, c2);
+            auto *f2 = newFlitChan(cfg_.linkLatency, rtrComp(id));
+            auto *c2 = newCreditChan(cfg_.creditLatency, rtrComp(nb));
+            routers_[nb].connectOutput(rport, f2, c2, false);
+            routers_[id].connectInput(port, f2, c2);
         }
     }
 
     // Sources and sinks on the local port.
-    sources_.reserve(n);
-    sinks_.reserve(n);
-    sinkLatency_.reserve(n);
+    sources_.reserve(std::size_t(n));
+    sinks_.reserve(std::size_t(n));
+    sinkLatency_.resize(std::size_t(n));
     traffic::SourceConfig scfg;
     scfg.numVcs = cfg_.router.numVcs;
     scfg.bufDepth = cfg_.router.bufDepth;
@@ -119,32 +131,56 @@ Network::Network(const NetworkConfig &cfg)
     scfg.seed = cfg_.seed;
 
     for (sim::NodeId id = 0; id < n; id++) {
-        auto *inj = newFlitChan(1);
-        auto *inj_credit = newCreditChan(1);
-        routers_[id]->connectInput(Local, inj, inj_credit);
-        sources_.push_back(std::make_unique<traffic::Source>(
-            id, scfg, *pattern_, ctrl_, inj, inj_credit));
+        auto *inj = newFlitChan(1, rtrComp(id));
+        auto *inj_credit = newCreditChan(1, srcComp(id));
+        routers_[id].connectInput(Local, inj, inj_credit);
+        sources_.emplace_back(id, scfg, *pattern_, ctrl_, pool_, inj,
+                              inj_credit);
 
-        auto *ej = newFlitChan(1);
-        routers_[id]->connectOutput(Local, ej, nullptr, true);
-        sinkLatency_.push_back(std::make_unique<stats::LatencyStats>());
-        sinks_.push_back(std::make_unique<traffic::Sink>(
-            id, cfg_.packetLength, ctrl_, ej, *sinkLatency_.back()));
+        auto *ej = newFlitChan(1, snkComp(id));
+        routers_[id].connectOutput(Local, ej, nullptr, true);
+        sinks_.emplace_back(id, cfg_.packetLength, ctrl_, pool_, ej,
+                            sinkLatency_[id]);
     }
+
+    pdr_assert(int(flitChans_.size()) == edges + 2 * n);
+    pdr_assert(int(creditChans_.size()) == edges + n);
 }
 
 Network::FlitChannel *
-Network::newFlitChan(sim::Cycle latency)
+Network::newFlitChan(sim::Cycle latency, std::size_t consumer)
 {
-    flitChans_.push_back(std::make_unique<FlitChannel>(latency));
-    return flitChans_.back().get();
+    pdr_assert(flitChans_.size() < flitChans_.capacity());
+    flitChans_.emplace_back(latency);
+    flitChans_.back().watch(&wakeAt_, consumer);
+    return &flitChans_.back();
 }
 
 Network::CreditChannel *
-Network::newCreditChan(sim::Cycle latency)
+Network::newCreditChan(sim::Cycle latency, std::size_t consumer)
 {
-    creditChans_.push_back(std::make_unique<CreditChannel>(latency));
-    return creditChans_.back().get();
+    pdr_assert(creditChans_.size() < creditChans_.capacity());
+    creditChans_.emplace_back(latency);
+    creditChans_.back().watch(&wakeAt_, consumer);
+    return &creditChans_.back();
+}
+
+void
+Network::forceTickAll(bool on)
+{
+    forceTickAll_ = on;
+    if (!on) {
+        // Re-arm the schedule: wake everything, components re-report
+        // their real wake times after the next tick.
+        std::fill(wakeAt_.begin(), wakeAt_.end(), now_);
+    }
+}
+
+void
+Network::recordDeliveries(std::vector<traffic::Delivery> *trace)
+{
+    for (auto &s : sinks_)
+        s.recordDeliveries(trace);
 }
 
 void
@@ -152,13 +188,41 @@ Network::step()
 {
     // Components communicate only through >= 1 cycle channels, so the
     // order within a cycle is immaterial; sources / routers / sinks is
-    // the natural reading order.
-    for (auto &s : sources_)
-        s->tick(now_);
-    for (auto &r : routers_)
-        r->tick(now_);
-    for (auto &s : sinks_)
-        s->tick(now_);
+    // the natural reading order.  A component whose wake time has not
+    // come provably does nothing this cycle (its inputs are empty and
+    // its own state is at a fixed point), so it is skipped; channel
+    // pushes during this cycle lower wake times for later cycles only
+    // (latency >= 1), never for the current one.
+    int n = mesh_.numNodes();
+    if (forceTickAll_) {
+        for (auto &s : sources_)
+            s.tick(now_);
+        for (auto &r : routers_)
+            r.tick(now_);
+        for (auto &s : sinks_)
+            s.tick(now_);
+        now_++;
+        return;
+    }
+
+    for (sim::NodeId i = 0; i < n; i++) {
+        if (wakeAt_[srcComp(i)] <= now_) {
+            sources_[i].tick(now_);
+            wakeAt_[srcComp(i)] = sources_[i].nextWake(now_);
+        }
+    }
+    for (sim::NodeId i = 0; i < n; i++) {
+        if (wakeAt_[rtrComp(i)] <= now_) {
+            routers_[i].tick(now_);
+            wakeAt_[rtrComp(i)] = routers_[i].nextWake(now_);
+        }
+    }
+    for (sim::NodeId i = 0; i < n; i++) {
+        if (wakeAt_[snkComp(i)] <= now_) {
+            sinks_[i].tick(now_);
+            wakeAt_[snkComp(i)] = sinks_[i].nextWake();
+        }
+    }
     now_++;
 }
 
@@ -172,10 +236,7 @@ Network::run(sim::Cycle n)
 stats::LatencyStats
 Network::latency() const
 {
-    stats::LatencyStats all;
-    for (const auto &l : sinkLatency_)
-        all.merge(*l);
-    return all;
+    return stats::LatencyStats::merged(sinkLatency_);
 }
 
 double
@@ -185,7 +246,7 @@ Network::acceptedFlitRate() const
         return 0.0;
     std::uint64_t flits = 0;
     for (const auto &s : sinks_)
-        flits += s->measuredFlits();
+        flits += s.measuredFlits();
     double cycles = double(now_ - cfg_.warmup);
     return double(flits) / (cycles * mesh_.numNodes());
 }
@@ -195,7 +256,7 @@ Network::routerTotals() const
 {
     router::RouterStats t;
     for (const auto &r : routers_) {
-        const auto &s = r->stats();
+        const auto &s = r.stats();
         t.flitsIn += s.flitsIn;
         t.flitsOut += s.flitsOut;
         t.headGrants += s.headGrants;
@@ -212,13 +273,13 @@ bool
 Network::quiescent() const
 {
     for (const auto &r : routers_)
-        if (!r->quiescent())
+        if (!r.quiescent())
             return false;
     for (const auto &s : sources_)
-        if (s->backlog() != 0)
+        if (s.backlog() != 0)
             return false;
     for (const auto &c : flitChans_)
-        if (!c->empty())
+        if (!c.empty())
             return false;
     return true;
 }

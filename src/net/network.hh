@@ -8,6 +8,17 @@
  * propagation (credit propagation independently configurable for the
  * Figure-18 experiment), constant-rate sources injecting fixed-length
  * packets, and immediate ejection at the destination.
+ *
+ * Hot-path layout: all components live in contiguous value slabs
+ * (vector<Router>, vector<Source>, ... -- reserved exactly, never
+ * reallocated), flits live in a per-network FlitPool and move between
+ * queues as 4-byte handles, and stepping is activity-driven: a wake
+ * table (one cycle per component, lowered by channel pushes) lets
+ * step() skip every component that provably has nothing to do this
+ * cycle.  Skipping is a pure scheduling optimization -- simulated
+ * behavior, statistics and RNG streams are bit-identical to ticking
+ * everything (forceTickAll(true) restores the naive schedule so tests
+ * can prove it).
  */
 
 #ifndef PDR_NET_NETWORK_HH
@@ -20,6 +31,7 @@
 #include "net/registry.hh"
 #include "net/topology.hh"
 #include "router/router.hh"
+#include "sim/flit_pool.hh"
 #include "stats/latency.hh"
 #include "traffic/measure.hh"
 #include "traffic/sink.hh"
@@ -88,22 +100,42 @@ class Network
   public:
     explicit Network(const NetworkConfig &cfg);
 
+    // Components hold pointers into the channel slabs and the wake
+    // table, so a constructed network is pinned in place.
+    Network(const Network &) = delete;
+    Network &operator=(const Network &) = delete;
+
     /** Advance one cycle (sources, routers, sinks). */
     void step();
 
     /** Advance n cycles. */
     void run(sim::Cycle n);
 
+    /**
+     * Disable activity-driven scheduling: tick every component every
+     * cycle (the naive schedule).  Simulated behavior is identical
+     * either way -- this exists so equivalence tests can step a
+     * skipping and a non-skipping network in lockstep and compare.
+     */
+    void forceTickAll(bool on);
+
+    /** Append every delivered packet (network-wide, in ejection
+     *  order) to `trace`; nullptr disables. */
+    void recordDeliveries(std::vector<traffic::Delivery> *trace);
+
     sim::Cycle now() const { return now_; }
     const NetworkConfig &config() const { return cfg_; }
     const Mesh &mesh() const { return mesh_; }
     traffic::MeasureController &controller() { return ctrl_; }
 
-    router::Router &routerAt(sim::NodeId n) { return *routers_[n]; }
-    traffic::Source &sourceAt(sim::NodeId n) { return *sources_[n]; }
+    /** The flit storage pool (diagnostics: live count, capacity). */
+    const sim::FlitPool &flitPool() const { return pool_; }
+
+    router::Router &routerAt(sim::NodeId n) { return routers_[n]; }
+    traffic::Source &sourceAt(sim::NodeId n) { return sources_[n]; }
     const traffic::Sink &sinkAt(sim::NodeId n) const
     {
-        return *sinks_[n];
+        return sinks_[n];
     }
 
     /** Merged latency statistics over the sample space. */
@@ -125,7 +157,7 @@ class Network
     bool quiescent() const;
 
   private:
-    using FlitChannel = sim::Channel<sim::Flit>;
+    using FlitChannel = sim::Channel<sim::FlitRef>;
     using CreditChannel = sim::Channel<sim::Credit>;
 
     NetworkConfig cfg_;
@@ -134,17 +166,42 @@ class Network
     traffic::MeasureController ctrl_;
     std::unique_ptr<traffic::TrafficPattern> pattern_;
 
-    std::vector<std::unique_ptr<FlitChannel>> flitChans_;
-    std::vector<std::unique_ptr<CreditChannel>> creditChans_;
-    std::vector<std::unique_ptr<router::Router>> routers_;
-    std::vector<std::unique_ptr<traffic::Source>> sources_;
-    std::vector<std::unique_ptr<traffic::Sink>> sinks_;
-    std::vector<std::unique_ptr<stats::LatencyStats>> sinkLatency_;
+    sim::FlitPool pool_;
+
+    // Contiguous slabs, reserved exactly in the constructor and never
+    // resized afterwards (components hand out interior pointers).
+    std::vector<FlitChannel> flitChans_;
+    std::vector<CreditChannel> creditChans_;
+    std::vector<router::Router> routers_;
+    std::vector<traffic::Source> sources_;
+    std::vector<traffic::Sink> sinks_;
+    std::vector<stats::LatencyStats> sinkLatency_;
+
+    /**
+     * Per-component wake times, indexed [sources | routers | sinks]:
+     * component i runs at cycle t iff wakeAt_[i] <= t.  Channel pushes
+     * lower entries (Channel::watch); after each tick the component
+     * reports its own next wake.
+     */
+    std::vector<sim::Cycle> wakeAt_;
+    bool forceTickAll_ = false;
 
     sim::Cycle now_ = 0;
 
-    FlitChannel *newFlitChan(sim::Cycle latency);
-    CreditChannel *newCreditChan(sim::Cycle latency);
+    /** Wake-table index of source / router / sink `n`. */
+    std::size_t srcComp(sim::NodeId n) const { return std::size_t(n); }
+    std::size_t rtrComp(sim::NodeId n) const
+    {
+        return std::size_t(mesh_.numNodes() + n);
+    }
+    std::size_t snkComp(sim::NodeId n) const
+    {
+        return std::size_t(2 * mesh_.numNodes() + n);
+    }
+
+    FlitChannel *newFlitChan(sim::Cycle latency, std::size_t consumer);
+    CreditChannel *newCreditChan(sim::Cycle latency,
+                                 std::size_t consumer);
 };
 
 } // namespace pdr::net

@@ -7,8 +7,8 @@
 namespace pdr::router {
 
 Router::Router(sim::NodeId id, const RouterConfig &cfg,
-               const RoutingFunction &routing)
-    : id_(id), cfg_(cfg), routing_(routing)
+               const RoutingFunction &routing, sim::FlitPool &pool)
+    : id_(id), cfg_(cfg), routing_(routing), pool_(pool)
 {
     cfg_.validate();
     int p = cfg_.numPorts;
@@ -19,6 +19,8 @@ Router::Router(sim::NodeId id, const RouterConfig &cfg,
     for (int i = 0; i < p; i++) {
         inputs_[i].vcs.resize(v);
         outputs_[i].vcs.resize(v);
+        for (auto &ivc : inputs_[i].vcs)
+            ivc.fifo.init(cfg_.bufDepth);
         for (auto &ovc : outputs_[i].vcs)
             ovc.credits = cfg_.bufDepth;
     }
@@ -76,7 +78,7 @@ Router::buffered(int port) const
 {
     int n = 0;
     for (const auto &vc : inputs_[port].vcs)
-        n += int(vc.fifo.size());
+        n += vc.fifo.size();
     return n;
 }
 
@@ -189,21 +191,22 @@ Router::receiveFlits(sim::Cycle now)
         auto *chan = inputs_[port].in;
         if (!chan)
             continue;
-        while (auto f = chan->pop(now)) {
-            pdr_assert(f->vc >= 0 && f->vc < cfg_.numVcs);
-            auto &ivc = inputs_[port].vcs[f->vc];
-            pdr_assert(int(ivc.fifo.size()) < cfg_.bufDepth);
-            f->eligible = now + firstActionDelay();
-            if (sim::isHead(f->type) && ivc.state == VcState::Idle) {
+        while (auto r = chan->pop(now)) {
+            sim::Flit &f = pool_.get(*r);
+            pdr_assert(f.vc >= 0 && f.vc < cfg_.numVcs);
+            auto &ivc = inputs_[port].vcs[f.vc];
+            pdr_assert(ivc.fifo.size() < cfg_.bufDepth);
+            f.eligible = now + firstActionDelay();
+            if (sim::isHead(f.type) && ivc.state == VcState::Idle) {
                 // Empty VC: decode + route this packet immediately (the
                 // RC stage); otherwise the head waits for takeover when
                 // the previous tail departs.
                 pdr_assert(ivc.fifo.empty());
                 ivc.state = VcState::RouteWait;
-                ivc.route = selectRoute(*f);
-                ivc.actReady = f->eligible;
+                ivc.route = selectRoute(f);
+                ivc.actReady = f.eligible;
             }
-            ivc.fifo.push_back(*f);
+            ivc.fifo.push(*r);
             stats_.flitsIn++;
         }
     }
@@ -224,7 +227,7 @@ Router::vaPhase(sim::Cycle now)
             if (ivc.state != VcState::RouteWait || now < ivc.actReady)
                 continue;
             pdr_assert(!ivc.fifo.empty());
-            const auto &head = ivc.fifo.front();
+            const auto &head = pool_.get(ivc.fifo.front());
             pdr_assert(sim::isHead(head.type));
             if (routing_.isAdaptive()) {
                 // Footnote 5: re-iterate through the routing function
@@ -273,7 +276,7 @@ Router::saPhaseWormhole(sim::Cycle now)
         auto &ivc = inputs_[port].vcs[0];
         if (ivc.fifo.empty())
             continue;
-        const auto &f = ivc.fifo.front();
+        const auto &f = pool_.get(ivc.fifo.front());
         if (now < f.eligible)
             continue;
         if (ivc.state == VcState::RouteWait && now >= ivc.actReady) {
@@ -322,7 +325,7 @@ Router::saPhaseVc(sim::Cycle now)
                 continue;
             if (ivc.vaGrantedNow && !cfg_.singleCycle)
                 continue;   // Covered by its speculative bid (specVC).
-            const auto &f = ivc.fifo.front();
+            const auto &f = pool_.get(ivc.fifo.front());
             if (now < f.eligible || now < ivc.saReady)
                 continue;
             if (!hasCredit(ivc.route, ivc.outVc)) {
@@ -357,7 +360,7 @@ Router::saPhaseVc(sim::Cycle now)
                 continue;
             stats_.specSaUseful++;
         }
-        if (sim::isHead(ivc.fifo.front().type))
+        if (sim::isHead(pool_.get(ivc.fifo.front()).type))
             stats_.headGrants++;
         departFlit(g.inPort, g.inVc, ivc.route, ivc.outVc, now);
     }
@@ -369,8 +372,8 @@ Router::departFlit(int in_port, int in_vc, int out_port, int out_vc,
 {
     auto &ivc = inputs_[in_port].vcs[in_vc];
     pdr_assert(!ivc.fifo.empty());
-    sim::Flit f = ivc.fifo.front();
-    ivc.fifo.pop_front();
+    sim::FlitRef ref = ivc.fifo.pop();
+    sim::Flit &f = pool_.get(ref);
 
     // Freed buffer slot: return a credit upstream (none for injection
     // ports fed by a source? sources also track credits, so send).
@@ -390,7 +393,7 @@ Router::departFlit(int in_port, int in_vc, int out_port, int out_vc,
     f.vclass =
         std::uint8_t(routing_.nextClass(f.vclass, id_, out_port));
     pdr_assert(op.out);
-    op.out->push(f, now, st_extra);
+    op.out->push(ref, now, st_extra);
     stats_.flitsOut++;
 
     if (sim::isTail(f.type))
@@ -421,12 +424,36 @@ Router::releaseAndTakeOver(int in_port, int in_vc, int out_port,
 
     // The next packet's head takes over the VC and is routed now (its
     // RC stage runs in the next cycle).
-    const auto &head = ivc.fifo.front();
+    const auto &head = pool_.get(ivc.fifo.front());
     pdr_assert(sim::isHead(head.type));
     ivc.state = VcState::RouteWait;
     ivc.route = selectRoute(head);
     ivc.actReady =
         std::max(head.eligible, now + firstActionDelay());
+}
+
+sim::Cycle
+Router::nextWake(sim::Cycle now) const
+{
+    // Buffered flits demand a tick every cycle: allocation attempts,
+    // departures and credit-stall accounting all advance per cycle.
+    for (const auto &ip : inputs_)
+        for (const auto &vc : ip.vcs)
+            if (!vc.fifo.empty())
+                return now + 1;
+
+    // Otherwise the next observable event is a pending credit maturing
+    // or an arrival on one of the input / credit channels.
+    sim::Cycle t = sim::CycleNever;
+    if (!pendingCredits_.empty())
+        t = pendingCredits_.front().applyAt;
+    for (const auto &ip : inputs_)
+        if (ip.in)
+            t = std::min(t, ip.in->nextReady());
+    for (const auto &op : outputs_)
+        if (op.creditIn)
+            t = std::min(t, op.creditIn->nextReady());
+    return std::max(t, now + 1);
 }
 
 } // namespace pdr::router

@@ -41,6 +41,7 @@
 #include "router/routing.hh"
 #include "sim/channel.hh"
 #include "sim/flit.hh"
+#include "sim/flit_pool.hh"
 
 namespace pdr::router {
 
@@ -61,11 +62,12 @@ struct RouterStats
 class Router
 {
   public:
-    using FlitChannel = sim::Channel<sim::Flit>;
+    /** Flit channels carry pool handles; the pool holds the payloads. */
+    using FlitChannel = sim::Channel<sim::FlitRef>;
     using CreditChannel = sim::Channel<sim::Credit>;
 
     Router(sim::NodeId id, const RouterConfig &cfg,
-           const RoutingFunction &routing);
+           const RoutingFunction &routing, sim::FlitPool &pool);
 
     /**
      * Wire input port `port`: flits arrive on `in`; credits for freed
@@ -86,6 +88,18 @@ class Router
 
     /** Advance one clock cycle. */
     void tick(sim::Cycle now);
+
+    /**
+     * Earliest cycle at which ticking this router can do observable
+     * work, evaluated after a tick at `now`: the very next cycle while
+     * any flit is buffered (allocation, departure and stall accounting
+     * advance every cycle then), else the earliest of the pending
+     * credits and the in-flight arrivals on the input / credit
+     * channels.  CycleNever when fully idle -- skipping ticks until
+     * the returned cycle is a provable no-op (channels re-wake the
+     * router on any later push).
+     */
+    sim::Cycle nextWake(sim::Cycle now) const;
 
     sim::NodeId id() const { return id_; }
     const RouterConfig &config() const { return cfg_; }
@@ -110,7 +124,7 @@ class Router
     /** Per input virtual channel (per input port for WH). */
     struct InputVc
     {
-        std::deque<sim::Flit> fifo;
+        sim::FlitFifo fifo;         //!< bufDepth-capacity handle ring.
         VcState state = VcState::Idle;
         sim::Cycle actReady = 0;    //!< Earliest first allocation action.
         sim::Cycle saReady = 0;     //!< Earliest switch request (VC).
@@ -183,6 +197,7 @@ class Router
     sim::NodeId id_;
     RouterConfig cfg_;
     const RoutingFunction &routing_;
+    sim::FlitPool &pool_;
 
     std::vector<InputPort> inputs_;
     std::vector<OutputPort> outputs_;

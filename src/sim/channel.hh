@@ -9,6 +9,12 @@
  *
  * Senders may add extra delay per push (e.g. the crossbar-traversal
  * stage between switch allocation and the wire).
+ *
+ * Channels participate in activity-driven ticking: a channel may be
+ * told (watch) which component consumes it, and every push then lowers
+ * that component's wake time to the item's ready cycle.  nextReady()
+ * exposes the earliest in-flight ready time so a component going idle
+ * can report when its inputs next demand attention.
  */
 
 #ifndef PDR_SIM_CHANNEL_HH
@@ -16,6 +22,7 @@
 
 #include <deque>
 #include <optional>
+#include <vector>
 
 #include "common/logging.hh"
 #include "sim/types.hh"
@@ -36,6 +43,17 @@ class Channel
     Cycle latency() const { return latency_; }
 
     /**
+     * Wire up wake notification: pushes lower `(*wake_at)[comp]` to the
+     * pushed item's ready cycle, scheduling the consuming component.
+     */
+    void
+    watch(std::vector<Cycle> *wake_at, std::size_t comp)
+    {
+        wakeAt_ = wake_at;
+        comp_ = comp;
+    }
+
+    /**
      * Push an item at cycle `now`; it is deliverable at
      * now + latency + extra.  Pushes must be issued in nondecreasing
      * ready order (guaranteed when `extra` is constant per sender).
@@ -46,6 +64,8 @@ class Channel
         Cycle ready = now + latency_ + extra;
         pdr_assert(q_.empty() || q_.back().ready <= ready);
         q_.push_back({ready, item});
+        if (wakeAt_ && ready < (*wakeAt_)[comp_])
+            (*wakeAt_)[comp_] = ready;
     }
 
     /** Pop the next item if it has arrived by cycle `now`. */
@@ -64,6 +84,13 @@ class Channel
 
     bool empty() const { return q_.empty(); }
 
+    /** Earliest ready cycle in flight; CycleNever when empty. */
+    Cycle
+    nextReady() const
+    {
+        return q_.empty() ? CycleNever : q_.front().ready;
+    }
+
   private:
     struct Entry
     {
@@ -73,6 +100,8 @@ class Channel
 
     Cycle latency_;
     std::deque<Entry> q_;
+    std::vector<Cycle> *wakeAt_ = nullptr;  //!< Consumer wake table.
+    std::size_t comp_ = 0;                  //!< Consumer component id.
 };
 
 } // namespace pdr::sim

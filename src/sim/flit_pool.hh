@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Flit storage pool and fixed-capacity flit FIFOs.
+ *
+ * The simulator's hot loop moves flits between source streams, channel
+ * delay lines, router input FIFOs and sinks.  Storing Flit structs by
+ * value in every queue made each hand-off a ~48-byte copy and each
+ * queue a heap-churning deque of large elements.  Instead, every flit
+ * lives in exactly one slot of a per-Network FlitPool for its whole
+ * source-to-sink life; queues carry 4-byte FlitRef handles.
+ *
+ * The pool is a slab + LIFO freelist:
+ *
+ *   - alloc() pops the most recently freed slot (cache-warm) or grows
+ *     the slab; after warm-up a network allocates nothing.
+ *   - free() returns a slot; double-free and use-after-free are caught
+ *     by an always-on liveness bitmap (pdr_assert).
+ *   - Slot reuse is deterministic: the handle sequence depends only on
+ *     the (deterministic) order of alloc/free calls, never on address
+ *     layout, so pooled and unpooled simulations stay bit-identical.
+ *
+ * FlitFifo is the router-input-buffer queue: capacity fixed at
+ * construction (the buffer depth), a plain ring over contiguous
+ * storage, no allocation after init().
+ */
+
+#ifndef PDR_SIM_FLIT_POOL_HH
+#define PDR_SIM_FLIT_POOL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/flit.hh"
+
+namespace pdr::sim {
+
+/** Handle to a pooled flit (index into the owning FlitPool's slab). */
+using FlitRef = std::uint32_t;
+
+/** Invalid / empty flit handle. */
+constexpr FlitRef NullFlit = ~FlitRef(0);
+
+/** Slab allocator for the flits of one Network. */
+class FlitPool
+{
+  public:
+    FlitPool() = default;
+
+    /** Pre-size the slab (optional; the pool grows on demand). */
+    void reserve(std::size_t n)
+    {
+        slots_.reserve(n);
+        alive_.reserve(n);
+        freeList_.reserve(n);
+    }
+
+    /**
+     * Acquire a slot.  The returned flit's fields are unspecified
+     * (callers overwrite every field); the slot is marked live.
+     */
+    FlitRef
+    alloc()
+    {
+        FlitRef ref;
+        if (!freeList_.empty()) {
+            ref = freeList_.back();
+            freeList_.pop_back();
+        } else {
+            ref = FlitRef(slots_.size());
+            slots_.emplace_back();
+            alive_.push_back(false);
+        }
+        pdr_assert(!alive_[ref]);
+        alive_[ref] = true;
+        live_++;
+        return ref;
+    }
+
+    /** Release a slot (its flit left the network at a sink). */
+    void
+    free(FlitRef ref)
+    {
+        pdr_assert(ref < slots_.size());
+        pdr_assert(alive_[ref]);
+        alive_[ref] = false;
+        live_--;
+        freeList_.push_back(ref);
+    }
+
+    Flit &
+    get(FlitRef ref)
+    {
+        pdr_assert(ref < slots_.size() && alive_[ref]);
+        return slots_[ref];
+    }
+
+    const Flit &
+    get(FlitRef ref) const
+    {
+        pdr_assert(ref < slots_.size() && alive_[ref]);
+        return slots_[ref];
+    }
+
+    /** Slot `ref` currently holds a live flit. */
+    bool alive(FlitRef ref) const
+    {
+        return ref < slots_.size() && alive_[ref];
+    }
+
+    /** Flits currently live (in some queue between source and sink). */
+    std::size_t liveCount() const { return live_; }
+
+    /** Slots ever created (the allocation high-water mark). */
+    std::size_t capacity() const { return slots_.size(); }
+
+  private:
+    std::vector<Flit> slots_;
+    std::vector<char> alive_;       //!< Liveness bitmap (1 byte/slot).
+    std::vector<FlitRef> freeList_; //!< LIFO for cache-warm reuse.
+    std::size_t live_ = 0;
+};
+
+/** Fixed-capacity FIFO of flit handles (a router input buffer). */
+class FlitFifo
+{
+  public:
+    /** Set the capacity; clears the queue.  Allocate-once. */
+    void
+    init(int capacity)
+    {
+        pdr_assert(capacity >= 1);
+        ring_.assign(std::size_t(capacity), NullFlit);
+        head_ = 0;
+        size_ = 0;
+    }
+
+    bool empty() const { return size_ == 0; }
+    int size() const { return size_; }
+    int capacity() const { return int(ring_.size()); }
+
+    FlitRef
+    front() const
+    {
+        pdr_assert(size_ > 0);
+        return ring_[head_];
+    }
+
+    void
+    push(FlitRef ref)
+    {
+        pdr_assert(size_ < int(ring_.size()));
+        std::size_t tail = head_ + std::size_t(size_);
+        if (tail >= ring_.size())
+            tail -= ring_.size();
+        ring_[tail] = ref;
+        size_++;
+    }
+
+    FlitRef
+    pop()
+    {
+        pdr_assert(size_ > 0);
+        FlitRef ref = ring_[head_];
+        head_++;
+        if (head_ >= ring_.size())
+            head_ = 0;
+        size_--;
+        return ref;
+    }
+
+  private:
+    std::vector<FlitRef> ring_;
+    std::size_t head_ = 0;
+    int size_ = 0;
+};
+
+} // namespace pdr::sim
+
+#endif // PDR_SIM_FLIT_POOL_HH

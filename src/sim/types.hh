@@ -13,6 +13,9 @@ namespace pdr::sim {
 /** Simulation time in clock cycles. */
 using Cycle = std::uint64_t;
 
+/** "Never": the wake time of a component with no pending work. */
+constexpr Cycle CycleNever = ~Cycle(0);
+
 /** Node (router) identifier: row-major index into the mesh. */
 using NodeId = std::int32_t;
 

@@ -7,11 +7,6 @@
 
 namespace pdr::stats {
 
-LatencyStats::LatencyStats()
-{
-    bins_.assign(binCount_, 0);
-}
-
 void
 LatencyStats::record(double latency, bool measured)
 {
@@ -56,6 +51,15 @@ LatencyStats::merge(const LatencyStats &other)
     overflow_ += other.overflow_;
     for (int i = 0; i < binCount_; i++)
         bins_[i] += other.bins_[i];
+}
+
+LatencyStats
+LatencyStats::merged(const std::vector<LatencyStats> &shards)
+{
+    LatencyStats all;
+    for (const auto &s : shards)
+        all.merge(s);
+    return all;
 }
 
 double

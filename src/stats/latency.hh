@@ -2,11 +2,19 @@
  * @file
  * Latency statistics: mean / min / max plus a coarse histogram and
  * percentile queries over the measured sample space.
+ *
+ * Merging is first-class: accumulators combine associatively with
+ * merge() / operator+= / merged(), so per-sink partials (and, later,
+ * per-worker shards of one simulation) record independently and
+ * combine only at readout.  The histogram is a fixed-size in-object
+ * array: constructing a shard allocates nothing and merging is one
+ * linear pass, with no heap traffic on the readout path.
  */
 
 #ifndef PDR_STATS_LATENCY_HH
 #define PDR_STATS_LATENCY_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -17,13 +25,28 @@ namespace pdr::stats {
 class LatencyStats
 {
   public:
-    LatencyStats();
+    LatencyStats() = default;
 
     /** Record one packet latency. */
     void record(double latency, bool measured);
 
-    /** Merge another accumulator (per-sink partials). */
+    /** Merge another accumulator (per-sink / per-shard partials). */
     void merge(const LatencyStats &other);
+
+    /** Merge, operator spelling: `total += shard`. */
+    LatencyStats &
+    operator+=(const LatencyStats &other)
+    {
+        merge(other);
+        return *this;
+    }
+
+    /**
+     * Combine shards in index order (the order fixes the
+     * floating-point summation sequence, so the result is
+     * deterministic for a deterministic shard list).
+     */
+    static LatencyStats merged(const std::vector<LatencyStats> &shards);
 
     std::uint64_t count() const { return count_; }
     double mean() const;
@@ -40,7 +63,7 @@ class LatencyStats
   private:
     // Histogram with 1-cycle bins up to `binCount_`, overflow beyond.
     static constexpr int binCount_ = 4096;
-    std::vector<std::uint32_t> bins_;
+    std::array<std::uint32_t, binCount_> bins_{};
     std::uint64_t overflow_ = 0;
 
     std::uint64_t count_ = 0;

@@ -37,13 +37,29 @@ TransposePattern::pick(sim::NodeId src, Rng &rng) const
     return d;
 }
 
+namespace {
+
+/** log2 of a power-of-two node count; throws for other counts. */
+int
+patternBits(const char *pattern, int k)
+{
+    int nodes = k * k;
+    if (!isPow2(unsigned(nodes))) {
+        throw std::invalid_argument(csprintf(
+            "traffic.pattern=%s needs a power-of-two node count, "
+            "got k=%d (%d nodes)", pattern, k, nodes));
+    }
+    int b = 0;
+    while ((1 << b) < nodes)
+        b++;
+    return b;
+}
+
+} // namespace
+
 BitComplementPattern::BitComplementPattern(int k) : numNodes_(k * k)
 {
-    if (!isPow2(unsigned(numNodes_))) {
-        throw std::invalid_argument(csprintf(
-            "traffic.pattern=bitcomp needs a power-of-two node count, "
-            "got k=%d (%d nodes)", k, numNodes_));
-    }
+    (void)patternBits("bitcomp", k);
 }
 
 sim::NodeId
@@ -72,6 +88,37 @@ NeighborPattern::pick(sim::NodeId src, Rng &) const
 {
     int x = int(src) % k_, y = int(src) / k_;
     return sim::NodeId(y * k_ + (x + 1) % k_);
+}
+
+BitReversePattern::BitReversePattern(int k)
+    : uniform_(k), bits_(patternBits("bitrev", k))
+{
+}
+
+sim::NodeId
+BitReversePattern::pick(sim::NodeId src, Rng &rng) const
+{
+    unsigned s = unsigned(src), d = 0;
+    for (int i = 0; i < bits_; i++)
+        d |= ((s >> i) & 1u) << (bits_ - 1 - i);
+    if (sim::NodeId(d) == src)
+        return uniform_.pick(src, rng);
+    return sim::NodeId(d);
+}
+
+ShufflePattern::ShufflePattern(int k)
+    : uniform_(k), numNodes_(k * k), bits_(patternBits("shuffle", k))
+{
+}
+
+sim::NodeId
+ShufflePattern::pick(sim::NodeId src, Rng &rng) const
+{
+    unsigned s = unsigned(src);
+    unsigned d = ((s << 1) | (s >> (bits_ - 1))) & unsigned(numNodes_ - 1);
+    if (sim::NodeId(d) == src)
+        return uniform_.pick(src, rng);
+    return sim::NodeId(d);
 }
 
 HotspotPattern::HotspotPattern(int k, sim::NodeId hotspot, double fraction)
@@ -106,6 +153,14 @@ PatternRegistry::PatternRegistry()
     add("neighbor",
         [](int k) { return std::make_unique<NeighborPattern>(k); },
         "nearest neighbor: +1 in x (wrapping)");
+    add("bitrev",
+        [](int k) { return std::make_unique<BitReversePattern>(k); },
+        "bit reversal: node i -> reverse of i's bits (power-of-two "
+        "node counts)");
+    add("shuffle",
+        [](int k) { return std::make_unique<ShufflePattern>(k); },
+        "perfect shuffle: node i -> rotate-left of i's bits "
+        "(power-of-two node counts)");
     add("hotspot",
         [](int k) {
             return std::make_unique<HotspotPattern>(

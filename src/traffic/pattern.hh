@@ -95,6 +95,37 @@ class NeighborPattern : public TrafficPattern
     int k_;
 };
 
+/** Bit reversal: node i -> reverse of i's log2(N) bits.  Palindromic
+ *  ids (which map to themselves) fall back to a uniform draw so every
+ *  node still offers load, mirroring the transpose diagonal. */
+class BitReversePattern : public TrafficPattern
+{
+  public:
+    explicit BitReversePattern(int k);
+    sim::NodeId pick(sim::NodeId src, Rng &rng) const override;
+    std::string name() const override { return "bitrev"; }
+
+  private:
+    UniformPattern uniform_;
+    int bits_;
+};
+
+/** Perfect shuffle: node i -> rotate i's log2(N) bits left by one.
+ *  The fixed points (all-zeros and all-ones) fall back to a uniform
+ *  draw so every node still offers load. */
+class ShufflePattern : public TrafficPattern
+{
+  public:
+    explicit ShufflePattern(int k);
+    sim::NodeId pick(sim::NodeId src, Rng &rng) const override;
+    std::string name() const override { return "shuffle"; }
+
+  private:
+    UniformPattern uniform_;
+    int numNodes_;
+    int bits_;
+};
+
 /**
  * Hotspot: with probability `fraction`, send to the hotspot node;
  * otherwise uniform random.

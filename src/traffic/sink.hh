@@ -2,32 +2,62 @@
  * @file
  * Ejection sink: absorbs flits at the destination node ("immediate
  * ejection"), validates packet integrity, and records latency and
- * throughput statistics.
+ * throughput statistics.  Flit pool slots are released here, at the
+ * end of each flit's life.
  */
 
 #ifndef PDR_TRAFFIC_SINK_HH
 #define PDR_TRAFFIC_SINK_HH
 
 #include <unordered_map>
+#include <vector>
 
 #include "sim/channel.hh"
 #include "sim/flit.hh"
+#include "sim/flit_pool.hh"
 #include "stats/latency.hh"
 #include "traffic/measure.hh"
 
 namespace pdr::traffic {
 
+/** One completed packet, as observed at its ejection port. */
+struct Delivery
+{
+    sim::PacketId packet;
+    sim::NodeId dest;
+    sim::Cycle at;          //!< Cycle the tail flit was ejected.
+    sim::Cycle latency;     //!< Creation-to-ejection latency.
+};
+
 /** Per-node ejection sink. */
 class Sink
 {
   public:
-    using FlitChannel = sim::Channel<sim::Flit>;
+    using FlitChannel = sim::Channel<sim::FlitRef>;
 
     Sink(sim::NodeId node, int packet_length, MeasureController &ctrl,
-         FlitChannel *from_router, stats::LatencyStats &latency);
+         sim::FlitPool &pool, FlitChannel *from_router,
+         stats::LatencyStats &latency);
 
     /** Drain arrived flits. */
     void tick(sim::Cycle now);
+
+    /**
+     * Earliest cycle at which an in-flight flit matures on the
+     * ejection channel; CycleNever when none (a sink holds no state
+     * that evolves without input).
+     */
+    sim::Cycle nextWake() const { return in_->nextReady(); }
+
+    /**
+     * Append every completed packet to `trace` (cycle-accuracy
+     * harnesses compare these across Network variants).  nullptr
+     * disables tracing (the default; zero cost).
+     */
+    void recordDeliveries(std::vector<Delivery> *trace)
+    {
+        trace_ = trace;
+    }
 
     /** Flits received after the warm-up point (for throughput). */
     std::uint64_t measuredFlits() const { return measuredFlits_; }
@@ -40,8 +70,10 @@ class Sink
     sim::NodeId node_;
     int packetLength_;
     MeasureController &ctrl_;
+    sim::FlitPool &pool_;
     FlitChannel *in_;
     stats::LatencyStats &latency_;
+    std::vector<Delivery> *trace_ = nullptr;
 
     /** Next expected sequence number per in-flight packet. */
     std::unordered_map<sim::PacketId, int> expectSeq_;

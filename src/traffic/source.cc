@@ -1,14 +1,17 @@
 #include "traffic/source.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace pdr::traffic {
 
 Source::Source(sim::NodeId node, const SourceConfig &cfg,
                const TrafficPattern &pattern, MeasureController &ctrl,
-               FlitChannel *to_router, CreditChannel *credits_back)
+               sim::FlitPool &pool, FlitChannel *to_router,
+               CreditChannel *credits_back)
     : node_(node), cfg_(cfg), pattern_(pattern), ctrl_(ctrl),
-      out_(to_router), creditIn_(credits_back),
+      pool_(pool), out_(to_router), creditIn_(credits_back),
       rng_(cfg.seed ^ (0xabcd1234ULL * (node + 1))),
       nextId_((sim::PacketId(node) << 40) + 1)
 {
@@ -34,6 +37,20 @@ Source::tick(sim::Cycle now)
     applyCredits(now);
     generate(now);
     inject(now);
+}
+
+sim::Cycle
+Source::nextWake(sim::Cycle now) const
+{
+    // A live Bernoulli process draws the RNG every cycle; sleeping
+    // would desynchronize the stream from the tick-everything
+    // schedule.  Backlogged or streaming sources also work per cycle.
+    if (cfg_.packetRate > 0.0 || !queue_.empty() || active() != 0 ||
+        !pendingCredits_.empty()) {
+        return now + 1;
+    }
+    sim::Cycle t = creditIn_ ? creditIn_->nextReady() : sim::CycleNever;
+    return std::max(t, now + 1);
 }
 
 void
@@ -94,7 +111,9 @@ Source::inject(sim::Cycle now)
         if (!s.busy || credits_[vc] <= 0)
             continue;
 
-        sim::Flit f;
+        sim::FlitRef ref = pool_.alloc();
+        sim::Flit &f = pool_.get(ref);
+        f = sim::Flit{};
         f.packet = s.pkt.id;
         int len = cfg_.packetLength;
         if (len == 1)
@@ -112,7 +131,7 @@ Source::inject(sim::Cycle now)
         f.ctime = s.pkt.ctime;
         f.measured = s.pkt.measured;
 
-        out_->push(f, now);
+        out_->push(ref, now);
         credits_[vc]--;
         flitsSent_++;
         s.nextSeq++;

@@ -21,6 +21,7 @@
 #include "common/rng.hh"
 #include "sim/channel.hh"
 #include "sim/flit.hh"
+#include "sim/flit_pool.hh"
 #include "traffic/measure.hh"
 #include "traffic/pattern.hh"
 
@@ -40,15 +41,25 @@ struct SourceConfig
 class Source
 {
   public:
-    using FlitChannel = sim::Channel<sim::Flit>;
+    using FlitChannel = sim::Channel<sim::FlitRef>;
     using CreditChannel = sim::Channel<sim::Credit>;
 
     Source(sim::NodeId node, const SourceConfig &cfg,
            const TrafficPattern &pattern, MeasureController &ctrl,
-           FlitChannel *to_router, CreditChannel *credits_back);
+           sim::FlitPool &pool, FlitChannel *to_router,
+           CreditChannel *credits_back);
 
     /** Advance one cycle: collect credits, generate, inject. */
     void tick(sim::Cycle now);
+
+    /**
+     * Earliest cycle at which this source next needs a tick.  A source
+     * with a nonzero rate ticks every cycle: the Bernoulli draw must
+     * advance the RNG stream each cycle to keep results bit-identical
+     * with the tick-everything schedule.  Idle zero-rate sources sleep
+     * until a credit arrives (CycleNever when none is in flight).
+     */
+    sim::Cycle nextWake(sim::Cycle now) const;
 
     /** Packets created so far. */
     std::uint64_t created() const { return created_; }
@@ -85,6 +96,7 @@ class Source
     SourceConfig cfg_;
     const TrafficPattern &pattern_;
     MeasureController &ctrl_;
+    sim::FlitPool &pool_;
     FlitChannel *out_;
     CreditChannel *creditIn_;
 

@@ -1,0 +1,165 @@
+/** @file Tests for the flit storage pool and fixed-capacity FIFO. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "sim/flit_pool.hh"
+
+using namespace pdr::sim;
+
+TEST(FlitPoolTest, AllocGrowsSlabOnDemand)
+{
+    FlitPool pool;
+    EXPECT_EQ(pool.capacity(), 0u);
+    FlitRef a = pool.alloc();
+    FlitRef b = pool.alloc();
+    EXPECT_NE(a, b);
+    EXPECT_EQ(pool.capacity(), 2u);
+    EXPECT_EQ(pool.liveCount(), 2u);
+}
+
+TEST(FlitPoolTest, FreedSlotsAreReusedLifo)
+{
+    FlitPool pool;
+    FlitRef a = pool.alloc();
+    FlitRef b = pool.alloc();
+    pool.free(a);
+    pool.free(b);
+    // LIFO: the most recently freed slot comes back first, and no new
+    // slots are created while freed ones exist.
+    EXPECT_EQ(pool.alloc(), b);
+    EXPECT_EQ(pool.alloc(), a);
+    EXPECT_EQ(pool.capacity(), 2u);
+}
+
+TEST(FlitPoolTest, NeverHandsOutALiveSlot)
+{
+    // The reuse invariant: across an arbitrary alloc/free interleaving
+    // the pool never returns a handle that is still live.
+    FlitPool pool;
+    std::set<FlitRef> live;
+    unsigned lcg = 12345;
+    for (int i = 0; i < 2000; i++) {
+        lcg = lcg * 1103515245 + 12345;
+        bool do_alloc = live.empty() || (lcg >> 16) % 3 != 0;
+        if (do_alloc) {
+            FlitRef r = pool.alloc();
+            EXPECT_EQ(live.count(r), 0u) << "live slot recycled";
+            live.insert(r);
+        } else {
+            FlitRef r = *live.begin();
+            live.erase(live.begin());
+            pool.free(r);
+        }
+        EXPECT_EQ(pool.liveCount(), live.size());
+    }
+}
+
+TEST(FlitPoolTest, PayloadSurvivesOtherSlotsChurning)
+{
+    FlitPool pool;
+    FlitRef keep = pool.alloc();
+    pool.get(keep).packet = 42;
+    pool.get(keep).dest = 7;
+    for (int i = 0; i < 100; i++)
+        pool.free(pool.alloc());
+    EXPECT_EQ(pool.get(keep).packet, 42u);
+    EXPECT_EQ(pool.get(keep).dest, 7);
+}
+
+TEST(FlitPoolTest, DeterministicHandleSequence)
+{
+    // Two pools driven by the same alloc/free sequence hand out the
+    // same handles -- pooling cannot perturb simulation determinism.
+    FlitPool a, b;
+    std::vector<FlitRef> ha, hb;
+    for (int round = 0; round < 50; round++) {
+        for (int i = 0; i < 7; i++) {
+            ha.push_back(a.alloc());
+            hb.push_back(b.alloc());
+        }
+        for (int i = 0; i < 5; i++) {
+            a.free(ha[ha.size() - 1 - i]);
+            b.free(hb[hb.size() - 1 - i]);
+        }
+        ha.resize(ha.size() - 5);
+        hb.resize(hb.size() - 5);
+    }
+    EXPECT_EQ(ha, hb);
+}
+
+TEST(FlitPoolTest, AliveQuery)
+{
+    FlitPool pool;
+    EXPECT_FALSE(pool.alive(0));
+    EXPECT_FALSE(pool.alive(NullFlit));
+    FlitRef r = pool.alloc();
+    EXPECT_TRUE(pool.alive(r));
+    pool.free(r);
+    EXPECT_FALSE(pool.alive(r));
+}
+
+TEST(FlitPoolDeathTest, DoubleFreePanics)
+{
+    FlitPool pool;
+    FlitRef r = pool.alloc();
+    pool.free(r);
+    EXPECT_DEATH(pool.free(r), "");
+}
+
+TEST(FlitPoolDeathTest, UseAfterFreePanics)
+{
+    FlitPool pool;
+    FlitRef r = pool.alloc();
+    pool.free(r);
+    EXPECT_DEATH(pool.get(r), "");
+}
+
+TEST(FlitFifoTest, FifoOrderAndWraparound)
+{
+    FlitFifo f;
+    f.init(3);
+    EXPECT_TRUE(f.empty());
+    EXPECT_EQ(f.capacity(), 3);
+    // Push/pop past the capacity several times to exercise the wrap.
+    FlitRef next = 0;
+    FlitRef expect = 0;
+    for (int round = 0; round < 5; round++) {
+        f.push(next++);
+        f.push(next++);
+        EXPECT_EQ(f.size(), 2);
+        EXPECT_EQ(f.front(), expect);
+        EXPECT_EQ(f.pop(), expect++);
+        EXPECT_EQ(f.pop(), expect++);
+        EXPECT_TRUE(f.empty());
+    }
+}
+
+TEST(FlitFifoTest, FillsToCapacity)
+{
+    FlitFifo f;
+    f.init(4);
+    for (FlitRef i = 0; i < 4; i++)
+        f.push(i);
+    EXPECT_EQ(f.size(), 4);
+    for (FlitRef i = 0; i < 4; i++)
+        EXPECT_EQ(f.pop(), i);
+}
+
+TEST(FlitFifoDeathTest, OverflowPanics)
+{
+    FlitFifo f;
+    f.init(2);
+    f.push(0);
+    f.push(1);
+    EXPECT_DEATH(f.push(2), "");
+}
+
+TEST(FlitFifoDeathTest, PopEmptyPanics)
+{
+    FlitFifo f;
+    f.init(2);
+    EXPECT_DEATH(f.pop(), "");
+}

@@ -99,3 +99,46 @@ TEST(LatencyStats, OverflowBinHandled)
     // Percentile falls back to max for the overflow mass.
     EXPECT_GE(s.percentile(99.0), 10.0);
 }
+
+TEST(LatencyStats, OperatorPlusEqualsIsMerge)
+{
+    LatencyStats a, b;
+    a.record(10.0, true);
+    b.record(20.0, true);
+    b.record(30.0, false);
+    a += b;
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 15.0);
+    EXPECT_EQ(a.unmeasuredCount(), 1u);
+}
+
+TEST(LatencyStats, MergedCombinesShardsInOrder)
+{
+    // Shard-per-sink readout: merged() must equal sequential merging
+    // exactly (same floating-point summation order).
+    std::vector<LatencyStats> shards(4);
+    double v = 1.0;
+    for (auto &s : shards) {
+        for (int i = 0; i < 3; i++)
+            s.record(v += 1.5, true);
+    }
+    auto all = LatencyStats::merged(shards);
+
+    LatencyStats seq;
+    for (const auto &s : shards)
+        seq.merge(s);
+
+    EXPECT_EQ(all.count(), 12u);
+    EXPECT_DOUBLE_EQ(all.mean(), seq.mean());
+    EXPECT_DOUBLE_EQ(all.stddev(), seq.stddev());
+    EXPECT_DOUBLE_EQ(all.min(), seq.min());
+    EXPECT_DOUBLE_EQ(all.max(), seq.max());
+    EXPECT_DOUBLE_EQ(all.percentile(99.0), seq.percentile(99.0));
+}
+
+TEST(LatencyStats, MergedOfEmptyListIsEmpty)
+{
+    auto all = LatencyStats::merged({});
+    EXPECT_EQ(all.count(), 0u);
+    EXPECT_DOUBLE_EQ(all.mean(), 0.0);
+}

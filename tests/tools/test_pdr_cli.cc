@@ -152,3 +152,91 @@ TEST(PdrCli, RunPrintsResultFields)
     EXPECT_NE(res.out.find("avg_latency"), std::string::npos);
     EXPECT_NE(res.out.find("drained"), std::string::npos);
 }
+
+namespace {
+
+/** Write `text` to a fresh temp file; returns the path. */
+std::string
+writeTemp(const char *name, const std::string &text)
+{
+    std::string path =
+        testing::TempDir() + "pdr_cli_" + name + ".csv";
+    FILE *f = fopen(path.c_str(), "w");
+    EXPECT_NE(f, nullptr) << path;
+    fwrite(text.data(), 1, text.size(), f);
+    fclose(f);
+    return path;
+}
+
+const char *kCsvA =
+    "index,label,avg_latency,drained\n"
+    "0,p@0.1,30.25,true\n"
+    "1,p@0.2,34.5,true\n";
+
+} // namespace
+
+TEST(PdrCliDiff, IdenticalFilesMatch)
+{
+    auto a = writeTemp("ident_a", kCsvA);
+    auto b = writeTemp("ident_b", kCsvA);
+    auto res = run("diff " + a + " " + b);
+    EXPECT_EQ(res.status, 0) << res.out;
+    EXPECT_NE(res.out.find("2 rows match"), std::string::npos)
+        << res.out;
+}
+
+TEST(PdrCliDiff, NumericDriftFailsExactButPassesWithTolerance)
+{
+    auto a = writeTemp("drift_a", kCsvA);
+    auto b = writeTemp("drift_b",
+                       "index,label,avg_latency,drained\n"
+                       "0,p@0.1,30.26,true\n"
+                       "1,p@0.2,34.5,true\n");
+    auto exact = run("diff " + a + " " + b);
+    EXPECT_EQ(exact.status, 1) << exact.out;
+    EXPECT_NE(exact.out.find("avg_latency"), std::string::npos)
+        << exact.out;
+
+    auto loose = run("diff --tolerance 0.01 " + a + " " + b);
+    EXPECT_EQ(loose.status, 0) << loose.out;
+}
+
+TEST(PdrCliDiff, ToleranceDoesNotExcuseTextMismatch)
+{
+    auto a = writeTemp("text_a", kCsvA);
+    auto b = writeTemp("text_b",
+                       "index,label,avg_latency,drained\n"
+                       "0,p@0.1,30.25,true\n"
+                       "1,p@0.2,34.5,false\n");
+    auto res = run("diff --tolerance 0.5 " + a + " " + b);
+    EXPECT_EQ(res.status, 1) << res.out;
+    EXPECT_NE(res.out.find("drained"), std::string::npos) << res.out;
+}
+
+TEST(PdrCliDiff, RowCountMismatchFails)
+{
+    auto a = writeTemp("rows_a", kCsvA);
+    auto b = writeTemp("rows_b",
+                       "index,label,avg_latency,drained\n"
+                       "0,p@0.1,30.25,true\n");
+    auto res = run("diff " + a + " " + b);
+    EXPECT_EQ(res.status, 1) << res.out;
+    EXPECT_NE(res.out.find("row count"), std::string::npos) << res.out;
+}
+
+TEST(PdrCliDiff, MissingFileReportsError)
+{
+    auto a = writeTemp("missing_a", kCsvA);
+    auto res = run("diff " + a + " /no/such/file.csv");
+    EXPECT_NE(res.status, 0);
+    EXPECT_NE(res.out.find("cannot read"), std::string::npos)
+        << res.out;
+}
+
+TEST(PdrCliDiff, NeedsExactlyTwoPaths)
+{
+    auto res = run("diff only_one.csv");
+    EXPECT_NE(res.status, 0);
+    EXPECT_NE(res.out.find("two CSV paths"), std::string::npos)
+        << res.out;
+}

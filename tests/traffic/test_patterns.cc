@@ -102,11 +102,73 @@ TEST(Patterns, HotspotBias)
     EXPECT_NEAR(to_hot / double(n), expect, 0.02);
 }
 
+TEST(Patterns, BitReverseMapsAndCovers)
+{
+    BitReversePattern p(K);
+    Rng rng(10);
+    // 6-bit reversal on an 8x8: 1 = 000001 -> 100000 = 32.
+    EXPECT_EQ(p.pick(1, rng), sim::NodeId(32));
+    EXPECT_EQ(p.pick(32, rng), sim::NodeId(1));
+    // 11 = 001011 -> 110100 = 52.
+    EXPECT_EQ(p.pick(11, rng), sim::NodeId(52));
+    // Bit reversal is an involution wherever it moves a node.
+    for (sim::NodeId s = 0; s < N; s++) {
+        auto d = p.pick(s, rng);
+        EXPECT_NE(d, s);
+        if (p.pick(d, rng) != s) {
+            // Only palindromic sources (uniform fallback) may break
+            // the involution.
+            auto rev = [&](sim::NodeId v) {
+                unsigned r = 0;
+                for (int i = 0; i < 6; i++)
+                    r |= ((unsigned(v) >> i) & 1u) << (5 - i);
+                return sim::NodeId(r);
+            };
+            EXPECT_TRUE(rev(s) == s || rev(d) == d);
+        }
+    }
+}
+
+TEST(Patterns, BitReversePalindromeFallsBackToUniform)
+{
+    BitReversePattern p(K);
+    Rng rng(11);
+    // 33 = 100001 is a palindrome: mapped uniformly, never to itself.
+    std::map<sim::NodeId, int> hits;
+    for (int i = 0; i < 1000; i++)
+        hits[p.pick(33, rng)]++;
+    EXPECT_EQ(hits.count(33), 0u);
+    EXPECT_GT(hits.size(), 40u);
+}
+
+TEST(Patterns, ShuffleRotatesBits)
+{
+    ShufflePattern p(K);
+    Rng rng(12);
+    // 6-bit rotate left: 1 = 000001 -> 000010 = 2.
+    EXPECT_EQ(p.pick(1, rng), sim::NodeId(2));
+    // 32 = 100000 -> 000001 = 1.
+    EXPECT_EQ(p.pick(32, rng), sim::NodeId(1));
+    // 44 = 101100 -> 011001 = 25.
+    EXPECT_EQ(p.pick(44, rng), sim::NodeId(25));
+}
+
+TEST(Patterns, ShuffleFixedPointsFallBackToUniform)
+{
+    ShufflePattern p(K);
+    Rng rng(13);
+    for (sim::NodeId fixed : {sim::NodeId(0), sim::NodeId(N - 1)}) {
+        for (int i = 0; i < 200; i++)
+            EXPECT_NE(p.pick(fixed, rng), fixed);
+    }
+}
+
 TEST(PatternRegistry, ContainsEveryBuiltin)
 {
     auto &reg = PatternRegistry::instance();
     for (const char *name : {"uniform", "transpose", "bitcomp",
-                             "tornado", "neighbor", "hotspot"}) {
+                             "tornado", "neighbor", "hotspot",
+                             "bitrev", "shuffle"}) {
         EXPECT_TRUE(reg.contains(name)) << name;
         EXPECT_FALSE(reg.description(name).empty()) << name;
     }
@@ -142,6 +204,8 @@ TEST(PatternRegistry, UnknownNameThrowsListingKnownNames)
 TEST(PatternRegistry, BitcompRejectsNonPow2NodeCount)
 {
     EXPECT_THROW(makePattern("bitcomp", 3), std::invalid_argument);
+    EXPECT_THROW(makePattern("bitrev", 3), std::invalid_argument);
+    EXPECT_THROW(makePattern("shuffle", 3), std::invalid_argument);
 }
 
 namespace {

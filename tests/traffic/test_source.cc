@@ -14,7 +14,8 @@ namespace {
 
 struct SourceJig
 {
-    sim::Channel<Flit> flits{1};
+    sim::FlitPool pool;
+    sim::Channel<sim::FlitRef> flits{1};
     sim::Channel<sim::Credit> credits{1};
     MeasureController ctrl{0, 1000000};
     UniformPattern pattern{4};
@@ -30,8 +31,8 @@ struct SourceJig
         cfg.packetLength = len;
         cfg.packetRate = rate;
         cfg.seed = 5;
-        src = std::make_unique<Source>(1, cfg, pattern, ctrl, &flits,
-                                       &credits);
+        src = std::make_unique<Source>(1, cfg, pattern, ctrl, pool,
+                                       &flits, &credits);
     }
 
     std::vector<Flit>
@@ -41,10 +42,12 @@ struct SourceJig
         for (int i = 0; i < cycles; i++) {
             src->tick(now);
             now++;
-            while (auto f = flits.pop(now)) {
+            while (auto r = flits.pop(now)) {
+                Flit f = pool.get(*r);
+                pool.free(*r);
                 if (echo_credits)
-                    credits.push(sim::Credit{f->vc}, now);
-                out.push_back(*f);
+                    credits.push(sim::Credit{f.vc}, now);
+                out.push_back(f);
             }
         }
         return out;

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * `bench_core` -- hot-loop throughput of the simulation core.
+ *
+ * Times Network::run over fixed full-network scenarios (no measurement
+ * protocol, no sweep engine: just the per-cycle core) and emits
+ * BENCH_core.json with cycles/sec per scenario.  The scenarios bracket
+ * the load range that dominates every latency-throughput sweep: a
+ * low-load point (0.1 of capacity, where most routers idle most
+ * cycles), a mid point, and a near-saturation point (0.9).
+ *
+ * Usage:
+ *   bench_core [--out BENCH_core.json] [--cycles N] [--repeats R]
+ *
+ * Each scenario warms the network into steady state, then times
+ * `--cycles` simulated cycles `--repeats` times and reports the best
+ * run (wall-clock minimum, the standard noise filter).  The simulation
+ * itself is deterministic; only the timing varies.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "net/network.hh"
+#include "router/config.hh"
+
+using namespace pdr;
+
+namespace {
+
+struct Scenario
+{
+    const char *name;
+    router::RouterModel model;
+    int numVcs;
+    int bufDepth;
+    double offered;     //!< Fraction of uniform capacity.
+};
+
+const Scenario kScenarios[] = {
+    {"specvc_low_0.1", router::RouterModel::SpecVirtualChannel, 2, 4, 0.1},
+    {"specvc_mid_0.5", router::RouterModel::SpecVirtualChannel, 2, 4, 0.5},
+    {"specvc_sat_0.9", router::RouterModel::SpecVirtualChannel, 2, 4, 0.9},
+    {"wormhole_low_0.1", router::RouterModel::Wormhole, 1, 8, 0.1},
+};
+
+struct Result
+{
+    const Scenario *sc;
+    double bestWallS;
+    double cyclesPerSec;
+};
+
+double
+timeScenario(const Scenario &sc, sim::Cycle cycles, int repeats)
+{
+    net::NetworkConfig cfg;
+    cfg.k = 8;
+    cfg.router.model = sc.model;
+    cfg.router.numVcs = sc.numVcs;
+    cfg.router.bufDepth = sc.bufDepth;
+    cfg.packetLength = 5;
+    cfg.warmup = 0;
+    cfg.samplePackets = 1u << 30;   // Never ends the sample space.
+    cfg.setOfferedFraction(sc.offered);
+
+    net::Network network(cfg);
+    network.run(2000);              // Reach steady state untimed.
+
+    double best = -1.0;
+    for (int r = 0; r < repeats; r++) {
+        auto t0 = std::chrono::steady_clock::now();
+        network.run(cycles);
+        auto t1 = std::chrono::steady_clock::now();
+        double s = std::chrono::duration<double>(t1 - t0).count();
+        if (best < 0.0 || s < best)
+            best = s;
+    }
+    return best;
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+        "usage: bench_core [--out PATH] [--cycles N] [--repeats R]\n"
+        "\n"
+        "Times the simulation core over fixed full-network scenarios\n"
+        "and writes cycles/sec per scenario to PATH (default\n"
+        "BENCH_core.json).\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out = "BENCH_core.json";
+    long long cycles = 30000;
+    int repeats = 5;
+
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "bench_core: %s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--out") {
+            out = value();
+        } else if (arg == "--cycles") {
+            cycles = std::atoll(value());
+        } else if (arg == "--repeats") {
+            repeats = std::atoi(value());
+        } else {
+            return usage();
+        }
+    }
+    if (cycles < 1 || repeats < 1)
+        return usage();
+
+    std::vector<Result> results;
+    for (const auto &sc : kScenarios) {
+        double best = timeScenario(sc, sim::Cycle(cycles), repeats);
+        double cps = double(cycles) / best;
+        results.push_back({&sc, best, cps});
+        std::printf("%-18s %12.0f cycles/sec  (best of %d x %llu "
+                    "cycles: %.3f s)\n",
+                    sc.name, cps, repeats,
+                    static_cast<unsigned long long>(cycles), best);
+    }
+
+    std::ofstream f(out);
+    if (!f) {
+        std::fprintf(stderr, "bench_core: cannot write '%s'\n",
+                     out.c_str());
+        return 1;
+    }
+    f << "{\n  \"generator\": \"bench_core\",\n";
+    f << "  \"cycles\": " << cycles << ",\n";
+    f << "  \"repeats\": " << repeats << ",\n";
+    f << "  \"scenarios\": [\n";
+    for (std::size_t i = 0; i < results.size(); i++) {
+        const auto &r = results[i];
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"name\": \"%s\", \"offered\": %.2f, "
+                      "\"best_wall_s\": %.6f, \"cycles_per_sec\": %.0f}",
+                      r.sc->name, r.sc->offered, r.bestWallS,
+                      r.cyclesPerSec);
+        f << buf << (i + 1 < results.size() ? ",\n" : "\n");
+    }
+    f << "  ]\n}\n";
+    std::printf("wrote %s\n", out.c_str());
+    return 0;
+}

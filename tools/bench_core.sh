@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_core.json: build the Release bench_core driver and
+# time the simulation core's fixed scenarios (see tools/bench_core.cc).
+#
+#   tools/bench_core.sh [--cycles N] [--repeats R]
+#
+# Writes BENCH_core.json at the repository root.  Compare against the
+# committed copy (or a previous run) to track the core's cycles/sec
+# trajectory PR over PR:
+#
+#   jq -r '.scenarios[] | "\(.name) \(.cycles_per_sec)"' BENCH_core.json
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="$repo/build-bench"
+
+cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release \
+      -DPDR_BUILD_TESTS=OFF -DPDR_BUILD_BENCHES=OFF \
+      -DPDR_BUILD_EXAMPLES=OFF > /dev/null
+cmake --build "$build" -j "$(nproc)" --target bench_core > /dev/null
+
+exec "$build/bench_core" --out "$repo/BENCH_core.json" "$@"

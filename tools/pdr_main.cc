@@ -18,6 +18,8 @@
  * bench_fig18's PDR_SWEEP_CSV output row for row, for any PDR_THREADS.
  */
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -51,6 +53,9 @@ usage(FILE *out)
         "  describe   list parameter keys and registries; with "
         "--file,\n"
         "             validate and summarize an experiment\n"
+        "  diff       compare two sweep CSVs cell by cell "
+        "(--tolerance\n"
+        "             for numeric slack); exits 1 on any mismatch\n"
         "\n"
         "options:\n"
         "  --file PATH        load an INI-style experiment file\n"
@@ -65,6 +70,9 @@ usage(FILE *out)
         "PDR_THREADS\n"
         "                     or hardware concurrency)\n"
         "  --seed N           base seed for derived per-point seeds\n"
+        "  --tolerance X      diff: relative numeric tolerance per "
+        "cell\n"
+        "                     (default 0 = bit-exact text compare)\n"
         "\n"
         "environment: PDR_FAST=1 coarsens the load axis; PDR_PACKETS,\n"
         "PDR_WARMUP, PDR_MAX_CYCLES override the base config.\n"
@@ -85,8 +93,11 @@ struct Options
     bool json = false;
     int threads = 0;
     std::uint64_t seed = 1;
+    double tolerance = 0.0;
     /** --key=value overrides, in command-line order. */
     std::vector<std::pair<std::string, std::string>> overrides;
+    /** Positional arguments (the two CSV paths of `pdr diff`). */
+    std::vector<std::string> positional;
 };
 
 bool
@@ -128,8 +139,12 @@ parseArgs(int argc, char **argv, Options &opt)
         } else if (arg == "--seed") {
             opt.seed = std::strtoull(want_value("--seed").c_str(),
                                      nullptr, 10);
+        } else if (arg == "--tolerance") {
+            opt.tolerance = std::atof(want_value("--tolerance").c_str());
         } else if (has_inline && arg.rfind("--", 0) == 0) {
             opt.overrides.push_back({arg.substr(2), inline_value});
+        } else if (arg.rfind("--", 0) != 0) {
+            opt.positional.push_back(arg);
         } else {
             throw std::invalid_argument("unknown argument '" + arg +
                                         "'");
@@ -242,6 +257,131 @@ cmdSweep(const Options &opt)
     return results.failures() == 0 ? 0 : 1;
 }
 
+/** One parsed CSV: header cells + row cells. */
+struct CsvFile
+{
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+CsvFile
+loadCsv(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::invalid_argument("cannot read '" + path + "'");
+    CsvFile csv;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue;
+        std::vector<std::string> cells;
+        std::size_t start = 0;
+        while (true) {
+            auto comma = line.find(',', start);
+            cells.push_back(line.substr(start, comma - start));
+            if (comma == std::string::npos)
+                break;
+            start = comma + 1;
+        }
+        if (csv.header.empty())
+            csv.header = std::move(cells);
+        else
+            csv.rows.push_back(std::move(cells));
+    }
+    if (csv.header.empty())
+        throw std::invalid_argument("'" + path + "' is empty");
+    return csv;
+}
+
+/** Parse a full-cell double; false for non-numeric cells. */
+bool
+parseNumber(const std::string &cell, double &out)
+{
+    if (cell.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtod(cell.c_str(), &end);
+    return end == cell.c_str() + cell.size();
+}
+
+/**
+ * Compare two sweep CSVs.  With zero tolerance every cell must match
+ * textually (the bit-identity check CI runs against the golden CSV);
+ * with a tolerance, numeric cells may differ by `tol` relative to the
+ * larger magnitude (floor 1.0, so near-zero cells get an absolute
+ * tolerance) and non-numeric cells must still match exactly.
+ */
+int
+cmdDiff(const Options &opt)
+{
+    if (opt.positional.size() != 2) {
+        throw std::invalid_argument(
+            "diff needs exactly two CSV paths: pdr diff A.csv B.csv");
+    }
+    if (opt.tolerance < 0.0)
+        throw std::invalid_argument("--tolerance must be >= 0");
+
+    auto a = loadCsv(opt.positional[0]);
+    auto b = loadCsv(opt.positional[1]);
+
+    int mismatches = 0;
+    constexpr int max_report = 20;
+    auto report = [&](const std::string &what) {
+        if (mismatches < max_report)
+            std::fprintf(stderr, "pdr diff: %s\n", what.c_str());
+        mismatches++;
+    };
+
+    if (a.header != b.header) {
+        report("headers differ");
+    } else if (a.rows.size() != b.rows.size()) {
+        report(csprintf("row count differs: %zu vs %zu",
+                        a.rows.size(), b.rows.size()));
+    } else {
+        for (std::size_t r = 0; r < a.rows.size(); r++) {
+            const auto &ra = a.rows[r];
+            const auto &rb = b.rows[r];
+            if (ra.size() != rb.size()) {
+                report(csprintf("row %zu: cell count differs", r));
+                continue;
+            }
+            for (std::size_t c = 0; c < ra.size(); c++) {
+                if (ra[c] == rb[c])
+                    continue;
+                double va, vb;
+                if (opt.tolerance > 0.0 && parseNumber(ra[c], va) &&
+                    parseNumber(rb[c], vb)) {
+                    double scale = std::max(
+                        {1.0, std::fabs(va), std::fabs(vb)});
+                    if (std::fabs(va - vb) <= opt.tolerance * scale)
+                        continue;
+                }
+                const char *col = c < a.header.size()
+                                      ? a.header[c].c_str() : "?";
+                report(csprintf("row %zu, %s: '%s' vs '%s'", r, col,
+                                ra[c].c_str(), rb[c].c_str()));
+            }
+        }
+    }
+
+    if (mismatches == 0) {
+        std::printf("pdr diff: %zu rows match%s\n", a.rows.size(),
+                    opt.tolerance > 0.0 ? " (within tolerance)" : "");
+        return 0;
+    }
+    if (mismatches > max_report) {
+        std::fprintf(stderr, "pdr diff: ... and %d more\n",
+                     mismatches - max_report);
+    }
+    std::fprintf(stderr, "pdr diff: %d mismatch(es) between '%s' and "
+                 "'%s'\n", mismatches, opt.positional[0].c_str(),
+                 opt.positional[1].c_str());
+    return 1;
+}
+
 int
 cmdDescribe(const Options &opt)
 {
@@ -306,12 +446,18 @@ main(int argc, char **argv)
     try {
         Options opt;
         parseArgs(argc, argv, opt);
+        if (cmd != "diff" && !opt.positional.empty()) {
+            throw std::invalid_argument("unknown argument '" +
+                                        opt.positional.front() + "'");
+        }
         if (cmd == "run")
             return cmdRun(opt);
         if (cmd == "sweep")
             return cmdSweep(opt);
         if (cmd == "describe")
             return cmdDescribe(opt);
+        if (cmd == "diff")
+            return cmdDiff(opt);
         std::fprintf(stderr, "pdr: unknown command '%s'\n\n",
                      cmd.c_str());
         return usage(stderr);
