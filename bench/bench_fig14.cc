@@ -3,6 +3,11 @@
  * Figure 14 reproduction: latency-throughput with 16 buffers per input
  * port and 2 VCs per physical channel (8 buffers per VC).
  *
+ * The whole scenario is data: experiments/fig14.exp declares the base
+ * config, the load grid and the three curves; this bench only loads
+ * and prints it.  `pdr sweep --file experiments/fig14.exp` runs the
+ * identical grid.
+ *
  * Paper: zero-load 29 / 35 / 29 cycles; saturation 50% / 65% / 70% --
  * the "40% over wormhole" headline configuration.
  */
@@ -10,7 +15,6 @@
 #include "bench_util.hh"
 
 using namespace pdr;
-using router::RouterModel;
 
 int
 main()
@@ -19,13 +23,6 @@ main()
                   "WH (16 bufs), VC (2vcsX8bufs), specVC (2vcsX8bufs)."
                   "  Paper: zero-load\n29/35/29 cycles; saturation "
                   "0.50/0.65/0.70 (specVC = WH latency, +40% tput).");
-    bench::runAndPrintCurves({
-        {"WH (16 bufs)",
-         bench::routerConfig(RouterModel::Wormhole, 1, 16)},
-        {"VC (2x8)",
-         bench::routerConfig(RouterModel::VirtualChannel, 2, 8)},
-        {"specVC (2x8)",
-         bench::routerConfig(RouterModel::SpecVirtualChannel, 2, 8)},
-    });
+    bench::runAndPrintExperiment(bench::loadExperiment("fig14.exp"));
     return 0;
 }

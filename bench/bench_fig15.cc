@@ -3,6 +3,11 @@
  * Figure 15 reproduction: 16 buffers per input port organized as 4 VCs
  * x 4 buffers.
  *
+ * The whole scenario is data: experiments/fig15.exp declares the base
+ * config, the load grid and the three curves; this bench only loads
+ * and prints it.  `pdr sweep --file experiments/fig15.exp` runs the
+ * identical grid.
+ *
  * Paper: with enough VCs/buffering to cover the credit loop, both VC
  * routers saturate together at ~70%; speculation no longer adds
  * throughput (but still removes the extra pipeline stage's latency).
@@ -11,7 +16,6 @@
 #include "bench_util.hh"
 
 using namespace pdr;
-using router::RouterModel;
 
 int
 main()
@@ -20,13 +24,6 @@ main()
                   "WH (16 bufs), VC (4vcsX4bufs), specVC (4vcsX4bufs)."
                   "  Paper: both VC routers\nsaturate at ~0.70; "
                   "speculation's throughput edge vanishes.");
-    bench::runAndPrintCurves({
-        {"WH (16 bufs)",
-         bench::routerConfig(RouterModel::Wormhole, 1, 16)},
-        {"VC (4x4)",
-         bench::routerConfig(RouterModel::VirtualChannel, 4, 4)},
-        {"specVC (4x4)",
-         bench::routerConfig(RouterModel::SpecVirtualChannel, 4, 4)},
-    });
+    bench::runAndPrintExperiment(bench::loadExperiment("fig15.exp"));
     return 0;
 }

@@ -181,6 +181,13 @@ defs()
                  traffic::PatternRegistry::instance().at(v);  // Throws.
              c.net.pattern = v;
          }},
+        {"traffic.permfile",
+         "permutation file for traffic.pattern=permfile (one "
+         "destination node index per line)",
+         [](const SimConfig &c) { return c.net.permfile; },
+         [](SimConfig &c, const std::string &v) {
+             c.net.permfile = v;
+         }},
         {"traffic.injection_rate",
          "offered load in flits/node/cycle, in [0, 1]",
          [](const SimConfig &c) {
@@ -232,13 +239,15 @@ defs()
              c.net.router.singleCycle =
                  parseBool("router.single_cycle", v);
          }},
-        {"router.num_ports", "physical ports per router (mesh: 5)",
+        {"router.num_ports",
+         "physical ports per router (0 = derive from the topology; "
+         "2D mesh: 5)",
          [](const SimConfig &c) {
              return std::to_string(c.net.router.numPorts);
          },
          [](SimConfig &c, const std::string &v) {
              c.net.router.numPorts =
-                 int(parseInt("router.num_ports", v, 2, 64));
+                 int(parseInt("router.num_ports", v, 0, 64));
          }},
         {"router.num_vcs",
          "virtual channels per physical port (1 for wormhole)",

@@ -4,23 +4,24 @@
 
 namespace pdr::net {
 
-WestFirstRouting::WestFirstRouting(const Mesh &mesh) : mesh_(mesh)
+WestFirstRouting::WestFirstRouting(const Lattice &lat) : lat_(lat)
 {
-    pdr_assert(!mesh.wraps());
+    pdr_assert(lat.dims() == 2 && !lat.wraps());
 }
 
 void
-WestFirstRouting::candidates(sim::NodeId here, sim::NodeId dest,
+WestFirstRouting::candidates(sim::NodeId here, const sim::Flit &head,
                              std::vector<int> &out) const
 {
     out.clear();
-    int hx = mesh_.xOf(here), hy = mesh_.yOf(here);
-    int dx = mesh_.xOf(dest), dy = mesh_.yOf(dest);
-
-    if (here == dest) {
-        out.push_back(Local);
+    sim::NodeId dr = lat_.routerOf(head.dest);
+    if (here == dr) {
+        out.push_back(lat_.localPort(lat_.localIndexOf(head.dest)));
         return;
     }
+    int hx = lat_.coordOf(here, 0), hy = lat_.coordOf(here, 1);
+    int dx = lat_.coordOf(dr, 0), dy = lat_.coordOf(dr, 1);
+
     if (dx < hx) {
         // All west hops first; no adaptivity while heading west.
         out.push_back(West);
@@ -37,10 +38,10 @@ WestFirstRouting::candidates(sim::NodeId here, sim::NodeId dest,
 }
 
 int
-WestFirstRouting::route(sim::NodeId here, sim::NodeId dest) const
+WestFirstRouting::route(sim::NodeId here, const sim::Flit &head) const
 {
     std::vector<int> cand;
-    candidates(here, dest, cand);
+    candidates(here, head, cand);
     return cand.front();
 }
 

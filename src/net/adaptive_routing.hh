@@ -1,6 +1,6 @@
 /**
  * @file
- * Minimal adaptive routing for the mesh using the west-first turn
+ * Minimal adaptive routing for 2D meshes using the west-first turn
  * model (an extension in the direction of the paper's Section-6 future
  * work, exercising the footnote-5 policy for speculative routers).
  *
@@ -16,6 +16,10 @@
  * switch bid it re-iterates through the routing function, as footnote
  * 5 prescribes for a speculative router with an adaptive (Rp-range)
  * routing function.
+ *
+ * Works on any 2D non-wrapping lattice, concentrated meshes included
+ * (the turn model constrains the directional ports only; ejection uses
+ * the destination's local port).
  */
 
 #ifndef PDR_NET_ADAPTIVE_ROUTING_HH
@@ -26,19 +30,19 @@
 
 namespace pdr::net {
 
-/** West-first minimal adaptive routing on a (non-wrapping) mesh. */
+/** West-first minimal adaptive routing on a 2D non-wrapping lattice. */
 class WestFirstRouting : public router::RoutingFunction
 {
   public:
-    explicit WestFirstRouting(const Mesh &mesh);
+    explicit WestFirstRouting(const Lattice &lat);
 
-    int route(sim::NodeId here, sim::NodeId dest) const override;
-    void candidates(sim::NodeId here, sim::NodeId dest,
+    int route(sim::NodeId here, const sim::Flit &head) const override;
+    void candidates(sim::NodeId here, const sim::Flit &head,
                     std::vector<int> &out) const override;
     bool isAdaptive() const override { return true; }
 
   private:
-    const Mesh &mesh_;
+    const Lattice &lat_;
 };
 
 } // namespace pdr::net

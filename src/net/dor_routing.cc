@@ -1,0 +1,98 @@
+#include "net/dor_routing.hh"
+
+#include "common/logging.hh"
+
+namespace pdr::net {
+
+int
+DorRouting::dorPort(sim::NodeId here, sim::NodeId dest_router,
+                    bool ascending) const
+{
+    int n = lat_.dims();
+    for (int i = 0; i < n; i++) {
+        int d = ascending ? i : n - 1 - i;
+        int hc = lat_.coordOf(here, d);
+        int dc = lat_.coordOf(dest_router, d);
+        if (hc == dc)
+            continue;
+        if (!lat_.wraps(d))
+            return dc > hc ? lat_.plusPort(d) : lat_.minusPort(d);
+        // Shortest way around the ring; ties go plus (East/North).
+        int k = lat_.radix(d);
+        int plus = (dc - hc + k) % k;
+        return plus <= k - plus ? lat_.plusPort(d) : lat_.minusPort(d);
+    }
+    return sim::Invalid;
+}
+
+int
+DorRouting::route(sim::NodeId here, const sim::Flit &head) const
+{
+    sim::NodeId dr = lat_.routerOf(head.dest);
+    if (here == dr)
+        return ejectPort(head);
+    return dorPort(here, dr, /*ascending=*/true);
+}
+
+std::uint32_t
+DorRouting::classMask(int vclass, sim::NodeId here, int out_port,
+                      int num_vcs, bool split_major) const
+{
+    int lo = 0, count = num_vcs;
+    if (split_major) {
+        int lower = count / 2;
+        if (vclass & 1) {
+            lo += lower;
+            count -= lower;
+        } else {
+            count = lower;
+        }
+    }
+    int d = lat_.dimOfPort(out_port);
+    if (lat_.wraps(d)) {
+        pdr_assert(count >= 2);
+        // Class on the next link: crossing the dateline promotes.
+        bool crossed = ((vclass >> datelineBit(d)) & 1) ||
+                       lat_.isWrapLink(here, out_port);
+        int lower = count / 2;
+        if (crossed) {
+            lo += lower;
+            count -= lower;
+        } else {
+            count = lower;
+        }
+    }
+    std::uint32_t bits =
+        count >= 32 ? ~0u : ((1u << count) - 1);
+    return bits << lo;
+}
+
+int
+DorRouting::datelineClass(int vclass, sim::NodeId here,
+                          int out_port) const
+{
+    if (lat_.isWrapLink(here, out_port))
+        return vclass | (1 << datelineBit(lat_.dimOfPort(out_port)));
+    return vclass;
+}
+
+std::uint32_t
+DorRouting::vcMask(const sim::Flit &head, sim::NodeId here,
+                   int out_port, int num_vcs) const
+{
+    if (lat_.isLocalPort(out_port))
+        return ~0u;
+    return classMask(head.vclass, here, out_port, num_vcs,
+                     /*split_major=*/false);
+}
+
+int
+DorRouting::nextClass(const sim::Flit &f, sim::NodeId here,
+                      int out_port) const
+{
+    if (lat_.isLocalPort(out_port))
+        return 0;
+    return datelineClass(f.vclass, here, out_port);
+}
+
+} // namespace pdr::net

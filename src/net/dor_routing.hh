@@ -1,0 +1,88 @@
+/**
+ * @file
+ * n-dimensional dimension-order routing (DOR) on any Lattice, with
+ * dateline VC classes on wrapping dimensions.
+ *
+ * DOR corrects dimensions in a fixed order (ascending: x, then y, then
+ * z, ...), which reproduces the paper's XY routing on the 2D mesh.  On
+ * wrapping dimensions the minimal direction is taken (ties broken
+ * toward plus, i.e. East/North), and the classic dateline scheme breaks
+ * the ring's channel-dependence cycle: a packet starts on the lower
+ * half of the VCs of each ring and switches to the upper half after
+ * crossing the dateline (the wrap link), so wrapping lattices need
+ * >= 2 VCs per channel.  Non-wrapping lattices are deadlock-free with
+ * any VC count (the dependence graph is acyclic).
+ *
+ * This one class replaces the old XyRouting / TorusDorRouting pair and
+ * is registered as "dor" (any lattice) plus the historical aliases
+ * "xy" (non-wrapping only) and "dateline" (wrapping only).
+ *
+ * VC-class encoding shared by the DOR family (also O1TURN / Valiant):
+ * bit 0 is the major bit (dimension order for O1TURN, phase for
+ * Valiant, always 0 for plain DOR); bit 1+d is the dateline bit of
+ * dimension d.  vcRange() maps (major, dateline) to a VC interval.
+ */
+
+#ifndef PDR_NET_DOR_ROUTING_HH
+#define PDR_NET_DOR_ROUTING_HH
+
+#include "net/topology.hh"
+#include "router/routing.hh"
+
+namespace pdr::net {
+
+/** Dimension-order routing with datelines on wrapping dims. */
+class DorRouting : public router::RoutingFunction
+{
+  public:
+    explicit DorRouting(const Lattice &lat) : lat_(lat) {}
+
+    int route(sim::NodeId here, const sim::Flit &head) const override;
+
+    std::uint32_t vcMask(const sim::Flit &head, sim::NodeId here,
+                         int out_port, int num_vcs) const override;
+
+    int nextClass(const sim::Flit &f, sim::NodeId here,
+                  int out_port) const override;
+
+    int minVcs() const override { return lat_.wraps() ? 2 : 1; }
+
+    const Lattice &lattice() const { return lat_; }
+
+  protected:
+    /** Dateline-bit position of dimension d in a flit's vclass. */
+    static int datelineBit(int d) { return 1 + d; }
+
+    /**
+     * Directional port toward `dest_router`, correcting dimensions in
+     * ascending (x first) or descending order; Invalid when already
+     * there.  Wrapping dims go the minimal way, ties toward plus.
+     */
+    int dorPort(sim::NodeId here, sim::NodeId dest_router,
+                bool ascending) const;
+
+    /** Ejection port for the packet's destination node. */
+    int ejectPort(const sim::Flit &head) const
+    {
+        return lat_.localPort(lat_.localIndexOf(head.dest));
+    }
+
+    /**
+     * VC mask for a directional hop: optionally halve the VC range by
+     * the major bit (order/phase), then halve again by the dateline
+     * state of the output port's dimension when it wraps.  With odd VC
+     * counts the upper class gets the larger share, matching the
+     * historical dateline split.
+     */
+    std::uint32_t classMask(int vclass, sim::NodeId here, int out_port,
+                            int num_vcs, bool split_major) const;
+
+    /** Dateline bits after traversing `out_port` (major bit kept). */
+    int datelineClass(int vclass, sim::NodeId here, int out_port) const;
+
+    const Lattice &lat_;
+};
+
+} // namespace pdr::net
+
+#endif // PDR_NET_DOR_ROUTING_HH

@@ -15,11 +15,16 @@ NetworkConfig::resolvedRouting() const
     return TopologyRegistry::instance().at(topology).defaultRouting;
 }
 
+Lattice
+NetworkConfig::makeLattice() const
+{
+    return TopologyRegistry::instance().at(topology).make(k);
+}
+
 double
 NetworkConfig::capacity() const
 {
-    return TopologyRegistry::instance().at(topology).make(k)
-        .uniformCapacity();
+    return makeLattice().uniformCapacity();
 }
 
 bool
@@ -31,19 +36,32 @@ operator==(const NetworkConfig &a, const NetworkConfig &b)
            a.creditLatency == b.creditLatency &&
            a.injectionRate == b.injectionRate &&
            a.packetLength == b.packetLength &&
-           a.pattern == b.pattern && a.seed == b.seed &&
-           a.warmup == b.warmup && a.samplePackets == b.samplePackets;
+           a.pattern == b.pattern && a.permfile == b.permfile &&
+           a.seed == b.seed && a.warmup == b.warmup &&
+           a.samplePackets == b.samplePackets;
 }
 
 void
 NetworkConfig::validate() const
 {
+    Lattice lat = makeLattice();
+    (void)traffic::makePattern(pattern, {lat, permfile});
+    auto routing_fn =
+        RoutingRegistry::instance().at(resolvedRouting())(lat);
+    validateWith(lat, *routing_fn);
+}
+
+void
+NetworkConfig::validateWith(const Lattice &lat,
+                            const router::RoutingFunction &routing_fn)
+    const
+{
     router.validate();
-    auto mesh = TopologyRegistry::instance().at(topology).make(k);
-    if (router.numPorts != NumPorts) {
+    if (router.numPorts != 0 && router.numPorts != lat.numPorts()) {
         throw std::invalid_argument(csprintf(
-            "router.num_ports: mesh routers need %d ports, got %d",
-            int(NumPorts), router.numPorts));
+            "router.num_ports: topology '%s' routers need %d ports "
+            "(or 0 = derive from the topology), got %d",
+            topology.c_str(), lat.numPorts(), router.numPorts));
     }
     // Negated comparison so NaN is rejected too.
     if (!(injectionRate >= 0.0 && injectionRate <= 1.0)) {
@@ -56,54 +74,62 @@ NetworkConfig::validate() const
             "traffic.packet_length must be >= 1, got %d",
             packetLength));
     }
-    // Wraparound rings need the dateline VC classes: at least two
-    // VCs, and hence a virtual-channel flow control method.
-    if (mesh.wraps() && router.numVcs < 2) {
-        throw std::invalid_argument(
-            "torus networks need >= 2 VCs per channel for dateline "
-            "deadlock avoidance (wormhole routers cannot run a torus "
-            "deadlock-free)");
+    // Wraparound rings need the dateline VC classes, randomized
+    // oblivious routings a class per order/phase -- each routing knows
+    // its own requirement.
+    if (router.numVcs < routing_fn.minVcs()) {
+        throw std::invalid_argument(csprintf(
+            "net.routing=%s on topology '%s' needs >= %d VCs per "
+            "channel for dateline/class deadlock avoidance, got %d "
+            "(wormhole routers cannot run a torus deadlock-free)",
+            resolvedRouting().c_str(), topology.c_str(),
+            routing_fn.minVcs(), router.numVcs));
     }
-    (void)traffic::makePattern(pattern, k);
-    (void)RoutingRegistry::instance().at(resolvedRouting())(mesh);
 }
 
 Network::Network(const NetworkConfig &cfg)
     : cfg_(cfg),
-      mesh_(TopologyRegistry::instance().at(cfg.topology).make(cfg.k)),
+      mesh_(cfg.makeLattice()),
       ctrl_(cfg.warmup, cfg.samplePackets),
-      pattern_(traffic::makePattern(cfg.pattern, cfg.k))
+      pattern_(traffic::makePattern(cfg.pattern,
+                                    {mesh_, cfg.permfile}))
 {
-    cfg_.validate();
     routing_ =
         RoutingRegistry::instance().at(cfg_.resolvedRouting())(mesh_);
+    cfg_.validateWith(mesh_, *routing_);
+    cfg_.router.numPorts = mesh_.numPorts();  // Resolve 0 = auto.
 
-    int n = mesh_.numNodes();
-    wakeAt_.assign(std::size_t(3 * n), 0);  // Everyone runs at cycle 0.
+    int routers = mesh_.numRouters();
+    int nodes = mesh_.numNodes();
+    int dims = mesh_.dims();
+    // Everyone runs at cycle 0.
+    wakeAt_.assign(std::size_t(2 * nodes + routers), 0);
 
     // Count the directed inter-router links so every slab can be
     // reserved exactly; growing a slab later would invalidate the
     // channel pointers already handed to components.
     int edges = 0;
-    for (sim::NodeId id = 0; id < n; id++)
-        for (int port : {North, East})
+    for (sim::NodeId id = 0; id < routers; id++)
+        for (int port = 0; port < dims; port++)
             if (mesh_.neighbor(id, port) != sim::Invalid)
                 edges += 2;
-    flitChans_.reserve(std::size_t(edges + 2 * n));   // links+inj+ej
-    creditChans_.reserve(std::size_t(edges + n));     // links+inj
+    flitChans_.reserve(std::size_t(edges + 2 * nodes));  // links+inj+ej
+    creditChans_.reserve(std::size_t(edges + nodes));    // links+inj
 
-    routers_.reserve(std::size_t(n));
-    for (sim::NodeId id = 0; id < n; id++)
+    routers_.reserve(std::size_t(routers));
+    for (sim::NodeId id = 0; id < routers; id++)
         routers_.emplace_back(id, cfg_.router, *routing_, pool_);
 
     // Inter-router links: one flit channel and one reverse credit
     // channel per directed edge (wrap links included on a torus).
-    for (sim::NodeId id = 0; id < n; id++) {
-        for (int port : {North, East}) {
+    // Ports [0, dims) are the plus directions, so every undirected
+    // edge is visited exactly once.
+    for (sim::NodeId id = 0; id < routers; id++) {
+        for (int port = 0; port < dims; port++) {
             sim::NodeId nb = mesh_.neighbor(id, port);
             if (nb == sim::Invalid)
                 continue;
-            int rport = Mesh::opposite(port);
+            int rport = mesh_.opposite(port);
 
             // id --(port)--> nb
             auto *f1 = newFlitChan(cfg_.linkLatency, rtrComp(nb));
@@ -119,32 +145,36 @@ Network::Network(const NetworkConfig &cfg)
         }
     }
 
-    // Sources and sinks on the local port.
-    sources_.reserve(std::size_t(n));
-    sinks_.reserve(std::size_t(n));
-    sinkLatency_.resize(std::size_t(n));
+    // Sources and sinks on the local ports (one per hosted node).
+    sources_.reserve(std::size_t(nodes));
+    sinks_.reserve(std::size_t(nodes));
+    sinkLatency_.resize(std::size_t(nodes));
     traffic::SourceConfig scfg;
     scfg.numVcs = cfg_.router.numVcs;
     scfg.bufDepth = cfg_.router.bufDepth;
     scfg.packetLength = cfg_.packetLength;
     scfg.packetRate = cfg_.injectionRate / cfg_.packetLength;
     scfg.seed = cfg_.seed;
+    scfg.routing = routing_.get();
 
-    for (sim::NodeId id = 0; id < n; id++) {
-        auto *inj = newFlitChan(1, rtrComp(id));
-        auto *inj_credit = newCreditChan(1, srcComp(id));
-        routers_[id].connectInput(Local, inj, inj_credit);
-        sources_.emplace_back(id, scfg, *pattern_, ctrl_, pool_, inj,
+    for (sim::NodeId node = 0; node < nodes; node++) {
+        sim::NodeId r = mesh_.routerOf(node);
+        int lport = mesh_.localPort(mesh_.localIndexOf(node));
+
+        auto *inj = newFlitChan(1, rtrComp(r));
+        auto *inj_credit = newCreditChan(1, srcComp(node));
+        routers_[r].connectInput(lport, inj, inj_credit);
+        sources_.emplace_back(node, scfg, *pattern_, ctrl_, pool_, inj,
                               inj_credit);
 
-        auto *ej = newFlitChan(1, snkComp(id));
-        routers_[id].connectOutput(Local, ej, nullptr, true);
-        sinks_.emplace_back(id, cfg_.packetLength, ctrl_, pool_, ej,
-                            sinkLatency_[id]);
+        auto *ej = newFlitChan(1, snkComp(node));
+        routers_[r].connectOutput(lport, ej, nullptr, true);
+        sinks_.emplace_back(node, cfg_.packetLength, ctrl_, pool_, ej,
+                            sinkLatency_[node]);
     }
 
-    pdr_assert(int(flitChans_.size()) == edges + 2 * n);
-    pdr_assert(int(creditChans_.size()) == edges + n);
+    pdr_assert(int(flitChans_.size()) == edges + 2 * nodes);
+    pdr_assert(int(creditChans_.size()) == edges + nodes);
 }
 
 Network::FlitChannel *
@@ -193,7 +223,8 @@ Network::step()
     // its own state is at a fixed point), so it is skipped; channel
     // pushes during this cycle lower wake times for later cycles only
     // (latency >= 1), never for the current one.
-    int n = mesh_.numNodes();
+    int routers = mesh_.numRouters();
+    int nodes = mesh_.numNodes();
     if (forceTickAll_) {
         for (auto &s : sources_)
             s.tick(now_);
@@ -205,19 +236,19 @@ Network::step()
         return;
     }
 
-    for (sim::NodeId i = 0; i < n; i++) {
+    for (sim::NodeId i = 0; i < nodes; i++) {
         if (wakeAt_[srcComp(i)] <= now_) {
             sources_[i].tick(now_);
             wakeAt_[srcComp(i)] = sources_[i].nextWake(now_);
         }
     }
-    for (sim::NodeId i = 0; i < n; i++) {
+    for (sim::NodeId i = 0; i < routers; i++) {
         if (wakeAt_[rtrComp(i)] <= now_) {
             routers_[i].tick(now_);
             wakeAt_[rtrComp(i)] = routers_[i].nextWake(now_);
         }
     }
-    for (sim::NodeId i = 0; i < n; i++) {
+    for (sim::NodeId i = 0; i < nodes; i++) {
         if (wakeAt_[snkComp(i)] <= now_) {
             sinks_[i].tick(now_);
             wakeAt_[snkComp(i)] = sinks_[i].nextWake();

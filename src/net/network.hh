@@ -1,13 +1,17 @@
 /**
  * @file
- * A complete k x k mesh network: routers, link and credit channels,
+ * A complete lattice network: routers, link and credit channels,
  * per-node sources and sinks, and aggregate statistics.
  *
  * The network mirrors the paper's simulation setup: an 8x8 mesh,
  * dimension-ordered routing, credit-based flow control, 1-cycle channel
  * propagation (credit propagation independently configurable for the
  * Figure-18 experiment), constant-rate sources injecting fixed-length
- * packets, and immediate ejection at the destination.
+ * packets, and immediate ejection at the destination.  The geometry is
+ * fully general (topo::Lattice): k-ary n-cubes of any dimension count
+ * and concentrated meshes (c nodes per router) build the same way, with
+ * router port counts (2n directional + c local) derived from the
+ * topology.
  *
  * Hot-path layout: all components live in contiguous value slabs
  * (vector<Router>, vector<Source>, ... -- reserved exactly, never
@@ -49,23 +53,32 @@ namespace pdr::net {
  */
 struct NetworkConfig
 {
-    int k = 8;                          //!< Radix (k x k nodes).
+    int k = 8;                          //!< Per-dimension radix.
     std::string topology = "mesh";      //!< TopologyRegistry name.
     /** RoutingRegistry name; "auto" picks the topology's default
-     *  ("xy" on the mesh, "dateline" on the torus). */
+     *  ("xy" on the mesh, "dateline" on the torus, "dor" beyond). */
     std::string routing = "auto";
-    router::RouterConfig router;        //!< Per-router configuration.
+    /** Per-router configuration.  numPorts == 0 means "derive from
+     *  the topology" (2 per dimension + concentration); a nonzero
+     *  value must match the topology exactly. */
+    router::RouterConfig router;
     sim::Cycle linkLatency = 1;         //!< Flit propagation (cycles).
     sim::Cycle creditLatency = 1;       //!< Credit propagation (cycles).
     double injectionRate = 0.1;         //!< Offered flits/node/cycle.
     int packetLength = 5;               //!< Flits per packet.
     std::string pattern = "uniform";    //!< PatternRegistry name.
+    /** Permutation file for traffic.pattern=permfile (one destination
+     *  node index per line). */
+    std::string permfile;
     std::uint64_t seed = 1;
     sim::Cycle warmup = 10000;          //!< Warm-up cycles.
     std::uint64_t samplePackets = 100000; //!< Sample-space size.
 
     /** The routing name after resolving "auto" via the topology. */
     std::string resolvedRouting() const;
+
+    /** Build the configured geometry (throws on bad topology/radix). */
+    Lattice makeLattice() const;
 
     /**
      * Full cross-field validation without building the network:
@@ -75,6 +88,14 @@ struct NetworkConfig
      * checks, so anything this accepts will construct.
      */
     void validate() const;
+
+    /**
+     * The cross-field checks given already-built geometry and routing
+     * (the Network constructor path -- validate() minus rebuilding
+     * the lattice, pattern and routing, so permfiles are read once).
+     */
+    void validateWith(const Lattice &lat,
+                      const router::RoutingFunction &routing_fn) const;
 
     /** Uniform-traffic capacity (flits/node/cycle, bisection bound);
      *  throws on an unknown topology or bad radix. */
@@ -125,13 +146,15 @@ class Network
 
     sim::Cycle now() const { return now_; }
     const NetworkConfig &config() const { return cfg_; }
-    const Mesh &mesh() const { return mesh_; }
+    const Lattice &lattice() const { return mesh_; }
     traffic::MeasureController &controller() { return ctrl_; }
 
     /** The flit storage pool (diagnostics: live count, capacity). */
     const sim::FlitPool &flitPool() const { return pool_; }
 
-    router::Router &routerAt(sim::NodeId n) { return routers_[n]; }
+    /** Router `r` of the lattice (r in [0, numRouters)). */
+    router::Router &routerAt(sim::NodeId r) { return routers_[r]; }
+    /** Source / sink of terminal node `n` (n in [0, numNodes)). */
     traffic::Source &sourceAt(sim::NodeId n) { return sources_[n]; }
     const traffic::Sink &sinkAt(sim::NodeId n) const
     {
@@ -161,7 +184,7 @@ class Network
     using CreditChannel = sim::Channel<sim::Credit>;
 
     NetworkConfig cfg_;
-    Mesh mesh_;
+    Lattice mesh_;
     std::unique_ptr<router::RoutingFunction> routing_;
     traffic::MeasureController ctrl_;
     std::unique_ptr<traffic::TrafficPattern> pattern_;
@@ -178,25 +201,30 @@ class Network
     std::vector<stats::LatencyStats> sinkLatency_;
 
     /**
-     * Per-component wake times, indexed [sources | routers | sinks]:
-     * component i runs at cycle t iff wakeAt_[i] <= t.  Channel pushes
-     * lower entries (Channel::watch); after each tick the component
-     * reports its own next wake.
+     * Per-component wake times, indexed [sources | routers | sinks]
+     * (numNodes + numRouters + numNodes entries): component i runs at
+     * cycle t iff wakeAt_[i] <= t.  Channel pushes lower entries
+     * (Channel::watch); after each tick the component reports its own
+     * next wake.
      */
     std::vector<sim::Cycle> wakeAt_;
     bool forceTickAll_ = false;
 
     sim::Cycle now_ = 0;
 
-    /** Wake-table index of source / router / sink `n`. */
-    std::size_t srcComp(sim::NodeId n) const { return std::size_t(n); }
-    std::size_t rtrComp(sim::NodeId n) const
+    /** Wake-table index of source / router / sink. */
+    std::size_t srcComp(sim::NodeId node) const
     {
-        return std::size_t(mesh_.numNodes() + n);
+        return std::size_t(node);
     }
-    std::size_t snkComp(sim::NodeId n) const
+    std::size_t rtrComp(sim::NodeId r) const
     {
-        return std::size_t(2 * mesh_.numNodes() + n);
+        return std::size_t(mesh_.numNodes() + r);
+    }
+    std::size_t snkComp(sim::NodeId node) const
+    {
+        return std::size_t(mesh_.numNodes() + mesh_.numRouters() +
+                           node);
     }
 
     FlitChannel *newFlitChan(sim::Cycle latency, std::size_t consumer);

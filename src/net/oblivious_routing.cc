@@ -1,0 +1,113 @@
+#include "net/oblivious_routing.hh"
+
+#include "common/logging.hh"
+
+namespace pdr::net {
+
+// ---------------------------------------------------------------------
+// O1TURN
+// ---------------------------------------------------------------------
+
+router::PacketInit
+O1TurnRouting::initPacket(sim::NodeId src, sim::NodeId dest,
+                          Rng &rng) const
+{
+    (void)src;
+    (void)dest;
+    router::PacketInit init;
+    init.vclass = std::uint8_t(rng.range(2));   // 0 = ascending (XY).
+    return init;
+}
+
+int
+O1TurnRouting::route(sim::NodeId here, const sim::Flit &head) const
+{
+    sim::NodeId dr = lat_.routerOf(head.dest);
+    if (here == dr)
+        return ejectPort(head);
+    return dorPort(here, dr, /*ascending=*/!(head.vclass & 1));
+}
+
+std::uint32_t
+O1TurnRouting::vcMask(const sim::Flit &head, sim::NodeId here,
+                      int out_port, int num_vcs) const
+{
+    if (lat_.isLocalPort(out_port))
+        return ~0u;
+    return classMask(head.vclass, here, out_port, num_vcs,
+                     /*split_major=*/true);
+}
+
+int
+O1TurnRouting::nextClass(const sim::Flit &f, sim::NodeId here,
+                         int out_port) const
+{
+    if (lat_.isLocalPort(out_port))
+        return 0;
+    // The order bit is fixed for the packet's lifetime; only the
+    // dateline bits evolve.
+    return datelineClass(f.vclass, here, out_port);
+}
+
+// ---------------------------------------------------------------------
+// Valiant
+// ---------------------------------------------------------------------
+
+router::PacketInit
+ValiantRouting::initPacket(sim::NodeId src, sim::NodeId dest,
+                           Rng &rng) const
+{
+    (void)dest;
+    router::PacketInit init;
+    init.inter = sim::NodeId(rng.range(std::uint32_t(lat_.numNodes())));
+    // An intermediate on the source's own router skips phase 1.
+    if (lat_.routerOf(init.inter) == lat_.routerOf(src))
+        init.vclass = 1;
+    return init;
+}
+
+int
+ValiantRouting::effectiveClass(const sim::Flit &f,
+                               sim::NodeId here) const
+{
+    int vclass = f.vclass;
+    if (!(vclass & 1) && here == lat_.routerOf(f.inter)) {
+        // Departing the intermediate: a fresh phase-2 DOR pass, with
+        // the dateline bits of phase 1 discarded.
+        vclass = 1;
+    }
+    return vclass;
+}
+
+int
+ValiantRouting::route(sim::NodeId here, const sim::Flit &head) const
+{
+    pdr_assert(head.inter != sim::Invalid);
+    bool phase2 = effectiveClass(head, here) & 1;
+    sim::NodeId dr = lat_.routerOf(head.dest);
+    if (phase2 && here == dr)
+        return ejectPort(head);
+    sim::NodeId target = phase2 ? dr : lat_.routerOf(head.inter);
+    return dorPort(here, target, /*ascending=*/true);
+}
+
+std::uint32_t
+ValiantRouting::vcMask(const sim::Flit &head, sim::NodeId here,
+                       int out_port, int num_vcs) const
+{
+    if (lat_.isLocalPort(out_port))
+        return ~0u;
+    return classMask(effectiveClass(head, here), here, out_port,
+                     num_vcs, /*split_major=*/true);
+}
+
+int
+ValiantRouting::nextClass(const sim::Flit &f, sim::NodeId here,
+                          int out_port) const
+{
+    if (lat_.isLocalPort(out_port))
+        return 0;
+    return datelineClass(effectiveClass(f, here), here, out_port);
+}
+
+} // namespace pdr::net

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Randomized oblivious routing: O1TURN and Valiant (VAL).
+ *
+ * Both draw per-packet state at injection (RoutingFunction::initPacket)
+ * and then run deterministic dimension-order phases, so they compose
+ * with every router model exactly like DOR does.
+ *
+ * O1TURN: each packet picks one of the two dimension orders (ascending
+ * = XY, descending = YX) uniformly at random and keeps it for its whole
+ * path.  Each order gets its own half of the VCs (the per-order VC
+ * class), which makes the scheme deadlock-free and -- on the 2D mesh --
+ * worst-case near-optimal while keeping DOR's uniform-traffic
+ * performance.  On wrapping lattices each half is further split by the
+ * dateline state, so a torus needs >= 4 VCs.
+ *
+ * Valiant: each packet picks a uniformly random intermediate node and
+ * routes minimally (DOR) src -> intermediate, then intermediate ->
+ * dest.  The two phases get disjoint VC halves (phase bit = vclass bit
+ * 0), and the phase flips when the packet departs its intermediate
+ * router, starting a fresh DOR pass (dateline bits reset).  Valiant
+ * trades locality for load balance: adversarial permutations are
+ * smoothed to uniform at the cost of doubling the average path length,
+ * so uniform-traffic saturation lands at roughly half of DOR's.
+ */
+
+#ifndef PDR_NET_OBLIVIOUS_ROUTING_HH
+#define PDR_NET_OBLIVIOUS_ROUTING_HH
+
+#include "net/dor_routing.hh"
+
+namespace pdr::net {
+
+/** O1TURN: per-packet random dimension order, one VC class each. */
+class O1TurnRouting : public DorRouting
+{
+  public:
+    explicit O1TurnRouting(const Lattice &lat) : DorRouting(lat) {}
+
+    router::PacketInit initPacket(sim::NodeId src, sim::NodeId dest,
+                                  Rng &rng) const override;
+
+    int route(sim::NodeId here, const sim::Flit &head) const override;
+
+    std::uint32_t vcMask(const sim::Flit &head, sim::NodeId here,
+                         int out_port, int num_vcs) const override;
+
+    int nextClass(const sim::Flit &f, sim::NodeId here,
+                  int out_port) const override;
+
+    int minVcs() const override { return lat_.wraps() ? 4 : 2; }
+};
+
+/** Valiant: random intermediate node, two DOR phases. */
+class ValiantRouting : public DorRouting
+{
+  public:
+    explicit ValiantRouting(const Lattice &lat) : DorRouting(lat) {}
+
+    router::PacketInit initPacket(sim::NodeId src, sim::NodeId dest,
+                                  Rng &rng) const override;
+
+    int route(sim::NodeId here, const sim::Flit &head) const override;
+
+    std::uint32_t vcMask(const sim::Flit &head, sim::NodeId here,
+                         int out_port, int num_vcs) const override;
+
+    int nextClass(const sim::Flit &f, sim::NodeId here,
+                  int out_port) const override;
+
+    int minVcs() const override { return lat_.wraps() ? 4 : 2; }
+
+  private:
+    /** Phase bit as seen on links leaving `here` (departing the
+     *  intermediate router starts phase 2). */
+    int effectiveClass(const sim::Flit &f, sim::NodeId here) const;
+};
+
+} // namespace pdr::net
+
+#endif // PDR_NET_OBLIVIOUS_ROUTING_HH

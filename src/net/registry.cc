@@ -3,8 +3,8 @@
 #include <stdexcept>
 
 #include "net/adaptive_routing.hh"
-#include "net/torus_routing.hh"
-#include "net/xy_routing.hh"
+#include "net/dor_routing.hh"
+#include "net/oblivious_routing.hh"
 
 namespace pdr::net {
 
@@ -12,11 +12,20 @@ TopologyRegistry::TopologyRegistry()
     : FactoryRegistry<TopologySpec>("topology")
 {
     add("mesh",
-        {[](int k) { return Mesh(k, false); }, "xy"},
+        {[](int k) { return Lattice::mesh2D(k); }, "xy"},
         "k x k mesh (the paper's 8x8 setup)");
     add("torus",
-        {[](int k) { return Mesh(k, true); }, "dateline"},
+        {[](int k) { return Lattice::torus2D(k); }, "dateline"},
         "k x k torus: wraparound links, dateline VC classes");
+    add("kary3cube",
+        {[](int k) { return Lattice::kAryNCube(3, k); }, "dor"},
+        "k-ary 3-cube (3D torus): k^3 routers, 7 ports each");
+    add("cmesh",
+        {[](int k) { return Lattice::cmesh(k, 4); }, "dor"},
+        "concentrated k x k mesh, 4 nodes per router (4k^2 nodes)");
+    add("cmesh2",
+        {[](int k) { return Lattice::cmesh(k, 2); }, "dor"},
+        "concentrated k x k mesh, 2 nodes per router (2k^2 nodes)");
 }
 
 TopologyRegistry &
@@ -29,37 +38,67 @@ TopologyRegistry::instance()
 RoutingRegistry::RoutingRegistry()
     : FactoryRegistry<RoutingFactory>("routing function")
 {
+    add("dor",
+        [](const Lattice &lat)
+            -> std::unique_ptr<router::RoutingFunction> {
+            return std::make_unique<DorRouting>(lat);
+        },
+        "n-dimensional dimension-order routing (datelines on wrapping "
+        "dims)");
     add("xy",
-        [](const Mesh &mesh) -> std::unique_ptr<router::RoutingFunction> {
-            if (mesh.wraps()) {
+        [](const Lattice &lat)
+            -> std::unique_ptr<router::RoutingFunction> {
+            if (lat.wraps()) {
                 throw std::invalid_argument(
                     "net.routing=xy runs on the mesh only; a torus "
-                    "needs dateline deadlock avoidance");
+                    "needs dateline deadlock avoidance (use dor)");
             }
-            return std::make_unique<XyRouting>(mesh);
+            return std::make_unique<DorRouting>(lat);
         },
         "dimension-ordered (x then y) deterministic routing, mesh only");
-    add("westfirst",
-        [](const Mesh &mesh) -> std::unique_ptr<router::RoutingFunction> {
-            if (mesh.wraps()) {
-                throw std::invalid_argument(
-                    "net.routing=westfirst: adaptive routing is "
-                    "implemented for the mesh only (west-first turn "
-                    "model)");
-            }
-            return std::make_unique<WestFirstRouting>(mesh);
-        },
-        "west-first minimal adaptive routing (turn model), mesh only");
     add("dateline",
-        [](const Mesh &mesh) -> std::unique_ptr<router::RoutingFunction> {
-            if (!mesh.wraps()) {
+        [](const Lattice &lat)
+            -> std::unique_ptr<router::RoutingFunction> {
+            if (!lat.wraps()) {
                 throw std::invalid_argument(
                     "net.routing=dateline needs wraparound links "
-                    "(net.topology=torus)");
+                    "(net.topology=torus or kary3cube)");
             }
-            return std::make_unique<TorusDorRouting>(mesh);
+            return std::make_unique<DorRouting>(lat);
         },
-        "minimal DOR with dateline VC classes, torus only");
+        "minimal DOR with dateline VC classes, wrapping lattices only");
+    add("o1turn",
+        [](const Lattice &lat)
+            -> std::unique_ptr<router::RoutingFunction> {
+            if (lat.dims() < 2) {
+                throw std::invalid_argument(
+                    "net.routing=o1turn needs >= 2 dimensions to "
+                    "randomize the order over");
+            }
+            return std::make_unique<O1TurnRouting>(lat);
+        },
+        "O1TURN: random ascending/descending dimension order per "
+        "packet, one VC class per order");
+    add("val",
+        [](const Lattice &lat)
+            -> std::unique_ptr<router::RoutingFunction> {
+            return std::make_unique<ValiantRouting>(lat);
+        },
+        "Valiant: random intermediate node, two DOR phases on split "
+        "VCs");
+    add("westfirst",
+        [](const Lattice &lat)
+            -> std::unique_ptr<router::RoutingFunction> {
+            if (lat.wraps() || lat.dims() != 2) {
+                throw std::invalid_argument(
+                    "net.routing=westfirst: adaptive routing is "
+                    "implemented for 2D meshes only (west-first turn "
+                    "model)");
+            }
+            return std::make_unique<WestFirstRouting>(lat);
+        },
+        "west-first minimal adaptive routing (turn model), 2D mesh "
+        "only");
 }
 
 RoutingRegistry &

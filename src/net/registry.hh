@@ -2,15 +2,19 @@
  * @file
  * String-keyed registries for topologies and routing functions.
  *
- * A topology entry builds the network geometry (a Mesh, optionally with
- * wraparound) and names the routing function used when
- * NetworkConfig::routing is "auto".  A routing entry builds a
- * RoutingFunction for a given geometry, checking its own compatibility
- * (e.g. dateline routing needs wrap links).
+ * A topology entry builds the network geometry (a topo::Lattice of any
+ * dimension count, wrap pattern and concentration) and names the
+ * routing function used when NetworkConfig::routing is "auto".  A
+ * routing entry builds a RoutingFunction for a given geometry, checking
+ * its own compatibility (e.g. dateline routing needs wrap links).
  *
- * Built-ins: topologies "mesh" and "torus"; routings "xy" (DOR),
- * "westfirst" (minimal adaptive, mesh only) and "dateline" (torus DOR
- * with dateline VC classes).  New entries register in one line via
+ * Built-in topologies: "mesh", "torus" (2D), "kary3cube" (3D torus),
+ * "cmesh"/"cmesh2" (concentrated mesh, 4 / 2 nodes per router).
+ * Built-in routings: "dor" (n-dimensional dimension order, datelines
+ * on wrapping dims), its historical aliases "xy" (mesh-only) and
+ * "dateline" (torus-only), "o1turn" (random dimension order),
+ * "val" (Valiant random-intermediate) and "westfirst" (2D minimal
+ * adaptive).  New entries register in one line via
  * TopologyRegistry::instance().add(...) and are then reachable from
  * experiment files and the pdr CLI by name.
  */
@@ -31,7 +35,7 @@ namespace pdr::net {
 /** How to build a topology of radix k, and how to route on it. */
 struct TopologySpec
 {
-    std::function<Mesh(int k)> make;
+    std::function<Lattice(int k)> make;
     /** Routing used when NetworkConfig::routing == "auto". */
     std::string defaultRouting;
 };
@@ -47,7 +51,8 @@ class TopologyRegistry : public FactoryRegistry<TopologySpec>
 
 /** Builds a routing function; throws on incompatible geometry. */
 using RoutingFactory =
-    std::function<std::unique_ptr<router::RoutingFunction>(const Mesh &)>;
+    std::function<std::unique_ptr<router::RoutingFunction>(
+        const Lattice &)>;
 
 class RoutingRegistry : public FactoryRegistry<RoutingFactory>
 {

@@ -1,21 +1,33 @@
 /**
  * @file
- * k-ary 2-mesh topology helpers: node naming, port numbering and
- * uniform-traffic capacity.
+ * Network-layer view of the topology subsystem.
  *
- * Ports: 0 = North (+y), 1 = East (+x), 2 = South (-y), 3 = West (-x),
- * 4 = Local (injection/ejection).  Nodes are numbered row-major:
- * id = y * k + x.
+ * Geometry lives in topo::Lattice (src/topo/lattice.hh): arbitrary
+ * dimension count, per-dimension radix and wrap flags, concentration.
+ * The historical `Mesh` name is kept as an alias -- every routing
+ * function and the Network consume the generalized lattice.
+ *
+ * The Port enum spells out the lattice port convention for the 2D case
+ * (the paper's k x k mesh with one node per router): 0 = North (+y),
+ * 1 = East (+x), 2 = South (-y), 3 = West (-x), 4 = Local.  2D-only
+ * code (the west-first turn model, the mesh tests) may use these names;
+ * dimension-generic code must go through Lattice::plusPort /
+ * minusPort / localPort instead.
  */
 
 #ifndef PDR_NET_TOPOLOGY_HH
 #define PDR_NET_TOPOLOGY_HH
 
-#include "sim/types.hh"
+#include "topo/lattice.hh"
 
 namespace pdr::net {
 
-/** Mesh port roles. */
+using topo::Lattice;
+
+/** Historical name of the network geometry type. */
+using Mesh = topo::Lattice;
+
+/** 2D specialization of the lattice port numbering (c = 1). */
 enum Port : int
 {
     North = 0,
@@ -24,51 +36,6 @@ enum Port : int
     West = 3,
     Local = 4,
     NumPorts = 5,
-};
-
-const char *portName(int port);
-
-/** Geometry of a k x k mesh, optionally with wraparound (torus). */
-class Mesh
-{
-  public:
-    explicit Mesh(int k, bool wrap = false);
-
-    int radix() const { return k_; }
-    int numNodes() const { return k_ * k_; }
-    bool wraps() const { return wrap_; }
-
-    int xOf(sim::NodeId n) const { return int(n) % k_; }
-    int yOf(sim::NodeId n) const { return int(n) / k_; }
-    sim::NodeId node(int x, int y) const { return sim::NodeId(y * k_ + x); }
-
-    /** Neighbor through `port`; Invalid at a mesh edge (torus wraps). */
-    sim::NodeId neighbor(sim::NodeId n, int port) const;
-
-    /** Opposite direction port (North <-> South, East <-> West). */
-    static int opposite(int port);
-
-    /** Hop count between routers (wrap-aware on a torus). */
-    int distance(sim::NodeId a, sim::NodeId b) const;
-
-    /** True if the `port` link out of `n` is a wraparound link (and
-     *  hence a dateline for deadlock-avoidance VC classes). */
-    bool isWrapLink(sim::NodeId n, int port) const;
-
-    /**
-     * Network capacity under uniform random traffic, in flits per node
-     * per cycle: the bisection bound, 4/k for a k x k mesh and 8/k for
-     * the torus (k even).  The paper's x-axes quote offered traffic as
-     * a fraction of this.
-     */
-    double uniformCapacity() const { return (wrap_ ? 8.0 : 4.0) / k_; }
-
-    /** Mean hop distance under uniform traffic excluding self. */
-    double meanUniformDistance() const;
-
-  private:
-    int k_;
-    bool wrap_;
 };
 
 } // namespace pdr::net

@@ -59,10 +59,10 @@ routerModelFromString(const std::string &name)
 void
 RouterConfig::validate() const
 {
-    if (numPorts < 2) {
+    if (numPorts != 0 && numPorts < 2) {
         throw std::invalid_argument(csprintf(
-            "router.num_ports: routers need at least 2 ports, got %d",
-            numPorts));
+            "router.num_ports: routers need at least 2 ports "
+            "(0 = derive from the topology), got %d", numPorts));
     }
     if (numVcs < 1) {
         throw std::invalid_argument(csprintf(

@@ -50,7 +50,11 @@ struct RouterConfig
     RouterModel model = RouterModel::Wormhole;
     /** Unit-latency idealization (Section 5.2). */
     bool singleCycle = false;
-    /** Number of physical ports (mesh: 4 directions + local). */
+    /**
+     * Number of physical ports (2D mesh: 4 directions + local).  In a
+     * Network, 0 means "derive from the topology" (2 per dimension +
+     * concentration); standalone routers need a concrete count.
+     */
     int numPorts = 5;
     /** Virtual channels per physical port (1 for wormhole). */
     int numVcs = 1;

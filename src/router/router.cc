@@ -1,6 +1,7 @@
 #include "router/router.hh"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "common/logging.hh"
 
@@ -11,6 +12,11 @@ Router::Router(sim::NodeId id, const RouterConfig &cfg,
     : id_(id), cfg_(cfg), routing_(routing), pool_(pool)
 {
     cfg_.validate();
+    if (cfg_.numPorts < 2) {
+        throw std::invalid_argument(
+            "router.num_ports: a standalone router needs a concrete "
+            "port count (0 = auto resolves inside a Network only)");
+    }
     int p = cfg_.numPorts;
     int v = cfg_.numVcs;
 
@@ -127,7 +133,7 @@ Router::portScore(int out_port) const
 int
 Router::selectRoute(const sim::Flit &head)
 {
-    routing_.candidates(id_, head.dest, candScratch_);
+    routing_.candidates(id_, head, candScratch_);
     pdr_assert(!candScratch_.empty());
     int best = candScratch_.front();
     if (candScratch_.size() > 1) {
@@ -235,8 +241,7 @@ Router::vaPhase(sim::Cycle now)
                 ivc.route = selectRoute(head);
             }
             vaReqs_.push_back({port, vc, ivc.route,
-                               routing_.vcMask(head.vclass, id_,
-                                               head.dest, ivc.route,
+                               routing_.vcMask(head, id_, ivc.route,
                                                cfg_.numVcs)});
             if (spec) {
                 // Speculative switch bid issued in parallel with the VA
@@ -390,8 +395,7 @@ Router::departFlit(int in_port, int in_vc, int out_port, int out_vc,
     // unit-latency model folds it into the single cycle.
     sim::Cycle st_extra = cfg_.singleCycle ? 0 : 1;
     f.vc = out_vc;
-    f.vclass =
-        std::uint8_t(routing_.nextClass(f.vclass, id_, out_port));
+    f.vclass = std::uint8_t(routing_.nextClass(f, id_, out_port));
     pdr_assert(op.out);
     op.out->push(ref, now, st_extra);
     stats_.flitsOut++;

@@ -6,6 +6,14 @@
  * stage; the simulations use deterministic dimension-ordered routing (a
  * routing function of range Rp: it names a single output physical
  * channel, and the VC allocator may pick any free VC on it).
+ *
+ * The interface is packet-centric: decisions read the head flit, which
+ * carries everything per-packet routing state needs -- the destination,
+ * the deadlock-avoidance VC class, and (for randomized oblivious
+ * schemes like Valiant) the intermediate node chosen at injection.
+ * initPacket() is the injection-time hook where oblivious routings draw
+ * that per-packet state; deterministic routings leave it alone (and
+ * draw nothing, keeping RNG streams untouched).
  */
 
 #ifndef PDR_ROUTER_ROUTING_HH
@@ -14,54 +22,81 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/rng.hh"
+#include "sim/flit.hh"
 #include "sim/types.hh"
 
 namespace pdr::router {
 
-/** Deterministic routing function: destination -> output port. */
+/** Per-packet routing state chosen once, at injection. */
+struct PacketInit
+{
+    /** Initial deadlock-avoidance VC class (e.g. O1TURN's dimension
+     *  order bit, Valiant's phase bit). */
+    std::uint8_t vclass = 0;
+    /** Intermediate node for two-phase schemes; Invalid otherwise. */
+    sim::NodeId inter = sim::Invalid;
+};
+
+/** Routing function: head flit -> output physical channel. */
 class RoutingFunction
 {
   public:
     virtual ~RoutingFunction() = default;
 
     /**
-     * Output port at router `here` for a packet addressed to `dest`.
-     * Must return the local/ejection port when here == dest.
+     * Output port at router `here` for the packet `head` describes.
+     * Must return the matching local/ejection port when `here` is the
+     * destination's router.
      */
-    virtual int route(sim::NodeId here, sim::NodeId dest) const = 0;
+    virtual int route(sim::NodeId here, const sim::Flit &head) const = 0;
 
     /**
-     * Adaptive candidates: legal output ports at `here` for `dest`, in
-     * preference order.  The router picks one per attempt (the paper's
-     * footnote-5 policy for speculative routers: the routing function
-     * is limited to returning a single output port, and the packet
-     * re-iterates through routing upon an unsuccessful bid).  Default:
-     * the single deterministic route.
+     * Adaptive candidates: legal output ports at `here`, in preference
+     * order.  The router picks one per attempt (the paper's footnote-5
+     * policy for speculative routers: the routing function is limited
+     * to returning a single output port, and the packet re-iterates
+     * through routing upon an unsuccessful bid).  Default: the single
+     * deterministic route.
      */
     virtual void
-    candidates(sim::NodeId here, sim::NodeId dest,
+    candidates(sim::NodeId here, const sim::Flit &head,
                std::vector<int> &out) const
     {
         out.clear();
-        out.push_back(route(here, dest));
+        out.push_back(route(here, head));
     }
 
     /** True if candidates() may return more than one port. */
     virtual bool isAdaptive() const { return false; }
 
     /**
-     * Output VCs a packet of deadlock class `vclass` may be allocated
-     * on `out_port` (bit i = VC i).  Default: no restriction.  Used by
-     * torus dateline routing, where class-1 packets (past the
-     * dateline) are confined to the upper half of the VCs.
+     * Injection-time per-packet state: the source calls this once per
+     * created packet and stamps the result on every flit.  Oblivious
+     * routings draw their randomness (order bit, intermediate node)
+     * from `rng` here; deterministic routings must not touch it.
+     */
+    virtual PacketInit
+    initPacket(sim::NodeId src, sim::NodeId dest, Rng &rng) const
+    {
+        (void)src;
+        (void)dest;
+        (void)rng;
+        return {};
+    }
+
+    /**
+     * Output VCs the packet may be allocated on `out_port` (bit i =
+     * VC i), given its current VC class.  Default: no restriction.
+     * Dateline schemes confine post-dateline packets to the upper VCs;
+     * O1TURN/Valiant additionally partition by order/phase.
      */
     virtual std::uint32_t
-    vcMask(int vclass, sim::NodeId here, sim::NodeId dest,
-           int out_port, int num_vcs) const
+    vcMask(const sim::Flit &head, sim::NodeId here, int out_port,
+           int num_vcs) const
     {
-        (void)vclass;
+        (void)head;
         (void)here;
-        (void)dest;
         (void)out_port;
         (void)num_vcs;
         return ~0u;
@@ -69,17 +104,24 @@ class RoutingFunction
 
     /**
      * Deadlock class of the packet after traversing `out_port` from
-     * `here` (e.g. set to 1 when the link crosses a dateline, reset to
-     * 0 when the packet turns into a new dimension).  Default: 0.
+     * `here` (e.g. dateline crossings set per-dimension bits, reaching
+     * a Valiant intermediate flips the phase bit).  Default: 0.
      */
     virtual int
-    nextClass(int vclass, sim::NodeId here, int out_port) const
+    nextClass(const sim::Flit &f, sim::NodeId here, int out_port) const
     {
-        (void)vclass;
+        (void)f;
         (void)here;
         (void)out_port;
         return 0;
     }
+
+    /**
+     * Minimum VCs per physical channel this routing needs for deadlock
+     * freedom on its lattice (e.g. 2 for dateline DOR on a torus, 4
+     * for O1TURN on a torus).  NetworkConfig::validate enforces it.
+     */
+    virtual int minVcs() const { return 1; }
 };
 
 } // namespace pdr::router

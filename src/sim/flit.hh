@@ -51,6 +51,9 @@ struct Flit
     std::uint8_t vclass = 0;
     NodeId src = Invalid;
     NodeId dest = Invalid;
+    /** Intermediate node of two-phase oblivious routing (Valiant);
+     *  Invalid for single-phase routings.  Chosen at injection. */
+    NodeId inter = Invalid;
     std::uint8_t seq = 0;   //!< Position within the packet (0-based).
     Cycle ctime = 0;        //!< Packet creation time (head's value used).
     bool measured = false;  //!< Belongs to the measurement sample space.

@@ -1,5 +1,8 @@
 #include "traffic/pattern.hh"
 
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <stdexcept>
 
 #include "common/logging.hh"
@@ -7,7 +10,7 @@
 
 namespace pdr::traffic {
 
-UniformPattern::UniformPattern(int k) : numNodes_(k * k)
+UniformPattern::UniformPattern(int num_nodes) : numNodes_(num_nodes)
 {
     pdr_assert(numNodes_ >= 2);
 }
@@ -22,17 +25,25 @@ UniformPattern::pick(sim::NodeId src, Rng &rng) const
     return d;
 }
 
-TransposePattern::TransposePattern(int k) : k_(k) {}
+TransposePattern::TransposePattern(int num_nodes)
+{
+    side_ = int(std::lround(std::sqrt(double(num_nodes))));
+    if (side_ * side_ != num_nodes) {
+        throw std::invalid_argument(csprintf(
+            "traffic.pattern=transpose needs a perfect-square node "
+            "count, got %d nodes", num_nodes));
+    }
+}
 
 sim::NodeId
 TransposePattern::pick(sim::NodeId src, Rng &rng) const
 {
-    int x = int(src) % k_, y = int(src) / k_;
-    auto d = sim::NodeId(x * k_ + y);
+    int x = int(src) % side_, y = int(src) / side_;
+    auto d = sim::NodeId(x * side_ + y);
     if (d == src) {
         // Diagonal nodes map to themselves; fall back to uniform so
         // every node still offers load.
-        return UniformPattern(k_).pick(src, rng);
+        return UniformPattern(side_ * side_).pick(src, rng);
     }
     return d;
 }
@@ -41,25 +52,25 @@ namespace {
 
 /** log2 of a power-of-two node count; throws for other counts. */
 int
-patternBits(const char *pattern, int k)
+patternBits(const char *pattern, int num_nodes)
 {
-    int nodes = k * k;
-    if (!isPow2(unsigned(nodes))) {
+    if (!isPow2(unsigned(num_nodes))) {
         throw std::invalid_argument(csprintf(
             "traffic.pattern=%s needs a power-of-two node count, "
-            "got k=%d (%d nodes)", pattern, k, nodes));
+            "got %d nodes", pattern, num_nodes));
     }
     int b = 0;
-    while ((1 << b) < nodes)
+    while ((1 << b) < num_nodes)
         b++;
     return b;
 }
 
 } // namespace
 
-BitComplementPattern::BitComplementPattern(int k) : numNodes_(k * k)
+BitComplementPattern::BitComplementPattern(int num_nodes)
+    : numNodes_(num_nodes)
 {
-    (void)patternBits("bitcomp", k);
+    (void)patternBits("bitcomp", num_nodes);
 }
 
 sim::NodeId
@@ -68,30 +79,37 @@ BitComplementPattern::pick(sim::NodeId src, Rng &) const
     return sim::NodeId((~unsigned(src)) & unsigned(numNodes_ - 1));
 }
 
-TornadoPattern::TornadoPattern(int k) : k_(k) {}
+TornadoPattern::TornadoPattern(const topo::Lattice &lat) : lat_(lat) {}
 
 sim::NodeId
 TornadoPattern::pick(sim::NodeId src, Rng &) const
 {
-    int x = int(src) % k_, y = int(src) / k_;
-    int shift = (k_ + 1) / 2 - 1;
+    sim::NodeId r = lat_.routerOf(src);
+    int k = lat_.radix(0);
+    int shift = (k + 1) / 2 - 1;
     if (shift == 0)
         shift = 1;
-    int dx = (x + shift) % k_;
-    return sim::NodeId(y * k_ + dx);
+    int x = lat_.coordOf(r, 0);
+    sim::NodeId dr = r + ((x + shift) % k - x);
+    return lat_.nodeAt(dr, lat_.localIndexOf(src));
 }
 
-NeighborPattern::NeighborPattern(int k) : k_(k) {}
+NeighborPattern::NeighborPattern(const topo::Lattice &lat) : lat_(lat)
+{
+}
 
 sim::NodeId
 NeighborPattern::pick(sim::NodeId src, Rng &) const
 {
-    int x = int(src) % k_, y = int(src) / k_;
-    return sim::NodeId(y * k_ + (x + 1) % k_);
+    sim::NodeId r = lat_.routerOf(src);
+    int k = lat_.radix(0);
+    int x = lat_.coordOf(r, 0);
+    sim::NodeId dr = r + ((x + 1) % k - x);
+    return lat_.nodeAt(dr, lat_.localIndexOf(src));
 }
 
-BitReversePattern::BitReversePattern(int k)
-    : uniform_(k), bits_(patternBits("bitrev", k))
+BitReversePattern::BitReversePattern(int num_nodes)
+    : uniform_(num_nodes), bits_(patternBits("bitrev", num_nodes))
 {
 }
 
@@ -106,8 +124,9 @@ BitReversePattern::pick(sim::NodeId src, Rng &rng) const
     return sim::NodeId(d);
 }
 
-ShufflePattern::ShufflePattern(int k)
-    : uniform_(k), numNodes_(k * k), bits_(patternBits("shuffle", k))
+ShufflePattern::ShufflePattern(int num_nodes)
+    : uniform_(num_nodes), numNodes_(num_nodes),
+      bits_(patternBits("shuffle", num_nodes))
 {
 }
 
@@ -121,8 +140,9 @@ ShufflePattern::pick(sim::NodeId src, Rng &rng) const
     return sim::NodeId(d);
 }
 
-HotspotPattern::HotspotPattern(int k, sim::NodeId hotspot, double fraction)
-    : uniform_(k), hotspot_(hotspot), fraction_(fraction)
+HotspotPattern::HotspotPattern(int num_nodes, sim::NodeId hotspot,
+                               double fraction)
+    : uniform_(num_nodes), hotspot_(hotspot), fraction_(fraction)
 {
     pdr_assert(fraction >= 0.0 && fraction <= 1.0);
 }
@@ -135,38 +155,143 @@ HotspotPattern::pick(sim::NodeId src, Rng &rng) const
     return uniform_.pick(src, rng);
 }
 
+PermFilePattern::PermFilePattern(int num_nodes, const std::string &path)
+    : uniform_(num_nodes)
+{
+    if (path.empty()) {
+        throw std::invalid_argument(
+            "traffic.pattern=permfile needs traffic.permfile=<path>");
+    }
+    std::ifstream in(path);
+    if (!in) {
+        throw std::invalid_argument(
+            "traffic.permfile: cannot open '" + path + "'");
+    }
+    auto fail = [&](int lineno, const std::string &what) {
+        throw std::invalid_argument(csprintf(
+            "traffic.permfile %s: line %d: %s", path.c_str(), lineno,
+            what.c_str()));
+    };
+
+    dest_.assign(std::size_t(num_nodes), sim::Invalid);
+    std::vector<int> seen_at(std::size_t(num_nodes), 0);
+    std::string line;
+    int lineno = 0, entries = 0;
+    while (std::getline(in, line)) {
+        lineno++;
+        // Strip comments and whitespace.
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        auto b = line.find_first_not_of(" \t\r");
+        if (b == std::string::npos)
+            continue;
+        auto e = line.find_last_not_of(" \t\r");
+        std::string tok = line.substr(b, e - b + 1);
+
+        if (entries >= num_nodes) {
+            fail(lineno, csprintf("more than %d entries", num_nodes));
+        }
+        char *end = nullptr;
+        long v = std::strtol(tok.c_str(), &end, 10);
+        if (end == tok.c_str() || *end != '\0') {
+            fail(lineno, "expected a node index, got '" + tok + "'");
+        }
+        if (v < 0 || v >= num_nodes) {
+            fail(lineno, csprintf(
+                "destination %ld out of range [0, %d)", v, num_nodes));
+        }
+        if (seen_at[std::size_t(v)] != 0) {
+            fail(lineno, csprintf(
+                "destination %ld already used on line %d (the file "
+                "must be a permutation)", v, seen_at[std::size_t(v)]));
+        }
+        seen_at[std::size_t(v)] = lineno;
+        dest_[std::size_t(entries)] = sim::NodeId(v);
+        entries++;
+    }
+    if (entries != num_nodes) {
+        throw std::invalid_argument(csprintf(
+            "traffic.permfile %s: expected %d entries (one per node), "
+            "got %d", path.c_str(), num_nodes, entries));
+    }
+}
+
+sim::NodeId
+PermFilePattern::pick(sim::NodeId src, Rng &rng) const
+{
+    sim::NodeId d = dest_[std::size_t(src)];
+    if (d == src) {
+        // Fixed points fall back to uniform so the node offers load.
+        return uniform_.pick(src, rng);
+    }
+    return d;
+}
+
 PatternRegistry::PatternRegistry()
     : FactoryRegistry<PatternFactory>("traffic pattern")
 {
     add("uniform",
-        [](int k) { return std::make_unique<UniformPattern>(k); },
+        [](const PatternEnv &env) {
+            return std::make_unique<UniformPattern>(
+                env.lattice.numNodes());
+        },
         "uniform random over all other nodes (the paper's workload)");
     add("transpose",
-        [](int k) { return std::make_unique<TransposePattern>(k); },
-        "matrix transpose: (x, y) -> (y, x)");
+        [](const PatternEnv &env) {
+            return std::make_unique<TransposePattern>(
+                env.lattice.numNodes());
+        },
+        "matrix transpose over the node square: (x, y) -> (y, x)");
     add("bitcomp",
-        [](int k) { return std::make_unique<BitComplementPattern>(k); },
+        [](const PatternEnv &env) {
+            return std::make_unique<BitComplementPattern>(
+                env.lattice.numNodes());
+        },
         "bit complement: node i -> ~i (power-of-two node counts)");
     add("tornado",
-        [](int k) { return std::make_unique<TornadoPattern>(k); },
-        "tornado: half-way around the x dimension");
+        [](const PatternEnv &env) {
+            return std::make_unique<TornadoPattern>(env.lattice);
+        },
+        "tornado: half-way around the first dimension");
     add("neighbor",
-        [](int k) { return std::make_unique<NeighborPattern>(k); },
-        "nearest neighbor: +1 in x (wrapping)");
+        [](const PatternEnv &env) {
+            return std::make_unique<NeighborPattern>(env.lattice);
+        },
+        "nearest neighbor: +1 router in the first dimension "
+        "(wrapping)");
     add("bitrev",
-        [](int k) { return std::make_unique<BitReversePattern>(k); },
+        [](const PatternEnv &env) {
+            return std::make_unique<BitReversePattern>(
+                env.lattice.numNodes());
+        },
         "bit reversal: node i -> reverse of i's bits (power-of-two "
         "node counts)");
     add("shuffle",
-        [](int k) { return std::make_unique<ShufflePattern>(k); },
+        [](const PatternEnv &env) {
+            return std::make_unique<ShufflePattern>(
+                env.lattice.numNodes());
+        },
         "perfect shuffle: node i -> rotate-left of i's bits "
         "(power-of-two node counts)");
     add("hotspot",
-        [](int k) {
+        [](const PatternEnv &env) {
+            const auto &lat = env.lattice;
+            std::vector<int> center(std::size_t(lat.dims()));
+            for (int d = 0; d < lat.dims(); d++)
+                center[std::size_t(d)] = lat.radix(d) / 2;
             return std::make_unique<HotspotPattern>(
-                k, k * k / 2 + k / 2, 0.1);
+                lat.numNodes(), lat.nodeAt(lat.routerAt(center), 0),
+                0.1);
         },
         "10% of traffic to the center node, the rest uniform");
+    add("permfile",
+        [](const PatternEnv &env) {
+            return std::make_unique<PermFilePattern>(
+                env.lattice.numNodes(), env.permfile);
+        },
+        "explicit permutation from traffic.permfile (one destination "
+        "per line)");
 }
 
 PatternRegistry &
@@ -177,9 +302,15 @@ PatternRegistry::instance()
 }
 
 std::unique_ptr<TrafficPattern>
+makePattern(const std::string &name, const PatternEnv &env)
+{
+    return PatternRegistry::instance().at(name)(env);
+}
+
+std::unique_ptr<TrafficPattern>
 makePattern(const std::string &name, int k)
 {
-    return PatternRegistry::instance().at(name)(k);
+    return makePattern(name, {topo::Lattice::mesh2D(k), ""});
 }
 
 } // namespace pdr::traffic

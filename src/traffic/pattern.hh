@@ -7,6 +7,14 @@
  * The standard synthetic patterns of the interconnection-network
  * literature are provided as extensions for the example programs and
  * ablation benches.
+ *
+ * Patterns are defined over *terminal node* indices (0 .. numNodes-1 of
+ * the lattice), so they respect concentration: on a cmesh the
+ * permutation patterns permute all c*k*k nodes, and geometric patterns
+ * (tornado, neighbor) shift the hosting router while keeping the local
+ * index.  Factories receive a PatternEnv carrying the lattice (by
+ * value -- patterns must not dangle when built from a temporary) plus
+ * the permutation-file path for "permfile".
  */
 
 #ifndef PDR_TRAFFIC_PATTERN_HH
@@ -15,12 +23,22 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/registry.hh"
 #include "common/rng.hh"
 #include "sim/types.hh"
+#include "topo/lattice.hh"
 
 namespace pdr::traffic {
+
+/** Everything a pattern factory may draw on. */
+struct PatternEnv
+{
+    topo::Lattice lattice;
+    /** Path of the permutation file (traffic.permfile). */
+    std::string permfile;
+};
 
 /** Destination selector for generated packets. */
 class TrafficPattern
@@ -39,7 +57,7 @@ class TrafficPattern
 class UniformPattern : public TrafficPattern
 {
   public:
-    explicit UniformPattern(int k);
+    explicit UniformPattern(int num_nodes);
     sim::NodeId pick(sim::NodeId src, Rng &rng) const override;
     std::string name() const override { return "uniform"; }
 
@@ -47,23 +65,25 @@ class UniformPattern : public TrafficPattern
     int numNodes_;
 };
 
-/** Matrix transpose: (x, y) -> (y, x). */
+/** Matrix transpose over the node index square: (x, y) -> (y, x).
+ *  Needs a perfect-square node count (any k x k mesh qualifies; so do
+ *  cmesh c=4 and kary3cube with even powers). */
 class TransposePattern : public TrafficPattern
 {
   public:
-    explicit TransposePattern(int k);
+    explicit TransposePattern(int num_nodes);
     sim::NodeId pick(sim::NodeId src, Rng &rng) const override;
     std::string name() const override { return "transpose"; }
 
   private:
-    int k_;
+    int side_;
 };
 
 /** Bit complement: node i -> ~i (over log2(N) bits). */
 class BitComplementPattern : public TrafficPattern
 {
   public:
-    explicit BitComplementPattern(int k);
+    explicit BitComplementPattern(int num_nodes);
     sim::NodeId pick(sim::NodeId src, Rng &rng) const override;
     std::string name() const override { return "bitcomp"; }
 
@@ -71,28 +91,29 @@ class BitComplementPattern : public TrafficPattern
     int numNodes_;
 };
 
-/** Tornado: half-way around each dimension. */
+/** Tornado: half-way around the first dimension (router-level; the
+ *  local index rides along unchanged). */
 class TornadoPattern : public TrafficPattern
 {
   public:
-    explicit TornadoPattern(int k);
+    explicit TornadoPattern(const topo::Lattice &lat);
     sim::NodeId pick(sim::NodeId src, Rng &rng) const override;
     std::string name() const override { return "tornado"; }
 
   private:
-    int k_;
+    topo::Lattice lat_;
 };
 
-/** Nearest neighbor: +1 in x (wrapping). */
+/** Nearest neighbor: +1 router in the first dimension (wrapping). */
 class NeighborPattern : public TrafficPattern
 {
   public:
-    explicit NeighborPattern(int k);
+    explicit NeighborPattern(const topo::Lattice &lat);
     sim::NodeId pick(sim::NodeId src, Rng &rng) const override;
     std::string name() const override { return "neighbor"; }
 
   private:
-    int k_;
+    topo::Lattice lat_;
 };
 
 /** Bit reversal: node i -> reverse of i's log2(N) bits.  Palindromic
@@ -101,7 +122,7 @@ class NeighborPattern : public TrafficPattern
 class BitReversePattern : public TrafficPattern
 {
   public:
-    explicit BitReversePattern(int k);
+    explicit BitReversePattern(int num_nodes);
     sim::NodeId pick(sim::NodeId src, Rng &rng) const override;
     std::string name() const override { return "bitrev"; }
 
@@ -116,7 +137,7 @@ class BitReversePattern : public TrafficPattern
 class ShufflePattern : public TrafficPattern
 {
   public:
-    explicit ShufflePattern(int k);
+    explicit ShufflePattern(int num_nodes);
     sim::NodeId pick(sim::NodeId src, Rng &rng) const override;
     std::string name() const override { return "shuffle"; }
 
@@ -133,7 +154,7 @@ class ShufflePattern : public TrafficPattern
 class HotspotPattern : public TrafficPattern
 {
   public:
-    HotspotPattern(int k, sim::NodeId hotspot, double fraction);
+    HotspotPattern(int num_nodes, sim::NodeId hotspot, double fraction);
     sim::NodeId pick(sim::NodeId src, Rng &rng) const override;
     std::string name() const override { return "hotspot"; }
 
@@ -143,17 +164,45 @@ class HotspotPattern : public TrafficPattern
     double fraction_;
 };
 
-/** Builds a pattern for a k x k network. */
+/**
+ * Explicit permutation loaded from a file (traffic.pattern=permfile,
+ * traffic.permfile=<path>): one destination node index per line, line
+ * i naming the destination of node i.  Blank lines and #-comments are
+ * skipped.  The file must define a permutation of 0..N-1; validation
+ * errors name the offending line.  Fixed points (dest == src) fall
+ * back to a uniform draw so every node still offers load.
+ */
+class PermFilePattern : public TrafficPattern
+{
+  public:
+    PermFilePattern(int num_nodes, const std::string &path);
+    sim::NodeId pick(sim::NodeId src, Rng &rng) const override;
+    std::string name() const override { return "permfile"; }
+
+    const std::vector<sim::NodeId> &permutation() const
+    {
+        return dest_;
+    }
+
+  private:
+    UniformPattern uniform_;
+    std::vector<sim::NodeId> dest_;
+};
+
+/** Builds a pattern for a lattice (plus pattern-specific inputs). */
 using PatternFactory =
-    std::function<std::unique_ptr<TrafficPattern>(int k)>;
+    std::function<std::unique_ptr<TrafficPattern>(const PatternEnv &)>;
 
 /**
  * String-keyed pattern registry.  The built-in patterns (uniform,
- * transpose, bitcomp, tornado, neighbor, hotspot) are pre-registered;
- * new scenarios add themselves in one line:
+ * transpose, bitcomp, tornado, neighbor, hotspot, bitrev, shuffle,
+ * permfile) are pre-registered; new scenarios add themselves in one
+ * line:
  *
  *   PatternRegistry::instance().add("mine",
- *       [](int k) { return std::make_unique<MyPattern>(k); },
+ *       [](const PatternEnv &env) {
+ *           return std::make_unique<MyPattern>(env.lattice);
+ *       },
  *       "what it does");
  *
  * and are then reachable from NetworkConfig::pattern, experiment
@@ -169,6 +218,10 @@ class PatternRegistry : public FactoryRegistry<PatternFactory>
 };
 
 /** Build the registered pattern `name`; throws on unknown names. */
+std::unique_ptr<TrafficPattern> makePattern(const std::string &name,
+                                            const PatternEnv &env);
+
+/** Convenience for tests/examples: a k x k mesh environment. */
 std::unique_ptr<TrafficPattern> makePattern(const std::string &name,
                                             int k);
 

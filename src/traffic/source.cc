@@ -82,6 +82,11 @@ Source::generate(sim::Cycle now)
     p.id = nextId_++;
     p.dest = pattern_.pick(node_, rng_);
     pdr_assert(p.dest != node_);
+    if (cfg_.routing) {
+        // Deterministic routings draw nothing here, keeping the RNG
+        // stream identical to the historical behavior.
+        p.routing = cfg_.routing->initPacket(node_, p.dest, rng_);
+    }
     p.ctime = now;
     p.measured = ctrl_.tryTag(now);
     queue_.push_back(p);
@@ -125,8 +130,10 @@ Source::inject(sim::Cycle now)
         else
             f.type = sim::FlitType::Body;
         f.vc = vc;
+        f.vclass = s.pkt.routing.vclass;
         f.src = node_;
         f.dest = s.pkt.dest;
+        f.inter = s.pkt.routing.inter;
         f.seq = std::uint8_t(s.nextSeq);
         f.ctime = s.pkt.ctime;
         f.measured = s.pkt.measured;

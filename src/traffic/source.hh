@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "router/routing.hh"
 #include "sim/channel.hh"
 #include "sim/flit.hh"
 #include "sim/flit_pool.hh"
@@ -35,6 +36,9 @@ struct SourceConfig
     int packetLength = 5;      //!< Flits per packet.
     double packetRate = 0.0;   //!< Packets per cycle (Bernoulli).
     std::uint64_t seed = 1;
+    /** Injection-time per-packet routing state (oblivious routings
+     *  draw their order bit / intermediate here); nullptr for none. */
+    const router::RoutingFunction *routing = nullptr;
 };
 
 /** Per-node constant-rate source. */
@@ -78,6 +82,8 @@ class Source
         sim::NodeId dest;
         sim::Cycle ctime;
         bool measured;
+        /** Routing state from RoutingFunction::initPacket. */
+        router::PacketInit routing;
     };
 
     /** A packet currently streaming on an injection VC. */

@@ -101,7 +101,7 @@ TEST(CreditLoop, CreditConservation)
     // by construction below).
     // Instead simply check credits never exceed bufDepth and that the
     // routers that are quiescent have full credit counters.
-    int n = network.mesh().numNodes();
+    int n = network.lattice().numNodes();
     for (sim::NodeId id = 0; id < n; id++) {
         auto &r = network.routerAt(id);
         if (!r.quiescent())
@@ -109,7 +109,7 @@ TEST(CreditLoop, CreditConservation)
         for (int port = 0; port < net::NumPorts; port++) {
             if (port == net::Local)
                 continue;   // Ejection side has no credit counters.
-            if (network.mesh().neighbor(id, port) == sim::Invalid)
+            if (network.lattice().neighbor(id, port) == sim::Invalid)
                 continue;
             for (int vc = 0; vc < cfg.net.router.numVcs; vc++) {
                 EXPECT_LE(r.credits(port, vc), cfg.net.router.bufDepth);

@@ -11,7 +11,7 @@
 
 #include "api/simulation.hh"
 #include "net/adaptive_routing.hh"
-#include "net/xy_routing.hh"
+#include "net/dor_routing.hh"
 
 using namespace pdr;
 using namespace pdr::net;
@@ -19,14 +19,16 @@ using namespace pdr::net;
 class WestFirstTest : public testing::Test
 {
   protected:
-    Mesh mesh{8};
+    Mesh mesh{Mesh::mesh2D(8)};
     WestFirstRouting wf{mesh};
 
     std::vector<int>
     cand(int hx, int hy, int dx, int dy)
     {
+        sim::Flit f;
+        f.dest = mesh.router2D(dx, dy);
         std::vector<int> out;
-        wf.candidates(mesh.node(hx, hy), mesh.node(dx, dy), out);
+        wf.candidates(mesh.router2D(hx, hy), f, out);
         return out;
     }
 };
@@ -58,8 +60,8 @@ TEST_F(WestFirstTest, AlignedIsDeterministic)
 TEST_F(WestFirstTest, AdaptiveFlag)
 {
     EXPECT_TRUE(wf.isAdaptive());
-    XyRouting xy(mesh);
-    EXPECT_FALSE(xy.isAdaptive());
+    DorRouting dor(mesh);
+    EXPECT_FALSE(dor.isAdaptive());
 }
 
 TEST_F(WestFirstTest, NoTurnIntoWestEver)
@@ -67,14 +69,16 @@ TEST_F(WestFirstTest, NoTurnIntoWestEver)
     // Property over all pairs: any candidate sequence can only use
     // West while no other direction has been used (turn-model check on
     // all minimal adaptive walks, sampled greedily both ways).
-    for (sim::NodeId src = 0; src < mesh.numNodes(); src += 5) {
-        for (sim::NodeId dest = 0; dest < mesh.numNodes(); dest += 3) {
+    for (sim::NodeId src = 0; src < mesh.numRouters(); src += 5) {
+        for (sim::NodeId dest = 0; dest < mesh.numRouters(); dest += 3) {
             sim::NodeId cur = src;
             bool left_west_phase = false;
             int hops = 0;
+            sim::Flit f;
+            f.dest = dest;
             while (cur != dest) {
                 std::vector<int> c;
-                wf.candidates(cur, dest, c);
+                wf.candidates(cur, f, c);
                 ASSERT_FALSE(c.empty());
                 // Pick the last candidate to stress the adaptive arm.
                 int port = c.back();

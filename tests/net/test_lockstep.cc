@@ -14,6 +14,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
 #include "net/network.hh"
 
 using namespace pdr;
@@ -143,6 +146,141 @@ TEST(LockstepTest, SingleFlitPackets)
     cfg.packetLength = 1;
     cfg.setOfferedFraction(0.2);
     expectLockstep(cfg, 4000);
+}
+
+TEST(LockstepTest, KAry3CubeDor)
+{
+    auto cfg = baseConfig(router::RouterModel::SpecVirtualChannel, 2, 4);
+    cfg.k = 3;
+    cfg.topology = "kary3cube";
+    cfg.router.numPorts = 0;
+    cfg.setOfferedFraction(0.3);
+    expectLockstep(cfg, 4000);
+}
+
+TEST(LockstepTest, ConcentratedMesh)
+{
+    auto cfg = baseConfig(router::RouterModel::SpecVirtualChannel, 2, 4);
+    cfg.topology = "cmesh";
+    cfg.router.numPorts = 0;
+    cfg.setOfferedFraction(0.3);
+    expectLockstep(cfg, 4000);
+}
+
+TEST(LockstepTest, O1TurnTranspose)
+{
+    auto cfg = baseConfig(router::RouterModel::SpecVirtualChannel, 2, 4);
+    cfg.routing = "o1turn";
+    cfg.pattern = "transpose";
+    cfg.setOfferedFraction(0.4);
+    expectLockstep(cfg, 4000);
+}
+
+TEST(LockstepTest, ValiantUniform)
+{
+    auto cfg = baseConfig(router::RouterModel::SpecVirtualChannel, 2, 4);
+    cfg.routing = "val";
+    cfg.setOfferedFraction(0.25);
+    expectLockstep(cfg, 4000);
+}
+
+TEST(LockstepTest, O1TurnOnCubeWithDatelines)
+{
+    auto cfg = baseConfig(router::RouterModel::SpecVirtualChannel, 4, 2);
+    cfg.k = 3;
+    cfg.topology = "kary3cube";
+    cfg.routing = "o1turn";
+    cfg.router.numPorts = 0;
+    cfg.setOfferedFraction(0.3);
+    expectLockstep(cfg, 3000);
+}
+
+TEST(LockstepTest, ValiantOnConcentratedMesh)
+{
+    auto cfg = baseConfig(router::RouterModel::SpecVirtualChannel, 2, 4);
+    cfg.topology = "cmesh2";
+    cfg.routing = "val";
+    cfg.router.numPorts = 0;
+    cfg.setOfferedFraction(0.25);
+    expectLockstep(cfg, 4000);
+}
+
+namespace {
+
+/**
+ * Deadlock-freedom soak: drive a (topology, routing) pair at its full
+ * uniform capacity -- far past saturation -- and require forward
+ * progress in every window.  A routing with a broken VC-class scheme
+ * wedges within a few thousand cycles at this load.
+ */
+void
+expectForwardProgressAtSaturation(const std::string &topology,
+                                  const std::string &routing, int k,
+                                  int vcs)
+{
+    net::NetworkConfig cfg;
+    cfg.k = k;
+    cfg.topology = topology;
+    cfg.routing = routing;
+    cfg.router.model = router::RouterModel::SpecVirtualChannel;
+    cfg.router.numPorts = 0;
+    cfg.router.numVcs = vcs;
+    cfg.router.bufDepth = 4;
+    cfg.packetLength = 5;
+    cfg.warmup = 1000;
+    cfg.samplePackets = 1u << 30;   // Never stop sampling.
+    cfg.seed = 7;
+    // The heaviest load a source can physically offer: one flit per
+    // node per cycle, capped by the topology's capacity bound.
+    cfg.injectionRate = std::min(1.0, cfg.capacity());
+
+    net::Network net(cfg);
+    std::vector<traffic::Delivery> trace;
+    net.recordDeliveries(&trace);
+
+    constexpr sim::Cycle kSoak = 50000;
+    constexpr sim::Cycle kWindow = 10000;
+    std::size_t last = 0;
+    for (sim::Cycle w = 0; w < kSoak / kWindow; w++) {
+        net.run(kWindow);
+        ASSERT_GT(trace.size(), last)
+            << topology << "+" << routing << ": no packet delivered in "
+            << "cycles [" << w * kWindow << ", " << (w + 1) * kWindow
+            << ") -- deadlock?";
+        last = trace.size();
+    }
+}
+
+} // namespace
+
+TEST(DeadlockSoak, KAry3CubeDor)
+{
+    expectForwardProgressAtSaturation("kary3cube", "dor", 4, 2);
+}
+
+TEST(DeadlockSoak, KAry3CubeO1Turn)
+{
+    expectForwardProgressAtSaturation("kary3cube", "o1turn", 4, 4);
+}
+
+TEST(DeadlockSoak, KAry3CubeValiant)
+{
+    expectForwardProgressAtSaturation("kary3cube", "val", 4, 4);
+}
+
+TEST(DeadlockSoak, CmeshDor)
+{
+    expectForwardProgressAtSaturation("cmesh", "dor", 2, 2);
+}
+
+TEST(DeadlockSoak, CmeshO1Turn)
+{
+    expectForwardProgressAtSaturation("cmesh", "o1turn", 2, 2);
+}
+
+TEST(DeadlockSoak, CmeshValiant)
+{
+    expectForwardProgressAtSaturation("cmesh2", "val", 4, 2);
 }
 
 TEST(LockstepTest, ZeroRateNetworkStaysQuiet)

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * O1TURN and Valiant routing tests: per-packet state, VC-class
+ * partitioning, minimality (O1TURN) / two-phase structure (Valiant),
+ * and end-to-end delivery plus the textbook performance signatures.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "api/simulation.hh"
+#include "net/oblivious_routing.hh"
+
+using namespace pdr;
+using namespace pdr::net;
+using topo::Lattice;
+
+namespace {
+
+sim::Flit
+packetFlit(const router::RoutingFunction &r, sim::NodeId src,
+           sim::NodeId dest, Rng &rng)
+{
+    auto init = r.initPacket(src, dest, rng);
+    sim::Flit f;
+    f.src = src;
+    f.dest = dest;
+    f.inter = init.inter;
+    f.vclass = init.vclass;
+    return f;
+}
+
+/** Walk a packet from src to dest, applying nextClass per hop. */
+int
+walk(const Lattice &lat, const router::RoutingFunction &r,
+     sim::Flit f, int hop_limit)
+{
+    sim::NodeId cur = lat.routerOf(f.src);
+    int hops = 0;
+    while (true) {
+        int port = r.route(cur, f);
+        if (lat.isLocalPort(port)) {
+            EXPECT_EQ(cur, lat.routerOf(f.dest));
+            EXPECT_EQ(lat.localIndexOfPort(port),
+                      lat.localIndexOf(f.dest));
+            return hops;
+        }
+        f.vclass = std::uint8_t(r.nextClass(f, cur, port));
+        cur = lat.neighbor(cur, port);
+        EXPECT_NE(cur, sim::Invalid);
+        if (++hops > hop_limit) {
+            ADD_FAILURE() << "walk exceeded " << hop_limit << " hops";
+            return hops;
+        }
+    }
+}
+
+} // namespace
+
+TEST(O1Turn, BothOrdersAppearAndStayMinimal)
+{
+    Lattice mesh = Lattice::mesh2D(8);
+    O1TurnRouting r(mesh);
+    Rng rng(42);
+    std::set<int> orders;
+    for (int trial = 0; trial < 64; trial++) {
+        auto f = packetFlit(r, mesh.router2D(1, 1),
+                            mesh.router2D(6, 5), rng);
+        orders.insert(f.vclass & 1);
+        int hops = walk(mesh, r, f, 14);
+        EXPECT_EQ(hops, mesh.distance(mesh.router2D(1, 1),
+                                      mesh.router2D(6, 5)));
+    }
+    // Both dimension orders must be drawn.
+    EXPECT_EQ(orders.size(), 2u);
+}
+
+TEST(O1Turn, OrderZeroIsXyOrderOneIsYx)
+{
+    Lattice mesh = Lattice::mesh2D(8);
+    O1TurnRouting r(mesh);
+    sim::Flit f;
+    f.dest = mesh.router2D(5, 5);
+    f.vclass = 0;
+    EXPECT_EQ(r.route(mesh.router2D(1, 1), f), East);   // x first
+    f.vclass = 1;
+    EXPECT_EQ(r.route(mesh.router2D(1, 1), f), North);  // y first
+}
+
+TEST(O1Turn, VcClassesPartitionByOrder)
+{
+    Lattice mesh = Lattice::mesh2D(8);
+    O1TurnRouting r(mesh);
+    EXPECT_EQ(r.minVcs(), 2);
+    sim::Flit f;
+    f.dest = mesh.router2D(5, 5);
+    f.vclass = 0;
+    EXPECT_EQ(r.vcMask(f, mesh.router2D(1, 1), East, 4), 0x3u);
+    f.vclass = 1;
+    EXPECT_EQ(r.vcMask(f, mesh.router2D(1, 1), North, 4), 0xcu);
+    // On a torus each order-half is split again by the dateline.
+    Lattice torus = Lattice::torus2D(4);
+    O1TurnRouting rt(torus);
+    EXPECT_EQ(rt.minVcs(), 4);
+    f.dest = torus.router2D(3, 0);
+    f.vclass = 0;
+    EXPECT_EQ(rt.vcMask(f, torus.router2D(1, 0), East, 4), 0x1u);
+    EXPECT_EQ(rt.vcMask(f, torus.router2D(3, 0), East, 4), 0x2u);
+    f.vclass = 1;
+    EXPECT_EQ(rt.vcMask(f, torus.router2D(1, 0), East, 4), 0x4u);
+    EXPECT_EQ(rt.vcMask(f, torus.router2D(3, 0), East, 4), 0x8u);
+}
+
+TEST(Valiant, TwoPhaseWalkTerminatesThroughIntermediate)
+{
+    Lattice mesh = Lattice::mesh2D(8);
+    ValiantRouting r(mesh);
+    Rng rng(7);
+    for (int trial = 0; trial < 64; trial++) {
+        auto f = packetFlit(r, 3, 60, rng);
+        ASSERT_NE(f.inter, sim::Invalid);
+        sim::NodeId ir = mesh.routerOf(f.inter);
+        int hops = walk(mesh, r, f, 30);
+        int minimal = mesh.distance(mesh.routerOf(3), ir) +
+                      mesh.distance(ir, mesh.routerOf(60));
+        EXPECT_EQ(hops, minimal);
+    }
+}
+
+TEST(Valiant, PhaseBitFlipsAtTheIntermediate)
+{
+    Lattice mesh = Lattice::mesh2D(8);
+    ValiantRouting r(mesh);
+    sim::Flit f;
+    f.src = mesh.router2D(0, 0);
+    f.dest = mesh.router2D(0, 0);  // src == dest router is fine here.
+    f.inter = mesh.router2D(2, 0);
+    f.vclass = 0;
+    // Phase 1 heads for the intermediate in the lower VC half.
+    EXPECT_EQ(r.route(mesh.router2D(0, 0), f), East);
+    EXPECT_EQ(r.vcMask(f, mesh.router2D(0, 0), East, 4), 0x3u);
+    EXPECT_EQ(r.nextClass(f, mesh.router2D(0, 0), East), 0);
+    // Departing the intermediate switches to phase 2, upper half.
+    EXPECT_EQ(r.route(mesh.router2D(2, 0), f), West);
+    EXPECT_EQ(r.vcMask(f, mesh.router2D(2, 0), West, 4), 0xcu);
+    EXPECT_EQ(r.nextClass(f, mesh.router2D(2, 0), West), 1);
+}
+
+TEST(Valiant, IntermediateOnSourceRouterStartsInPhaseTwo)
+{
+    Lattice mesh = Lattice::mesh2D(4);
+    ValiantRouting r(mesh);
+    Rng rng(5);
+    bool saw_phase2_start = false;
+    for (int trial = 0; trial < 256 && !saw_phase2_start; trial++) {
+        auto f = packetFlit(r, 5, 10, rng);
+        if (mesh.routerOf(f.inter) == mesh.routerOf(5)) {
+            EXPECT_EQ(f.vclass & 1, 1);
+            saw_phase2_start = true;
+        }
+    }
+    EXPECT_TRUE(saw_phase2_start) << "no on-router intermediate drawn";
+}
+
+namespace {
+
+api::SimConfig
+obliviousConfig(const std::string &topology, const std::string &routing,
+                const std::string &pattern, double load, int vcs)
+{
+    api::SimConfig cfg;
+    cfg.net.k = 4;
+    cfg.net.topology = topology;
+    cfg.net.routing = routing;
+    cfg.net.router.model = router::RouterModel::SpecVirtualChannel;
+    cfg.net.router.numPorts = 0;
+    cfg.net.router.numVcs = vcs;
+    cfg.net.router.bufDepth = 4;
+    cfg.net.pattern = pattern;
+    cfg.net.warmup = 1000;
+    cfg.net.samplePackets = 3000;
+    cfg.net.seed = 17;
+    cfg.net.setOfferedFraction(load);
+    cfg.maxCycles = 200000;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Oblivious, DeliversAcrossTopologies)
+{
+    // Every (topology, routing) pair drains a moderate uniform load.
+    for (const char *topology :
+         {"mesh", "torus", "kary3cube", "cmesh", "cmesh2"}) {
+        for (const char *routing : {"dor", "o1turn", "val"}) {
+            bool wrap = std::string(topology) == "torus" ||
+                        std::string(topology) == "kary3cube";
+            int vcs = wrap ? 4 : 2;
+            auto res = api::runSimulation(obliviousConfig(
+                topology, routing, "uniform", 0.25, vcs));
+            EXPECT_TRUE(res.drained)
+                << topology << "+" << routing;
+            EXPECT_EQ(res.sampleReceived, res.sampleSize)
+                << topology << "+" << routing;
+        }
+    }
+}
+
+TEST(Oblivious, ValiantPathsAreLongerAtLowLoad)
+{
+    // Valiant's detour through a random intermediate roughly doubles
+    // the zero-load path length against DOR.
+    auto val = api::runSimulation(
+        obliviousConfig("mesh", "val", "uniform", 0.05, 2));
+    auto dor = api::runSimulation(
+        obliviousConfig("mesh", "dor", "uniform", 0.05, 2));
+    ASSERT_TRUE(val.drained && dor.drained);
+    EXPECT_GT(val.avgLatency, dor.avgLatency * 1.2);
+}
+
+TEST(Oblivious, O1TurnBeatsDorOnTranspose)
+{
+    // Transpose concentrates DOR traffic on the diagonal; O1TURN
+    // spreads it over both orders, so at a load past DOR's knee the
+    // O1TURN router must still drain with lower latency.
+    auto o1 = api::runSimulation(
+        obliviousConfig("mesh", "o1turn", "transpose", 0.45, 2));
+    auto dor = api::runSimulation(
+        obliviousConfig("mesh", "dor", "transpose", 0.45, 2));
+    ASSERT_TRUE(o1.drained);
+    if (dor.drained) {
+        EXPECT_LE(o1.avgLatency, dor.avgLatency * 1.05);
+    }
+}

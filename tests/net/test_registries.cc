@@ -10,11 +10,13 @@
 
 using namespace pdr;
 using namespace pdr::net;
+using topo::Lattice;
 
 TEST(TopologyRegistry, ContainsBuiltins)
 {
     auto &reg = TopologyRegistry::instance();
-    for (const char *name : {"mesh", "torus"}) {
+    for (const char *name :
+         {"mesh", "torus", "kary3cube", "cmesh", "cmesh2"}) {
         EXPECT_TRUE(reg.contains(name)) << name;
         EXPECT_FALSE(reg.description(name).empty()) << name;
     }
@@ -30,6 +32,19 @@ TEST(TopologyRegistry, BuildsTheRightGeometry)
     EXPECT_TRUE(torus.wraps());
     EXPECT_EQ(reg.at("mesh").defaultRouting, "xy");
     EXPECT_EQ(reg.at("torus").defaultRouting, "dateline");
+
+    auto cube = reg.at("kary3cube").make(4);
+    EXPECT_EQ(cube.dims(), 3);
+    EXPECT_EQ(cube.numRouters(), 64);
+    EXPECT_EQ(cube.numPorts(), 7);
+    EXPECT_TRUE(cube.wraps());
+    EXPECT_EQ(reg.at("kary3cube").defaultRouting, "dor");
+
+    auto cm = reg.at("cmesh").make(4);
+    EXPECT_EQ(cm.concentration(), 4);
+    EXPECT_EQ(cm.numNodes(), 64);
+    EXPECT_EQ(cm.numPorts(), 8);
+    EXPECT_EQ(reg.at("cmesh2").make(4).concentration(), 2);
 }
 
 TEST(TopologyRegistry, UnknownNameListsKnownOnes)
@@ -42,24 +57,37 @@ TEST(TopologyRegistry, UnknownNameListsKnownOnes)
         EXPECT_NE(msg.find("hypercube"), std::string::npos);
         EXPECT_NE(msg.find("mesh"), std::string::npos);
         EXPECT_NE(msg.find("torus"), std::string::npos);
+        EXPECT_NE(msg.find("kary3cube"), std::string::npos);
     }
 }
 
 TEST(RoutingRegistry, BuildsEveryBuiltinOnItsTopology)
 {
     auto &reg = RoutingRegistry::instance();
-    Mesh mesh(4, false), torus(4, true);
+    Lattice mesh = Lattice::mesh2D(4);
+    Lattice torus = Lattice::torus2D(4);
+    Lattice cube = Lattice::kAryNCube(3, 3);
+    Lattice cm = Lattice::cmesh(4, 4);
     EXPECT_NE(reg.at("xy")(mesh), nullptr);
     EXPECT_NE(reg.at("westfirst")(mesh), nullptr);
+    EXPECT_NE(reg.at("westfirst")(cm), nullptr);
     EXPECT_NE(reg.at("dateline")(torus), nullptr);
+    for (const Lattice &lat : {mesh, torus, cube, cm}) {
+        EXPECT_NE(reg.at("dor")(lat), nullptr);
+        EXPECT_NE(reg.at("o1turn")(lat), nullptr);
+        EXPECT_NE(reg.at("val")(lat), nullptr);
+    }
 }
 
 TEST(RoutingRegistry, RejectsIncompatibleGeometry)
 {
     auto &reg = RoutingRegistry::instance();
-    Mesh mesh(4, false), torus(4, true);
+    Lattice mesh = Lattice::mesh2D(4);
+    Lattice torus = Lattice::torus2D(4);
+    Lattice cube = Lattice::kAryNCube(3, 3);
     EXPECT_THROW(reg.at("xy")(torus), std::invalid_argument);
     EXPECT_THROW(reg.at("westfirst")(torus), std::invalid_argument);
+    EXPECT_THROW(reg.at("westfirst")(cube), std::invalid_argument);
     EXPECT_THROW(reg.at("dateline")(mesh), std::invalid_argument);
     EXPECT_THROW(reg.at("no-such-routing"), std::invalid_argument);
 }
@@ -70,6 +98,10 @@ TEST(NetworkConfig, ResolvedRoutingFollowsTopology)
     EXPECT_EQ(cfg.resolvedRouting(), "xy");
     cfg.topology = "torus";
     EXPECT_EQ(cfg.resolvedRouting(), "dateline");
+    cfg.topology = "kary3cube";
+    EXPECT_EQ(cfg.resolvedRouting(), "dor");
+    cfg.topology = "cmesh";
+    EXPECT_EQ(cfg.resolvedRouting(), "dor");
     cfg.routing = "westfirst";
     EXPECT_EQ(cfg.resolvedRouting(), "westfirst");
 }
@@ -81,6 +113,49 @@ TEST(NetworkConfig, CapacityComesFromTheTopology)
     EXPECT_DOUBLE_EQ(cfg.capacity(), 0.5);
     cfg.topology = "torus";
     EXPECT_DOUBLE_EQ(cfg.capacity(), 1.0);
+    cfg.topology = "kary3cube";
+    EXPECT_DOUBLE_EQ(cfg.capacity(), 1.0);
+    cfg.topology = "cmesh";
+    EXPECT_DOUBLE_EQ(cfg.capacity(), 0.125);
     cfg.topology = "nope";
     EXPECT_THROW(cfg.capacity(), std::invalid_argument);
+}
+
+TEST(NetworkConfig, VcRequirementsFollowTheRouting)
+{
+    // O1TURN needs a VC class per dimension order; Valiant one per
+    // phase; wrapping lattices double both for the dateline split.
+    NetworkConfig cfg;
+    cfg.router.model = router::RouterModel::SpecVirtualChannel;
+    cfg.router.numVcs = 1;
+    cfg.routing = "o1turn";
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg.router.numVcs = 2;
+    EXPECT_NO_THROW(cfg.validate());
+
+    cfg.topology = "kary3cube";
+    cfg.router.numPorts = 0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg.router.numVcs = 4;
+    EXPECT_NO_THROW(cfg.validate());
+
+    cfg.routing = "val";
+    EXPECT_NO_THROW(cfg.validate());
+    cfg.router.numVcs = 2;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(NetworkConfig, PortCountDerivesFromTopology)
+{
+    NetworkConfig cfg;
+    cfg.topology = "kary3cube";
+    cfg.router.model = router::RouterModel::SpecVirtualChannel;
+    cfg.router.numVcs = 2;
+    // The 2D default (5 ports) does not fit a 3-cube...
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    // ...0 = auto and the exact count both do.
+    cfg.router.numPorts = 0;
+    EXPECT_NO_THROW(cfg.validate());
+    cfg.router.numPorts = 7;
+    EXPECT_NO_THROW(cfg.validate());
 }

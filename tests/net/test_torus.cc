@@ -10,75 +10,101 @@
 #include <string>
 
 #include "api/simulation.hh"
-#include "net/torus_routing.hh"
+#include "net/dor_routing.hh"
 
 using namespace pdr;
 using namespace pdr::net;
+using topo::Lattice;
+
+namespace {
+
+sim::Flit
+toward(sim::NodeId dest, int vclass = 0)
+{
+    sim::Flit f;
+    f.dest = dest;
+    f.vclass = std::uint8_t(vclass);
+    return f;
+}
+
+/** Dateline bit of dimension d in the shared vclass encoding. */
+int
+dl(int d)
+{
+    return 1 << (1 + d);
+}
+
+} // namespace
 
 TEST(Torus, NeighborsWrap)
 {
-    Mesh t(4, true);
-    EXPECT_EQ(t.neighbor(t.node(3, 1), East), t.node(0, 1));
-    EXPECT_EQ(t.neighbor(t.node(0, 1), West), t.node(3, 1));
-    EXPECT_EQ(t.neighbor(t.node(2, 3), North), t.node(2, 0));
-    EXPECT_EQ(t.neighbor(t.node(2, 0), South), t.node(2, 3));
+    Lattice t = Lattice::torus2D(4);
+    EXPECT_EQ(t.neighbor(t.router2D(3, 1), East), t.router2D(0, 1));
+    EXPECT_EQ(t.neighbor(t.router2D(0, 1), West), t.router2D(3, 1));
+    EXPECT_EQ(t.neighbor(t.router2D(2, 3), North), t.router2D(2, 0));
+    EXPECT_EQ(t.neighbor(t.router2D(2, 0), South), t.router2D(2, 3));
 }
 
 TEST(Torus, WrapLinksAreDatelines)
 {
-    Mesh t(4, true);
-    EXPECT_TRUE(t.isWrapLink(t.node(3, 0), East));
-    EXPECT_TRUE(t.isWrapLink(t.node(0, 0), West));
-    EXPECT_TRUE(t.isWrapLink(t.node(1, 3), North));
-    EXPECT_TRUE(t.isWrapLink(t.node(1, 0), South));
-    EXPECT_FALSE(t.isWrapLink(t.node(1, 0), East));
+    Lattice t = Lattice::torus2D(4);
+    EXPECT_TRUE(t.isWrapLink(t.router2D(3, 0), East));
+    EXPECT_TRUE(t.isWrapLink(t.router2D(0, 0), West));
+    EXPECT_TRUE(t.isWrapLink(t.router2D(1, 3), North));
+    EXPECT_TRUE(t.isWrapLink(t.router2D(1, 0), South));
+    EXPECT_FALSE(t.isWrapLink(t.router2D(1, 0), East));
     // A plain mesh has no wrap links at all.
-    Mesh m(4);
-    EXPECT_FALSE(m.isWrapLink(m.node(3, 0), East));
+    Lattice m = Lattice::mesh2D(4);
+    EXPECT_FALSE(m.isWrapLink(m.router2D(3, 0), East));
 }
 
 TEST(Torus, WrapDistance)
 {
-    Mesh t(8, true);
-    // Opposite corners are only (4 + 4) hops on the torus.
-    EXPECT_EQ(t.distance(t.node(0, 0), t.node(7, 7)), 2);
-    EXPECT_EQ(t.distance(t.node(0, 0), t.node(4, 4)), 8);
-    EXPECT_EQ(t.distance(t.node(1, 1), t.node(6, 1)), 3);
+    Lattice t = Lattice::torus2D(8);
+    // Opposite corners are only (1 + 1) hops on the torus.
+    EXPECT_EQ(t.distance(t.router2D(0, 0), t.router2D(7, 7)), 2);
+    EXPECT_EQ(t.distance(t.router2D(0, 0), t.router2D(4, 4)), 8);
+    EXPECT_EQ(t.distance(t.router2D(1, 1), t.router2D(6, 1)), 3);
 }
 
 TEST(Torus, CapacityDoubles)
 {
-    EXPECT_DOUBLE_EQ(Mesh(8, true).uniformCapacity(), 1.0);
-    EXPECT_DOUBLE_EQ(Mesh(8, false).uniformCapacity(), 0.5);
+    EXPECT_DOUBLE_EQ(Lattice::torus2D(8).uniformCapacity(), 1.0);
+    EXPECT_DOUBLE_EQ(Lattice::mesh2D(8).uniformCapacity(), 0.5);
 }
 
 TEST(Torus, RoutingTakesShortestWay)
 {
-    Mesh t(8, true);
-    TorusDorRouting r(t);
+    Lattice t = Lattice::torus2D(8);
+    DorRouting r(t);
+    auto route = [&](sim::NodeId here, sim::NodeId dest) {
+        auto f = toward(dest);
+        return r.route(here, f);
+    };
     // x: 1 -> 6 is shorter going West (3 hops) than East (5).
-    EXPECT_EQ(r.route(t.node(1, 0), t.node(6, 0)), West);
-    EXPECT_EQ(r.route(t.node(6, 0), t.node(1, 0)), East);
+    EXPECT_EQ(route(t.router2D(1, 0), t.router2D(6, 0)), West);
+    EXPECT_EQ(route(t.router2D(6, 0), t.router2D(1, 0)), East);
     // Exactly half-way: tie broken East.
-    EXPECT_EQ(r.route(t.node(0, 0), t.node(4, 0)), East);
+    EXPECT_EQ(route(t.router2D(0, 0), t.router2D(4, 0)), East);
     // X before Y.
-    EXPECT_EQ(r.route(t.node(0, 0), t.node(7, 5)), West);
-    EXPECT_EQ(r.route(t.node(7, 0), t.node(7, 5)), South);  // 3 < 5.
-    EXPECT_EQ(r.route(t.node(7, 0), t.node(7, 2)), North);
-    EXPECT_EQ(r.route(t.node(7, 7), t.node(7, 5)), South);
-    EXPECT_EQ(r.route(t.node(3, 3), t.node(3, 3)), Local);
+    EXPECT_EQ(route(t.router2D(0, 0), t.router2D(7, 5)), West);
+    EXPECT_EQ(route(t.router2D(7, 0), t.router2D(7, 5)), South);
+    EXPECT_EQ(route(t.router2D(7, 0), t.router2D(7, 2)), North);
+    EXPECT_EQ(route(t.router2D(7, 7), t.router2D(7, 5)), South);
+    EXPECT_EQ(route(t.router2D(3, 3), t.router2D(3, 3)), Local);
 }
 
 TEST(Torus, RoutingReachesEveryPairMinimally)
 {
-    Mesh t(6, true);
-    TorusDorRouting r(t);
-    for (sim::NodeId src = 0; src < t.numNodes(); src++) {
-        for (sim::NodeId dest = 0; dest < t.numNodes(); dest++) {
+    Lattice t = Lattice::torus2D(6);
+    DorRouting r(t);
+    for (sim::NodeId src = 0; src < t.numRouters(); src++) {
+        for (sim::NodeId dest = 0; dest < t.numRouters(); dest++) {
             sim::NodeId cur = src;
             int hops = 0;
+            auto f = toward(dest);
             while (cur != dest) {
-                int port = r.route(cur, dest);
+                int port = r.route(cur, f);
                 ASSERT_NE(port, Local);
                 cur = t.neighbor(cur, port);
                 ASSERT_LE(++hops, 6);
@@ -90,28 +116,40 @@ TEST(Torus, RoutingReachesEveryPairMinimally)
 
 TEST(Torus, DatelinePromotesVcClass)
 {
-    Mesh t(4, true);
-    TorusDorRouting r(t);
-    // Crossing the East wrap link sets the X-class bit.
-    EXPECT_EQ(r.nextClass(0, t.node(3, 0), East), 1);
-    EXPECT_EQ(r.nextClass(0, t.node(1, 0), East), 0);
+    Lattice t = Lattice::torus2D(4);
+    DorRouting r(t);
+    // Crossing the East wrap link sets the X dateline bit.
+    EXPECT_EQ(r.nextClass(toward(0), t.router2D(3, 0), East), dl(0));
+    EXPECT_EQ(r.nextClass(toward(0), t.router2D(1, 0), East), 0);
     // Y dateline sets the Y bit, preserving the X bit.
-    EXPECT_EQ(r.nextClass(1, t.node(0, 3), North), 3);
+    EXPECT_EQ(r.nextClass(toward(0, dl(0)), t.router2D(0, 3), North),
+              dl(0) | dl(1));
     // Ejection clears the class.
-    EXPECT_EQ(r.nextClass(3, t.node(0, 0), Local), 0);
+    EXPECT_EQ(r.nextClass(toward(0, dl(0) | dl(1)), t.router2D(0, 0),
+                          Local),
+              0);
 }
 
 TEST(Torus, VcMaskSplitsClasses)
 {
-    Mesh t(4, true);
-    TorusDorRouting r(t);
-    // 4 VCs: class 0 -> VCs {0,1}, class 1 -> {2,3}.
-    EXPECT_EQ(r.vcMask(0, t.node(1, 0), t.node(3, 0), East, 4), 0x3u);
-    EXPECT_EQ(r.vcMask(1, t.node(1, 0), t.node(3, 0), East, 4), 0xcu);
+    Lattice t = Lattice::torus2D(4);
+    DorRouting r(t);
+    EXPECT_EQ(r.minVcs(), 2);
+    // 4 VCs: class 0 -> VCs {0,1}, crossed -> {2,3}.
+    EXPECT_EQ(r.vcMask(toward(t.router2D(3, 0)), t.router2D(1, 0),
+                       East, 4),
+              0x3u);
+    EXPECT_EQ(r.vcMask(toward(t.router2D(3, 0), dl(0)),
+                       t.router2D(1, 0), East, 4),
+              0xcu);
     // Crossing link itself already uses the promoted class.
-    EXPECT_EQ(r.vcMask(0, t.node(3, 0), t.node(0, 0), East, 4), 0xcu);
+    EXPECT_EQ(r.vcMask(toward(t.router2D(0, 0)), t.router2D(3, 0),
+                       East, 4),
+              0xcu);
     // Ejection unrestricted.
-    EXPECT_EQ(r.vcMask(1, t.node(0, 0), t.node(0, 0), Local, 4), ~0u);
+    EXPECT_EQ(r.vcMask(toward(t.router2D(0, 0), dl(0)),
+                       t.router2D(0, 0), Local, 4),
+              ~0u);
 }
 
 namespace {

@@ -24,9 +24,9 @@ namespace pdr::test {
 class DirectRouting : public router::RoutingFunction
 {
   public:
-    int route(sim::NodeId, sim::NodeId dest) const override
+    int route(sim::NodeId, const sim::Flit &head) const override
     {
-        return int(dest);
+        return int(head.dest);
     }
 };
 

@@ -8,6 +8,7 @@
 
 #include <sys/wait.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 #include <string>
@@ -102,19 +103,56 @@ TEST(PdrCli, DescribeListsSchemaAndRegistries)
     for (const char *needle :
          {"net.k", "router.model", "traffic.pattern", "sweep.loads",
           "uniform", "tornado", "mesh", "torus", "xy", "westfirst",
-          "dateline"}) {
+          "dateline", "kary3cube", "cmesh", "o1turn", "val",
+          "permfile"}) {
         EXPECT_NE(res.out.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST(PdrCli, ListPrintsEveryRegistryEntryOnePerLine)
+{
+    auto res = run("list");
+    EXPECT_EQ(res.status, 0) << res.out;
+    for (const char *line :
+         {"topology mesh", "topology torus", "topology kary3cube",
+          "topology cmesh", "topology cmesh2", "routing dor",
+          "routing xy", "routing dateline", "routing o1turn",
+          "routing val", "routing westfirst", "pattern uniform",
+          "pattern permfile", "pattern transpose"}) {
+        EXPECT_NE(res.out.find(std::string(line) + "\n"),
+                  std::string::npos)
+            << line;
+    }
+    // Strictly one `<kind> <name>` pair per line.
+    for (const auto &l : lines(res.out)) {
+        if (l.empty())
+            continue;
+        EXPECT_EQ(countFields(l), 1u) << l;   // No commas...
+        EXPECT_EQ(std::count(l.begin(), l.end(), ' '), 1) << l;
     }
 }
 
 TEST(PdrCli, DescribeValidatesShippedExperiments)
 {
-    for (const char *exp : {"fig13.exp", "fig16.exp", "fig18.exp"}) {
+    for (const char *exp :
+         {"fig13.exp", "fig14.exp", "fig15.exp", "fig16.exp",
+          "fig18.exp", "kary3cube.exp"}) {
         auto res = run(std::string("describe --file ") +
                        PDR_EXPERIMENTS_DIR + "/" + exp);
         EXPECT_EQ(res.status, 0) << exp << ": " << res.out;
         EXPECT_NE(res.out.find("points:"), std::string::npos) << exp;
     }
+}
+
+TEST(PdrCli, SweepRunsOnAKAry3Cube)
+{
+    auto res = run("sweep --net.k=3 --net.topology=kary3cube "
+                   "--router.model=specVC --router.num_ports=0 "
+                   "--router.num_vcs=2 --router.buf_depth=4 "
+                   "--sim.warmup=200 --sim.sample_packets=200 "
+                   "--sweep.loads=0.1");
+    EXPECT_EQ(res.status, 0) << res.out;
+    EXPECT_NE(res.out.find("0.100"), std::string::npos) << res.out;
 }
 
 TEST(PdrCli, FlagsAcceptEqualsSyntax)

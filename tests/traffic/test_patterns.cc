@@ -18,7 +18,7 @@ constexpr int N = K * K;
 
 TEST(Patterns, UniformNeverPicksSelf)
 {
-    UniformPattern p(K);
+    UniformPattern p(N);
     Rng rng(1);
     for (sim::NodeId src : {0, 7, 31, 63}) {
         for (int i = 0; i < 2000; i++) {
@@ -32,7 +32,7 @@ TEST(Patterns, UniformNeverPicksSelf)
 
 TEST(Patterns, UniformCoversAllDestinations)
 {
-    UniformPattern p(K);
+    UniformPattern p(N);
     Rng rng(2);
     std::map<sim::NodeId, int> hits;
     for (int i = 0; i < 63 * 400; i++)
@@ -44,7 +44,7 @@ TEST(Patterns, UniformCoversAllDestinations)
 
 TEST(Patterns, TransposeMapsCoordinates)
 {
-    TransposePattern p(K);
+    TransposePattern p(N);
     Rng rng(3);
     // (x=2, y=5) = node 42 -> (x=5, y=2) = node 21.
     EXPECT_EQ(p.pick(5 * K + 2, rng), sim::NodeId(2 * K + 5));
@@ -52,7 +52,7 @@ TEST(Patterns, TransposeMapsCoordinates)
 
 TEST(Patterns, TransposeDiagonalFallsBackToUniform)
 {
-    TransposePattern p(K);
+    TransposePattern p(N);
     Rng rng(4);
     sim::NodeId diag = 3 * K + 3;
     for (int i = 0; i < 100; i++)
@@ -61,7 +61,7 @@ TEST(Patterns, TransposeDiagonalFallsBackToUniform)
 
 TEST(Patterns, BitComplement)
 {
-    BitComplementPattern p(K);
+    BitComplementPattern p(N);
     Rng rng(5);
     EXPECT_EQ(p.pick(0, rng), sim::NodeId(63));
     EXPECT_EQ(p.pick(63, rng), sim::NodeId(0));
@@ -70,7 +70,7 @@ TEST(Patterns, BitComplement)
 
 TEST(Patterns, TornadoHalfwayInX)
 {
-    TornadoPattern p(K);
+    TornadoPattern p(topo::Lattice::mesh2D(K));
     Rng rng(6);
     // x -> (x + 3) mod 8 for k=8 (ceil(k/2)-1 = 3), same y.
     EXPECT_EQ(p.pick(0, rng), sim::NodeId(3));
@@ -80,7 +80,7 @@ TEST(Patterns, TornadoHalfwayInX)
 
 TEST(Patterns, NeighborWraps)
 {
-    NeighborPattern p(K);
+    NeighborPattern p(topo::Lattice::mesh2D(K));
     Rng rng(7);
     EXPECT_EQ(p.pick(0, rng), sim::NodeId(1));
     EXPECT_EQ(p.pick(7, rng), sim::NodeId(0));
@@ -90,7 +90,7 @@ TEST(Patterns, NeighborWraps)
 TEST(Patterns, HotspotBias)
 {
     sim::NodeId hot = 36;
-    HotspotPattern p(K, hot, 0.25);
+    HotspotPattern p(N, hot, 0.25);
     Rng rng(8);
     int to_hot = 0;
     const int n = 20000;
@@ -104,7 +104,7 @@ TEST(Patterns, HotspotBias)
 
 TEST(Patterns, BitReverseMapsAndCovers)
 {
-    BitReversePattern p(K);
+    BitReversePattern p(N);
     Rng rng(10);
     // 6-bit reversal on an 8x8: 1 = 000001 -> 100000 = 32.
     EXPECT_EQ(p.pick(1, rng), sim::NodeId(32));
@@ -131,7 +131,7 @@ TEST(Patterns, BitReverseMapsAndCovers)
 
 TEST(Patterns, BitReversePalindromeFallsBackToUniform)
 {
-    BitReversePattern p(K);
+    BitReversePattern p(N);
     Rng rng(11);
     // 33 = 100001 is a palindrome: mapped uniformly, never to itself.
     std::map<sim::NodeId, int> hits;
@@ -143,7 +143,7 @@ TEST(Patterns, BitReversePalindromeFallsBackToUniform)
 
 TEST(Patterns, ShuffleRotatesBits)
 {
-    ShufflePattern p(K);
+    ShufflePattern p(N);
     Rng rng(12);
     // 6-bit rotate left: 1 = 000001 -> 000010 = 2.
     EXPECT_EQ(p.pick(1, rng), sim::NodeId(2));
@@ -155,7 +155,7 @@ TEST(Patterns, ShuffleRotatesBits)
 
 TEST(Patterns, ShuffleFixedPointsFallBackToUniform)
 {
-    ShufflePattern p(K);
+    ShufflePattern p(N);
     Rng rng(13);
     for (sim::NodeId fixed : {sim::NodeId(0), sim::NodeId(N - 1)}) {
         for (int i = 0; i < 200; i++)
@@ -168,7 +168,7 @@ TEST(PatternRegistry, ContainsEveryBuiltin)
     auto &reg = PatternRegistry::instance();
     for (const char *name : {"uniform", "transpose", "bitcomp",
                              "tornado", "neighbor", "hotspot",
-                             "bitrev", "shuffle"}) {
+                             "bitrev", "shuffle", "permfile"}) {
         EXPECT_TRUE(reg.contains(name)) << name;
         EXPECT_FALSE(reg.description(name).empty()) << name;
     }
@@ -177,6 +177,8 @@ TEST(PatternRegistry, ContainsEveryBuiltin)
 TEST(PatternRegistry, FactoryProducesAllRegisteredPatterns)
 {
     for (const auto &name : PatternRegistry::instance().names()) {
+        if (name == "permfile")
+            continue;   // Needs a file; covered by the PermFile tests.
         auto p = makePattern(name, K);
         ASSERT_NE(p, nullptr) << name;
         EXPECT_FALSE(p->name().empty()) << name;
@@ -228,7 +230,10 @@ class ToZeroPattern : public TrafficPattern
 TEST(PatternRegistry, OneLineRegistrationMakesPatternReachable)
 {
     PatternRegistry::instance().add(
-        "tozero", [](int) { return std::make_unique<ToZeroPattern>(); },
+        "tozero",
+        [](const PatternEnv &) {
+            return std::make_unique<ToZeroPattern>();
+        },
         "everyone sends to node 0");
 
     auto names = PatternRegistry::instance().names();
@@ -241,8 +246,131 @@ TEST(PatternRegistry, OneLineRegistrationMakesPatternReachable)
 
 TEST(Patterns, DeterministicGivenRngSeed)
 {
-    UniformPattern p(K);
+    UniformPattern p(N);
     Rng a(77), b(77);
     for (int i = 0; i < 100; i++)
         EXPECT_EQ(p.pick(3, a), p.pick(3, b));
+}
+
+// ---------------------------------------------------------------------
+// permfile: explicit permutations loaded from disk.
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::string
+writePermFile(const char *name, const std::string &text)
+{
+    std::string path = testing::TempDir() + "pdr_perm_" + name + ".txt";
+    FILE *f = fopen(path.c_str(), "w");
+    EXPECT_NE(f, nullptr) << path;
+    fwrite(text.data(), 1, text.size(), f);
+    fclose(f);
+    return path;
+}
+
+PatternEnv
+meshEnv(int k, const std::string &permfile = "")
+{
+    return {topo::Lattice::mesh2D(k), permfile};
+}
+
+} // namespace
+
+TEST(PermFile, LoadsAPermutation)
+{
+    // 2x2 mesh: a rotation 0->1->2->3->0, with comments and blanks.
+    auto path = writePermFile("rot",
+                              "# rotation\n1\n2\n\n3\n0  # wraps\n");
+    auto p = makePattern("permfile", meshEnv(2, path));
+    Rng rng(1);
+    EXPECT_EQ(p->pick(0, rng), sim::NodeId(1));
+    EXPECT_EQ(p->pick(1, rng), sim::NodeId(2));
+    EXPECT_EQ(p->pick(2, rng), sim::NodeId(3));
+    EXPECT_EQ(p->pick(3, rng), sim::NodeId(0));
+}
+
+TEST(PermFile, FixedPointsFallBackToUniform)
+{
+    auto path = writePermFile("fixed", "0\n2\n1\n3\n");
+    auto p = makePattern("permfile", meshEnv(2, path));
+    Rng rng(2);
+    for (int i = 0; i < 200; i++) {
+        EXPECT_NE(p->pick(0, rng), sim::NodeId(0));
+        EXPECT_NE(p->pick(3, rng), sim::NodeId(3));
+    }
+    EXPECT_EQ(p->pick(1, rng), sim::NodeId(2));
+}
+
+TEST(PermFileDeath, ErrorsNameTheOffendingLine)
+{
+    struct Case
+    {
+        const char *name;
+        const char *text;
+        const char *needle;
+    };
+    for (const Case &c : {
+             Case{"junk", "1\nbanana\n3\n0\n", "line 2"},
+             Case{"range", "1\n7\n3\n0\n", "line 2"},
+             Case{"dup", "1\n1\n3\n0\n", "line 2"},
+             Case{"extra", "1\n2\n3\n0\n2\n", "line 5"},
+         }) {
+        try {
+            makePattern("permfile",
+                        meshEnv(2, writePermFile(c.name, c.text)));
+            FAIL() << c.name << ": expected std::invalid_argument";
+        } catch (const std::invalid_argument &e) {
+            EXPECT_NE(std::string(e.what()).find(c.needle),
+                      std::string::npos)
+                << c.name << ": " << e.what();
+        }
+    }
+}
+
+TEST(PermFileDeath, WrongEntryCountAndMissingFileRejected)
+{
+    try {
+        makePattern("permfile",
+                    meshEnv(2, writePermFile("short", "1\n0\n")));
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("expected 4 entries"),
+                  std::string::npos)
+            << e.what();
+    }
+    EXPECT_THROW(makePattern("permfile", meshEnv(2, "/no/such/file")),
+                 std::invalid_argument);
+    EXPECT_THROW(makePattern("permfile", meshEnv(2, "")),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Concentration: patterns are defined over terminal nodes.
+// ---------------------------------------------------------------------
+
+TEST(Patterns, ConcentrationRespectedByGeometricPatterns)
+{
+    topo::Lattice cm = topo::Lattice::cmesh(4, 4);
+    PatternEnv env{cm, ""};
+    Rng rng(3);
+
+    // Tornado moves the hosting router, keeping the local index.
+    auto tornado = makePattern("tornado", env);
+    for (sim::NodeId src = 0; src < cm.numNodes(); src += 5) {
+        auto d = tornado->pick(src, rng);
+        EXPECT_EQ(cm.localIndexOf(d), cm.localIndexOf(src));
+        EXPECT_NE(cm.routerOf(d), cm.routerOf(src));
+    }
+
+    // Uniform covers the full terminal-node space, not just routers.
+    auto uniform = makePattern("uniform", env);
+    std::map<sim::NodeId, int> hits;
+    for (int i = 0; i < 20000; i++)
+        hits[uniform->pick(0, rng)]++;
+    EXPECT_EQ(hits.size(), std::size_t(cm.numNodes() - 1));
+
+    // Transpose permutes the 64-node square of the c=4 cmesh.
+    auto transpose = makePattern("transpose", env);
+    EXPECT_EQ(transpose->pick(1, rng), sim::NodeId(8));
 }

@@ -53,6 +53,9 @@ usage(FILE *out)
         "  describe   list parameter keys and registries; with "
         "--file,\n"
         "             validate and summarize an experiment\n"
+        "  list       print every registered topology, routing "
+        "function\n"
+        "             and traffic pattern, one per line\n"
         "  diff       compare two sweep CSVs cell by cell "
         "(--tolerance\n"
         "             for numeric slack); exits 1 on any mismatch\n"
@@ -382,6 +385,23 @@ cmdDiff(const Options &opt)
     return 1;
 }
 
+/**
+ * `pdr list`: the registry contents in machine-friendly form, one
+ * `<kind> <name>` pair per line, so scripts (and users) can discover
+ * registry growth without parsing the describe layout.
+ */
+int
+cmdList(const Options &)
+{
+    for (const auto &n : net::TopologyRegistry::instance().names())
+        std::printf("topology %s\n", n.c_str());
+    for (const auto &n : net::RoutingRegistry::instance().names())
+        std::printf("routing %s\n", n.c_str());
+    for (const auto &n : traffic::PatternRegistry::instance().names())
+        std::printf("pattern %s\n", n.c_str());
+    return 0;
+}
+
 int
 cmdDescribe(const Options &opt)
 {
@@ -456,6 +476,8 @@ main(int argc, char **argv)
             return cmdSweep(opt);
         if (cmd == "describe")
             return cmdDescribe(opt);
+        if (cmd == "list")
+            return cmdList(opt);
         if (cmd == "diff")
             return cmdDiff(opt);
         std::fprintf(stderr, "pdr: unknown command '%s'\n\n",
