@@ -4,6 +4,10 @@
  * commonly assumed single-cycle ("unit latency") router model, 8
  * buffers per input port.
  *
+ * The scenario is declared in experiments/fig17.exp; this bench loads
+ * and prints it, and `pdr sweep --file experiments/fig17.exp` runs the
+ * identical grid (same points, same seeds, same CSV).
+ *
  * Paper: single-cycle routers show ~16-cycle zero-load latency and 65%
  * saturation for VC flow control, vs 36/50% (VC) and 30/55% (specVC)
  * for the pipelined models: the unit-latency assumption underestimates
@@ -13,7 +17,6 @@
 #include "bench_util.hh"
 
 using namespace pdr;
-using router::RouterModel;
 
 int
 main()
@@ -23,17 +26,6 @@ main()
                   "models show 16-cycle zero-load\nand ~0.65 "
                   "saturation; pipelined models are substantially "
                   "slower.");
-    bench::runAndPrintCurves({
-        {"WH (8) pipelined",
-         bench::routerConfig(RouterModel::Wormhole, 1, 8)},
-        {"VC (2x4) pipelined",
-         bench::routerConfig(RouterModel::VirtualChannel, 2, 4)},
-        {"specVC (2x4) pipe",
-         bench::routerConfig(RouterModel::SpecVirtualChannel, 2, 4)},
-        {"WH (8) 1-cycle",
-         bench::routerConfig(RouterModel::Wormhole, 1, 8, true)},
-        {"VC (2x4) 1-cycle",
-         bench::routerConfig(RouterModel::VirtualChannel, 2, 4, true)},
-    });
+    bench::runAndPrintExperiment(bench::loadExperiment("fig17.exp"));
     return 0;
 }

@@ -11,6 +11,7 @@
 
 #include "common/logging.hh"
 #include "net/registry.hh"
+#include "par/partition.hh"
 #include "traffic/pattern.hh"
 
 namespace pdr::api {
@@ -214,6 +215,32 @@ defs()
              c.net.setOfferedFraction(f);
          },
          /*derived=*/true},
+        {"traffic.burst_on",
+         "MMPP bursty arrivals: mean burst (ON-state) length in "
+         "cycles, >= 1; 0 = steady Bernoulli arrivals",
+         [](const SimConfig &c) {
+             return formatDouble(c.net.burstOn);
+         },
+         [](SimConfig &c, const std::string &v) {
+             double b = parseDouble("traffic.burst_on", v);
+             if (b < 0.0)
+                 badValue("traffic.burst_on", v,
+                          "a non-negative cycle count");
+             c.net.burstOn = b;
+         }},
+        {"traffic.burst_off",
+         "MMPP bursty arrivals: mean gap (OFF-state) length in "
+         "cycles, >= 1; 0 = steady Bernoulli arrivals",
+         [](const SimConfig &c) {
+             return formatDouble(c.net.burstOff);
+         },
+         [](SimConfig &c, const std::string &v) {
+             double b = parseDouble("traffic.burst_off", v);
+             if (b < 0.0)
+                 badValue("traffic.burst_off", v,
+                          "a non-negative cycle count");
+             c.net.burstOff = b;
+         }},
         {"traffic.packet_length", "flits per packet (>= 1)",
          [](const SimConfig &c) {
              return std::to_string(c.net.packetLength);
@@ -326,6 +353,23 @@ defs()
          [](const SimConfig &c) { return std::to_string(c.horizon); },
          [](SimConfig &c, const std::string &v) {
              c.horizon = sim::Cycle(parseU64("sim.horizon", v, 1));
+         }},
+        {"par.workers",
+         "intra-network worker threads (results are bit-identical "
+         "for any value; 1 = serial, 0 = PDR_PAR_WORKERS or 1)",
+         [](const SimConfig &c) {
+             return std::to_string(c.parWorkers);
+         },
+         [](SimConfig &c, const std::string &v) {
+             c.parWorkers = int(parseInt("par.workers", v, 0, 512));
+         }},
+        {"par.scheme",
+         "network partitioning scheme: planes (plane-aligned blocks) "
+         "or weighted (component-weight-balanced blocks)",
+         [](const SimConfig &c) { return c.parScheme; },
+         [](SimConfig &c, const std::string &v) {
+             (void)par::schemeFromString(v);   // Throws on bad names.
+             c.parScheme = v;
          }},
     };
     return table;

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "exec/sweep.hh"
+#include "par/stepper.hh"
 
 namespace pdr::api {
 
@@ -47,19 +48,28 @@ runSimulation(const SimConfig &cfg)
     net::Network network(cfg.net);
     auto &ctrl = network.controller();
 
+    // Intra-network partitioned stepping: bit-identical to serial
+    // stepping for any worker count (the stepper with one worker is
+    // exactly Network::step()), so the measurement protocol below is
+    // shared.
+    par::ParConfig pcfg;
+    pcfg.workers = par::resolveWorkers(cfg.parWorkers);
+    pcfg.scheme = par::schemeFromString(cfg.parScheme);
+    par::ParallelStepper stepper(network, pcfg);
+
     if (cfg.mode == "fixed") {
         // Fixed horizon: ignore the measurement protocol and report
         // steady-state rates after exactly `horizon` cycles.
-        network.run(cfg.horizon);
+        stepper.run(cfg.horizon);
     } else {
         // Warm-up phase.
-        network.run(cfg.net.warmup);
+        stepper.run(cfg.net.warmup);
 
         // Sample phase: run until the sample space is tagged and
         // received, or the cycle cap is reached (saturated networks
         // never drain).
         while (!ctrl.done() && network.now() < cfg.maxCycles)
-            network.step();
+            stepper.step();
     }
 
     SimResults res;

@@ -46,6 +46,18 @@ struct SimConfig
     sim::Cycle horizon = 20000;     //!< Cycles run in "fixed" mode.
 
     /**
+     * Intra-network worker threads (par.workers): the simulation's
+     * node set is partitioned across this many workers with a
+     * per-cycle barrier (src/par/).  Results are bit-identical for
+     * any value.  1 = classic serial stepping; 0 = PDR_PAR_WORKERS or
+     * 1.  Requests are clamped to the topology's plane count and, when
+     * running inside a sweep pool, to the per-worker hardware share.
+     */
+    int parWorkers = 1;
+    /** Partitioning scheme (par.scheme): "planes" or "weighted". */
+    std::string parScheme = "planes";
+
+    /**
      * Scale the sample-space size (and warm-up) from the environment:
      * PDR_PACKETS overrides samplePackets (paper value 100000; default
      * here 30000 to keep the full bench suite minutes-scale).
@@ -57,7 +69,8 @@ inline bool
 operator==(const SimConfig &a, const SimConfig &b)
 {
     return a.net == b.net && a.maxCycles == b.maxCycles &&
-           a.mode == b.mode && a.horizon == b.horizon;
+           a.mode == b.mode && a.horizon == b.horizon &&
+           a.parWorkers == b.parWorkers && a.parScheme == b.parScheme;
 }
 
 inline bool

@@ -50,7 +50,8 @@ SweepResults::toTable() const
                     "drained", "cycles", "ok", "error"});
     for (std::size_t i = 0; i < points.size(); i++) {
         const auto &p = points[i];
-        t.addRow({stats::Table::cell(std::uint64_t(i)), p.label,
+        std::uint64_t index = indexOffset + i;
+        t.addRow({stats::Table::cell(index), p.label,
                   stats::Table::cell(std::uint64_t(p.cfg.net.seed)),
                   stats::Table::cell(p.res.offeredFraction),
                   stats::Table::cell(p.res.acceptedFraction),

@@ -65,6 +65,13 @@ struct SweepResults
     std::vector<PointResult> points;    //!< Input order.
     double wallMs = 0.0;                //!< Whole-sweep wall clock.
     int threads = 1;                    //!< Pool size used.
+    /**
+     * Global index of points[0] in the full grid this run is a slice
+     * of (0 for a whole-grid run).  toTable() adds it to the `index`
+     * column so shard CSVs carry their grid position and `pdr merge`
+     * can stitch them back together.
+     */
+    std::size_t indexOffset = 0;
 
     std::size_t failures() const;
 

@@ -4,12 +4,19 @@
 
 namespace pdr::exec {
 
+namespace {
+
+/** Size of the pool owning the calling thread (0 outside any pool). */
+thread_local int tlsPoolSize = 0;
+
+} // namespace
+
 ThreadPool::ThreadPool(int threads)
 {
     int n = resolveThreads(threads);
     workers_.reserve(n);
     for (int i = 0; i < n; i++)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, n] { workerLoop(n); });
 }
 
 ThreadPool::~ThreadPool()
@@ -60,9 +67,16 @@ ThreadPool::resolveThreads(int requested)
     return hw > 0 ? int(hw) : 1;
 }
 
-void
-ThreadPool::workerLoop()
+int
+ThreadPool::currentPoolSize()
 {
+    return tlsPoolSize;
+}
+
+void
+ThreadPool::workerLoop(int pool_size)
+{
+    tlsPoolSize = pool_size;
     while (true) {
         std::function<void()> task;
         {

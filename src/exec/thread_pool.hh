@@ -62,8 +62,17 @@ class ThreadPool
      */
     static int resolveThreads(int requested = 0);
 
+    /**
+     * Size of the ThreadPool whose worker is the calling thread, or 0
+     * when called from outside any pool.  Nested parallelism (e.g. a
+     * partitioned network simulation running inside a sweep worker)
+     * uses this to share one machine budget instead of multiplying
+     * thread counts.
+     */
+    static int currentPoolSize();
+
   private:
-    void workerLoop();
+    void workerLoop(int pool_size);
 
     std::vector<std::thread> workers_;
     std::deque<std::function<void()>> queue_;

@@ -36,6 +36,7 @@ operator==(const NetworkConfig &a, const NetworkConfig &b)
            a.creditLatency == b.creditLatency &&
            a.injectionRate == b.injectionRate &&
            a.packetLength == b.packetLength &&
+           a.burstOn == b.burstOn && a.burstOff == b.burstOff &&
            a.pattern == b.pattern && a.permfile == b.permfile &&
            a.seed == b.seed && a.warmup == b.warmup &&
            a.samplePackets == b.samplePackets;
@@ -73,6 +74,17 @@ NetworkConfig::validateWith(const Lattice &lat,
         throw std::invalid_argument(csprintf(
             "traffic.packet_length must be >= 1, got %d",
             packetLength));
+    }
+    if ((burstOn > 0.0) != (burstOff > 0.0)) {
+        throw std::invalid_argument(
+            "traffic.burst_on and traffic.burst_off must both be set "
+            "(> 0) or both be 0");
+    }
+    if (burstOn > 0.0 && (burstOn < 1.0 || burstOff < 1.0)) {
+        throw std::invalid_argument(csprintf(
+            "traffic.burst_on / traffic.burst_off are mean state dwell "
+            "times and must be >= 1 cycle, got %.3f / %.3f", burstOn,
+            burstOff));
     }
     // Wraparound rings need the dateline VC classes, randomized
     // oblivious routings a class per order/phase -- each routing knows
@@ -132,14 +144,18 @@ Network::Network(const NetworkConfig &cfg)
             int rport = mesh_.opposite(port);
 
             // id --(port)--> nb
-            auto *f1 = newFlitChan(cfg_.linkLatency, rtrComp(nb));
-            auto *c1 = newCreditChan(cfg_.creditLatency, rtrComp(id));
+            auto *f1 = newFlitChan(cfg_.linkLatency, rtrComp(id),
+                                   rtrComp(nb));
+            auto *c1 = newCreditChan(cfg_.creditLatency, rtrComp(nb),
+                                     rtrComp(id));
             routers_[id].connectOutput(port, f1, c1, false);
             routers_[nb].connectInput(rport, f1, c1);
 
             // nb --(rport)--> id
-            auto *f2 = newFlitChan(cfg_.linkLatency, rtrComp(id));
-            auto *c2 = newCreditChan(cfg_.creditLatency, rtrComp(nb));
+            auto *f2 = newFlitChan(cfg_.linkLatency, rtrComp(nb),
+                                   rtrComp(id));
+            auto *c2 = newCreditChan(cfg_.creditLatency, rtrComp(id),
+                                     rtrComp(nb));
             routers_[nb].connectOutput(rport, f2, c2, false);
             routers_[id].connectInput(port, f2, c2);
         }
@@ -154,6 +170,8 @@ Network::Network(const NetworkConfig &cfg)
     scfg.bufDepth = cfg_.router.bufDepth;
     scfg.packetLength = cfg_.packetLength;
     scfg.packetRate = cfg_.injectionRate / cfg_.packetLength;
+    scfg.burstOn = cfg_.burstOn;
+    scfg.burstOff = cfg_.burstOff;
     scfg.seed = cfg_.seed;
     scfg.routing = routing_.get();
 
@@ -161,13 +179,13 @@ Network::Network(const NetworkConfig &cfg)
         sim::NodeId r = mesh_.routerOf(node);
         int lport = mesh_.localPort(mesh_.localIndexOf(node));
 
-        auto *inj = newFlitChan(1, rtrComp(r));
-        auto *inj_credit = newCreditChan(1, srcComp(node));
+        auto *inj = newFlitChan(1, srcComp(node), rtrComp(r));
+        auto *inj_credit = newCreditChan(1, rtrComp(r), srcComp(node));
         routers_[r].connectInput(lport, inj, inj_credit);
         sources_.emplace_back(node, scfg, *pattern_, ctrl_, pool_, inj,
                               inj_credit);
 
-        auto *ej = newFlitChan(1, snkComp(node));
+        auto *ej = newFlitChan(1, rtrComp(r), snkComp(node));
         routers_[r].connectOutput(lport, ej, nullptr, true);
         sinks_.emplace_back(node, cfg_.packetLength, ctrl_, pool_, ej,
                             sinkLatency_[node]);
@@ -178,20 +196,26 @@ Network::Network(const NetworkConfig &cfg)
 }
 
 Network::FlitChannel *
-Network::newFlitChan(sim::Cycle latency, std::size_t consumer)
+Network::newFlitChan(sim::Cycle latency, std::size_t producer,
+                     std::size_t consumer)
 {
     pdr_assert(flitChans_.size() < flitChans_.capacity());
     flitChans_.emplace_back(latency);
     flitChans_.back().watch(&wakeAt_, consumer);
+    flitProducer_.push_back(producer);
+    flitConsumer_.push_back(consumer);
     return &flitChans_.back();
 }
 
 Network::CreditChannel *
-Network::newCreditChan(sim::Cycle latency, std::size_t consumer)
+Network::newCreditChan(sim::Cycle latency, std::size_t producer,
+                       std::size_t consumer)
 {
     pdr_assert(creditChans_.size() < creditChans_.capacity());
     creditChans_.emplace_back(latency);
     creditChans_.back().watch(&wakeAt_, consumer);
+    creditProducer_.push_back(producer);
+    creditConsumer_.push_back(consumer);
     return &creditChans_.back();
 }
 
@@ -209,8 +233,49 @@ Network::forceTickAll(bool on)
 void
 Network::recordDeliveries(std::vector<traffic::Delivery> *trace)
 {
+    trace_ = trace;
+    traceGen_++;
     for (auto &s : sinks_)
         s.recordDeliveries(trace);
+}
+
+void
+Network::tickSources(sim::NodeId lo, sim::NodeId hi)
+{
+    for (sim::NodeId i = lo; i < hi; i++) {
+        if (forceTickAll_) {
+            sources_[i].tick(now_);
+        } else if (wakeAt_[srcComp(i)] <= now_) {
+            sources_[i].tick(now_);
+            wakeAt_[srcComp(i)] = sources_[i].nextWake(now_);
+        }
+    }
+}
+
+void
+Network::tickRouters(sim::NodeId lo, sim::NodeId hi)
+{
+    for (sim::NodeId i = lo; i < hi; i++) {
+        if (forceTickAll_) {
+            routers_[i].tick(now_);
+        } else if (wakeAt_[rtrComp(i)] <= now_) {
+            routers_[i].tick(now_);
+            wakeAt_[rtrComp(i)] = routers_[i].nextWake(now_);
+        }
+    }
+}
+
+void
+Network::tickSinks(sim::NodeId lo, sim::NodeId hi)
+{
+    for (sim::NodeId i = lo; i < hi; i++) {
+        if (forceTickAll_) {
+            sinks_[i].tick(now_);
+        } else if (wakeAt_[snkComp(i)] <= now_) {
+            sinks_[i].tick(now_);
+            wakeAt_[snkComp(i)] = sinks_[i].nextWake();
+        }
+    }
 }
 
 void
@@ -223,38 +288,28 @@ Network::step()
     // its own state is at a fixed point), so it is skipped; channel
     // pushes during this cycle lower wake times for later cycles only
     // (latency >= 1), never for the current one.
-    int routers = mesh_.numRouters();
-    int nodes = mesh_.numNodes();
-    if (forceTickAll_) {
-        for (auto &s : sources_)
-            s.tick(now_);
-        for (auto &r : routers_)
-            r.tick(now_);
-        for (auto &s : sinks_)
-            s.tick(now_);
-        now_++;
-        return;
-    }
-
-    for (sim::NodeId i = 0; i < nodes; i++) {
-        if (wakeAt_[srcComp(i)] <= now_) {
-            sources_[i].tick(now_);
-            wakeAt_[srcComp(i)] = sources_[i].nextWake(now_);
-        }
-    }
-    for (sim::NodeId i = 0; i < routers; i++) {
-        if (wakeAt_[rtrComp(i)] <= now_) {
-            routers_[i].tick(now_);
-            wakeAt_[rtrComp(i)] = routers_[i].nextWake(now_);
-        }
-    }
-    for (sim::NodeId i = 0; i < nodes; i++) {
-        if (wakeAt_[snkComp(i)] <= now_) {
-            sinks_[i].tick(now_);
-            wakeAt_[snkComp(i)] = sinks_[i].nextWake();
-        }
-    }
+    tickSources(0, mesh_.numNodes());
+    tickRouters(0, mesh_.numRouters());
+    tickSinks(0, mesh_.numNodes());
     now_++;
+}
+
+std::size_t
+Network::maxLiveFlits() const
+{
+    // Every live flit sits in a router input FIFO or an in-flight
+    // channel slot.  A channel holds at most one push per cycle for
+    // latency + ST-extra cycles (matured items are popped the cycle
+    // they mature -- the wake table guarantees the consumer runs);
+    // + 1 for the staging buffer of partitioned stepping and slack.
+    std::size_t n = 0;
+    n += std::size_t(mesh_.numRouters()) *
+         std::size_t(cfg_.router.numPorts) *
+         std::size_t(cfg_.router.numVcs) *
+         std::size_t(cfg_.router.bufDepth);
+    for (const auto &c : flitChans_)
+        n += std::size_t(c.latency()) + 4;
+    return n;
 }
 
 void

@@ -66,6 +66,12 @@ struct NetworkConfig
     sim::Cycle creditLatency = 1;       //!< Credit propagation (cycles).
     double injectionRate = 0.1;         //!< Offered flits/node/cycle.
     int packetLength = 5;               //!< Flits per packet.
+    /** MMPP bursty arrivals: mean ON-state (burst) dwell in cycles;
+     *  0 = plain Bernoulli arrivals (the paper's process).  Set both
+     *  burstOn and burstOff (>= 1 cycle each) or neither. */
+    double burstOn = 0.0;
+    /** MMPP mean OFF-state (gap) dwell in cycles. */
+    double burstOff = 0.0;
     std::string pattern = "uniform";    //!< PatternRegistry name.
     /** Permutation file for traffic.pattern=permfile (one destination
      *  node index per line). */
@@ -119,6 +125,9 @@ operator!=(const NetworkConfig &a, const NetworkConfig &b)
 class Network
 {
   public:
+    using FlitChannel = sim::Channel<sim::FlitRef>;
+    using CreditChannel = sim::Channel<sim::Credit>;
+
     explicit Network(const NetworkConfig &cfg);
 
     // Components hold pointers into the channel slabs and the wake
@@ -132,6 +141,73 @@ class Network
     /** Advance n cycles. */
     void run(sim::Cycle n);
 
+    // ----- partition-sliced stepping (par::ParallelStepper) ----------
+    //
+    // One serial step() is exactly tickSources(0, N) + tickRouters(0,
+    // R) + tickSinks(0, N) + finishCycle().  The stepper calls the
+    // slice of each phase on its owning worker instead; slices only
+    // touch the wake-table entries and components of their own range,
+    // and channels crossing a partition boundary are switched to
+    // staged mode, so concurrent slices never race.
+
+    /** Tick sources [lo, hi) at the current cycle, honoring (and
+     *  updating) their wake-table slice. */
+    void tickSources(sim::NodeId lo, sim::NodeId hi);
+    /** Tick routers [lo, hi) likewise. */
+    void tickRouters(sim::NodeId lo, sim::NodeId hi);
+    /** Tick sinks [lo, hi) likewise. */
+    void tickSinks(sim::NodeId lo, sim::NodeId hi);
+    /** Advance the cycle counter after all phases of a cycle ran. */
+    void finishCycle() { now_++; }
+
+    // ----- channel topology view (partition boundary discovery) ------
+
+    std::size_t numFlitChans() const { return flitChans_.size(); }
+    FlitChannel &flitChan(std::size_t i) { return flitChans_[i]; }
+    /** Wake-table component id of the channel's single producer. */
+    std::size_t flitChanProducer(std::size_t i) const
+    {
+        return flitProducer_[i];
+    }
+    /** Wake-table component id of the channel's single consumer. */
+    std::size_t flitChanConsumer(std::size_t i) const
+    {
+        return flitConsumer_[i];
+    }
+    std::size_t numCreditChans() const { return creditChans_.size(); }
+    CreditChannel &creditChan(std::size_t i) { return creditChans_[i]; }
+    std::size_t creditChanProducer(std::size_t i) const
+    {
+        return creditProducer_[i];
+    }
+    std::size_t creditChanConsumer(std::size_t i) const
+    {
+        return creditConsumer_[i];
+    }
+
+    /** Wake-table index of source / router / sink (the component-id
+     *  space the channel producer/consumer views use). */
+    std::size_t srcComp(sim::NodeId node) const
+    {
+        return std::size_t(node);
+    }
+    std::size_t rtrComp(sim::NodeId r) const
+    {
+        return std::size_t(mesh_.numNodes() + r);
+    }
+    std::size_t snkComp(sim::NodeId node) const
+    {
+        return std::size_t(mesh_.numNodes() + mesh_.numRouters() +
+                           node);
+    }
+
+    /**
+     * Upper bound on simultaneously live flits (router buffering plus
+     * channel occupancy), used to pre-reserve the flit pool so sharded
+     * slab growth never reallocates under concurrent readers.
+     */
+    std::size_t maxLiveFlits() const;
+
     /**
      * Disable activity-driven scheduling: tick every component every
      * cycle (the naive schedule).  Simulated behavior is identical
@@ -144,6 +220,18 @@ class Network
      *  order) to `trace`; nullptr disables. */
     void recordDeliveries(std::vector<traffic::Delivery> *trace);
 
+    /** The trace last set by recordDeliveries (the stepper re-shards
+     *  it per worker and merges back in node order). */
+    std::vector<traffic::Delivery> *deliveryTrace() const
+    {
+        return trace_;
+    }
+
+    /** Bumped by every recordDeliveries call -- even one re-passing
+     *  the same pointer re-points the sinks, so the stepper keys its
+     *  shard rebinding off this, not the pointer value. */
+    std::uint64_t deliveryTraceGen() const { return traceGen_; }
+
     sim::Cycle now() const { return now_; }
     const NetworkConfig &config() const { return cfg_; }
     const Lattice &lattice() const { return mesh_; }
@@ -151,6 +239,8 @@ class Network
 
     /** The flit storage pool (diagnostics: live count, capacity). */
     const sim::FlitPool &flitPool() const { return pool_; }
+    /** Mutable pool access (the stepper shards its freelists). */
+    sim::FlitPool &flitPool() { return pool_; }
 
     /** Router `r` of the lattice (r in [0, numRouters)). */
     router::Router &routerAt(sim::NodeId r) { return routers_[r]; }
@@ -160,6 +250,8 @@ class Network
     {
         return sinks_[n];
     }
+    /** Mutable sink access (the stepper re-points delivery traces). */
+    traffic::Sink &sinkRefAt(sim::NodeId n) { return sinks_[n]; }
 
     /** Merged latency statistics over the sample space. */
     stats::LatencyStats latency() const;
@@ -180,9 +272,6 @@ class Network
     bool quiescent() const;
 
   private:
-    using FlitChannel = sim::Channel<sim::FlitRef>;
-    using CreditChannel = sim::Channel<sim::Credit>;
-
     NetworkConfig cfg_;
     Lattice mesh_;
     std::unique_ptr<router::RoutingFunction> routing_;
@@ -195,6 +284,10 @@ class Network
     // resized afterwards (components hand out interior pointers).
     std::vector<FlitChannel> flitChans_;
     std::vector<CreditChannel> creditChans_;
+    /** Component ids of each channel's producer / consumer (partition
+     *  boundary discovery; same index space as the slabs above). */
+    std::vector<std::size_t> flitProducer_, flitConsumer_;
+    std::vector<std::size_t> creditProducer_, creditConsumer_;
     std::vector<router::Router> routers_;
     std::vector<traffic::Source> sources_;
     std::vector<traffic::Sink> sinks_;
@@ -212,23 +305,13 @@ class Network
 
     sim::Cycle now_ = 0;
 
-    /** Wake-table index of source / router / sink. */
-    std::size_t srcComp(sim::NodeId node) const
-    {
-        return std::size_t(node);
-    }
-    std::size_t rtrComp(sim::NodeId r) const
-    {
-        return std::size_t(mesh_.numNodes() + r);
-    }
-    std::size_t snkComp(sim::NodeId node) const
-    {
-        return std::size_t(mesh_.numNodes() + mesh_.numRouters() +
-                           node);
-    }
+    std::vector<traffic::Delivery> *trace_ = nullptr;
+    std::uint64_t traceGen_ = 0;
 
-    FlitChannel *newFlitChan(sim::Cycle latency, std::size_t consumer);
+    FlitChannel *newFlitChan(sim::Cycle latency, std::size_t producer,
+                             std::size_t consumer);
     CreditChannel *newCreditChan(sim::Cycle latency,
+                                 std::size_t producer,
                                  std::size_t consumer);
 };
 

@@ -1,0 +1,110 @@
+#include "par/partition.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/logging.hh"
+
+namespace pdr::par {
+
+Scheme
+schemeFromString(const std::string &name)
+{
+    if (name == "planes")
+        return Scheme::Planes;
+    if (name == "weighted")
+        return Scheme::Weighted;
+    throw std::invalid_argument("unknown partition scheme '" + name +
+                                "' (known: planes, weighted)");
+}
+
+const char *
+toString(Scheme scheme)
+{
+    return scheme == Scheme::Planes ? "planes" : "weighted";
+}
+
+Partitioner::Partitioner(const topo::Lattice &lat, int workers,
+                         Scheme scheme)
+    : scheme_(scheme), conc_(lat.concentration()),
+      numRouters_(lat.numRouters()), numNodes_(lat.numNodes())
+{
+    if (workers < 1) {
+        throw std::invalid_argument(csprintf(
+            "par.workers must be >= 1, got %d", workers));
+    }
+
+    auto add_block = [&](int router_lo, int router_hi) {
+        pdr_assert(router_lo < router_hi);
+        blocks_.push_back({router_lo, router_hi, router_lo * conc_,
+                           router_hi * conc_});
+    };
+
+    if (scheme == Scheme::Planes) {
+        // The highest dimension has the largest id stride, so plane p
+        // is the contiguous router range [p, p + 1) * planeRouters.
+        int planes = lat.radix(lat.dims() - 1);
+        int plane_routers = numRouters_ / planes;
+        int w = std::min(workers, planes);
+        for (int i = 0; i < w; i++) {
+            int lo = planes * i / w;
+            int hi = planes * (i + 1) / w;
+            add_block(lo * plane_routers, hi * plane_routers);
+        }
+    } else {
+        // Component-weight balance at router granularity.  Every
+        // router carries itself plus its hosted terminals (a source
+        // and a sink each), so the weight per router is 1 + 2c today;
+        // the cumulative form keeps working if weights ever become
+        // heterogeneous.
+        long long total = 0;
+        std::vector<long long> cum(std::size_t(numRouters_) + 1, 0);
+        for (int r = 0; r < numRouters_; r++) {
+            total += 1 + 2 * conc_;
+            cum[std::size_t(r) + 1] = total;
+        }
+        int w = std::min(workers, numRouters_);
+        int lo = 0;
+        for (int i = 0; i < w; i++) {
+            // Smallest boundary whose cumulative weight reaches the
+            // i+1-th share, but at least one router per block.
+            long long share = total * (i + 1) / w;
+            int hi = i + 1 == w ? numRouters_ : lo + 1;
+            while (hi < numRouters_ && cum[std::size_t(hi)] < share)
+                hi++;
+            // Leave at least one router for each remaining block.
+            hi = std::min(hi, numRouters_ - (w - 1 - i));
+            hi = std::max(hi, lo + 1);
+            add_block(lo, hi);
+            lo = hi;
+        }
+        pdr_assert(lo == numRouters_);
+    }
+}
+
+int
+Partitioner::ownerOfRouter(sim::NodeId router) const
+{
+    pdr_assert(router >= 0 && router < numRouters_);
+    // W is small; a forward scan beats binary search in practice.
+    for (std::size_t i = 0; i < blocks_.size(); i++) {
+        if (router < blocks_[i].routerHi)
+            return int(i);
+    }
+    pdr_panic("router %d not covered by any block", int(router));
+}
+
+int
+Partitioner::ownerOfComp(std::size_t comp) const
+{
+    std::size_t n = std::size_t(numNodes_);
+    std::size_t r = std::size_t(numRouters_);
+    if (comp < n)
+        return ownerOfNode(sim::NodeId(comp));            // Source.
+    if (comp < n + r)
+        return ownerOfRouter(sim::NodeId(comp - n));      // Router.
+    pdr_assert(comp < 2 * n + r);
+    return ownerOfNode(sim::NodeId(comp - n - r));        // Sink.
+}
+
+} // namespace pdr::par

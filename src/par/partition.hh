@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Spatial domain decomposition of one Network across worker threads.
+ *
+ * A Partitioner slices the lattice's router set into W contiguous
+ * blocks of router ids; terminal nodes follow their hosting router, so
+ * every injection/ejection channel (and its credit return) stays inside
+ * one block and only inter-router links can cross a boundary.  Router
+ * ids are numbered with the highest dimension varying slowest, so a
+ * contiguous id range is a slab of consecutive hyperplanes ("planes")
+ * along that dimension -- the classic minimal-surface cut for k-ary
+ * n-cubes.
+ *
+ * Two schemes:
+ *
+ *   planes   - block boundaries aligned to whole planes, plane counts
+ *              as equal as possible.  Fewest boundary links; the wrap
+ *              links of a torus still cross at most two boundaries.
+ *   weighted - boundaries at router granularity, placed by cumulative
+ *              component weight (1 router + 2c terminals per router),
+ *              so concentrated meshes balance even when the worker
+ *              count does not divide the plane count (at the cost of
+ *              mid-plane boundary links).
+ *
+ * The partition only ever affects which thread executes a component;
+ * simulated behavior is bit-identical for any worker count or scheme
+ * (see par::ParallelStepper).
+ */
+
+#ifndef PDR_PAR_PARTITION_HH
+#define PDR_PAR_PARTITION_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+#include "topo/lattice.hh"
+
+namespace pdr::par {
+
+/** Partitioning scheme (the par.scheme experiment key). */
+enum class Scheme
+{
+    Planes,     //!< Plane-aligned blocks (fewest boundary links).
+    Weighted,   //!< Component-weight-balanced blocks.
+};
+
+/** Parse "planes" / "weighted"; throws std::invalid_argument. */
+Scheme schemeFromString(const std::string &name);
+const char *toString(Scheme scheme);
+
+/** One worker's slice: contiguous router and node id ranges. */
+struct Block
+{
+    sim::NodeId routerLo = 0;
+    sim::NodeId routerHi = 0;   //!< Exclusive.
+    sim::NodeId nodeLo = 0;
+    sim::NodeId nodeHi = 0;     //!< Exclusive.
+
+    int numRouters() const { return routerHi - routerLo; }
+    int numNodes() const { return nodeHi - nodeLo; }
+};
+
+/** Slices a lattice into per-worker blocks. */
+class Partitioner
+{
+  public:
+    /**
+     * Partition for (up to) `workers` workers.  The effective worker
+     * count may be lower: a block must hold at least one plane
+     * (planes) or one router (weighted).  Throws std::invalid_argument
+     * for workers < 1.
+     */
+    Partitioner(const topo::Lattice &lat, int workers,
+                Scheme scheme = Scheme::Planes);
+
+    /** Effective worker count (== blocks().size()). */
+    int workers() const { return int(blocks_.size()); }
+    Scheme scheme() const { return scheme_; }
+
+    const std::vector<Block> &blocks() const { return blocks_; }
+
+    int ownerOfRouter(sim::NodeId router) const;
+    int
+    ownerOfNode(sim::NodeId node) const
+    {
+        return ownerOfRouter(node / conc_);
+    }
+
+    /**
+     * Owner of a wake-table component id (the [sources | routers |
+     * sinks] index space of Network).
+     */
+    int ownerOfComp(std::size_t comp) const;
+
+  private:
+    std::vector<Block> blocks_;
+    Scheme scheme_;
+    int conc_;          //!< Nodes per router.
+    int numRouters_;
+    int numNodes_;
+};
+
+} // namespace pdr::par
+
+#endif // PDR_PAR_PARTITION_HH

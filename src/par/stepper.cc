@@ -1,0 +1,230 @@
+#include "par/stepper.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "exec/thread_pool.hh"
+
+namespace pdr::par {
+
+int
+resolveWorkers(int requested)
+{
+    int w = requested;
+    if (w <= 0) {
+        w = 1;
+        if (const char *env = std::getenv("PDR_PAR_WORKERS")) {
+            long v = std::atol(env);
+            if (v > 0)
+                w = int(v);
+        }
+    }
+    // Nested parallelism: a sweep already fans simulations across a
+    // pool; share the machine instead of multiplying by it.  Results
+    // are worker-count-independent, so clamping is pure scheduling.
+    int pool = exec::ThreadPool::currentPoolSize();
+    if (pool > 1) {
+        unsigned hw = std::thread::hardware_concurrency();
+        int budget = std::max(1, int(hw > 0 ? hw : 1) / pool);
+        w = std::min(w, budget);
+    }
+    return std::max(1, w);
+}
+
+void
+SpinBarrier::arrive()
+{
+    unsigned gen = generation_.load(std::memory_order_relaxed);
+    if (count_.fetch_add(1, std::memory_order_acq_rel) == n_ - 1) {
+        count_.store(0, std::memory_order_relaxed);
+        generation_.store(gen + 1, std::memory_order_release);
+        return;
+    }
+    int spins = 0;
+    while (generation_.load(std::memory_order_acquire) == gen) {
+        if (++spins > 4096) {
+            std::this_thread::yield();
+            spins = 0;
+        }
+    }
+}
+
+ParallelStepper::ParallelStepper(net::Network &net, const ParConfig &cfg)
+    : net_(net), part_(net.lattice(), cfg.workers, cfg.scheme),
+      W_(part_.workers()), barrier_(part_.workers())
+{
+    if (W_ == 1)
+        return;     // Degenerate: plain Network::step(), no gang.
+
+    // Classify channels: producer and consumer in different blocks ->
+    // staged mode, drained by the consumer's worker after the phase
+    // barrier.
+    flitDrain_.resize(std::size_t(W_));
+    creditDrain_.resize(std::size_t(W_));
+    for (std::size_t i = 0; i < net_.numFlitChans(); i++) {
+        int p = part_.ownerOfComp(net_.flitChanProducer(i));
+        int c = part_.ownerOfComp(net_.flitChanConsumer(i));
+        if (p != c) {
+            net_.flitChan(i).setStaged(true);
+            flitDrain_[std::size_t(c)].push_back(&net_.flitChan(i));
+            crossChans_++;
+        }
+    }
+    for (std::size_t i = 0; i < net_.numCreditChans(); i++) {
+        int p = part_.ownerOfComp(net_.creditChanProducer(i));
+        int c = part_.ownerOfComp(net_.creditChanConsumer(i));
+        if (p != c) {
+            net_.creditChan(i).setStaged(true);
+            creditDrain_[std::size_t(c)].push_back(&net_.creditChan(i));
+            crossChans_++;
+        }
+    }
+
+    // Sharded flit freelists: every worker allocs (sources) from and
+    // frees (sinks) into its own LIFO.  The reserve guarantees slab
+    // growth never reallocates under concurrent readers.
+    net_.flitPool().shardFreelists(W_, net_.maxLiveFlits());
+    const auto &lat = net_.lattice();
+    for (sim::NodeId n = 0; n < lat.numNodes(); n++) {
+        int owner = part_.ownerOfNode(n);
+        net_.sourceAt(n).setPoolShard(owner);
+        net_.sinkRefAt(n).setPoolShard(owner);
+    }
+
+    workerTrace_.resize(std::size_t(W_));
+    syncTrace();
+
+    threads_.reserve(std::size_t(W_ - 1));
+    for (int w = 1; w < W_; w++)
+        threads_.emplace_back([this, w] { workerLoop(w); });
+}
+
+ParallelStepper::~ParallelStepper()
+{
+    if (W_ == 1)
+        return;
+
+    stop_.store(true, std::memory_order_release);
+    barrier_.arrive();      // Release the gang into the stop check.
+    for (auto &t : threads_)
+        t.join();
+
+    // Restore serial stepping state: direct channel mode (staging
+    // buffers are empty between cycles), the single freelist, and the
+    // user's delivery trace.
+    for (auto &list : flitDrain_) {
+        for (auto *c : list)
+            c->setStaged(false);
+    }
+    for (auto &list : creditDrain_) {
+        for (auto *c : list)
+            c->setStaged(false);
+    }
+    net_.flitPool().collapseFreelists();
+    const auto &lat = net_.lattice();
+    for (sim::NodeId n = 0; n < lat.numNodes(); n++) {
+        net_.sourceAt(n).setPoolShard(0);
+        net_.sinkRefAt(n).setPoolShard(0);
+    }
+    net_.recordDeliveries(net_.deliveryTrace());
+}
+
+void
+ParallelStepper::syncTrace()
+{
+    // Keyed off the registration generation, not the pointer: a
+    // recordDeliveries() call re-passing the bound pointer still
+    // re-points every sink at the shared vector, which must be undone
+    // before the next parallel sink phase.
+    if (net_.deliveryTraceGen() == boundTraceGen_)
+        return;
+    boundTraceGen_ = net_.deliveryTraceGen();
+    auto *trace = net_.deliveryTrace();
+    boundTrace_ = trace;
+    const auto &lat = net_.lattice();
+    for (sim::NodeId n = 0; n < lat.numNodes(); n++) {
+        net_.sinkRefAt(n).recordDeliveries(
+            trace ? &workerTrace_[std::size_t(part_.ownerOfNode(n))]
+                  : nullptr);
+    }
+}
+
+void
+ParallelStepper::runSlice(int w)
+{
+    const Block &b = part_.blocks()[std::size_t(w)];
+    if (mode_ != TagMode::Ordered)
+        net_.tickSources(b.nodeLo, b.nodeHi);
+    net_.tickRouters(b.routerLo, b.routerHi);
+    net_.tickSinks(b.nodeLo, b.nodeHi);
+}
+
+void
+ParallelStepper::drainSlice(int w)
+{
+    for (auto *c : flitDrain_[std::size_t(w)])
+        c->drainStaged();
+    for (auto *c : creditDrain_[std::size_t(w)])
+        c->drainStaged();
+    if (w == 0 && boundTrace_) {
+        // Concatenating the shards in worker order reproduces the
+        // serial ejection order: blocks are ascending node ranges and
+        // every entry is from the cycle that just ran.
+        for (auto &shard : workerTrace_) {
+            boundTrace_->insert(boundTrace_->end(), shard.begin(),
+                                shard.end());
+            shard.clear();
+        }
+    }
+}
+
+void
+ParallelStepper::workerLoop(int w)
+{
+    for (;;) {
+        barrier_.arrive();      // Cycle start (or shutdown).
+        if (stop_.load(std::memory_order_acquire))
+            return;
+        runSlice(w);
+        barrier_.arrive();      // Phase A done everywhere.
+        drainSlice(w);
+        barrier_.arrive();      // Phase B done everywhere.
+    }
+}
+
+void
+ParallelStepper::step()
+{
+    if (W_ == 1) {
+        net_.step();
+        return;
+    }
+    syncTrace();
+
+    // Classify the cycle's tagging before any source runs: each
+    // source creates at most one packet per cycle, so numNodes bounds
+    // the tryTag() calls.  On an Ordered (quota-boundary) cycle the
+    // whole source phase runs here, serially in node order, exactly
+    // like Network::step() would.
+    mode_ = net_.controller().tagMode(net_.now(),
+                                     std::uint64_t(
+                                         net_.lattice().numNodes()));
+    if (mode_ == TagMode::Ordered)
+        net_.tickSources(0, net_.lattice().numNodes());
+
+    barrier_.arrive();          // Release the gang into phase A.
+    runSlice(0);
+    barrier_.arrive();
+    drainSlice(0);
+    barrier_.arrive();
+    net_.finishCycle();
+}
+
+void
+ParallelStepper::run(sim::Cycle n)
+{
+    for (sim::Cycle i = 0; i < n; i++)
+        step();
+}
+
+} // namespace pdr::par

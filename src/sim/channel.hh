@@ -15,6 +15,16 @@
  * that component's wake time to the item's ready cycle.  nextReady()
  * exposes the earliest in-flight ready time so a component going idle
  * can report when its inputs next demand attention.
+ *
+ * Partitioned stepping (src/par/) puts channels that cross a worker
+ * boundary into *staged* mode: push() then appends to a private
+ * single-producer staging buffer instead of the live queue, and
+ * drainStaged() -- called by the consumer's worker after the per-cycle
+ * barrier -- merges the staged items and applies the deferred wake-table
+ * updates.  Because items pushed at cycle t are deliverable at t+1 or
+ * later, draining at the end of cycle t is indistinguishable from the
+ * serial immediate push, and the min() wake update reproduces the
+ * serial wake table exactly whatever the intra-cycle tick order was.
  */
 
 #ifndef PDR_SIM_CHANNEL_HH
@@ -62,10 +72,49 @@ class Channel
     push(const T &item, Cycle now, Cycle extra = 0)
     {
         Cycle ready = now + latency_ + extra;
+        if (staging_) {
+            // Cross-partition push: buffer privately (only the single
+            // producer touches staged_) and defer the queue merge and
+            // wake update to drainStaged() after the cycle barrier.
+            pdr_assert(staged_.empty() ||
+                       staged_.back().ready <= ready);
+            staged_.push_back({ready, item});
+            return;
+        }
         pdr_assert(q_.empty() || q_.back().ready <= ready);
         q_.push_back({ready, item});
         if (wakeAt_ && ready < (*wakeAt_)[comp_])
             (*wakeAt_)[comp_] = ready;
+    }
+
+    /**
+     * Enter/leave staged (cross-partition) mode.  Must be toggled
+     * between cycles, with the staging buffer drained.
+     */
+    void
+    setStaged(bool on)
+    {
+        pdr_assert(staged_.empty());
+        staging_ = on;
+    }
+
+    bool staged() const { return staging_; }
+
+    /**
+     * Merge staged pushes into the live queue and apply their deferred
+     * wake-table updates.  Called by the consumer's worker after the
+     * phase barrier, so it never races the producer or consumer.
+     */
+    void
+    drainStaged()
+    {
+        for (const Entry &e : staged_) {
+            pdr_assert(q_.empty() || q_.back().ready <= e.ready);
+            q_.push_back(e);
+            if (wakeAt_ && e.ready < (*wakeAt_)[comp_])
+                (*wakeAt_)[comp_] = e.ready;
+        }
+        staged_.clear();
     }
 
     /** Pop the next item if it has arrived by cycle `now`. */
@@ -100,8 +149,10 @@ class Channel
 
     Cycle latency_;
     std::deque<Entry> q_;
+    std::vector<Entry> staged_;             //!< Cross-partition buffer.
     std::vector<Cycle> *wakeAt_ = nullptr;  //!< Consumer wake table.
     std::size_t comp_ = 0;                  //!< Consumer component id.
+    bool staging_ = false;                  //!< Crosses a partition.
 };
 
 } // namespace pdr::sim

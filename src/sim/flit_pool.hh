@@ -19,6 +19,24 @@
  *     the (deterministic) order of alloc/free calls, never on address
  *     layout, so pooled and unpooled simulations stay bit-identical.
  *
+ * Partitioned stepping (src/par/) shards the *freelist*: each worker
+ * allocs from and frees into its own LIFO, so the steady-state hot
+ * path needs no synchronization at all (a slot freed into shard s is
+ * only ever re-allocated by worker s; the cycle barrier orders the
+ * cross-worker alloc-at-source / free-at-sink pair on each slot).
+ * Because a flit allocated in one shard is freed into whichever shard
+ * hosts its destination sink, free slots drift between shards; an
+ * overfull shard spills a batch to a mutex-guarded global list and an
+ * empty shard refills from it, which bounds the slab at the live
+ * high-water mark plus a constant per shard.  Slab growth itself is
+ * mutex-serialized and -- in sharded mode -- must stay within the
+ * reserve() capacity, because other workers dereference slots
+ * concurrently and a reallocation would invalidate them;
+ * shardFreelists() takes the reservation that guarantees this.  Which
+ * worker a flit's slot lands in depends on scheduling, but handles
+ * never influence simulated behavior or statistics, so results stay
+ * bit-identical for any worker count.
+ *
  * FlitFifo is the router-input-buffer queue: capacity fixed at
  * construction (the buffer depth), a plain ring over contiguous
  * storage, no allocation after init().
@@ -27,7 +45,9 @@
 #ifndef PDR_SIM_FLIT_POOL_HH
 #define PDR_SIM_FLIT_POOL_HH
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/logging.hh"
@@ -45,80 +65,200 @@ constexpr FlitRef NullFlit = ~FlitRef(0);
 class FlitPool
 {
   public:
-    FlitPool() = default;
+    FlitPool() { shards_.resize(1); }
 
     /** Pre-size the slab (optional; the pool grows on demand). */
     void reserve(std::size_t n)
     {
         slots_.reserve(n);
         alive_.reserve(n);
-        freeList_.reserve(n);
+        shards_[0].freeList.reserve(n);
     }
 
     /**
-     * Acquire a slot.  The returned flit's fields are unspecified
-     * (callers overwrite every field); the slot is marked live.
+     * Split the freelist into `n` single-owner shards and reserve
+     * `slots` slab entries so sharded growth never reallocates (live
+     * handles are dereferenced concurrently).  Existing free slots stay
+     * in shard 0.  Idempotent for the same n.
+     */
+    void
+    shardFreelists(int n, std::size_t slots)
+    {
+        pdr_assert(n >= 1);
+        // Spill/refill headroom: each shard may idle up to a spill
+        // batch of free slots while another shard grows the slab.
+        slots += std::size_t(n) * (kSpillAt + kBatch);
+        if (slots > slots_.capacity())
+            reserve(slots);
+        shards_.resize(std::size_t(n));
+        for (auto &sh : shards_)
+            sh.freeList.reserve(slots);
+        globalFree_.reserve(slots);
+    }
+
+    /** Merge every shard's freelist back into shard 0 (serial mode). */
+    void
+    collapseFreelists()
+    {
+        for (std::size_t s = 1; s < shards_.size(); s++) {
+            auto &from = shards_[s];
+            shards_[0].freeList.insert(shards_[0].freeList.end(),
+                                       from.freeList.begin(),
+                                       from.freeList.end());
+            shards_[0].live += from.live;
+            from.freeList.clear();
+            from.live = 0;
+        }
+        shards_[0].freeList.insert(shards_[0].freeList.end(),
+                                   globalFree_.begin(),
+                                   globalFree_.end());
+        globalFree_.clear();
+        shards_.resize(1);
+    }
+
+    int numShards() const { return int(shards_.size()); }
+
+    /**
+     * Acquire a slot from `shard`'s freelist (growing the slab when it
+     * is empty).  The returned flit's fields are unspecified (callers
+     * overwrite every field); the slot is marked live.
      */
     FlitRef
-    alloc()
+    alloc(int shard = 0)
     {
+        Shard &sh = shards_[std::size_t(shard)];
         FlitRef ref;
-        if (!freeList_.empty()) {
-            ref = freeList_.back();
-            freeList_.pop_back();
+        if (!sh.freeList.empty()) {
+            ref = sh.freeList.back();
+            sh.freeList.pop_back();
         } else {
-            ref = FlitRef(slots_.size());
-            slots_.emplace_back();
-            alive_.push_back(false);
+            std::lock_guard<std::mutex> lock(growMutex_);
+            if (!globalFree_.empty()) {
+                // Refill a batch from the slots other shards spilled.
+                std::size_t take =
+                    std::min(kBatch, globalFree_.size());
+                sh.freeList.insert(sh.freeList.end(),
+                                   globalFree_.end() -
+                                       std::ptrdiff_t(take),
+                                   globalFree_.end());
+                globalFree_.resize(globalFree_.size() - take);
+                ref = sh.freeList.back();
+                sh.freeList.pop_back();
+            } else {
+                // In sharded mode a reallocation would invalidate
+                // slots other workers are reading; shardFreelists()
+                // reserved enough for the worst-case live population
+                // plus the per-shard spill headroom.  numSlots_ is
+                // the concurrency-safe size mirror: growing mutates
+                // only memory beyond every handed-out slot, so
+                // concurrent get()s of existing refs stay clean.
+                pdr_assert(shards_.size() == 1 ||
+                           slots_.size() < slots_.capacity());
+                ref = FlitRef(slots_.size());
+                slots_.emplace_back();
+                alive_.push_back(false);
+                numSlots_.store(std::uint32_t(slots_.size()),
+                                std::memory_order_relaxed);
+            }
         }
         pdr_assert(!alive_[ref]);
         alive_[ref] = true;
-        live_++;
+        sh.live++;
         return ref;
     }
 
-    /** Release a slot (its flit left the network at a sink). */
+    /** Release a slot into `shard`'s freelist (its flit left the
+     *  network at a sink). */
     void
-    free(FlitRef ref)
+    free(FlitRef ref, int shard = 0)
     {
-        pdr_assert(ref < slots_.size());
+        pdr_assert(ref < numSlots());
         pdr_assert(alive_[ref]);
         alive_[ref] = false;
-        live_--;
-        freeList_.push_back(ref);
+        Shard &sh = shards_[std::size_t(shard)];
+        sh.live--;
+        sh.freeList.push_back(ref);
+        if (shards_.size() > 1 && sh.freeList.size() > kSpillAt) {
+            // Free slots drift toward the shards hosting popular
+            // sinks; spill a batch so empty shards refill instead of
+            // growing the slab forever.
+            std::lock_guard<std::mutex> lock(growMutex_);
+            globalFree_.insert(globalFree_.end(),
+                               sh.freeList.end() -
+                                   std::ptrdiff_t(kBatch),
+                               sh.freeList.end());
+            sh.freeList.resize(sh.freeList.size() - kBatch);
+        }
     }
 
     Flit &
     get(FlitRef ref)
     {
-        pdr_assert(ref < slots_.size() && alive_[ref]);
+        pdr_assert(ref < numSlots() && alive_[ref]);
         return slots_[ref];
     }
 
     const Flit &
     get(FlitRef ref) const
     {
-        pdr_assert(ref < slots_.size() && alive_[ref]);
+        pdr_assert(ref < numSlots() && alive_[ref]);
         return slots_[ref];
     }
 
     /** Slot `ref` currently holds a live flit. */
     bool alive(FlitRef ref) const
     {
-        return ref < slots_.size() && alive_[ref];
+        return ref < numSlots() && alive_[ref];
     }
 
     /** Flits currently live (in some queue between source and sink). */
-    std::size_t liveCount() const { return live_; }
+    std::size_t
+    liveCount() const
+    {
+        long long n = 0;
+        for (const auto &sh : shards_)
+            n += sh.live;
+        pdr_assert(n >= 0);
+        return std::size_t(n);
+    }
 
     /** Slots ever created (the allocation high-water mark). */
-    std::size_t capacity() const { return slots_.size(); }
+    std::size_t capacity() const { return numSlots(); }
 
   private:
+    /**
+     * Slab size via its atomic mirror: readable while another worker
+     * grows the slab (vector::size() reads the same memory growth
+     * writes).  Any ref a thread legitimately holds was published to
+     * it via the cycle barrier, which also ordered the corresponding
+     * numSlots_ store, so relaxed loads suffice.
+     */
+    std::uint32_t
+    numSlots() const
+    {
+        return numSlots_.load(std::memory_order_relaxed);
+    }
+    /**
+     * One single-owner freelist.  `live` is a signed delta (a slot
+     * allocated in shard a and freed into shard b counts +1/-1); only
+     * the sum is meaningful.
+     */
+    struct Shard
+    {
+        std::vector<FlitRef> freeList;  //!< LIFO for cache-warm reuse.
+        long long live = 0;
+    };
+
+    /** Spill threshold / transfer batch for sharded freelists. */
+    static constexpr std::size_t kSpillAt = 512;
+    static constexpr std::size_t kBatch = 128;
+
     std::vector<Flit> slots_;
     std::vector<char> alive_;       //!< Liveness bitmap (1 byte/slot).
-    std::vector<FlitRef> freeList_; //!< LIFO for cache-warm reuse.
-    std::size_t live_ = 0;
+    std::atomic<std::uint32_t> numSlots_{0};    //!< == slots_.size().
+    std::vector<Shard> shards_;     //!< >= 1 entries; [0] is serial.
+    std::vector<FlitRef> globalFree_;   //!< Guarded by growMutex_.
+    std::mutex growMutex_;          //!< Guards growth + globalFree_.
 };
 
 /** Fixed-capacity FIFO of flit handles (a router input buffer). */

@@ -11,9 +11,13 @@ MeasureController::MeasureController(sim::Cycle warmup,
 bool
 MeasureController::tryTag(sim::Cycle now)
 {
-    if (now < warmup_ || tagged_ >= sample_)
+    // Under partitioned stepping this races only in TagMode::All
+    // cycles, where the branch outcome is fixed for every caller (the
+    // quota covers all possible tags this cycle), so the relaxed
+    // read-then-increment is deterministic.
+    if (now < warmup_ || tagged() >= sample_)
         return false;
-    tagged_++;
+    tagged_.fetch_add(1, std::memory_order_relaxed);
     return true;
 }
 

@@ -8,10 +8,28 @@
  * them have been received.  Sources keep injecting while the sample
  * drains so the network stays loaded.  Latency spans packet creation to
  * last-flit ejection, including source queueing.
+ *
+ * The controller is the one piece of state every source and sink of a
+ * network shares, so partitioned stepping (src/par/) needs its help to
+ * stay bit-identical with the serial schedule.  The counters are
+ * relaxed atomics (pure commutative sums), and tagMode() classifies
+ * each cycle before the parallel source phase:
+ *
+ *   None    - no tryTag() call can mutate state this cycle (still in
+ *             warm-up, or the sample space is already full): sources
+ *             may tick concurrently.
+ *   All     - the remaining quota covers every possible creation this
+ *             cycle, so every tryTag() returns true whatever the call
+ *             order: sources may tick concurrently.
+ *   Ordered - the quota runs out mid-cycle and the serial tick order
+ *             (node index) decides which packets are tagged: the
+ *             stepper serializes the source phase for this cycle.
  */
 
 #ifndef PDR_TRAFFIC_MEASURE_HH
 #define PDR_TRAFFIC_MEASURE_HH
+
+#include <atomic>
 
 #include "sim/types.hh"
 
@@ -30,24 +48,51 @@ class MeasureController
     bool tryTag(sim::Cycle now);
 
     /** A tagged packet was fully received. */
-    void taggedReceived() { received_++; }
+    void
+    taggedReceived()
+    {
+        received_.fetch_add(1, std::memory_order_relaxed);
+    }
 
     /** All tagged packets created and received. */
-    bool done() const
+    bool
+    done() const
     {
-        return tagged_ == sample_ && received_ == tagged_;
+        return tagged() == sample_ && received() == tagged();
+    }
+
+    /** Concurrency class of the source phase at cycle `now`, given at
+     *  most `max_tags` tryTag() calls can happen this cycle. */
+    enum class TagMode { None, All, Ordered };
+    TagMode
+    tagMode(sim::Cycle now, std::uint64_t max_tags) const
+    {
+        std::uint64_t t = tagged();
+        if (now < warmup_ || t >= sample_)
+            return TagMode::None;
+        if (sample_ - t >= max_tags)
+            return TagMode::All;
+        return TagMode::Ordered;
     }
 
     sim::Cycle warmup() const { return warmup_; }
-    std::uint64_t tagged() const { return tagged_; }
-    std::uint64_t received() const { return received_; }
+    std::uint64_t
+    tagged() const
+    {
+        return tagged_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t
+    received() const
+    {
+        return received_.load(std::memory_order_relaxed);
+    }
     std::uint64_t sampleSize() const { return sample_; }
 
   private:
     sim::Cycle warmup_;
     std::uint64_t sample_;
-    std::uint64_t tagged_ = 0;
-    std::uint64_t received_ = 0;
+    std::atomic<std::uint64_t> tagged_{0};
+    std::atomic<std::uint64_t> received_{0};
 };
 
 } // namespace pdr::traffic

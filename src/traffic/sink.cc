@@ -17,7 +17,7 @@ Sink::tick(sim::Cycle now)
 {
     while (auto r = in_->pop(now)) {
         const sim::Flit f = pool_.get(*r);
-        pool_.free(*r);
+        pool_.free(*r, poolShard_);
         pdr_assert(f.dest == node_);
         totalFlits_++;
         if (now >= ctrl_.warmup())

@@ -59,6 +59,10 @@ class Sink
         trace_ = trace;
     }
 
+    /** FlitPool freelist shard this sink frees into (set by the
+     *  partitioned stepper to its owning worker; 0 = serial). */
+    void setPoolShard(int shard) { poolShard_ = shard; }
+
     /** Flits received after the warm-up point (for throughput). */
     std::uint64_t measuredFlits() const { return measuredFlits_; }
     /** All flits ever received. */
@@ -74,6 +78,7 @@ class Sink
     FlitChannel *in_;
     stats::LatencyStats &latency_;
     std::vector<Delivery> *trace_ = nullptr;
+    int poolShard_ = 0;                 //!< FlitPool freelist shard.
 
     /** Next expected sequence number per in-flight packet. */
     std::unordered_map<sim::PacketId, int> expectSeq_;

@@ -18,6 +18,18 @@ Source::Source(sim::NodeId node, const SourceConfig &cfg,
     pdr_assert(cfg.numVcs >= 1);
     pdr_assert(cfg.packetLength >= 1);
     pdr_assert(cfg.packetRate >= 0.0 && cfg.packetRate <= 1.0);
+    pdr_assert((cfg.burstOn > 0.0) == (cfg.burstOff > 0.0));
+    if (cfg.burstOn > 0.0) {
+        pdr_assert(cfg.burstOn >= 1.0 && cfg.burstOff >= 1.0);
+        // ON-state rate scaled so the long-run mean stays packetRate
+        // (duty cycle burstOn / (burstOn + burstOff)), capped at one
+        // packet per cycle.
+        onRate_ = std::min(1.0, cfg.packetRate *
+                                    (cfg.burstOn + cfg.burstOff) /
+                                    cfg.burstOn);
+    } else {
+        onRate_ = cfg.packetRate;
+    }
     streams_.resize(cfg.numVcs);
     credits_.assign(cfg.numVcs, cfg.bufDepth);
 }
@@ -76,8 +88,23 @@ Source::applyCredits(sim::Cycle now)
 void
 Source::generate(sim::Cycle now)
 {
-    if (cfg_.packetRate <= 0.0 || !rng_.bernoulli(cfg_.packetRate))
+    if (cfg_.packetRate <= 0.0)
         return;
+    if (cfg_.burstOn > 0.0) {
+        // Two-state MMPP: one transition draw per cycle (geometric
+        // dwell times), then a Bernoulli arrival draw only while ON.
+        // The source ticks every cycle when packetRate > 0, so this
+        // stream is identical under the skipping and tick-everything
+        // schedules.
+        double leave =
+            1.0 / (burstState_ ? cfg_.burstOn : cfg_.burstOff);
+        if (rng_.bernoulli(leave))
+            burstState_ = !burstState_;
+        if (!burstState_ || !rng_.bernoulli(onRate_))
+            return;
+    } else if (!rng_.bernoulli(cfg_.packetRate)) {
+        return;
+    }
     PendingPacket p;
     p.id = nextId_++;
     p.dest = pattern_.pick(node_, rng_);
@@ -116,7 +143,7 @@ Source::inject(sim::Cycle now)
         if (!s.busy || credits_[vc] <= 0)
             continue;
 
-        sim::FlitRef ref = pool_.alloc();
+        sim::FlitRef ref = pool_.alloc(poolShard_);
         sim::Flit &f = pool_.get(ref);
         f = sim::Flit{};
         f.packet = s.pkt.id;

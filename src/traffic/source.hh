@@ -10,6 +10,17 @@
  * it tracks per-VC credits for the injection input buffers and may
  * stream up to `numVcs` packets concurrently (one per VC), sending at
  * most one flit per cycle over the injection channel.
+ *
+ * Bursty arrivals: an optional two-state MMPP (Markov-modulated
+ * Poisson/Bernoulli process) layers on top of any destination pattern.
+ * The source alternates between an ON state -- Bernoulli arrivals at a
+ * boosted rate -- and a silent OFF state, with geometrically
+ * distributed dwell times of mean `burstOn` / `burstOff` cycles.  The
+ * ON rate is scaled so the long-run mean offered load still equals
+ * `packetRate` (capped at one packet per cycle), so latency-throughput
+ * curves stay comparable across burstiness settings.  With burstOn ==
+ * burstOff == 0 (the default) the arrival process is the paper's plain
+ * Bernoulli draw, bit-identical to the historical RNG stream.
  */
 
 #ifndef PDR_TRAFFIC_SOURCE_HH
@@ -35,6 +46,11 @@ struct SourceConfig
     int bufDepth = 8;          //!< Injection input-buffer depth per VC.
     int packetLength = 5;      //!< Flits per packet.
     double packetRate = 0.0;   //!< Packets per cycle (Bernoulli).
+    /** MMPP burst (ON-state) mean dwell in cycles; 0 disables the
+     *  modulation (plain Bernoulli arrivals). */
+    double burstOn = 0.0;
+    /** MMPP gap (OFF-state) mean dwell in cycles. */
+    double burstOff = 0.0;
     std::uint64_t seed = 1;
     /** Injection-time per-packet routing state (oblivious routings
      *  draw their order bit / intermediate here); nullptr for none. */
@@ -74,6 +90,10 @@ class Source
     /** Streams currently active. */
     int active() const;
 
+    /** FlitPool freelist shard this source allocates from (set by the
+     *  partitioned stepper to its owning worker; 0 = serial). */
+    void setPoolShard(int shard) { poolShard_ = shard; }
+
   private:
     /** A queued packet awaiting injection. */
     struct PendingPacket
@@ -107,6 +127,9 @@ class Source
     CreditChannel *creditIn_;
 
     Rng rng_;
+    double onRate_ = 0.0;              //!< Bernoulli rate in ON state.
+    bool burstState_ = true;           //!< MMPP state (true = ON).
+    int poolShard_ = 0;                //!< FlitPool freelist shard.
     std::deque<PendingPacket> queue_;
     std::vector<Stream> streams_;      //!< One per injection VC.
     std::vector<int> credits_;         //!< Per injection VC.

@@ -140,6 +140,18 @@ TEST(LockstepTest, SlowCreditsFig18Shape)
     expectLockstep(cfg, 4000);
 }
 
+TEST(LockstepTest, BurstyMmppArrivals)
+{
+    // The MMPP state machine advances the RNG every cycle, so the
+    // activity-driven schedule must tick bursty sources even through
+    // their silent OFF states.
+    auto cfg = baseConfig(router::RouterModel::SpecVirtualChannel, 2, 4);
+    cfg.burstOn = 25;
+    cfg.burstOff = 75;
+    cfg.setOfferedFraction(0.3);
+    expectLockstep(cfg, 5000);
+}
+
 TEST(LockstepTest, SingleFlitPackets)
 {
     auto cfg = baseConfig(router::RouterModel::SpecVirtualChannel, 2, 4);

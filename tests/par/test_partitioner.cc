@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Partitioner unit tests: block bounds, plane alignment, capacity
+ * weighting, worker clamping, and owner lookups.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "par/partition.hh"
+#include "topo/lattice.hh"
+
+using namespace pdr;
+using par::Partitioner;
+using par::Scheme;
+
+namespace {
+
+/** Blocks must tile [0, numRouters) and [0, numNodes) contiguously. */
+void
+expectCovers(const Partitioner &part, const topo::Lattice &lat)
+{
+    const auto &blocks = part.blocks();
+    ASSERT_FALSE(blocks.empty());
+    EXPECT_EQ(blocks.front().routerLo, 0);
+    EXPECT_EQ(blocks.front().nodeLo, 0);
+    EXPECT_EQ(blocks.back().routerHi, lat.numRouters());
+    EXPECT_EQ(blocks.back().nodeHi, lat.numNodes());
+    for (std::size_t i = 0; i < blocks.size(); i++) {
+        EXPECT_GT(blocks[i].numRouters(), 0) << "block " << i;
+        EXPECT_EQ(blocks[i].numNodes(),
+                  blocks[i].numRouters() * lat.concentration());
+        EXPECT_EQ(blocks[i].nodeLo,
+                  blocks[i].routerLo * lat.concentration());
+        if (i > 0) {
+            EXPECT_EQ(blocks[i].routerLo, blocks[i - 1].routerHi);
+            EXPECT_EQ(blocks[i].nodeLo, blocks[i - 1].nodeHi);
+        }
+    }
+}
+
+} // namespace
+
+TEST(PartitionerTest, OneWorkerIsTheWholeLattice)
+{
+    auto lat = topo::Lattice::mesh2D(8);
+    Partitioner part(lat, 1);
+    EXPECT_EQ(part.workers(), 1);
+    expectCovers(part, lat);
+    EXPECT_EQ(part.blocks()[0].numRouters(), 64);
+    EXPECT_EQ(part.ownerOfRouter(0), 0);
+    EXPECT_EQ(part.ownerOfRouter(63), 0);
+}
+
+TEST(PartitionerTest, PlanesAreAlignedAndBalanced)
+{
+    // 8x8 mesh: 8 planes of 8 routers along the highest dimension.
+    auto lat = topo::Lattice::mesh2D(8);
+    Partitioner part(lat, 4, Scheme::Planes);
+    EXPECT_EQ(part.workers(), 4);
+    expectCovers(part, lat);
+    for (const auto &b : part.blocks()) {
+        EXPECT_EQ(b.numRouters(), 16);      // 2 planes each.
+        EXPECT_EQ(b.routerLo % 8, 0);       // Plane-aligned.
+    }
+}
+
+TEST(PartitionerTest, UnevenPlaneCountsSpreadByAtMostOne)
+{
+    auto lat = topo::Lattice::mesh2D(8);    // 8 planes.
+    Partitioner part(lat, 3, Scheme::Planes);
+    EXPECT_EQ(part.workers(), 3);
+    expectCovers(part, lat);
+    int min_planes = 9, max_planes = 0;
+    for (const auto &b : part.blocks()) {
+        EXPECT_EQ(b.routerLo % 8, 0);
+        int planes = b.numRouters() / 8;
+        min_planes = std::min(min_planes, planes);
+        max_planes = std::max(max_planes, planes);
+    }
+    EXPECT_LE(max_planes - min_planes, 1);
+}
+
+TEST(PartitionerTest, WorkersClampToPlaneCount)
+{
+    // 4x4 mesh has 4 planes: more workers than planes collapse.
+    auto lat = topo::Lattice::mesh2D(4);
+    Partitioner part(lat, 16, Scheme::Planes);
+    EXPECT_EQ(part.workers(), 4);
+    expectCovers(part, lat);
+}
+
+TEST(PartitionerTest, WeightedBalancesAtRouterGranularity)
+{
+    // cmesh 4x4 c=4 (16 routers, 64 nodes), 3 workers.  Plane-aligned
+    // blocks can only be 4/4/8 or 4/8/4 routers; the weighted scheme
+    // may split mid-plane and must balance within one router.
+    auto lat = topo::Lattice::cmesh(4, 4);
+    Partitioner planes(lat, 3, Scheme::Planes);
+    Partitioner weighted(lat, 3, Scheme::Weighted);
+    expectCovers(planes, lat);
+    expectCovers(weighted, lat);
+
+    int wmin = lat.numRouters(), wmax = 0;
+    for (const auto &b : weighted.blocks()) {
+        wmin = std::min(wmin, b.numRouters());
+        wmax = std::max(wmax, b.numRouters());
+    }
+    EXPECT_LE(wmax - wmin, 1);
+
+    int pmax = 0;
+    for (const auto &b : planes.blocks())
+        pmax = std::max(pmax, b.numRouters());
+    EXPECT_GT(pmax, wmax);  // Plane alignment costs balance here.
+}
+
+TEST(PartitionerTest, WeightedClampsToRouterCount)
+{
+    auto lat = topo::Lattice::mesh2D(2);    // 4 routers.
+    Partitioner part(lat, 64, Scheme::Weighted);
+    EXPECT_EQ(part.workers(), 4);
+    expectCovers(part, lat);
+}
+
+TEST(PartitionerTest, KAry3CubeSlicesAlongHighestDim)
+{
+    auto lat = topo::Lattice::kAryNCube(3, 4);  // 64 routers, 4 planes
+    Partitioner part(lat, 2, Scheme::Planes);
+    EXPECT_EQ(part.workers(), 2);
+    expectCovers(part, lat);
+    EXPECT_EQ(part.blocks()[0].numRouters(), 32);
+    EXPECT_EQ(part.blocks()[0].routerLo % 16, 0);  // 16 routers/plane.
+}
+
+TEST(PartitionerTest, OwnerLookupsMatchBlocks)
+{
+    auto lat = topo::Lattice::cmesh(4, 2);  // 16 routers, 32 nodes.
+    Partitioner part(lat, 3, Scheme::Weighted);
+    for (int r = 0; r < lat.numRouters(); r++) {
+        int owner = part.ownerOfRouter(r);
+        const auto &b = part.blocks()[std::size_t(owner)];
+        EXPECT_GE(r, b.routerLo);
+        EXPECT_LT(r, b.routerHi);
+    }
+    int nodes = lat.numNodes(), routers = lat.numRouters();
+    for (int n = 0; n < nodes; n++) {
+        int owner = part.ownerOfNode(n);
+        EXPECT_EQ(owner, part.ownerOfRouter(lat.routerOf(n)));
+        // Component-id space: [sources | routers | sinks].
+        EXPECT_EQ(part.ownerOfComp(std::size_t(n)), owner);
+        EXPECT_EQ(part.ownerOfComp(std::size_t(nodes + routers + n)),
+                  owner);
+    }
+    for (int r = 0; r < routers; r++) {
+        EXPECT_EQ(part.ownerOfComp(std::size_t(nodes + r)),
+                  part.ownerOfRouter(r));
+    }
+}
+
+TEST(PartitionerTest, RejectsNonPositiveWorkerCounts)
+{
+    auto lat = topo::Lattice::mesh2D(4);
+    EXPECT_THROW(Partitioner(lat, 0), std::invalid_argument);
+    EXPECT_THROW(Partitioner(lat, -3), std::invalid_argument);
+}
+
+TEST(PartitionerTest, SchemeNamesRoundTrip)
+{
+    EXPECT_EQ(par::schemeFromString("planes"), Scheme::Planes);
+    EXPECT_EQ(par::schemeFromString("weighted"), Scheme::Weighted);
+    EXPECT_STREQ(par::toString(Scheme::Planes), "planes");
+    EXPECT_STREQ(par::toString(Scheme::Weighted), "weighted");
+    EXPECT_THROW(par::schemeFromString("hilbert"),
+                 std::invalid_argument);
+}

@@ -117,6 +117,87 @@ TEST(FlitPoolDeathTest, UseAfterFreePanics)
     EXPECT_DEATH(pool.get(r), "");
 }
 
+TEST(FlitPoolShardTest, ShardsAllocAndFreeIndependently)
+{
+    FlitPool pool;
+    pool.shardFreelists(3, 64);
+    EXPECT_EQ(pool.numShards(), 3);
+
+    FlitRef a = pool.alloc(0);
+    FlitRef b = pool.alloc(1);
+    FlitRef c = pool.alloc(2);
+    EXPECT_EQ(pool.liveCount(), 3u);
+
+    // Cross-shard life cycle: allocated in shard 1, freed into shard
+    // 2, re-allocated only by shard 2 (LIFO).
+    pool.free(b, 2);
+    EXPECT_EQ(pool.alloc(2), b);
+
+    pool.free(a, 0);
+    pool.free(b, 2);
+    pool.free(c, 2);
+    EXPECT_EQ(pool.liveCount(), 0u);
+}
+
+TEST(FlitPoolShardTest, CollapseReturnsEverySlotToShardZero)
+{
+    FlitPool pool;
+    pool.shardFreelists(4, 64);
+    std::vector<FlitRef> refs;
+    for (int s = 0; s < 4; s++)
+        for (int i = 0; i < 5; i++)
+            refs.push_back(pool.alloc(s));
+    for (std::size_t i = 0; i < refs.size(); i++)
+        pool.free(refs[i], int(i % 4));
+
+    pool.collapseFreelists();
+    EXPECT_EQ(pool.numShards(), 1);
+    EXPECT_EQ(pool.liveCount(), 0u);
+
+    // All 20 slots must be reachable from the serial freelist again
+    // without growing the slab.
+    std::size_t cap = pool.capacity();
+    for (int i = 0; i < 20; i++)
+        pool.alloc();
+    EXPECT_EQ(pool.capacity(), cap);
+    EXPECT_EQ(pool.liveCount(), 20u);
+}
+
+TEST(FlitPoolShardTest, EmptyShardRefillsFromSpilledSlots)
+{
+    // Exceed the spill threshold (512, batch 128) in shard 1 so its
+    // surplus lands in the global list, then allocate from bone-dry
+    // shard 0: it must refill from the spilled slots instead of
+    // growing the slab.  700 frees cross the threshold twice, so at
+    // least 2 x 128 slots reach the global list.
+    FlitPool pool;
+    pool.shardFreelists(2, 4096);
+    std::vector<FlitRef> refs;
+    for (int i = 0; i < 700; i++)
+        refs.push_back(pool.alloc(0));
+    std::size_t cap = pool.capacity();
+    for (FlitRef r : refs)
+        pool.free(r, 1);
+
+    for (int i = 0; i < 256; i++)
+        pool.alloc(0);
+    EXPECT_EQ(pool.capacity(), cap) << "refill should not grow";
+    EXPECT_EQ(pool.liveCount(), 256u);
+}
+
+TEST(FlitPoolShardTest, SerialBehaviorUnchangedByDefaultShard)
+{
+    // A default-constructed pool and one that was sharded and
+    // collapsed both serve the canonical LIFO sequence.
+    FlitPool pool;
+    FlitRef a = pool.alloc();
+    FlitRef b = pool.alloc();
+    pool.free(a);
+    pool.free(b);
+    EXPECT_EQ(pool.alloc(), b);
+    EXPECT_EQ(pool.alloc(), a);
+}
+
 TEST(FlitFifoTest, FifoOrderAndWraparound)
 {
     FlitFifo f;

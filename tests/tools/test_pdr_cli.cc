@@ -30,10 +30,11 @@ struct CmdResult
 };
 
 CmdResult
-run(const std::string &args)
+run(const std::string &args, const std::string &env = "")
 {
     CmdResult res;
-    std::string cmd = std::string(PDR_CLI_PATH) + " " + args + " 2>&1";
+    std::string cmd = (env.empty() ? "" : env + " ") +
+                      std::string(PDR_CLI_PATH) + " " + args + " 2>&1";
     FILE *pipe = popen(cmd.c_str(), "r");
     if (!pipe)
         return res;
@@ -136,7 +137,7 @@ TEST(PdrCli, DescribeValidatesShippedExperiments)
 {
     for (const char *exp :
          {"fig13.exp", "fig14.exp", "fig15.exp", "fig16.exp",
-          "fig18.exp", "kary3cube.exp"}) {
+          "fig17.exp", "fig18.exp", "kary3cube.exp", "bursty.exp"}) {
         auto res = run(std::string("describe --file ") +
                        PDR_EXPERIMENTS_DIR + "/" + exp);
         EXPECT_EQ(res.status, 0) << exp << ": " << res.out;
@@ -277,4 +278,145 @@ TEST(PdrCliDiff, NeedsExactlyTwoPaths)
     EXPECT_NE(res.status, 0);
     EXPECT_NE(res.out.find("two CSV paths"), std::string::npos)
         << res.out;
+}
+
+namespace {
+
+/** A tiny sweep everyone below shares: 4x4 mesh, 4 points. */
+const char *kTinySweep =
+    "sweep --net.k=4 --router.model=specVC --router.num_vcs=2 "
+    "--router.buf_depth=4 --sim.warmup=200 --sim.sample_packets=300 "
+    "--sweep.loads=0.1,0.2,0.3,0.4";
+
+/** The CSV portion of a sweep's output (stderr summary dropped). */
+std::string
+csvOf(const CmdResult &res)
+{
+    std::string out;
+    for (const auto &l : lines(res.out)) {
+        if (l.rfind("sweep:", 0) != 0 && l.rfind("merge:", 0) != 0)
+            out += l + "\n";
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(PdrCliPartition, WorkerCountNeverChangesTheCsv)
+{
+    // The determinism matrix: par.workers x PDR_THREADS must all emit
+    // byte-identical CSV (the partitioned engine's contract).
+    auto base = run(kTinySweep, "PDR_THREADS=1");
+    ASSERT_EQ(base.status, 0) << base.out;
+    std::string golden = csvOf(base);
+    ASSERT_NE(golden.find("0.400"), std::string::npos);
+
+    for (const char *extra :
+         {" --par.workers=2", " --par.workers=4",
+          " --par.workers=4 --par.scheme=weighted"}) {
+        for (const char *env : {"PDR_THREADS=1", "PDR_THREADS=4"}) {
+            auto res = run(std::string(kTinySweep) + extra, env);
+            ASSERT_EQ(res.status, 0) << extra << ": " << res.out;
+            EXPECT_EQ(csvOf(res), golden) << extra << " " << env;
+        }
+    }
+}
+
+TEST(PdrCliPartition, BadSchemeIsRejectedNamingTheKey)
+{
+    auto res = run("run --par.scheme=hilbert");
+    EXPECT_NE(res.status, 0);
+    EXPECT_NE(res.out.find("par.scheme"), std::string::npos)
+        << res.out;
+}
+
+TEST(PdrCliMerge, SlicesReassembleTheFullTable)
+{
+    std::string dir = testing::TempDir();
+    auto full = run(std::string(kTinySweep) + " --csv " + dir +
+                    "merge_full.csv");
+    ASSERT_EQ(full.status, 0) << full.out;
+    for (int i = 0; i < 2; i++) {
+        auto shard = run(std::string(kTinySweep) +
+                         " --slice " + std::to_string(i) + "/2" +
+                         " --csv " + dir + "merge_s" +
+                         std::to_string(i) + ".csv");
+        ASSERT_EQ(shard.status, 0) << shard.out;
+    }
+    auto merged = run("merge " + dir + "merge_s0.csv " + dir +
+                      "merge_s1.csv --csv " + dir + "merge_out.csv");
+    ASSERT_EQ(merged.status, 0) << merged.out;
+    EXPECT_NE(merged.out.find("4 rows from 2 shard(s)"),
+              std::string::npos)
+        << merged.out;
+
+    auto diffed = run("diff " + dir + "merge_full.csv " + dir +
+                      "merge_out.csv");
+    EXPECT_EQ(diffed.status, 0) << diffed.out;
+}
+
+TEST(PdrCliMerge, OverlappingShardsAreRejected)
+{
+    auto a = writeTemp("merge_ov_a",
+                       "index,label,avg_latency,drained\n"
+                       "0,p@0.1,30.25,true\n"
+                       "1,p@0.2,34.5,true\n");
+    auto b = writeTemp("merge_ov_b",
+                       "index,label,avg_latency,drained\n"
+                       "1,p@0.2,34.5,true\n"
+                       "2,p@0.3,39.0,true\n");
+    auto res = run("merge " + a + " " + b);
+    EXPECT_NE(res.status, 0);
+    EXPECT_NE(res.out.find("overlapping point index 1"),
+              std::string::npos)
+        << res.out;
+}
+
+TEST(PdrCliMerge, MissingPointsAreRejected)
+{
+    // Shards starting at index 2 leave a gap at the front.
+    auto head = writeTemp("merge_head",
+                          "index,label,avg_latency,drained\n"
+                          "2,p@0.3,30.25,true\n"
+                          "3,p@0.4,34.5,true\n");
+    auto tail = writeTemp("merge_tail",
+                          "index,label,avg_latency,drained\n"
+                          "5,p@0.6,39.1,true\n");
+    auto miss = run("merge " + head + " " + tail);
+    EXPECT_NE(miss.status, 0);
+    EXPECT_NE(miss.out.find("missing point index 0"),
+              std::string::npos)
+        << miss.out;
+}
+
+TEST(PdrCliMerge, HeaderMismatchIsRejected)
+{
+    auto a = writeTemp("merge_ha",
+                       "index,label,avg_latency\n0,p,1.0\n");
+    auto b = writeTemp("merge_hb",
+                       "index,label,p99_latency\n1,q,2.0\n");
+    auto res = run("merge " + a + " " + b);
+    EXPECT_NE(res.status, 0);
+    EXPECT_NE(res.out.find("headers differ"), std::string::npos)
+        << res.out;
+}
+
+TEST(PdrCliMerge, NeedsAnIndexColumn)
+{
+    auto a = writeTemp("merge_noidx", "label,avg_latency\np,1.0\n");
+    auto res = run("merge " + a + " " + a);
+    EXPECT_NE(res.status, 0);
+    EXPECT_NE(res.out.find("no 'index' column"), std::string::npos)
+        << res.out;
+}
+
+TEST(PdrCliSlice, BadSliceSyntaxIsRejected)
+{
+    for (const char *slice :
+         {"2/2", "x", "0/2x", "0/", "/2", "-1/2", "0/0"}) {
+        auto res = run(std::string(kTinySweep) + " --slice " + slice);
+        EXPECT_NE(res.status, 0) << slice;
+        EXPECT_NE(res.out.find("--slice"), std::string::npos)
+            << slice << ": " << res.out;
+    }
 }

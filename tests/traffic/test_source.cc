@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 
 #include "traffic/source.hh"
@@ -176,5 +177,80 @@ TEST(SourceTest, DeterministicAcrossRuns)
     for (std::size_t i = 0; i < fa.size(); i++) {
         EXPECT_EQ(fa[i].packet, fb[i].packet);
         EXPECT_EQ(fa[i].dest, fb[i].dest);
+    }
+}
+
+namespace {
+
+/** A jig whose source uses MMPP bursty arrivals. */
+struct BurstyJig : SourceJig
+{
+    BurstyJig(double rate, double on, double off) : SourceJig(0.0)
+    {
+        cfg.packetRate = rate;
+        cfg.burstOn = on;
+        cfg.burstOff = off;
+        src = std::make_unique<Source>(1, cfg, pattern, ctrl, pool,
+                                       &flits, &credits);
+    }
+};
+
+} // namespace
+
+TEST(SourceBurstTest, MeanRateMatchesConfiguredLoad)
+{
+    // The ON-state boost is scaled by the duty cycle, so the long-run
+    // mean arrival rate stays at packetRate.
+    BurstyJig j(0.05, 50, 50);
+    j.run(100000);
+    EXPECT_NEAR(j.src->created() / 100000.0, 0.05, 0.01);
+}
+
+TEST(SourceBurstTest, ArrivalsClusterIntoBursts)
+{
+    // Count arrivals in 100-cycle windows: an MMPP with 50/450 dwell
+    // must show many silent windows and some dense ones, far outside
+    // what the Bernoulli process of equal mean produces.
+    BurstyJig bursty(0.04, 50, 450);
+    SourceJig steady(0.04);
+
+    auto window_counts = [](SourceJig &j) {
+        std::vector<int> counts;
+        for (int w = 0; w < 400; w++) {
+            auto before = j.src->created();
+            j.run(100);
+            counts.push_back(int(j.src->created() - before));
+        }
+        return counts;
+    };
+    auto bc = window_counts(bursty);
+    auto sc = window_counts(steady);
+
+    auto zeros = [](const std::vector<int> &v) {
+        int n = 0;
+        for (int c : v)
+            n += c == 0 ? 1 : 0;
+        return n;
+    };
+    // Mean ~4 arrivals per window: steady windows are almost never
+    // empty; the 10%-duty MMPP idles through most of them.
+    EXPECT_GT(zeros(bc), zeros(sc) + 100);
+    EXPECT_GT(*std::max_element(bc.begin(), bc.end()),
+              *std::max_element(sc.begin(), sc.end()));
+}
+
+TEST(SourceBurstTest, DisabledBurstKeepsTheHistoricalStream)
+{
+    // burst_on = burst_off = 0 must leave the Bernoulli RNG stream
+    // untouched (the golden-CSV gates depend on it).
+    SourceJig plain(0.1);
+    BurstyJig off(0.1, 0, 0);
+    auto fa = plain.run(2000);
+    auto fb = off.run(2000);
+    ASSERT_EQ(fa.size(), fb.size());
+    for (std::size_t i = 0; i < fa.size(); i++) {
+        EXPECT_EQ(fa[i].packet, fb[i].packet);
+        EXPECT_EQ(fa[i].dest, fb[i].dest);
+        EXPECT_EQ(fa[i].ctime, fb[i].ctime);
     }
 }

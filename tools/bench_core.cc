@@ -9,6 +9,12 @@
  * low-load point (0.1 of capacity, where most routers idle most
  * cycles), a mid point, and a near-saturation point (0.9).
  *
+ * The partitioned scenarios (workers > 1) drive the same network
+ * through par::ParallelStepper on a saturated 16x16 mesh, recording
+ * the intra-network scaling at 1/2/4 workers.  The speedup is
+ * recorded, not asserted -- it obviously depends on the machine's core
+ * count, which the JSON also records.
+ *
  * Usage:
  *   bench_core [--out BENCH_core.json] [--cycles N] [--repeats R]
  *
@@ -25,9 +31,11 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "net/network.hh"
+#include "par/stepper.hh"
 #include "router/config.hh"
 
 using namespace pdr;
@@ -41,6 +49,8 @@ struct Scenario
     int numVcs;
     int bufDepth;
     double offered;     //!< Fraction of uniform capacity.
+    int k = 8;          //!< Mesh radix.
+    int workers = 1;    //!< Intra-network workers (par::).
 };
 
 const Scenario kScenarios[] = {
@@ -48,6 +58,15 @@ const Scenario kScenarios[] = {
     {"specvc_mid_0.5", router::RouterModel::SpecVirtualChannel, 2, 4, 0.5},
     {"specvc_sat_0.9", router::RouterModel::SpecVirtualChannel, 2, 4, 0.9},
     {"wormhole_low_0.1", router::RouterModel::Wormhole, 1, 8, 0.1},
+    // Intra-network scaling: one saturated 16x16 mesh partitioned
+    // across 1 / 2 / 4 workers (results are bit-identical; only the
+    // wall clock changes).
+    {"specvc_sat16_w1", router::RouterModel::SpecVirtualChannel, 2, 4,
+     0.9, 16, 1},
+    {"specvc_sat16_w2", router::RouterModel::SpecVirtualChannel, 2, 4,
+     0.9, 16, 2},
+    {"specvc_sat16_w4", router::RouterModel::SpecVirtualChannel, 2, 4,
+     0.9, 16, 4},
 };
 
 struct Result
@@ -61,7 +80,7 @@ double
 timeScenario(const Scenario &sc, sim::Cycle cycles, int repeats)
 {
     net::NetworkConfig cfg;
-    cfg.k = 8;
+    cfg.k = sc.k;
     cfg.router.model = sc.model;
     cfg.router.numVcs = sc.numVcs;
     cfg.router.bufDepth = sc.bufDepth;
@@ -71,12 +90,15 @@ timeScenario(const Scenario &sc, sim::Cycle cycles, int repeats)
     cfg.setOfferedFraction(sc.offered);
 
     net::Network network(cfg);
-    network.run(2000);              // Reach steady state untimed.
+    par::ParConfig pcfg;
+    pcfg.workers = sc.workers;
+    par::ParallelStepper stepper(network, pcfg);
+    stepper.run(2000);              // Reach steady state untimed.
 
     double best = -1.0;
     for (int r = 0; r < repeats; r++) {
         auto t0 = std::chrono::steady_clock::now();
-        network.run(cycles);
+        stepper.run(cycles);
         auto t1 = std::chrono::steady_clock::now();
         double s = std::chrono::duration<double>(t1 - t0).count();
         if (best < 0.0 || s < best)
@@ -149,15 +171,18 @@ main(int argc, char **argv)
     f << "{\n  \"generator\": \"bench_core\",\n";
     f << "  \"cycles\": " << cycles << ",\n";
     f << "  \"repeats\": " << repeats << ",\n";
+    f << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n";
     f << "  \"scenarios\": [\n";
     for (std::size_t i = 0; i < results.size(); i++) {
         const auto &r = results[i];
         char buf[256];
         std::snprintf(buf, sizeof(buf),
                       "    {\"name\": \"%s\", \"offered\": %.2f, "
+                      "\"k\": %d, \"workers\": %d, "
                       "\"best_wall_s\": %.6f, \"cycles_per_sec\": %.0f}",
-                      r.sc->name, r.sc->offered, r.bestWallS,
-                      r.cyclesPerSec);
+                      r.sc->name, r.sc->offered, r.sc->k,
+                      r.sc->workers, r.bestWallS, r.cyclesPerSec);
         f << buf << (i + 1 < results.size() ? ",\n" : "\n");
     }
     f << "  ]\n}\n";

@@ -25,6 +25,8 @@
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -59,13 +61,17 @@ usage(FILE *out)
         "  diff       compare two sweep CSVs cell by cell "
         "(--tolerance\n"
         "             for numeric slack); exits 1 on any mismatch\n"
+        "  merge      stitch sweep-shard CSVs (disjoint --slice runs "
+        "of one\n"
+        "             experiment) into the full table; errors on\n"
+        "             overlapping or missing points\n"
         "\n"
         "options:\n"
         "  --file PATH        load an INI-style experiment file\n"
         "  --KEY=VALUE        override any parameter key (net.k, \n"
         "                     router.model, traffic.pattern, "
         "sweep.loads, ...)\n"
-        "  --csv PATH         sweep: write CSV here instead of "
+        "  --csv PATH         sweep/merge: write CSV here instead of "
         "stdout\n"
         "  --json [PATH]      sweep: emit JSON (to PATH or stdout); \n"
         "                     run: print the result row as JSON\n"
@@ -73,6 +79,13 @@ usage(FILE *out)
         "PDR_THREADS\n"
         "                     or hardware concurrency)\n"
         "  --seed N           base seed for derived per-point seeds\n"
+        "  --slice I/N        sweep: run only the I-th of N contiguous "
+        "point\n"
+        "                     slices; rows keep their full-grid index "
+        "and\n"
+        "                     seed, so N shard CSVs merge into "
+        "exactly\n"
+        "                     the unsliced table\n"
         "  --tolerance X      diff: relative numeric tolerance per "
         "cell\n"
         "                     (default 0 = bit-exact text compare)\n"
@@ -97,9 +110,11 @@ struct Options
     int threads = 0;
     std::uint64_t seed = 1;
     double tolerance = 0.0;
+    int sliceIndex = 0;
+    int sliceCount = 0;     //!< 0 = no --slice given.
     /** --key=value overrides, in command-line order. */
     std::vector<std::pair<std::string, std::string>> overrides;
-    /** Positional arguments (the two CSV paths of `pdr diff`). */
+    /** Positional arguments (CSV paths of `pdr diff` / `pdr merge`). */
     std::vector<std::string> positional;
 };
 
@@ -144,6 +159,25 @@ parseArgs(int argc, char **argv, Options &opt)
                                      nullptr, 10);
         } else if (arg == "--tolerance") {
             opt.tolerance = std::atof(want_value("--tolerance").c_str());
+        } else if (arg == "--slice") {
+            std::string v = want_value("--slice");
+            auto slash = v.find('/');
+            char *iend = nullptr, *nend = nullptr;
+            long idx = std::strtol(v.c_str(), &iend, 10);
+            long n = slash == std::string::npos
+                         ? 0
+                         : std::strtol(v.c_str() + slash + 1, &nend,
+                                       10);
+            if (slash == std::string::npos || iend == v.c_str() ||
+                iend != v.c_str() + slash ||
+                nend == v.c_str() + slash + 1 || *nend != '\0' ||
+                n < 1 || idx < 0 || idx >= n) {
+                throw std::invalid_argument(
+                    "--slice wants I/N with 0 <= I < N, got '" + v +
+                    "'");
+            }
+            opt.sliceIndex = int(idx);
+            opt.sliceCount = int(n);
         } else if (has_inline && arg.rfind("--", 0) == 0) {
             opt.overrides.push_back({arg.substr(2), inline_value});
         } else if (arg.rfind("--", 0) != 0) {
@@ -243,7 +277,36 @@ cmdSweep(const Options &opt)
     exec::SweepOptions sweep_opts;
     sweep_opts.threads = opt.threads;
     sweep_opts.baseSeed = opt.seed;
+
+    // --slice I/N: run one contiguous block of the expanded grid.
+    // Seeds are assigned from the *global* point index before slicing,
+    // so every shard row is byte-identical to the same row of an
+    // unsliced run and `pdr merge` reassembles exactly the full table.
+    std::size_t slice_lo = 0;
+    if (opt.sliceCount > 0) {
+        std::size_t total = points.size();
+        for (std::size_t i = 0; i < total; i++) {
+            points[i].cfg.net.seed =
+                exec::SweepRunner::pointSeed(opt.seed, i);
+        }
+        sweep_opts.deriveSeeds = false;
+        slice_lo = total * std::size_t(opt.sliceIndex) /
+                   std::size_t(opt.sliceCount);
+        std::size_t slice_hi = total *
+                               (std::size_t(opt.sliceIndex) + 1) /
+                               std::size_t(opt.sliceCount);
+        points = std::vector<exec::SweepPoint>(
+            points.begin() + std::ptrdiff_t(slice_lo),
+            points.begin() + std::ptrdiff_t(slice_hi));
+        if (points.empty()) {
+            throw std::invalid_argument(csprintf(
+                "slice %d/%d of this %zu-point experiment is empty",
+                opt.sliceIndex, opt.sliceCount, total));
+        }
+    }
+
     auto results = api::runSweep(points, sweep_opts);
+    results.indexOffset = slice_lo;
 
     writeTable(results.toTable(), opt.json,
                opt.json ? opt.jsonPath : opt.csvPath);
@@ -386,6 +449,113 @@ cmdDiff(const Options &opt)
 }
 
 /**
+ * `pdr merge`: stitch N sweep-shard CSVs -- disjoint `--slice` runs of
+ * one experiment -- back into the full result table.  Rows are keyed
+ * by the `index` column (the full-grid point index every slice run
+ * preserves); any overlap between shards or gap in the union is an
+ * error, so a botched fan-out cannot silently produce a short or
+ * double-counted table.  The merged CSV is byte-identical to what one
+ * unsliced `pdr sweep` of the same experiment would emit.
+ */
+int
+cmdMerge(const Options &opt)
+{
+    if (opt.positional.size() < 2) {
+        throw std::invalid_argument(
+            "merge needs at least two shard CSVs: pdr merge A.csv "
+            "B.csv ... [--csv OUT]");
+    }
+
+    std::vector<std::string> header;
+    std::size_t index_col = 0;
+    struct Row
+    {
+        std::vector<std::string> cells;
+        const std::string *file;
+    };
+    std::map<std::uint64_t, Row> rows;
+
+    for (const auto &path : opt.positional) {
+        auto csv = loadCsv(path);
+        if (header.empty()) {
+            header = csv.header;
+            auto it = std::find(header.begin(), header.end(), "index");
+            if (it == header.end()) {
+                throw std::invalid_argument(
+                    "'" + path + "' has no 'index' column (not a "
+                    "sweep CSV?)");
+            }
+            index_col = std::size_t(it - header.begin());
+        } else if (csv.header != header) {
+            throw std::invalid_argument(
+                "headers differ between '" + opt.positional.front() +
+                "' and '" + path + "'");
+        }
+        for (auto &cells : csv.rows) {
+            if (cells.size() <= index_col) {
+                throw std::invalid_argument(
+                    "'" + path + "': row with no index cell");
+            }
+            const std::string &tok = cells[index_col];
+            char *end = nullptr;
+            std::uint64_t idx =
+                std::strtoull(tok.c_str(), &end, 10);
+            if (end == tok.c_str() || *end != '\0') {
+                throw std::invalid_argument(
+                    "'" + path + "': bad index '" + tok + "'");
+            }
+            auto [it, inserted] =
+                rows.insert({idx, {std::move(cells), &path}});
+            if (!inserted) {
+                throw std::invalid_argument(csprintf(
+                    "overlapping point index %llu (in '%s' and '%s')",
+                    static_cast<unsigned long long>(idx),
+                    it->second.file->c_str(), path.c_str()));
+            }
+        }
+    }
+
+    if (rows.empty())
+        throw std::invalid_argument("no rows to merge");
+    std::uint64_t expect = 0;
+    for (const auto &[idx, row] : rows) {
+        if (idx != expect) {
+            throw std::invalid_argument(csprintf(
+                "missing point index %llu (shards cover %zu of %llu "
+                "points)",
+                static_cast<unsigned long long>(expect), rows.size(),
+                static_cast<unsigned long long>(
+                    rows.rbegin()->first + 1)));
+        }
+        expect++;
+    }
+
+    std::ostringstream out;
+    for (std::size_t c = 0; c < header.size(); c++)
+        out << (c ? "," : "") << header[c];
+    out << "\n";
+    for (const auto &[idx, row] : rows) {
+        for (std::size_t c = 0; c < row.cells.size(); c++)
+            out << (c ? "," : "") << row.cells[c];
+        out << "\n";
+    }
+
+    if (opt.csvPath.empty() || opt.csvPath == "-") {
+        std::fputs(out.str().c_str(), stdout);
+    } else {
+        std::ofstream f(opt.csvPath);
+        if (!f) {
+            throw std::invalid_argument("cannot write '" +
+                                        opt.csvPath + "'");
+        }
+        f << out.str();
+    }
+    std::fprintf(stderr, "merge: %zu rows from %zu shard(s)\n",
+                 rows.size(), opt.positional.size());
+    return 0;
+}
+
+/**
  * `pdr list`: the registry contents in machine-friendly form, one
  * `<kind> <name>` pair per line, so scripts (and users) can discover
  * registry growth without parsing the describe layout.
@@ -466,7 +636,8 @@ main(int argc, char **argv)
     try {
         Options opt;
         parseArgs(argc, argv, opt);
-        if (cmd != "diff" && !opt.positional.empty()) {
+        if (cmd != "diff" && cmd != "merge" &&
+            !opt.positional.empty()) {
             throw std::invalid_argument("unknown argument '" +
                                         opt.positional.front() + "'");
         }
@@ -480,6 +651,8 @@ main(int argc, char **argv)
             return cmdList(opt);
         if (cmd == "diff")
             return cmdDiff(opt);
+        if (cmd == "merge")
+            return cmdMerge(opt);
         std::fprintf(stderr, "pdr: unknown command '%s'\n\n",
                      cmd.c_str());
         return usage(stderr);
