@@ -1,126 +1,27 @@
 /**
  * @file
  * Ablation benches for the design choices DESIGN.md calls out:
+ * speculation priority, VC count at fixed buffering, credit-pipeline
+ * depth, and torus vs mesh.
  *
- *  A. Speculation priority: the paper's conservative prioritization of
- *     non-speculative requests vs an equal-priority variant.
- *  B. VC count at fixed total buffering (16 flits/port): the paper's
- *     Fig 14 vs 15 axis, extended to 1..8 VCs.
- *  C. Credit processing pipeline depth (0..3 extra cycles).
- *  D. Torus vs mesh topology (extension; paper future work).
+ * The whole grid is declared in experiments/ablation.exp; this bench
+ * loads and prints it (one latency column plus a measured saturation
+ * knee per curve), and `pdr sweep --file experiments/ablation.exp`
+ * runs the identical points.
  */
-
-#include <algorithm>
-#include <cstdio>
-#include <vector>
 
 #include "bench_util.hh"
 
 using namespace pdr;
-using router::RouterModel;
-
-namespace {
-
-double
-saturation(api::SimConfig cfg)
-{
-    cfg.net.warmup = 4000;
-    cfg.net.samplePackets =
-        std::min<std::uint64_t>(cfg.net.samplePackets, 8000);
-    cfg.maxCycles = 120000;
-    return api::findSaturation(cfg, 4.0, 0.02);
-}
-
-/** findSaturation parallelizes its own bracketing grid, so the
- *  configs run back to back. */
-std::vector<double>
-saturations(const std::vector<api::SimConfig> &cfgs)
-{
-    std::vector<double> out;
-    out.reserve(cfgs.size());
-    for (const auto &cfg : cfgs)
-        out.push_back(saturation(cfg));
-    return out;
-}
-
-} // namespace
 
 int
 main()
 {
     bench::banner("Ablations",
-                  "Design-choice sensitivity studies; saturation "
-                  "throughput in fractions of\nuniform capacity.");
-
-    std::printf("\nA. speculation priority (specVC 2vcsX4bufs):\n");
-    {
-        auto cfg = bench::routerConfig(RouterModel::SpecVirtualChannel,
-                                       2, 4);
-        auto equal_cfg = cfg;
-        equal_cfg.net.router.specEqualPriority = true;
-        auto nonspec = bench::routerConfig(RouterModel::VirtualChannel,
-                                           2, 4);
-        auto sats = saturations({cfg, equal_cfg, nonspec});
-        std::printf("  prioritized (paper): %.2f | equal priority: "
-                    "%.2f | no speculation: %.2f\n", sats[0], sats[1],
-                    sats[2]);
-        std::printf("  (paper claim: prioritization makes speculation"
-                    " conservative -- never worse)\n");
-    }
-
-    std::printf("\nB. VC count at 16 flits of buffering per port "
-                "(specVC):\n");
-    {
-        const std::vector<int> vcs{1, 2, 4, 8};
-        std::vector<api::SimConfig> cfgs;
-        for (int v : vcs) {
-            cfgs.push_back(bench::routerConfig(
-                RouterModel::SpecVirtualChannel, v, 16 / v));
-        }
-        auto sats = saturations(cfgs);
-        for (std::size_t i = 0; i < vcs.size(); i++) {
-            std::printf("  %d VCs x %2d bufs: saturation %.2f\n",
-                        vcs[i], 16 / vcs[i], sats[i]);
-        }
-    }
-
-    std::printf("\nC. extra credit-processing pipeline (specVC "
-                "2vcsX4bufs):\n");
-    {
-        const std::vector<int> procs{0, 1, 2, 3};
-        std::vector<api::SimConfig> cfgs;
-        for (int proc : procs) {
-            auto cfg = bench::routerConfig(
-                RouterModel::SpecVirtualChannel, 2, 4);
-            cfg.net.router.creditProcCycles = proc;
-            cfgs.push_back(cfg);
-        }
-        auto sats = saturations(cfgs);
-        for (std::size_t i = 0; i < procs.size(); i++) {
-            std::printf("  +%d cycles: saturation %.2f\n", procs[i],
-                        sats[i]);
-        }
-    }
-
-    std::printf("\nD. torus vs mesh (specVC 2vcsX4bufs, dateline "
-                "VCs, capacity-normalized):\n");
-    {
-        auto mesh = bench::routerConfig(RouterModel::SpecVirtualChannel,
-                                        2, 4);
-        auto torus = mesh;
-        torus.net.topology = "torus";
-        mesh.net.setOfferedFraction(0.1);
-        torus.net.setOfferedFraction(0.1);
-        auto zl = api::runSweep({{"mesh", mesh}, {"torus", torus}});
-        zl.throwIfFailed();
-        std::printf("  zero-load latency: mesh %.1f cy | torus %.1f "
-                    "cy (shorter paths)\n",
-                    zl.points[0].res.avgLatency,
-                    zl.points[1].res.avgLatency);
-        auto sats = saturations({mesh, torus});
-        std::printf("  saturation:        mesh %.2f | torus %.2f "
-                    "(of each topology's capacity)\n", sats[0],
-                    sats[1]);
-    }
+                  "Design-choice sensitivity studies: speculation "
+                  "priority, VC count at 16\nflits/port, credit "
+                  "pipeline depth, torus vs mesh.  Compare the "
+                  "per-curve\nsaturation knees.");
+    bench::runAndPrintExperiment(bench::loadExperiment("ablation.exp"));
     return 0;
 }

@@ -3,16 +3,21 @@
  * Section-2 reproduction: Chien's single-cycle, per-VC-crossbar-port
  * router model vs the paper's pipelined shared-port model.
  *
- * Prints, as a function of the VC count: Chien's router latency (which
- * is also his cycle time), the Peh-Dally pipeline at a fixed 20-tau4
- * clock, and the implied per-hop latency and channel-bandwidth ratios
- * -- the quantitative version of the paper's related-work critique.
+ * The scenario -- router shape and the VC-count axis -- is declared in
+ * experiments/chien.exp; this bench evaluates both analytical delay
+ * models at each declared point.  Prints, as a function of the VC
+ * count: Chien's router latency (which is also his cycle time), the
+ * Peh-Dally pipeline at a fixed 20-tau4 clock, and the implied per-hop
+ * latency and channel-bandwidth ratios -- the quantitative version of
+ * the paper's related-work critique.
  */
 
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "api/params.hh"
 #include "bench_util.hh"
 #include "common/logging.hh"
 #include "delay/chien.hh"
@@ -32,12 +37,27 @@ main()
                   "20-tau4 cycle, pipelined, crossbar port per "
                   "physical channel.");
 
-    const int p = 5, w = 32;
+    // The router shape and VC axis come from the experiment file; the
+    // phit width is a delay-model constant (32-bit phits, Section 2).
+    auto exp = api::Experiment::load(
+        bench::experimentFile("chien.exp"));
+    const int p = std::stoi(
+        api::params::get(exp.base, "router.num_ports"));
+    std::vector<int> vcs;
+    for (const auto &axis : exp.axes) {
+        if (axis.key == "router.num_vcs")
+            for (const auto &v : axis.values)
+                vcs.push_back(std::stoi(v));
+    }
+    if (vcs.empty())
+        throw std::runtime_error(
+            "chien.exp: expected a sweep.router.num_vcs axis");
+    const int w = 32;
+
     std::printf("%-6s %14s %20s %16s %14s\n", "v", "Chien cyc=lat",
                 "PD stages@20tau4", "per-hop ratio", "bandwidth x");
 
     // Evaluate the v-axis on the sweep engine's pool, print in order.
-    std::vector<int> vcs{1, 2, 4, 8, 16, 32};
     auto rows = exec::parallelMap(vcs, [&](int v) {
         double chien_lat = chien::routerLatency(p, v, w).inTau4();
 

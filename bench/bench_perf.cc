@@ -23,7 +23,7 @@ BM_MatrixArbiter(benchmark::State &state)
     int n = int(state.range(0));
     arb::MatrixArbiter a(n);
     Rng rng(1);
-    std::vector<bool> req(n);
+    arb::ReqRow req(n);
     for (int i = 0; i < n; i++)
         req[i] = rng.bernoulli(0.5);
     for (auto _ : state) {

@@ -67,9 +67,15 @@ runSimulation(const SimConfig &cfg)
 
         // Sample phase: run until the sample space is tagged and
         // received, or the cycle cap is reached (saturated networks
-        // never drain).
-        while (!ctrl.done() && network.now() < cfg.maxCycles)
+        // never drain).  done() can only change on a cycle where some
+        // component acts, so fast-forwarding through idle regions
+        // between steps never skips the termination cycle.
+        while (!ctrl.done() && network.now() < cfg.maxCycles) {
+            stepper.skipIdle(cfg.maxCycles);
+            if (network.now() >= cfg.maxCycles)
+                break;
             stepper.step();
+        }
     }
 
     SimResults res;

@@ -18,6 +18,14 @@ namespace pdr::arb {
 /** Index of "no winner". */
 constexpr int NoGrant = -1;
 
+/**
+ * A request row: element i nonzero iff requestor i bids.  Byte elements
+ * rather than std::vector<bool> because the rows are rebuilt and
+ * scanned every allocation round of every router (hot path) and byte
+ * loads beat bit extraction there.
+ */
+using ReqRow = std::vector<std::uint8_t>;
+
 /** Abstract n:1 arbiter. */
 class Arbiter
 {
@@ -29,11 +37,11 @@ class Arbiter
     int size() const { return n_; }
 
     /**
-     * Pick a winner among requestors (request[i] true if i requests).
+     * Pick a winner among requestors (request[i] nonzero if i requests).
      * Does NOT update priority state; call update(winner) when the grant
      * is actually consumed.  Returns NoGrant if no requests.
      */
-    virtual int arbitrate(const std::vector<bool> &requests) const = 0;
+    virtual int arbitrate(const ReqRow &requests) const = 0;
 
     /** Record that `winner` consumed a grant (moves it to lowest
      *  priority / advances the pointer). */

@@ -8,7 +8,7 @@ MatrixArbiter::MatrixArbiter(int n) : Arbiter(n)
 {
     pdr_assert(n >= 1);
     // i beats j initially for all i < j.
-    m_.assign(std::size_t(n) * n, true);
+    m_.assign(std::size_t(n) * n, 1);
 }
 
 int
@@ -27,7 +27,7 @@ MatrixArbiter::beats(int i, int j) const
 }
 
 int
-MatrixArbiter::arbitrate(const std::vector<bool> &requests) const
+MatrixArbiter::arbitrate(const ReqRow &requests) const
 {
     pdr_assert(int(requests.size()) == size());
     for (int i = 0; i < size(); i++) {
@@ -55,9 +55,9 @@ MatrixArbiter::update(int winner)
         if (j == winner)
             continue;
         if (winner < j)
-            m_[idx(winner, j)] = false;
+            m_[idx(winner, j)] = 0;
         else
-            m_[idx(j, winner)] = true;
+            m_[idx(j, winner)] = 1;
     }
 }
 

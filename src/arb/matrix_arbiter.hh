@@ -22,16 +22,16 @@ class MatrixArbiter : public Arbiter
   public:
     explicit MatrixArbiter(int n);
 
-    int arbitrate(const std::vector<bool> &requests) const override;
+    int arbitrate(const ReqRow &requests) const override;
     void update(int winner) override;
 
     /** Does requestor i currently beat requestor j? (diagnostic). */
     bool beats(int i, int j) const;
 
   private:
-    /** Upper-triangular storage: m_[idx(i,j)] true means i beats j, for
-     *  i < j. */
-    std::vector<bool> m_;
+    /** Upper-triangular storage: m_[idx(i,j)] nonzero means i beats j,
+     *  for i < j.  Bytes, not bits: read in arbitrate's inner loop. */
+    std::vector<std::uint8_t> m_;
 
     int idx(int i, int j) const;
 };

@@ -10,7 +10,7 @@ RoundRobinArbiter::RoundRobinArbiter(int n) : Arbiter(n)
 }
 
 int
-RoundRobinArbiter::arbitrate(const std::vector<bool> &requests) const
+RoundRobinArbiter::arbitrate(const ReqRow &requests) const
 {
     pdr_assert(int(requests.size()) == size());
     for (int k = 0; k < size(); k++) {

@@ -17,7 +17,7 @@ class RoundRobinArbiter : public Arbiter
   public:
     explicit RoundRobinArbiter(int n);
 
-    int arbitrate(const std::vector<bool> &requests) const override;
+    int arbitrate(const ReqRow &requests) const override;
     void update(int winner) override;
 
   private:

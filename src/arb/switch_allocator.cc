@@ -15,10 +15,10 @@ WormholeSwitchArbiter::WormholeSwitchArbiter(int p) : p_(p)
     reqRow_.assign(p, false);
 }
 
-std::vector<SaGrant>
+const std::vector<SaGrant> &
 WormholeSwitchArbiter::allocate(const std::vector<SaRequest> &requests)
 {
-    std::vector<SaGrant> grants;
+    grants_.clear();
     // One output port at a time: gather its requests and arbitrate.
     // Request counts are tiny (<= p), so a linear pass per output is
     // cheaper than building a full matrix.
@@ -38,12 +38,12 @@ WormholeSwitchArbiter::allocate(const std::vector<SaRequest> &requests)
             int winner = outputArb_[out].arbitrate(reqRow_);
             if (winner != NoGrant) {
                 outputArb_[out].update(winner);
-                grants.push_back({winner, 0, out, false});
+                grants_.push_back({winner, 0, out, false});
             }
             std::fill(reqRow_.begin(), reqRow_.end(), false);
         }
     }
-    return grants;
+    return grants_;
 }
 
 SeparableSwitchAllocator::SeparableSwitchAllocator(int p, int v)
@@ -64,9 +64,10 @@ SeparableSwitchAllocator::SeparableSwitchAllocator(int p, int v)
     portRow_.assign(p, false);
 }
 
-std::vector<SaGrant>
+const std::vector<SaGrant> &
 SeparableSwitchAllocator::allocate(const std::vector<SaRequest> &requests)
 {
+    grants_.clear();
     // Stage 1: per input port, a v:1 arbiter picks the bidding VC.
     for (const auto &r : requests) {
         pdr_assert(r.inPort >= 0 && r.inPort < p_);
@@ -95,7 +96,6 @@ SeparableSwitchAllocator::allocate(const std::vector<SaRequest> &requests)
     }
 
     // Stage 2: per output port, a p:1 arbiter among forwarded winners.
-    std::vector<SaGrant> grants;
     for (int out = 0; out < p_; out++) {
         bool any = false;
         for (int in = 0; in < p_; in++) {
@@ -111,7 +111,7 @@ SeparableSwitchAllocator::allocate(const std::vector<SaRequest> &requests)
             // won stage 1 but lost stage 2 keeps its turn.
             outputArb_[out].update(in_win);
             inputArb_[in_win].update(stage1Vc_[in_win]);
-            grants.push_back({in_win, stage1Vc_[in_win], out, false});
+            grants_.push_back({in_win, stage1Vc_[in_win], out, false});
         }
     }
 
@@ -121,7 +121,7 @@ SeparableSwitchAllocator::allocate(const std::vector<SaRequest> &requests)
         inReq_[idx] = false;
         want_[idx] = NoGrant;
     }
-    return grants;
+    return grants_;
 }
 
 SpeculativeSwitchAllocator::SpeculativeSwitchAllocator(int p, int v)
@@ -129,7 +129,7 @@ SpeculativeSwitchAllocator::SpeculativeSwitchAllocator(int p, int v)
 {
 }
 
-std::vector<SaGrant>
+const std::vector<SaGrant> &
 SpeculativeSwitchAllocator::allocate(const std::vector<SaRequest> &requests)
 {
     ns_.clear();
@@ -137,7 +137,7 @@ SpeculativeSwitchAllocator::allocate(const std::vector<SaRequest> &requests)
     for (const auto &r : requests)
         (r.spec ? sp_ : ns_).push_back(r);
 
-    std::vector<SaGrant> grants = nonspec_.allocate(ns_);
+    grants_ = nonspec_.allocate(ns_);
 
     if (!sp_.empty()) {
         // Ports consumed by non-speculative winners mask speculative
@@ -146,18 +146,18 @@ SpeculativeSwitchAllocator::allocate(const std::vector<SaRequest> &requests)
         // exactly as the parallel hardware would.
         inUsed_.assign(p_, false);
         outUsed_.assign(p_, false);
-        for (const auto &g : grants) {
+        for (const auto &g : grants_) {
             inUsed_[g.inPort] = true;
             outUsed_[g.outPort] = true;
         }
-        for (auto &g : spec_.allocate(sp_)) {
+        for (const auto &g : spec_.allocate(sp_)) {
             if (inUsed_[g.inPort] || outUsed_[g.outPort])
                 continue;
-            g.spec = true;
-            grants.push_back(g);
+            grants_.push_back(g);
+            grants_.back().spec = true;
         }
     }
-    return grants;
+    return grants_;
 }
 
 } // namespace pdr::arb

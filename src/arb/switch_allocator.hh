@@ -57,13 +57,19 @@ class WormholeSwitchArbiter
      * may request at most one output (deterministic routing).  Requests
      * for ports already held by a packet must be filtered by the caller
      * (the port status lives with the router, Figure 7(a)).
+     *
+     * The returned reference points into allocator-owned scratch and is
+     * valid until the next allocate() call (one call per router per
+     * cycle; returning by value showed up as malloc churn in profiles).
      */
-    std::vector<SaGrant> allocate(const std::vector<SaRequest> &requests);
+    const std::vector<SaGrant> &
+    allocate(const std::vector<SaRequest> &requests);
 
   private:
     int p_;
     std::vector<MatrixArbiter> outputArb_;
-    std::vector<bool> reqRow_;  //!< Reused per-output request row.
+    ReqRow reqRow_;                //!< Reused per-output request row.
+    std::vector<SaGrant> grants_;  //!< Reused result storage.
 };
 
 /** Input-first separable allocator for (non-speculative) VC routers. */
@@ -76,8 +82,11 @@ class SeparableSwitchAllocator
      * Two-stage separable allocation.  At most one grant per input port
      * and per output port.  Arbiter priorities are updated only for
      * requests that win both stages (the consumed grants).
+     *
+     * The returned reference is valid until the next allocate() call.
      */
-    std::vector<SaGrant> allocate(const std::vector<SaRequest> &requests);
+    const std::vector<SaGrant> &
+    allocate(const std::vector<SaRequest> &requests);
 
     int numPorts() const { return p_; }
     int numVcs() const { return v_; }
@@ -89,12 +98,13 @@ class SeparableSwitchAllocator
     std::vector<MatrixArbiter> outputArb_;  //!< p:1 per output port.
 
     // Reused per-call scratch (hot path).
-    std::vector<bool> inReq_;
+    ReqRow inReq_;
     std::vector<int> want_;
     std::vector<int> stage1Vc_;
     std::vector<int> stage1Out_;
-    std::vector<bool> vcRow_;
-    std::vector<bool> portRow_;
+    ReqRow vcRow_;
+    ReqRow portRow_;
+    std::vector<SaGrant> grants_;
 };
 
 /** Parallel non-spec / spec allocation with non-spec priority. */
@@ -109,8 +119,11 @@ class SpeculativeSwitchAllocator
      * Returned speculative grants carry spec = true; the router must
      * discard them if the parallel VA did not deliver an output VC (the
      * crossbar slot is then simply wasted).
+     *
+     * The returned reference is valid until the next allocate() call.
      */
-    std::vector<SaGrant> allocate(const std::vector<SaRequest> &requests);
+    const std::vector<SaGrant> &
+    allocate(const std::vector<SaRequest> &requests);
 
   private:
     SeparableSwitchAllocator nonspec_;
@@ -120,8 +133,9 @@ class SpeculativeSwitchAllocator
     // Reused per-call scratch (hot path).
     std::vector<SaRequest> ns_;
     std::vector<SaRequest> sp_;
-    std::vector<bool> inUsed_;
-    std::vector<bool> outUsed_;
+    std::vector<std::uint8_t> inUsed_;
+    std::vector<std::uint8_t> outUsed_;
+    std::vector<SaGrant> grants_;
 };
 
 } // namespace pdr::arb

@@ -17,10 +17,11 @@ VcAllocator::VcAllocator(int p, int v) : p_(p), v_(v)
     seen_.assign(nivc, false);
 }
 
-std::vector<VaGrant>
+const std::vector<VaGrant> &
 VcAllocator::allocate(const std::vector<VaRequest> &requests,
                       const std::function<bool(int, int)> &is_free)
 {
+    grants_.clear();
     // Stage 1: each input VC picks one free candidate output VC on its
     // routed port, scanning from its rotating pointer.  pickOf_[ivc]
     // records the picked global output-VC index.
@@ -48,9 +49,8 @@ VcAllocator::allocate(const std::vector<VaRequest> &requests,
 
     // Stage 2: per contested output VC, a (p*v):1 matrix arbiter over
     // the input VCs that picked it.
-    std::vector<VaGrant> grants;
     for (int ovc_idx : contested_) {
-        if (granted(grants, ovc_idx))
+        if (granted(grants_, ovc_idx))
             continue;   // Already resolved this output VC.
         // Build the request row for this output VC.
         int nivc = p_ * v_;
@@ -59,8 +59,8 @@ VcAllocator::allocate(const std::vector<VaRequest> &requests,
         int winner = outputVcArb_[ovc_idx].arbitrate(reqRow_);
         if (winner != NoGrant) {
             outputVcArb_[ovc_idx].update(winner);
-            grants.push_back({winner / v_, winner % v_,
-                              ovc_idx / v_, ovc_idx % v_});
+            grants_.push_back({winner / v_, winner % v_,
+                               ovc_idx / v_, ovc_idx % v_});
             // Advance the winner's stage-1 pointer so it spreads load
             // over the output VCs next time.
             firstStagePtr_[winner] = (ovc_idx % v_ + 1) % v_;
@@ -73,7 +73,7 @@ VcAllocator::allocate(const std::vector<VaRequest> &requests,
         seen_[ivc] = false;
         pickOf_[ivc] = -1;
     }
-    return grants;
+    return grants_;
 }
 
 bool

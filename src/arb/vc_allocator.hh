@@ -57,9 +57,11 @@ class VcAllocator
      *
      * @param requests at most one per input VC.
      * @param is_free predicate: is (outPort, outVc) unallocated?
-     * @return grants; at most one per request and per output VC.
+     * @return grants; at most one per request and per output VC.  The
+     *         reference points into allocator-owned scratch and is
+     *         valid until the next allocate() call.
      */
-    std::vector<VaGrant>
+    const std::vector<VaGrant> &
     allocate(const std::vector<VaRequest> &requests,
              const std::function<bool(int, int)> &is_free);
 
@@ -79,10 +81,11 @@ class VcAllocator
     bool granted(const std::vector<VaGrant> &grants, int ovc_idx) const;
 
     // Reused per-call scratch (hot path: one call per router per cycle).
-    std::vector<bool> reqRow_;
+    ReqRow reqRow_;
     std::vector<int> pickOf_;
-    std::vector<bool> seen_;
+    std::vector<std::uint8_t> seen_;
     std::vector<int> contested_;
+    std::vector<VaGrant> grants_;
 };
 
 } // namespace pdr::arb

@@ -312,11 +312,46 @@ Network::maxLiveFlits() const
     return n;
 }
 
+sim::Cycle
+Network::nextWakeCycle() const
+{
+    // Linear min-scan of the wake table.  At 2N + R entries of 8
+    // bytes this is a streaming pass over a few KB -- measured cheaper
+    // than maintaining a hierarchical timer wheel / calendar queue at
+    // on-chip-network component counts, and trivially exact (no
+    // cascade bookkeeping); see docs/ARCHITECTURE.md.
+    sim::Cycle t = sim::CycleNever;
+    for (sim::Cycle w : wakeAt_)
+        t = std::min(t, w);
+    return t;
+}
+
+sim::Cycle
+Network::skipIdle(sim::Cycle limit)
+{
+    if (forceTickAll_ || now_ >= limit)
+        return now_;
+    sim::Cycle w = nextWakeCycle();
+    if (w > now_)
+        now_ = std::min(w, limit);
+    return now_;
+}
+
+void
+Network::stepTo(sim::Cycle limit)
+{
+    while (now_ < limit) {
+        skipIdle(limit);
+        if (now_ >= limit)
+            break;
+        step();
+    }
+}
+
 void
 Network::run(sim::Cycle n)
 {
-    for (sim::Cycle i = 0; i < n; i++)
-        step();
+    stepTo(now_ + n);
 }
 
 stats::LatencyStats
@@ -342,7 +377,9 @@ Network::routerTotals() const
 {
     router::RouterStats t;
     for (const auto &r : routers_) {
-        const auto &s = r.stats();
+        // statsAt flushes open credit-stall intervals through now_,
+        // so sleeping routers report what per-cycle ticking would.
+        const auto s = r.statsAt(now_);
         t.flitsIn += s.flitsIn;
         t.flitsOut += s.flitsOut;
         t.headGrants += s.headGrants;
@@ -356,14 +393,19 @@ Network::routerTotals() const
 }
 
 bool
-Network::quiescent() const
+Network::quiescent()
 {
     for (const auto &r : routers_)
         if (!r.quiescent())
             return false;
-    for (const auto &s : sources_)
+    for (auto &s : sources_) {
+        // Sleeping sources defer their arrival draws; replay them up
+        // to the last completed cycle so backlog() is exact.
+        if (now_ > 0)
+            s.catchUp(now_ - 1);
         if (s.backlog() != 0)
             return false;
+    }
     for (const auto &c : flitChans_)
         if (!c.empty())
             return false;

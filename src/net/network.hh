@@ -135,11 +135,49 @@ class Network
     Network(const Network &) = delete;
     Network &operator=(const Network &) = delete;
 
-    /** Advance one cycle (sources, routers, sinks). */
+    /** Advance one cycle (sources, routers, sinks).  Never jumps the
+     *  clock: lockstep harnesses rely on step() == one cycle. */
     void step();
 
-    /** Advance n cycles. */
+    /** Advance n cycles, fast-forwarding through idle regions (same
+     *  end state as n step() calls; see skipIdle). */
     void run(sim::Cycle n);
+
+    /** Advance to cycle `limit`, fast-forwarding through idle
+     *  regions. */
+    void stepTo(sim::Cycle limit);
+
+    // ----- clock fast-forward ----------------------------------------
+
+    /**
+     * Earliest entry in the wake table: the next cycle at which any
+     * component can do observable work.  CycleNever when the whole
+     * network is at a fixed point.
+     */
+    sim::Cycle nextWakeCycle() const;
+
+    /**
+     * Fast-forward the clock to min(nextWakeCycle(), limit) without
+     * ticking anything; returns the new now().  A no-op when some
+     * component is due now (or when forceTickAll is on -- the naive
+     * schedule never jumps).  Skipped cycles are provable no-ops for
+     * every component: wake entries are exact (see Router::nextWake /
+     * Source::nextWake), statistics are interval-accounted, and
+     * sources replay their skipped RNG draws on their next tick, so
+     * the post-jump state is bit-identical to stepping cycle by
+     * cycle.
+     */
+    sim::Cycle skipIdle(sim::Cycle limit);
+
+    /** Jump the clock to `t` (>= now) without ticking.  Exposed for
+     *  the parallel stepper, which decides jumps on worker 0 between
+     *  cycle barriers; use skipIdle() otherwise. */
+    void
+    advanceTo(sim::Cycle t)
+    {
+        pdr_assert(t >= now_);
+        now_ = t;
+    }
 
     // ----- partition-sliced stepping (par::ParallelStepper) ----------
     //
@@ -265,11 +303,16 @@ class Network
         return acceptedFlitRate() / mesh_.uniformCapacity();
     }
 
-    /** Aggregate router statistics. */
+    /** Aggregate router statistics, with still-open credit-stall
+     *  intervals flushed through now() (Router::statsAt), so totals
+     *  match the tick-everything schedule even when routers are
+     *  asleep mid-stall. */
     router::RouterStats routerTotals() const;
 
-    /** All routers idle, sources drained (diagnostics). */
-    bool quiescent() const;
+    /** All routers idle, sources drained (diagnostics).  Replays any
+     *  lazily deferred source arrival draws first, so backlog reads
+     *  match the tick-everything schedule. */
+    bool quiescent();
 
   private:
     NetworkConfig cfg_;

@@ -220,11 +220,30 @@ ParallelStepper::step()
     net_.finishCycle();
 }
 
+sim::Cycle
+ParallelStepper::skipIdle(sim::Cycle limit)
+{
+    // Workers are parked at the cycle-start barrier whenever this
+    // runs, so worker 0 reads a quiescent, post-drain wake table; the
+    // next barrier arrival publishes the jumped clock to the gang.
+    return net_.skipIdle(limit);
+}
+
+void
+ParallelStepper::stepTo(sim::Cycle limit)
+{
+    while (net_.now() < limit) {
+        skipIdle(limit);
+        if (net_.now() >= limit)
+            break;
+        step();
+    }
+}
+
 void
 ParallelStepper::run(sim::Cycle n)
 {
-    for (sim::Cycle i = 0; i < n; i++)
-        step();
+    stepTo(net_.now() + n);
 }
 
 } // namespace pdr::par

@@ -99,11 +99,26 @@ class ParallelStepper
     ParallelStepper(const ParallelStepper &) = delete;
     ParallelStepper &operator=(const ParallelStepper &) = delete;
 
-    /** Advance one cycle. */
+    /** Advance one cycle (never jumps the clock). */
     void step();
 
-    /** Advance n cycles. */
+    /** Advance n cycles, fast-forwarding through idle regions. */
     void run(sim::Cycle n);
+
+    /** Advance to cycle `limit`, fast-forwarding through idle
+     *  regions. */
+    void stepTo(sim::Cycle limit);
+
+    /**
+     * Fast-forward the clock to the network's next wake (clamped to
+     * `limit`) without ticking; returns the new now().  Decided on
+     * worker 0 between cycle barriers: the gang is parked at the
+     * cycle-start barrier, the post-drain wake table is globally
+     * consistent, and the barrier's release/acquire ordering
+     * publishes the new clock -- so every worker count observes the
+     * same jumps a serial run would take.
+     */
+    sim::Cycle skipIdle(sim::Cycle limit);
 
     int workers() const { return W_; }
     const Partitioner &partitioner() const { return part_; }

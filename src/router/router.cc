@@ -22,14 +22,11 @@ Router::Router(sim::NodeId id, const RouterConfig &cfg,
 
     inputs_.resize(p);
     outputs_.resize(p);
-    for (int i = 0; i < p; i++) {
-        inputs_[i].vcs.resize(v);
-        outputs_[i].vcs.resize(v);
-        for (auto &ivc : inputs_[i].vcs)
-            ivc.fifo.init(cfg_.bufDepth);
-        for (auto &ovc : outputs_[i].vcs)
-            ovc.credits = cfg_.bufDepth;
-    }
+    invcs_.resize(std::size_t(p) * std::size_t(v));
+    outBusy_.assign(std::size_t(p) * std::size_t(v), 0);
+    outCredits_.assign(std::size_t(p) * std::size_t(v), cfg_.bufDepth);
+    for (auto &ivc : invcs_)
+        ivc.fifo.init(cfg_.bufDepth);
 
     switch (cfg_.model) {
       case RouterModel::Wormhole:
@@ -53,6 +50,11 @@ Router::Router(sim::NodeId id, const RouterConfig &cfg,
         }
         break;
     }
+    // The speculative pipeline bids the switch for every ready
+    // RouteWait VC each cycle (this includes the equal-priority
+    // ablation: its bids feed the shared separable allocator).
+    specBids_ = cfg_.model == RouterModel::SpecVirtualChannel &&
+                !cfg_.singleCycle;
 }
 
 void
@@ -76,40 +78,38 @@ Router::connectOutput(int port, FlitChannel *out, CreditChannel *credit_in,
 int
 Router::credits(int out_port, int out_vc) const
 {
-    return outputs_[out_port].vcs[out_vc].credits;
+    return outCredits_[vidx(out_port, out_vc)];
 }
 
 int
 Router::buffered(int port) const
 {
     int n = 0;
-    for (const auto &vc : inputs_[port].vcs)
-        n += vc.fifo.size();
+    for (int vc = 0; vc < cfg_.numVcs; vc++)
+        n += invc(port, vc).fifo.size();
     return n;
 }
 
 bool
 Router::quiescent() const
 {
-    for (const auto &ip : inputs_)
-        for (const auto &vc : ip.vcs)
-            if (!vc.fifo.empty() || vc.state != VcState::Idle)
-                return false;
-    for (const auto &op : outputs_) {
+    for (const auto &ivc : invcs_)
+        if (!ivc.fifo.empty() || ivc.state != VcState::Idle)
+            return false;
+    for (const auto &op : outputs_)
         if (op.heldBy != sim::Invalid)
             return false;
-        for (const auto &ovc : op.vcs)
-            if (ovc.busy)
-                return false;
-    }
+    for (std::uint8_t busy : outBusy_)
+        if (busy)
+            return false;
     return true;
 }
 
 bool
 Router::hasCredit(int out_port, int out_vc) const
 {
-    const auto &op = outputs_[out_port];
-    return op.isSink || op.vcs[out_vc].credits > 0;
+    return outputs_[out_port].isSink ||
+           outCredits_[vidx(out_port, out_vc)] > 0;
 }
 
 int
@@ -121,12 +121,14 @@ Router::portScore(int out_port) const
     if (cfg_.model == RouterModel::Wormhole) {
         if (op.heldBy != sim::Invalid)
             return 0;
-        return op.vcs[0].credits;
+        return outCredits_[vidx(out_port, 0)];
     }
     int score = 0;
-    for (const auto &ovc : op.vcs)
-        if (!ovc.busy)
-            score += ovc.credits;
+    for (int vc = 0; vc < cfg_.numVcs; vc++) {
+        std::size_t i = vidx(out_port, vc);
+        if (!outBusy_[i])
+            score += outCredits_[i];
+    }
     return score;
 }
 
@@ -184,8 +186,8 @@ Router::receiveCredits(sim::Cycle now)
     while (!pendingCredits_.empty() &&
            pendingCredits_.front().applyAt <= now) {
         const auto &pc = pendingCredits_.front();
-        outputs_[pc.port].vcs[pc.vc].credits++;
-        pdr_assert(outputs_[pc.port].vcs[pc.vc].credits <= cfg_.bufDepth);
+        outCredits_[vidx(pc.port, pc.vc)]++;
+        pdr_assert(outCredits_[vidx(pc.port, pc.vc)] <= cfg_.bufDepth);
         pendingCredits_.pop_front();
     }
 }
@@ -200,7 +202,7 @@ Router::receiveFlits(sim::Cycle now)
         while (auto r = chan->pop(now)) {
             sim::Flit &f = pool_.get(*r);
             pdr_assert(f.vc >= 0 && f.vc < cfg_.numVcs);
-            auto &ivc = inputs_[port].vcs[f.vc];
+            auto &ivc = invc(port, f.vc);
             pdr_assert(ivc.fifo.size() < cfg_.bufDepth);
             f.eligible = now + firstActionDelay();
             if (sim::isHead(f.type) && ivc.state == VcState::Idle) {
@@ -223,12 +225,10 @@ Router::vaPhase(sim::Cycle now)
 {
     vaReqs_.clear();
     saReqs_.clear();
-    bool spec = cfg_.model == RouterModel::SpecVirtualChannel &&
-                !cfg_.singleCycle;
 
     for (int port = 0; port < cfg_.numPorts; port++) {
         for (int vc = 0; vc < cfg_.numVcs; vc++) {
-            auto &ivc = inputs_[port].vcs[vc];
+            auto &ivc = invc(port, vc);
             ivc.vaGrantedNow = false;
             if (ivc.state != VcState::RouteWait || now < ivc.actReady)
                 continue;
@@ -243,7 +243,7 @@ Router::vaPhase(sim::Cycle now)
             vaReqs_.push_back({port, vc, ivc.route,
                                routing_.vcMask(head, id_, ivc.route,
                                                cfg_.numVcs)});
-            if (spec) {
+            if (specBids_) {
                 // Speculative switch bid issued in parallel with the VA
                 // request, before its outcome is known.
                 saReqs_.push_back({port, vc, ivc.route, true});
@@ -255,13 +255,13 @@ Router::vaPhase(sim::Cycle now)
     if (vaReqs_.empty())
         return;
 
-    auto grants = vcAlloc_->allocate(
+    const auto &grants = vcAlloc_->allocate(
         vaReqs_, [this](int out_port, int out_vc) {
-            return !outputs_[out_port].vcs[out_vc].busy;
+            return !outBusy_[vidx(out_port, out_vc)];
         });
     for (const auto &g : grants) {
-        auto &ivc = inputs_[g.inPort].vcs[g.inVc];
-        outputs_[g.outPort].vcs[g.outVc].busy = true;
+        auto &ivc = invc(g.inPort, g.inVc);
+        outBusy_[vidx(g.outPort, g.outVc)] = 1;
         ivc.outVc = g.outVc;
         ivc.state = VcState::Active;
         ivc.vaGrantTick = now;
@@ -278,7 +278,7 @@ Router::saPhaseWormhole(sim::Cycle now)
 {
     saReqs_.clear();
     for (int port = 0; port < cfg_.numPorts; port++) {
-        auto &ivc = inputs_[port].vcs[0];
+        auto &ivc = invc(port, 0);
         if (ivc.fifo.empty())
             continue;
         const auto &f = pool_.get(ivc.fifo.front());
@@ -290,19 +290,23 @@ Router::saPhaseWormhole(sim::Cycle now)
             pdr_assert(sim::isHead(f.type));
             if (routing_.isAdaptive())
                 ivc.route = selectRoute(f);
-            if (outputs_[ivc.route].heldBy == sim::Invalid &&
-                hasCredit(ivc.route, 0)) {
+            if (outputs_[ivc.route].heldBy != sim::Invalid) {
+                closeStall(ivc, now);   // Held port, not a credit stall.
+            } else if (hasCredit(ivc.route, 0)) {
+                closeStall(ivc, now);
                 saReqs_.push_back({port, 0, ivc.route, false});
-            } else if (outputs_[ivc.route].heldBy == sim::Invalid) {
-                stats_.creditStallCycles++;
+            } else {
+                extendStall(ivc, now);
             }
         } else if (ivc.state == VcState::Active) {
             // Port is held: body/tail flits flow without arbitration.
             pdr_assert(outputs_[ivc.route].heldBy == port);
-            if (hasCredit(ivc.route, 0))
+            if (hasCredit(ivc.route, 0)) {
+                closeStall(ivc, now);
                 departFlit(port, 0, ivc.route, 0, now);
-            else
-                stats_.creditStallCycles++;
+            } else {
+                extendStall(ivc, now);
+            }
         }
     }
 
@@ -310,7 +314,7 @@ Router::saPhaseWormhole(sim::Cycle now)
         return;
 
     for (const auto &g : whArb_->allocate(saReqs_)) {
-        auto &ivc = inputs_[g.inPort].vcs[0];
+        auto &ivc = invc(g.inPort, 0);
         outputs_[g.outPort].heldBy = g.inPort;
         ivc.state = VcState::Active;
         stats_.headGrants++;
@@ -325,7 +329,7 @@ Router::saPhaseVc(sim::Cycle now)
     // this tick's speculative bids, pushed by vaPhase).
     for (int port = 0; port < cfg_.numPorts; port++) {
         for (int vc = 0; vc < cfg_.numVcs; vc++) {
-            auto &ivc = inputs_[port].vcs[vc];
+            auto &ivc = invc(port, vc);
             if (ivc.state != VcState::Active || ivc.fifo.empty())
                 continue;
             if (ivc.vaGrantedNow && !cfg_.singleCycle)
@@ -334,9 +338,10 @@ Router::saPhaseVc(sim::Cycle now)
             if (now < f.eligible || now < ivc.saReady)
                 continue;
             if (!hasCredit(ivc.route, ivc.outVc)) {
-                stats_.creditStallCycles++;
+                extendStall(ivc, now);
                 continue;
             }
+            closeStall(ivc, now);
             saReqs_.push_back({port, vc, ivc.route, false});
         }
     }
@@ -344,12 +349,12 @@ Router::saPhaseVc(sim::Cycle now)
     if (saReqs_.empty())
         return;
 
-    auto grants = specAlloc_ ? specAlloc_->allocate(saReqs_)
-                             : saAlloc_->allocate(saReqs_);
+    const auto &grants = specAlloc_ ? specAlloc_->allocate(saReqs_)
+                                    : saAlloc_->allocate(saReqs_);
     bool equal_prio = cfg_.model == RouterModel::SpecVirtualChannel &&
                       cfg_.specEqualPriority && !cfg_.singleCycle;
     for (const auto &g : grants) {
-        auto &ivc = inputs_[g.inPort].vcs[g.inVc];
+        auto &ivc = invc(g.inPort, g.inVc);
         // In the equal-priority ablation the allocator does not track
         // the spec flag; a grant is speculative iff the VC was still
         // bidding for (or just received) its output VC this cycle.
@@ -375,7 +380,7 @@ void
 Router::departFlit(int in_port, int in_vc, int out_port, int out_vc,
                    sim::Cycle now)
 {
-    auto &ivc = inputs_[in_port].vcs[in_vc];
+    auto &ivc = invc(in_port, in_vc);
     pdr_assert(!ivc.fifo.empty());
     sim::FlitRef ref = ivc.fifo.pop();
     sim::Flit &f = pool_.get(ref);
@@ -387,8 +392,8 @@ Router::departFlit(int in_port, int in_vc, int out_port, int out_vc,
 
     auto &op = outputs_[out_port];
     if (!op.isSink) {
-        pdr_assert(op.vcs[out_vc].credits > 0);
-        op.vcs[out_vc].credits--;
+        pdr_assert(outCredits_[vidx(out_port, out_vc)] > 0);
+        outCredits_[vidx(out_port, out_vc)]--;
     }
 
     // Crossbar traversal (ST) is the extra cycle before the wire; the
@@ -408,15 +413,15 @@ void
 Router::releaseAndTakeOver(int in_port, int in_vc, int out_port,
                            int out_vc, sim::Cycle now)
 {
-    auto &ivc = inputs_[in_port].vcs[in_vc];
+    auto &ivc = invc(in_port, in_vc);
     auto &op = outputs_[out_port];
 
     if (cfg_.model == RouterModel::Wormhole) {
         pdr_assert(op.heldBy == in_port);
         op.heldBy = sim::Invalid;
     } else {
-        pdr_assert(op.isSink || op.vcs[out_vc].busy);
-        op.vcs[out_vc].busy = false;
+        pdr_assert(op.isSink || outBusy_[vidx(out_port, out_vc)]);
+        outBusy_[vidx(out_port, out_vc)] = 0;
     }
     ivc.outVc = sim::Invalid;
 
@@ -437,20 +442,87 @@ Router::releaseAndTakeOver(int in_port, int in_vc, int out_port,
 }
 
 sim::Cycle
-Router::nextWake(sim::Cycle now) const
+Router::nextWake(sim::Cycle now)
 {
-    // Buffered flits demand a tick every cycle: allocation attempts,
-    // departures and credit-stall accounting all advance per cycle.
-    for (const auto &ip : inputs_)
-        for (const auto &vc : ip.vcs)
-            if (!vc.fifo.empty())
-                return now + 1;
-
-    // Otherwise the next observable event is a pending credit maturing
-    // or an arrival on one of the input / credit channels.
+    // Scan every occupied input VC for the earliest cycle at which it
+    // can act.  A VC contributes now + 1 only when a tick would do
+    // observable work then; a future pipeline deadline contributes
+    // that deadline; a VC blocked on state that only this router's own
+    // ticks can change (a held wormhole port, an all-busy VA candidate
+    // set, a zero credit count) contributes nothing -- the unblocking
+    // event either happens during one of our ticks (after which this
+    // function is re-evaluated) or arrives on a watched channel (which
+    // lowers our wake entry on push).
     sim::Cycle t = sim::CycleNever;
+    const bool wh = cfg_.model == RouterModel::Wormhole;
+    const int v = cfg_.numVcs;
+    for (int port = 0; port < cfg_.numPorts; port++) {
+        for (int vc = 0; vc < v; vc++) {
+            InputVc &ivc = invcs_[vidx(port, vc)];
+            if (ivc.fifo.empty())
+                continue;
+            const sim::Flit &f = pool_.get(ivc.fifo.front());
+            if (wh) {
+                if (ivc.state == VcState::RouteWait) {
+                    sim::Cycle r = std::max(f.eligible, ivc.actReady);
+                    if (r > now) {
+                        t = std::min(t, r);
+                    } else if (outputs_[ivc.route].heldBy !=
+                               sim::Invalid) {
+                        // Held port: only our own ticks release it.
+                    } else if (hasCredit(ivc.route, 0)) {
+                        return now + 1;     // Can bid for the port.
+                    } else {
+                        // Credit-stall sleep; the watched credit
+                        // channel ends it.
+                        openStall(ivc, now + 1);
+                    }
+                } else if (ivc.state == VcState::Active) {
+                    if (f.eligible > now)
+                        t = std::min(t, f.eligible);
+                    else if (hasCredit(ivc.route, 0))
+                        return now + 1;     // Flit can depart.
+                    else
+                        openStall(ivc, now + 1);
+                }
+            } else {
+                if (ivc.state == VcState::RouteWait) {
+                    if (ivc.actReady > now) {
+                        t = std::min(t, ivc.actReady);
+                        continue;
+                    }
+                    if (specBids_)
+                        return now + 1;     // Bids the switch per cycle.
+                    // Pure VA pipeline: the allocator's persistent
+                    // state only changes on grants, and a grant needs
+                    // a free candidate output VC.  All-busy candidates
+                    // free only during our own ticks (tail
+                    // departures), so such a VC does not pin us awake.
+                    std::uint32_t mask =
+                        routing_.vcMask(f, id_, ivc.route, v);
+                    for (int ov = 0; ov < v; ov++) {
+                        if (((mask >> ov) & 1u) &&
+                            !outBusy_[vidx(ivc.route, ov)])
+                            return now + 1; // VA can grant someone.
+                    }
+                } else if (ivc.state == VcState::Active) {
+                    sim::Cycle r = std::max(f.eligible, ivc.saReady);
+                    if (r > now)
+                        t = std::min(t, r);
+                    else if (hasCredit(ivc.route, ivc.outVc))
+                        return now + 1;     // Switch request next cycle.
+                    else
+                        // Interval-accounted credit stall; the watched
+                        // credit channel ends the sleep.
+                        openStall(ivc, now + 1);
+                }
+            }
+        }
+    }
+
+    // External events: maturing credits and in-flight arrivals.
     if (!pendingCredits_.empty())
-        t = pendingCredits_.front().applyAt;
+        t = std::min(t, pendingCredits_.front().applyAt);
     for (const auto &ip : inputs_)
         if (ip.in)
             t = std::min(t, ip.in->nextReady());
@@ -458,6 +530,19 @@ Router::nextWake(sim::Cycle now) const
         if (op.creditIn)
             t = std::min(t, op.creditIn->nextReady());
     return std::max(t, now + 1);
+}
+
+RouterStats
+Router::statsAt(sim::Cycle now) const
+{
+    RouterStats s = stats_;
+    for (const auto &ivc : invcs_) {
+        if (ivc.stallSince != sim::CycleNever) {
+            pdr_assert(now >= ivc.stallSince);
+            s.creditStallCycles += now - ivc.stallSince;
+        }
+    }
+    return s;
 }
 
 } // namespace pdr::router

@@ -55,7 +55,16 @@ struct RouterStats
     std::uint64_t specSaAttempts = 0;   //!< Speculative switch requests.
     std::uint64_t specSaWins = 0;       //!< Spec grants surviving priority.
     std::uint64_t specSaUseful = 0;     //!< Spec grants actually used.
-    std::uint64_t creditStallCycles = 0;//!< VC ready but zero credits.
+    /**
+     * Cycles a VC spent ready-but-creditless, accounted as intervals:
+     * each tick that observes a stalled VC accumulates the span since
+     * the previous observation, so a blocked router can sleep through
+     * a stall and still report exactly what per-cycle counting would.
+     * stats() reflects cycles up to the last tick; statsAt(now) also
+     * flushes the still-open intervals (use it for cross-schedule
+     * comparisons at a common read cycle).
+     */
+    std::uint64_t creditStallCycles = 0;
 };
 
 /** A cycle-accurate pipelined router. */
@@ -91,19 +100,39 @@ class Router
 
     /**
      * Earliest cycle at which ticking this router can do observable
-     * work, evaluated after a tick at `now`: the very next cycle while
-     * any flit is buffered (allocation, departure and stall accounting
-     * advance every cycle then), else the earliest of the pending
-     * credits and the in-flight arrivals on the input / credit
-     * channels.  CycleNever when fully idle -- skipping ticks until
-     * the returned cycle is a provable no-op (channels re-wake the
-     * router on any later push).
+     * work, evaluated after a tick at `now`.  Skipping every cycle
+     * before the returned one is a provable no-op: the router wakes
+     * the very next cycle only when some buffered flit can actually
+     * act (allocate, depart, or -- under the speculative model --
+     * issue a switch bid that evolves arbiter state); a VC that is
+     * ready but creditless does NOT pin the router awake, because the
+     * stall statistic is interval-accounted and the credit that ends
+     * the stall arrives through a watched channel, which re-lowers the
+     * wake entry.  Internal future deadlines (pipeline eligibility,
+     * VA-to-SA latency, maturing credits) and in-flight channel
+     * arrivals bound the result; CycleNever when fully idle.
+     *
+     * Non-const: deciding to sleep on a ready-but-creditless VC opens
+     * its stall interval (openStall), so that a stall *entered* during
+     * this tick -- a departure consuming the last credit, a wormhole
+     * port release exposing a creditless waiter -- is accounted from
+     * the next cycle exactly as a tick-every-cycle schedule would
+     * observe it.  Only called on the skipping schedule, right after a
+     * tick.
      */
-    sim::Cycle nextWake(sim::Cycle now) const;
+    sim::Cycle nextWake(sim::Cycle now);
 
     sim::NodeId id() const { return id_; }
     const RouterConfig &config() const { return cfg_; }
     const RouterStats &stats() const { return stats_; }
+
+    /**
+     * Statistics as they would read at cycle `now` under a
+     * tick-every-cycle schedule: stats() plus the still-open
+     * credit-stall intervals flushed through `now` (exclusive).
+     * `now` must be >= every tick this router has seen.
+     */
+    RouterStats statsAt(sim::Cycle now) const;
 
     /** Credits currently available for (outPort, outVc) (tests). */
     int credits(int out_port, int out_vc) const;
@@ -132,20 +161,22 @@ class Router
         bool vaGrantedNow = false;  //!< VA granted in the current tick.
         int route = sim::Invalid;   //!< Routed output port.
         int outVc = sim::Invalid;   //!< Allocated output VC.
+        /** Start of the open credit-stall interval (CycleNever when
+         *  not stalled); cycles up to the last observation are already
+         *  folded into stats_.creditStallCycles. */
+        sim::Cycle stallSince = sim::CycleNever;
     };
+
+    // Hot per-VC state lives in flat structure-of-arrays slabs indexed
+    // [port * numVcs + vc] (vidx) rather than nested per-port vectors:
+    // the per-cycle loops (allocation scans, nextWake, credit checks)
+    // stream one contiguous array each instead of chasing a pointer
+    // per port.  Ports keep only their channel wiring.
 
     struct InputPort
     {
         FlitChannel *in = nullptr;
         CreditChannel *creditOut = nullptr;
-        std::vector<InputVc> vcs;
-    };
-
-    /** Downstream buffer tracking for one output VC. */
-    struct OutVcState
-    {
-        bool busy = false;          //!< Allocated to some input VC.
-        int credits = 0;
     };
 
     struct OutputPort
@@ -154,7 +185,6 @@ class Router
         CreditChannel *creditIn = nullptr;
         bool isSink = false;
         int heldBy = sim::Invalid;  //!< Wormhole per-packet port hold.
-        std::vector<OutVcState> vcs;
     };
 
     /** Credit received, waiting out the processing pipeline. */
@@ -183,6 +213,59 @@ class Router
     /** Earliest allocation action for a flit arriving now. */
     sim::Cycle firstActionDelay() const { return cfg_.singleCycle ? 1 : 2; }
 
+    /** Flat [port * numVcs + vc] index into the per-VC slabs. */
+    std::size_t
+    vidx(int port, int vc) const
+    {
+        return std::size_t(port) * std::size_t(cfg_.numVcs) +
+               std::size_t(vc);
+    }
+    InputVc &invc(int port, int vc) { return invcs_[vidx(port, vc)]; }
+    const InputVc &
+    invc(int port, int vc) const
+    {
+        return invcs_[vidx(port, vc)];
+    }
+
+    /**
+     * Observed (port, vc) ready but creditless at `now`: fold the
+     * cycles since the previous observation into the counter and leave
+     * the interval open at `now`.  Exactly reproduces per-cycle
+     * counting because the stall condition cannot change between the
+     * router's ticks.
+     */
+    void
+    extendStall(InputVc &ivc, sim::Cycle now)
+    {
+        if (ivc.stallSince != sim::CycleNever)
+            stats_.creditStallCycles += now - ivc.stallSince;
+        ivc.stallSince = now;
+    }
+    /** Observed (port, vc) not stalled at `now`: close the interval
+     *  (cycles [stallSince, now) were stalled, `now` is not). */
+    void
+    closeStall(InputVc &ivc, sim::Cycle now)
+    {
+        if (ivc.stallSince != sim::CycleNever) {
+            stats_.creditStallCycles += now - ivc.stallSince;
+            ivc.stallSince = sim::CycleNever;
+        }
+    }
+    /**
+     * (port, vc) will be stalled from cycle `at` on (nextWake decided
+     * to sleep on a ready-but-creditless VC): open the interval unless
+     * one is already open.  The condition cannot silently end -- the
+     * credit that would end it arrives during a tick (watched channel
+     * or maturing pipeline), which closes the interval at that tick
+     * with the cycles [at, tick) folded in.
+     */
+    void
+    openStall(InputVc &ivc, sim::Cycle at)
+    {
+        if (ivc.stallSince == sim::CycleNever)
+            ivc.stallSince = at;
+    }
+
     /**
      * Route selection for a head flit.  Deterministic routing returns
      * the single route; adaptive routing picks the candidate with the
@@ -201,7 +284,18 @@ class Router
 
     std::vector<InputPort> inputs_;
     std::vector<OutputPort> outputs_;
+
+    // SoA per-VC slabs, all indexed by vidx(port, vc).
+    std::vector<InputVc> invcs_;        //!< Input VC pipeline state.
+    std::vector<std::uint8_t> outBusy_; //!< Output VC allocated flag.
+    std::vector<int> outCredits_;       //!< Downstream buffer credits.
+
     std::deque<PendingCredit> pendingCredits_;
+
+    /** Speculative switch bids are issued for every ready RouteWait VC
+     *  each cycle (evolving arbiter state + specSaAttempts), so such
+     *  VCs pin the router awake; cached model predicate. */
+    bool specBids_ = false;
 
     // Allocators (constructed per model).
     std::unique_ptr<arb::WormholeSwitchArbiter> whArb_;

@@ -14,7 +14,11 @@
  * told (watch) which component consumes it, and every push then lowers
  * that component's wake time to the item's ready cycle.  nextReady()
  * exposes the earliest in-flight ready time so a component going idle
- * can report when its inputs next demand attention.
+ * can report when its inputs next demand attention.  Credit channels
+ * are watched exactly like flit channels: a credit return is a wake
+ * event, which is what lets a router (or source) blocked on zero
+ * credits clear its wake entry and sleep until the credit that ends
+ * the stall arrives (see Router::nextWake / Source::nextWake).
  *
  * Partitioned stepping (src/par/) puts channels that cross a worker
  * boundary into *staged* mode: push() then appends to a private

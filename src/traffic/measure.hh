@@ -75,6 +75,15 @@ class MeasureController
         return TagMode::Ordered;
     }
 
+    /**
+     * The sample space is fully tagged: every later tryTag() returns
+     * false without mutating anything.  Fullness is monotone, so a
+     * true result stays true forever -- a source that reads full may
+     * defer its generation draws (traffic::Source's lazy catch-up)
+     * without affecting tagging order.
+     */
+    bool quotaFull() const { return tagged() >= sample_; }
+
     sim::Cycle warmup() const { return warmup_; }
     std::uint64_t
     tagged() const

@@ -47,21 +47,58 @@ void
 Source::tick(sim::Cycle now)
 {
     applyCredits(now);
-    generate(now);
+    catchUp(now);
     inject(now);
+}
+
+void
+Source::catchUp(sim::Cycle now)
+{
+    // Generation order across cycles matters (each cycle's draws come
+    // off one RNG stream in sequence); order against credit handling
+    // does not (generate() never reads credits), so skipped cycles
+    // replay exactly.
+    if (cfg_.packetRate <= 0.0) {
+        nextGen_ = now + 1;     // A zero-rate cycle draws nothing.
+        return;
+    }
+    while (nextGen_ <= now) {
+        generate(nextGen_);
+        nextGen_++;
+    }
 }
 
 sim::Cycle
 Source::nextWake(sim::Cycle now) const
 {
-    // A live Bernoulli process draws the RNG every cycle; sleeping
-    // would desynchronize the stream from the tick-everything
-    // schedule.  Backlogged or streaming sources also work per cycle.
-    if (cfg_.packetRate > 0.0 || !queue_.empty() || active() != 0 ||
-        !pendingCredits_.empty()) {
-        return now + 1;
+    if (cfg_.packetRate > 0.0) {
+        // Tagging-sensitive span: each creation calls tryTag(), which
+        // consumes the shared sample quota in serial node order, so
+        // draws cannot be deferred -- tick every cycle until the
+        // quota fills (fullness is sticky, so a full reading here
+        // stays full for every later cycle).
+        if (now + 1 >= ctrl_.warmup() && !ctrl_.quotaFull())
+            return now + 1;
     }
-    sim::Cycle t = creditIn_ ? creditIn_->nextReady() : sim::CycleNever;
+
+    // Outside that span draws replay lazily, so a tick is needed only
+    // when injection could happen: some VC has a credit and either
+    // holds/awaits work now or could lazily create it (packetRate).
+    if (cfg_.packetRate > 0.0 || !queue_.empty() || active() != 0) {
+        for (int vc = 0; vc < cfg_.numVcs; vc++)
+            if (credits_[vc] > 0)
+                return now + 1;
+    }
+
+    // No usable credit: sleep until one matures (or until the warmup
+    // boundary, where the tagging-sensitive span begins).
+    sim::Cycle t = sim::CycleNever;
+    if (!pendingCredits_.empty())
+        t = pendingCredits_.front().first;
+    if (creditIn_)
+        t = std::min(t, creditIn_->nextReady());
+    if (cfg_.packetRate > 0.0 && now + 1 < ctrl_.warmup())
+        t = std::min(t, ctrl_.warmup());
     return std::max(t, now + 1);
 }
 
@@ -93,9 +130,10 @@ Source::generate(sim::Cycle now)
     if (cfg_.burstOn > 0.0) {
         // Two-state MMPP: one transition draw per cycle (geometric
         // dwell times), then a Bernoulli arrival draw only while ON.
-        // The source ticks every cycle when packetRate > 0, so this
-        // stream is identical under the skipping and tick-everything
-        // schedules.
+        // Every cycle is drawn exactly once -- immediately while the
+        // source is awake, replayed by catchUp() after a sleep -- so
+        // this stream is identical under the skipping and
+        // tick-everything schedules.
         double leave =
             1.0 / (burstState_ ? cfg_.burstOn : cfg_.burstOff);
         if (rng_.bernoulli(leave))

@@ -73,11 +73,28 @@ class Source
     void tick(sim::Cycle now);
 
     /**
-     * Earliest cycle at which this source next needs a tick.  A source
-     * with a nonzero rate ticks every cycle: the Bernoulli draw must
-     * advance the RNG stream each cycle to keep results bit-identical
-     * with the tick-everything schedule.  Idle zero-rate sources sleep
-     * until a credit arrives (CycleNever when none is in flight).
+     * Replay the per-cycle arrival draws for every cycle in
+     * [nextGen, now] that a sleeping source skipped.  The RNG is
+     * private, draws are a fixed function of the cycle index, and the
+     * only cross-source call -- MeasureController::tryTag -- is
+     * mutation-free over any span the source is allowed to sleep
+     * through (pre-warmup or quota-full), so replaying late yields the
+     * exact queue, stream and RNG state of per-cycle ticking.  tick()
+     * calls this; Network::quiescent() also calls it so backlog()
+     * reads match the tick-everything schedule mid-sleep.
+     */
+    void catchUp(sim::Cycle now);
+
+    /**
+     * Earliest cycle at which this source next needs a tick.  During a
+     * tagging-sensitive span (post-warmup until the sample quota
+     * fills) a nonzero-rate source ticks every cycle: packet creation
+     * consumes the shared sample quota in serial node order.  Outside
+     * that span the Bernoulli draws are replayed lazily (catchUp), so
+     * the source sleeps whenever injection is impossible -- no credits
+     * on any VC -- until a credit matures or the warmup boundary
+     * arrives.  Idle zero-rate sources sleep until a credit arrives
+     * (CycleNever when none is in flight).
      */
     sim::Cycle nextWake(sim::Cycle now) const;
 
@@ -117,6 +134,10 @@ class Source
     void applyCredits(sim::Cycle now);
     void generate(sim::Cycle now);
     void inject(sim::Cycle now);
+
+    /** First cycle whose arrival draw has not run yet (lazy
+     *  generation; see catchUp). */
+    sim::Cycle nextGen_ = 0;
 
     sim::NodeId node_;
     SourceConfig cfg_;

@@ -12,10 +12,10 @@ using namespace pdr::arb;
 
 namespace {
 
-std::vector<bool>
+arb::ReqRow
 mask(int n, std::initializer_list<int> set)
 {
-    std::vector<bool> m(n, false);
+    arb::ReqRow m(n, false);
     for (int i : set)
         m[std::size_t(i)] = true;
     return m;
@@ -98,7 +98,7 @@ TEST_P(MatrixArbiterProperty, AlwaysGrantsExactlyOneRequester)
     MatrixArbiter arb(n);
     Rng rng(1234 + n);
     for (int round = 0; round < 2000; round++) {
-        std::vector<bool> req(n);
+        arb::ReqRow req(n);
         bool any = false;
         for (int i = 0; i < n; i++) {
             req[i] = rng.bernoulli(0.4);
@@ -120,7 +120,7 @@ TEST_P(MatrixArbiterProperty, StrongFairnessUnderFullLoad)
     // Every requestor is served once per n grants when all request.
     int n = GetParam();
     MatrixArbiter arb(n);
-    std::vector<bool> all(n, true);
+    arb::ReqRow all(n, true);
     std::vector<int> served(n, 0);
     for (int round = 0; round < 10 * n; round++) {
         int w = arb.arbitrate(all);
@@ -143,7 +143,7 @@ TEST_P(MatrixArbiterProperty, NoStarvationUnderRandomLoad)
     Rng rng(99);
     int waiting = 0;
     for (int round = 0; round < 3000; round++) {
-        std::vector<bool> req(n);
+        arb::ReqRow req(n);
         req[0] = true;      // Persistent requestor.
         for (int i = 1; i < n; i++)
             req[i] = rng.bernoulli(0.8);

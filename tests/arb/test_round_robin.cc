@@ -8,10 +8,10 @@ using namespace pdr::arb;
 
 namespace {
 
-std::vector<bool>
+ReqRow
 mask(int n, std::initializer_list<int> set)
 {
-    std::vector<bool> m(n, false);
+    ReqRow m(n, false);
     for (int i : set)
         m[std::size_t(i)] = true;
     return m;
@@ -56,7 +56,7 @@ TEST(RoundRobin, SkipsNonRequestors)
 TEST(RoundRobin, FairUnderFullLoad)
 {
     RoundRobinArbiter arb(5);
-    std::vector<bool> all(5, true);
+    ReqRow all(5, true);
     std::vector<int> served(5, 0);
     for (int i = 0; i < 50; i++) {
         int w = arb.arbitrate(all);

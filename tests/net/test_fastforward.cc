@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Clock fast-forward equivalence.
+ *
+ * Network::stepTo()/run() may jump now() across provably idle regions
+ * (Network::skipIdle); these tests pin the contract that a jump is
+ * indistinguishable from stepping the same cycles one by one -- same
+ * deliveries, same latency statistics, same router counters, same
+ * final clock -- serially and through a ParallelStepper, plus a
+ * saturated k=16 lockstep where credit-stall sleeping dominates the
+ * schedule.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/network.hh"
+#include "par/stepper.hh"
+
+using namespace pdr;
+
+namespace {
+
+net::NetworkConfig
+baseConfig(int k, double offered)
+{
+    net::NetworkConfig cfg;
+    cfg.k = k;
+    cfg.router.model = router::RouterModel::SpecVirtualChannel;
+    cfg.router.numVcs = 2;
+    cfg.router.bufDepth = 4;
+    cfg.packetLength = 5;
+    cfg.warmup = 100;
+    cfg.samplePackets = 400;
+    cfg.seed = 12345;
+    cfg.setOfferedFraction(offered);
+    return cfg;
+}
+
+/** End-state equality: clock, deliveries, latency, router counters. */
+void
+expectSameEndState(net::Network &a, net::Network &b,
+                   const std::vector<traffic::Delivery> &at,
+                   const std::vector<traffic::Delivery> &bt)
+{
+    EXPECT_EQ(a.now(), b.now());
+
+    ASSERT_EQ(at.size(), bt.size());
+    for (std::size_t i = 0; i < at.size(); i++) {
+        EXPECT_EQ(at[i].packet, bt[i].packet) << "delivery " << i;
+        EXPECT_EQ(at[i].at, bt[i].at) << "delivery " << i;
+        EXPECT_EQ(at[i].latency, bt[i].latency) << "delivery " << i;
+    }
+
+    auto al = a.latency(), bl = b.latency();
+    EXPECT_EQ(al.count(), bl.count());
+    EXPECT_DOUBLE_EQ(al.mean(), bl.mean());
+
+    auto ar = a.routerTotals(), br = b.routerTotals();
+    EXPECT_EQ(ar.flitsIn, br.flitsIn);
+    EXPECT_EQ(ar.flitsOut, br.flitsOut);
+    EXPECT_EQ(ar.headGrants, br.headGrants);
+    EXPECT_EQ(ar.vaGrants, br.vaGrants);
+    EXPECT_EQ(ar.specSaAttempts, br.specSaAttempts);
+    EXPECT_EQ(ar.creditStallCycles, br.creditStallCycles);
+
+    EXPECT_EQ(a.quiescent(), b.quiescent());
+}
+
+} // namespace
+
+TEST(FastForward, SkipIdleJumpsQuiescentRegion)
+{
+    // A network with nothing scheduled fast-forwards to the limit in
+    // one call instead of stepping through the idle region.
+    auto cfg = baseConfig(4, 0.3);
+    cfg.injectionRate = 0.0;
+    net::Network net(cfg);
+    net.step();     // Cycle 0: every component reports its real wake.
+    EXPECT_EQ(net.now(), 1u);
+    EXPECT_EQ(net.skipIdle(100000), 100000u);
+    EXPECT_EQ(net.now(), 100000u);
+    EXPECT_TRUE(net.quiescent());
+}
+
+TEST(FastForward, SkipIdleIsNoOpUnderForceTickAll)
+{
+    auto cfg = baseConfig(4, 0.3);
+    cfg.injectionRate = 0.0;
+    net::Network net(cfg);
+    net.forceTickAll(true);
+    net.step();
+    EXPECT_EQ(net.skipIdle(100000), 1u);
+    EXPECT_EQ(net.now(), 1u);
+}
+
+TEST(FastForward, RunMatchesSteppingThroughIdle)
+{
+    // run() == N x step() even when run() jumps the whole span.
+    auto cfg = baseConfig(4, 0.3);
+    cfg.injectionRate = 0.0;
+    net::Network jump(cfg), walk(cfg);
+    jump.run(5000);
+    for (int c = 0; c < 5000; c++)
+        walk.step();
+    EXPECT_EQ(jump.now(), walk.now());
+    EXPECT_TRUE(jump.quiescent());
+    EXPECT_TRUE(walk.quiescent());
+    EXPECT_EQ(jump.flitPool().capacity(), walk.flitPool().capacity());
+}
+
+TEST(FastForward, StepToMatchesStepLoopUnderTraffic)
+{
+    // Live traffic: exhausted source credits and credit-stalled
+    // routers open small idle windows; stepTo() taking them must land
+    // on the exact same end state as the cycle-by-cycle walk.
+    auto cfg = baseConfig(4, 0.4);
+    net::Network jump(cfg), walk(cfg);
+    std::vector<traffic::Delivery> jt, wt;
+    jump.recordDeliveries(&jt);
+    walk.recordDeliveries(&wt);
+
+    const sim::Cycle horizon = 5000;
+    jump.stepTo(horizon);
+    for (sim::Cycle c = 0; c < horizon; c++)
+        walk.step();
+    expectSameEndState(jump, walk, jt, wt);
+}
+
+TEST(FastForward, SaturatedK16Lockstep)
+{
+    // k=16 mesh far past saturation: almost every router is blocked on
+    // credits, so the skipping schedule sleeps through stall spans the
+    // naive schedule grinds out cycle by cycle.  Behavior and the
+    // interval-accounted stall counters must still match exactly.
+    net::NetworkConfig cfg;
+    cfg.k = 16;
+    cfg.router.model = router::RouterModel::SpecVirtualChannel;
+    cfg.router.numVcs = 2;
+    cfg.router.bufDepth = 4;
+    cfg.packetLength = 5;
+    cfg.warmup = 100;
+    cfg.samplePackets = 1u << 30;   // Never stop sampling.
+    cfg.seed = 31;
+    cfg.setOfferedFraction(0.8);
+
+    net::Network fast(cfg);
+    net::Network naive(cfg);
+    naive.forceTickAll(true);
+    std::vector<traffic::Delivery> ft, nt;
+    fast.recordDeliveries(&ft);
+    naive.recordDeliveries(&nt);
+
+    for (sim::Cycle c = 0; c < 1200; c++) {
+        fast.step();
+        naive.step();
+        ASSERT_EQ(ft.size(), nt.size())
+            << "delivery count diverged at cycle " << c;
+    }
+    EXPECT_GT(ft.size(), 0u);
+    EXPECT_GT(fast.routerTotals().creditStallCycles, 0u)
+        << "test drove no stalls";
+    expectSameEndState(fast, naive, ft, nt);
+}
+
+TEST(FastForward, ParallelStepperJumpsMatchSerial)
+{
+    // Worker-0 jumps between cycle barriers must reproduce the serial
+    // jump schedule for any worker count.
+    auto cfg = baseConfig(4, 0.2);
+    net::Network serial(cfg), gang(cfg);
+    std::vector<traffic::Delivery> st, gt;
+    serial.recordDeliveries(&st);
+    gang.recordDeliveries(&gt);
+
+    const sim::Cycle horizon = 3000;
+    serial.stepTo(horizon);
+    {
+        par::ParConfig pc;
+        pc.workers = 2;
+        par::ParallelStepper stepper(gang, pc);
+        stepper.stepTo(horizon);
+    }
+    expectSameEndState(serial, gang, st, gt);
+}

@@ -137,7 +137,8 @@ TEST(PdrCli, DescribeValidatesShippedExperiments)
 {
     for (const char *exp :
          {"fig13.exp", "fig14.exp", "fig15.exp", "fig16.exp",
-          "fig17.exp", "fig18.exp", "kary3cube.exp", "bursty.exp"}) {
+          "fig17.exp", "fig18.exp", "kary3cube.exp", "bursty.exp",
+          "patterns.exp", "ablation.exp", "chien.exp"}) {
         auto res = run(std::string("describe --file ") +
                        PDR_EXPERIMENTS_DIR + "/" + exp);
         EXPECT_EQ(res.status, 0) << exp << ": " << res.out;
