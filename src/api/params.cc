@@ -354,6 +354,16 @@ defs()
          [](SimConfig &c, const std::string &v) {
              c.horizon = sim::Cycle(parseU64("sim.horizon", v, 1));
          }},
+        {"sim.audit",
+         "run the per-cycle invariant auditor (wake-table exactness, "
+         "credit conservation, flit-pool leaks); PDR_AUDIT=1 also "
+         "enables it",
+         [](const SimConfig &c) {
+             return std::string(c.net.audit ? "true" : "false");
+         },
+         [](SimConfig &c, const std::string &v) {
+             c.net.audit = parseBool("sim.audit", v);
+         }},
         {"par.workers",
          "intra-network worker threads (results are bit-identical "
          "for any value; 1 = serial, 0 = PDR_PAR_WORKERS or 1)",

@@ -1,7 +1,9 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <vector>
 
 namespace pdr {
@@ -20,7 +22,49 @@ vformat(const char *fmt, va_list ap)
     return std::string(buf.data(), n);
 }
 
+LogLevel
+levelFromEnv()
+{
+    const char *env = std::getenv("PDR_LOG_LEVEL");
+    if (!env || !*env)
+        return LogLevel::Warn;
+    if (std::strcmp(env, "silent") == 0)
+        return LogLevel::Silent;
+    if (std::strcmp(env, "warn") == 0)
+        return LogLevel::Warn;
+    if (std::strcmp(env, "info") == 0)
+        return LogLevel::Info;
+    std::fprintf(stderr,
+                 "warn: PDR_LOG_LEVEL='%s' not recognized (want "
+                 "silent | warn | info); using 'warn'\n", env);
+    return LogLevel::Warn;
+}
+
+/** Process-wide verbosity.  Atomic so tests flipping the level under
+ *  TSan stay clean; relaxed is enough (no ordering with the writes
+ *  being filtered). */
+std::atomic<LogLevel> &
+levelVar()
+{
+    // pdr-lint: allow(PDR-STA-MUT) verbosity only gates diagnostics;
+    // it never feeds simulation state.
+    static std::atomic<LogLevel> level{levelFromEnv()};
+    return level;
+}
+
 } // namespace
+
+LogLevel
+logLevel()
+{
+    return levelVar().load(std::memory_order_relaxed);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    levelVar().store(level, std::memory_order_relaxed);
+}
 
 std::string
 csprintf(const char *fmt, ...)
@@ -57,6 +101,8 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
 void
 warnImpl(const char *fmt, ...)
 {
+    if (logLevel() < LogLevel::Warn)
+        return;
     va_list ap;
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
@@ -67,6 +113,8 @@ warnImpl(const char *fmt, ...)
 void
 informImpl(const char *fmt, ...)
 {
+    if (logLevel() < LogLevel::Info)
+        return;
     va_list ap;
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);

@@ -6,6 +6,11 @@
  * fatal()  - user error (bad configuration); exits with status 1.
  * warn()   - suspicious but non-fatal condition.
  * inform() - status message.
+ *
+ * warn/inform are filtered by a process-wide log level (setLogLevel,
+ * or the PDR_LOG_LEVEL environment variable: silent | warn | info).
+ * panic and fatal always print -- they carry the diagnostic the
+ * process dies with.
  */
 
 #ifndef PDR_COMMON_LOGGING_HH
@@ -15,6 +20,21 @@
 #include <string>
 
 namespace pdr {
+
+/** Verbosity threshold: a message prints iff its level <= current. */
+enum class LogLevel
+{
+    Silent = 0,  //!< Suppress warn and inform.
+    Warn = 1,    //!< warn only (default).
+    Info = 2,    //!< warn and inform.
+};
+
+/** Current process-wide log level.  Initialized from PDR_LOG_LEVEL
+ *  (silent | warn | info, case-sensitive) on first use. */
+LogLevel logLevel();
+
+/** Override the log level (tests, CLI verbosity flags). */
+void setLogLevel(LogLevel level);
 
 [[noreturn]] void panicImpl(const char *file, int line, const char *fmt,
                             ...);

@@ -85,6 +85,8 @@ SweepResults
 SweepRunner::run(const std::vector<SweepPoint> &points,
                  const RunFn &fn) const
 {
+    // pdr-lint: allow(PDR-RNG-TIME) wall-time telemetry only (elapsed
+    // reporting); never read by the simulation.
     auto sweep_start = std::chrono::steady_clock::now();
 
     SweepResults results;
@@ -126,6 +128,8 @@ SweepRunner::run(const std::vector<SweepPoint> &points,
     for (std::size_t i : order) {
         PointResult *slot = &results.points[i];
         pool.submit([slot, &fn] {
+            // pdr-lint: allow(PDR-RNG-TIME) per-point wall-time
+            // telemetry; results do not depend on it.
             auto start = std::chrono::steady_clock::now();
             try {
                 slot->res = fn(slot->cfg);

@@ -39,7 +39,7 @@ operator==(const NetworkConfig &a, const NetworkConfig &b)
            a.burstOn == b.burstOn && a.burstOff == b.burstOff &&
            a.pattern == b.pattern && a.permfile == b.permfile &&
            a.seed == b.seed && a.warmup == b.warmup &&
-           a.samplePackets == b.samplePackets;
+           a.samplePackets == b.samplePackets && a.audit == b.audit;
 }
 
 void
@@ -111,6 +111,9 @@ Network::Network(const NetworkConfig &cfg)
     cfg_.validateWith(mesh_, *routing_);
     cfg_.router.numPorts = mesh_.numPorts();  // Resolve 0 = auto.
 
+    if (cfg_.audit || sim::Auditor::envEnabled())
+        auditor_ = std::make_unique<sim::Auditor>();
+
     int routers = mesh_.numRouters();
     int nodes = mesh_.numNodes();
     int dims = mesh_.dims();
@@ -150,6 +153,11 @@ Network::Network(const NetworkConfig &cfg)
                                      rtrComp(id));
             routers_[id].connectOutput(port, f1, c1, false);
             routers_[nb].connectInput(rport, f1, c1);
+            if (auditor_) {
+                auditLinks_.push_back({id, sim::Invalid, port, nb,
+                                       rport, flitChans_.size() - 1,
+                                       creditChans_.size() - 1});
+            }
 
             // nb --(rport)--> id
             auto *f2 = newFlitChan(cfg_.linkLatency, rtrComp(nb),
@@ -158,6 +166,11 @@ Network::Network(const NetworkConfig &cfg)
                                      rtrComp(nb));
             routers_[nb].connectOutput(rport, f2, c2, false);
             routers_[id].connectInput(port, f2, c2);
+            if (auditor_) {
+                auditLinks_.push_back({nb, sim::Invalid, rport, id,
+                                       port, flitChans_.size() - 1,
+                                       creditChans_.size() - 1});
+            }
         }
     }
 
@@ -184,6 +197,11 @@ Network::Network(const NetworkConfig &cfg)
         routers_[r].connectInput(lport, inj, inj_credit);
         sources_.emplace_back(node, scfg, *pattern_, ctrl_, pool_, inj,
                               inj_credit);
+        if (auditor_) {
+            auditLinks_.push_back({sim::Invalid, node, sim::Invalid, r,
+                                   lport, flitChans_.size() - 1,
+                                   creditChans_.size() - 1});
+        }
 
         auto *ej = newFlitChan(1, rtrComp(r), snkComp(node));
         routers_[r].connectOutput(lport, ej, nullptr, true);
@@ -288,10 +306,147 @@ Network::step()
     // its own state is at a fixed point), so it is skipped; channel
     // pushes during this cycle lower wake times for later cycles only
     // (latency >= 1), never for the current one.
+    if (auditor_)
+        auditCycle();
     tickSources(0, mesh_.numNodes());
     tickRouters(0, mesh_.numRouters());
     tickSinks(0, mesh_.numNodes());
     now_++;
+}
+
+std::string
+Network::componentName(std::size_t comp) const
+{
+    std::size_t nodes = std::size_t(mesh_.numNodes());
+    std::size_t routers = std::size_t(mesh_.numRouters());
+    if (comp < nodes)
+        return csprintf("source %zu", comp);
+    if (comp < nodes + routers)
+        return csprintf("router %zu", comp - nodes);
+    pdr_assert(comp < 2 * nodes + routers);
+    return csprintf("sink %zu", comp - nodes - routers);
+}
+
+void
+Network::auditCycle()
+{
+    // Checks are counted in bulk and diagnostics built only on the
+    // failure path -- the audited hot loop must not allocate.
+    std::uint64_t checks = 0;
+
+    // [AUD-WAKE] Wake-table exactness: no consumer may be scheduled to
+    // sleep past an item in flight on a channel it consumes.  Under
+    // forceTickAll the wake table is not maintained, so the check only
+    // applies to the skipping schedule (whose correctness it proves).
+    if (!forceTickAll_) {
+        for (std::size_t i = 0; i < flitChans_.size(); i++) {
+            sim::Cycle ready = flitChans_[i].nextReady();
+            if (ready == sim::CycleNever)
+                continue;
+            checks++;
+            if (wakeAt_[flitConsumer_[i]] > ready) {
+                auditor_->fail(
+                    now_, componentName(flitConsumer_[i]), "AUD-WAKE",
+                    csprintf("sleeps until cycle %llu, past a flit in "
+                             "flight ready at cycle %llu (broken "
+                             "nextWake or missed Channel::watch)",
+                             (unsigned long long)
+                                 wakeAt_[flitConsumer_[i]],
+                             (unsigned long long)ready));
+            }
+        }
+        for (std::size_t i = 0; i < creditChans_.size(); i++) {
+            sim::Cycle ready = creditChans_[i].nextReady();
+            if (ready == sim::CycleNever)
+                continue;
+            checks++;
+            if (wakeAt_[creditConsumer_[i]] > ready) {
+                auditor_->fail(
+                    now_, componentName(creditConsumer_[i]),
+                    "AUD-WAKE",
+                    csprintf("sleeps until cycle %llu, past a credit "
+                             "in flight ready at cycle %llu (broken "
+                             "nextWake or missed Channel::watch)",
+                             (unsigned long long)
+                                 wakeAt_[creditConsumer_[i]],
+                             (unsigned long long)ready));
+            }
+        }
+    }
+
+    // [AUD-CREDIT] Conservation: for every link and VC, buffer slots
+    // are split between usable upstream credits, credits maturing in
+    // the upstream pipeline, credits on the wire, flits buffered in
+    // the downstream FIFO and flits on the wire.  Every transition
+    // moves a slot between buckets within one tick, so at every cycle
+    // boundary the sum is exactly the configured buffer depth.
+    const int depth = cfg_.router.bufDepth;
+    for (const AuditLink &l : auditLinks_) {
+        for (int v = 0; v < cfg_.router.numVcs; v++) {
+            int held, maturing;
+            if (l.upRouter != sim::Invalid) {
+                held = routers_[l.upRouter].credits(l.outPort, v);
+                maturing = routers_[l.upRouter].auditPendingCredits(
+                    l.outPort, v);
+            } else {
+                held = sources_[l.upNode].auditCredits(v);
+                maturing = sources_[l.upNode].auditPendingCredits(v);
+            }
+            int wire_credits = 0;
+            creditChans_[l.creditChan].forEachInFlight(
+                [&](sim::Cycle, const sim::Credit &c) {
+                    if (c.vc == v)
+                        wire_credits++;
+                });
+            int wire_flits = 0;
+            flitChans_[l.flitChan].forEachInFlight(
+                [&](sim::Cycle, sim::FlitRef r) {
+                    if (pool_.get(r).vc == v)
+                        wire_flits++;
+                });
+            int buffered =
+                routers_[l.downRouter].auditBuffered(l.inPort, v);
+            checks++;
+            int sum =
+                held + maturing + wire_credits + wire_flits + buffered;
+            if (sum != depth) {
+                std::string up =
+                    l.upRouter != sim::Invalid
+                        ? csprintf("router %d port %d", l.upRouter,
+                                   l.outPort)
+                        : csprintf("source %d", l.upNode);
+                auditor_->fail(
+                    now_, up, "AUD-CREDIT",
+                    csprintf("VC %d toward router %d port %d: held %d "
+                             "+ maturing %d + credits on wire %d + "
+                             "flits on wire %d + buffered %d = %d, "
+                             "expected buffer depth %d",
+                             v, l.downRouter, l.inPort, held, maturing,
+                             wire_credits, wire_flits, buffered, sum,
+                             depth));
+            }
+        }
+    }
+
+    auditor_->addChecks(checks);
+}
+
+void
+Network::auditTeardown()
+{
+    pdr_assert(auditor_);
+    // Every place a live flit handle can legally rest: in flight on a
+    // flit channel or buffered in a router input FIFO (sources push
+    // the flits they allocate within the same tick; sinks free on
+    // arrival).
+    std::vector<std::uint32_t> reachable;
+    for (const auto &c : flitChans_)
+        c.forEachInFlight([&](sim::Cycle, sim::FlitRef r) {
+            reachable.push_back(r);
+        });
+    for (const auto &r : routers_)
+        r.auditCollectFlits(reachable);
+    auditor_->checkPoolLeaks(pool_, reachable, now_, "network");
 }
 
 std::size_t

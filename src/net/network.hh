@@ -35,6 +35,7 @@
 #include "net/registry.hh"
 #include "net/topology.hh"
 #include "router/router.hh"
+#include "sim/audit.hh"
 #include "sim/flit_pool.hh"
 #include "stats/latency.hh"
 #include "traffic/measure.hh"
@@ -79,6 +80,16 @@ struct NetworkConfig
     std::uint64_t seed = 1;
     sim::Cycle warmup = 10000;          //!< Warm-up cycles.
     std::uint64_t samplePackets = 100000; //!< Sample-space size.
+    /**
+     * Run the per-cycle invariant auditor (sim::Auditor): wake-table
+     * exactness, per-link credit conservation, flit-pool leak checks.
+     * Purely observational -- results are bit-identical either way --
+     * but costs a scan per cycle, so it is a debug switch, not a
+     * production default.  PDR_AUDIT=1 in the environment enables it
+     * regardless of this flag.  Serial stepping only (par.workers > 1
+     * bypasses the audited step path).
+     */
+    bool audit = false;
 
     /** The routing name after resolving "auto" via the topology. */
     std::string resolvedRouting() const;
@@ -314,6 +325,42 @@ class Network
      *  match the tick-everything schedule. */
     bool quiescent();
 
+    // ----- runtime invariant auditor (sim::Auditor) ------------------
+
+    /** The auditor is active: step() cross-checks the wake table and
+     *  credit conservation every cycle. */
+    bool auditEnabled() const { return auditor_ != nullptr; }
+
+    /** The auditor (check counters); nullptr when auditing is off. */
+    const sim::Auditor *auditor() const { return auditor_.get(); }
+
+    /**
+     * [AUD-LEAK] Verify that every live flit-pool slot is reachable
+     * from some queue (channel in flight or router FIFO) -- an
+     * unreachable live slot was allocated and lost.  Throws
+     * sim::AuditError naming the leaked slots.  Call before
+     * destruction (runSimulation does when auditing is on); requires
+     * auditEnabled().
+     */
+    void auditTeardown();
+
+    /** Human-readable name of wake-table slot `comp` ("source 3",
+     *  "router 12", "sink 0") for diagnostics. */
+    std::string componentName(std::size_t comp) const;
+
+    /**
+     * TEST ONLY: overwrite a wake-table entry, simulating a component
+     * whose nextWake() under-reports (the hazard class the auditor
+     * exists to catch).  tests/sim/test_audit.cc plants a future wake
+     * over a component with matured input and expects the next step()
+     * to throw [AUD-WAKE].
+     */
+    void
+    setWakeAtForTest(std::size_t comp, sim::Cycle t)
+    {
+        wakeAt_[comp] = t;
+    }
+
   private:
     NetworkConfig cfg_;
     Lattice mesh_;
@@ -350,6 +397,30 @@ class Network
 
     std::vector<traffic::Delivery> *trace_ = nullptr;
     std::uint64_t traceGen_ = 0;
+
+    // ----- invariant auditing (allocated only when enabled) ----------
+
+    /** One credit-conserving hop: the flit channel and its reverse
+     *  credit channel between an upstream credit holder (router
+     *  output or source) and a downstream input FIFO. */
+    struct AuditLink
+    {
+        sim::NodeId upRouter;   //!< Upstream router; Invalid = source.
+        sim::NodeId upNode;     //!< Source node when upRouter Invalid.
+        int outPort;            //!< Upstream output port (routers).
+        sim::NodeId downRouter; //!< Downstream router id.
+        int inPort;             //!< Downstream input port.
+        std::size_t flitChan;   //!< Index into flitChans_.
+        std::size_t creditChan; //!< Index into creditChans_.
+    };
+
+    std::unique_ptr<sim::Auditor> auditor_;
+    std::vector<AuditLink> auditLinks_;
+
+    /** Per-cycle checks, run by step() before the tick phases:
+     *  [AUD-WAKE] no consumer sleeps past a matured channel item;
+     *  [AUD-CREDIT] every link VC conserves its buffer depth. */
+    void auditCycle();
 
     FlitChannel *newFlitChan(sim::Cycle latency, std::size_t producer,
                              std::size_t consumer);

@@ -31,6 +31,8 @@ TopologyRegistry::TopologyRegistry()
 TopologyRegistry &
 TopologyRegistry::instance()
 {
+    // pdr-lint: allow(PDR-STA-MUT) registration-time singleton;
+    // read-only during simulation, lookups are by name not order.
     static TopologyRegistry reg;
     return reg;
 }
@@ -104,6 +106,8 @@ RoutingRegistry::RoutingRegistry()
 RoutingRegistry &
 RoutingRegistry::instance()
 {
+    // pdr-lint: allow(PDR-STA-MUT) registration-time singleton;
+    // read-only during simulation, lookups are by name not order.
     static RoutingRegistry reg;
     return reg;
 }

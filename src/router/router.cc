@@ -90,6 +90,25 @@ Router::buffered(int port) const
     return n;
 }
 
+int
+Router::auditPendingCredits(int out_port, int out_vc) const
+{
+    int n = 0;
+    for (const auto &pc : pendingCredits_)
+        if (pc.port == out_port && pc.vc == out_vc)
+            n++;
+    return n;
+}
+
+void
+Router::auditCollectFlits(std::vector<sim::FlitRef> &out) const
+{
+    for (const auto &ivc : invcs_)
+        ivc.fifo.forEach([&out](sim::FlitRef ref) {
+            out.push_back(ref);
+        });
+}
+
 bool
 Router::quiescent() const
 {

@@ -141,6 +141,19 @@ class Router
     /** All input FIFOs empty and no resources held (tests). */
     bool quiescent() const;
 
+    // ----- invariant-auditor accessors (sim::Auditor; read-only) -----
+
+    /** Flits buffered in the input FIFO of exactly (port, vc). */
+    int auditBuffered(int port, int vc) const
+    {
+        return invc(port, vc).fifo.size();
+    }
+    /** Received credits for (outPort, outVc) still maturing in the
+     *  credit-processing pipeline (not yet applied to credits()). */
+    int auditPendingCredits(int out_port, int out_vc) const;
+    /** Append every flit handle buffered in any input FIFO. */
+    void auditCollectFlits(std::vector<sim::FlitRef> &out) const;
+
   private:
     /** Input-VC pipeline states (invc_state / inpc_state of Figs 2, 3). */
     enum class VcState : std::uint8_t

@@ -144,6 +144,20 @@ class Channel
         return q_.empty() ? CycleNever : q_.front().ready;
     }
 
+    /**
+     * Visit every in-flight item as fn(ready, item), oldest first
+     * (read-only; the invariant auditor counts queue contents with
+     * this).  Staged items are not visited: the auditor only runs on
+     * the serial path, where the staging buffer is empty.
+     */
+    template <typename Fn>
+    void
+    forEachInFlight(Fn fn) const
+    {
+        for (const Entry &e : q_)
+            fn(e.ready, e.item);
+    }
+
   private:
     struct Entry
     {

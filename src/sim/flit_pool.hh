@@ -309,6 +309,21 @@ class FlitFifo
         return ref;
     }
 
+    /** Visit every queued handle, front to back (read-only; used by
+     *  the invariant auditor to enumerate buffered flits). */
+    template <typename Fn>
+    void
+    forEach(Fn fn) const
+    {
+        std::size_t i = head_;
+        for (int n = 0; n < size_; n++) {
+            fn(ring_[i]);
+            i++;
+            if (i >= ring_.size())
+                i = 0;
+        }
+    }
+
   private:
     std::vector<FlitRef> ring_;
     std::size_t head_ = 0;

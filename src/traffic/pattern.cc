@@ -297,6 +297,8 @@ PatternRegistry::PatternRegistry()
 PatternRegistry &
 PatternRegistry::instance()
 {
+    // pdr-lint: allow(PDR-STA-MUT) registration-time singleton;
+    // read-only during simulation, lookups are by name not order.
     static PatternRegistry reg;
     return reg;
 }

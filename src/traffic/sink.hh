@@ -81,6 +81,8 @@ class Sink
     int poolShard_ = 0;                 //!< FlitPool freelist shard.
 
     /** Next expected sequence number per in-flight packet. */
+    // pdr-lint: allow(PDR-ORD-UNORD) keyed erase/lookup only, never
+    // iterated, so bucket order cannot reach any result.
     std::unordered_map<sim::PacketId, int> expectSeq_;
 
     std::uint64_t measuredFlits_ = 0;

@@ -111,6 +111,22 @@ class Source
      *  partitioned stepper to its owning worker; 0 = serial). */
     void setPoolShard(int shard) { poolShard_ = shard; }
 
+    // ----- invariant-auditor accessors (sim::Auditor; read-only) -----
+
+    /** Usable injection credits for VC `vc`. */
+    int auditCredits(int vc) const { return credits_[std::size_t(vc)]; }
+    /** Arrived credits for VC `vc` still in the one-cycle credit
+     *  pipeline (not yet usable). */
+    int
+    auditPendingCredits(int vc) const
+    {
+        int n = 0;
+        for (const auto &pc : pendingCredits_)
+            if (pc.second == vc)
+                n++;
+        return n;
+    }
+
   private:
     /** A queued packet awaiting injection. */
     struct PendingPacket

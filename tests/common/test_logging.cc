@@ -41,3 +41,84 @@ TEST(Logging, AssertPassesOnTrue)
     pdr_assert(1 + 1 == 2);     // Must not abort.
     SUCCEED();
 }
+
+// ---------------------------------------------------------------------
+// Log-level filtering.  warn/inform respect the process-wide level;
+// panic/fatal always print (they carry the message the process dies
+// with).  Each test restores the level so test order cannot leak.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** RAII level override restoring the previous level on scope exit. */
+class ScopedLogLevel
+{
+  public:
+    explicit ScopedLogLevel(LogLevel level) : prev_(logLevel())
+    {
+        setLogLevel(level);
+    }
+    ~ScopedLogLevel() { setLogLevel(prev_); }
+
+  private:
+    LogLevel prev_;
+};
+
+} // namespace
+
+TEST(LogLevel, DefaultShowsWarnHidesInform)
+{
+    ScopedLogLevel guard(LogLevel::Warn);
+
+    testing::internal::CaptureStderr();
+    pdr_warn("warn at default level");
+    std::string out = testing::internal::GetCapturedStderr();
+    EXPECT_NE(out.find("warn: warn at default level"),
+              std::string::npos);
+
+    testing::internal::CaptureStderr();
+    pdr_inform("info at default level");
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(LogLevel, SilentSuppressesWarnAndInform)
+{
+    ScopedLogLevel guard(LogLevel::Silent);
+    testing::internal::CaptureStderr();
+    pdr_warn("hidden warn");
+    pdr_inform("hidden info");
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(LogLevel, InfoShowsBoth)
+{
+    ScopedLogLevel guard(LogLevel::Info);
+    testing::internal::CaptureStderr();
+    pdr_warn("loud warn");
+    pdr_inform("loud info");
+    std::string out = testing::internal::GetCapturedStderr();
+    EXPECT_NE(out.find("warn: loud warn"), std::string::npos);
+    EXPECT_NE(out.find("info: loud info"), std::string::npos);
+}
+
+TEST(LogLevel, SetAndReadRoundTrip)
+{
+    ScopedLogLevel guard(LogLevel::Warn);
+    setLogLevel(LogLevel::Info);
+    EXPECT_EQ(logLevel(), LogLevel::Info);
+    setLogLevel(LogLevel::Silent);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+}
+
+TEST(LogLevelDeath, PanicPrintsEvenWhenSilent)
+{
+    ScopedLogLevel guard(LogLevel::Silent);
+    EXPECT_DEATH(pdr_panic("silent panic %d", 9), "silent panic 9");
+}
+
+TEST(LogLevelDeath, FatalPrintsEvenWhenSilent)
+{
+    ScopedLogLevel guard(LogLevel::Silent);
+    EXPECT_EXIT(pdr_fatal("silent fatal"),
+                testing::ExitedWithCode(1), "silent fatal");
+}

@@ -289,13 +289,16 @@ const char *kTinySweep =
     "--router.buf_depth=4 --sim.warmup=200 --sim.sample_packets=300 "
     "--sweep.loads=0.1,0.2,0.3,0.4";
 
-/** The CSV portion of a sweep's output (stderr summary dropped). */
+/** The CSV portion of a sweep's output (stderr summary and warn
+ *  diagnostics dropped -- e.g. PDR_AUDIT=1 warns once per simulation
+ *  when par.workers > 1 bypasses the per-cycle checks). */
 std::string
 csvOf(const CmdResult &res)
 {
     std::string out;
     for (const auto &l : lines(res.out)) {
-        if (l.rfind("sweep:", 0) != 0 && l.rfind("merge:", 0) != 0)
+        if (l.rfind("sweep:", 0) != 0 && l.rfind("merge:", 0) != 0 &&
+            l.rfind("warn:", 0) != 0)
             out += l + "\n";
     }
     return out;
