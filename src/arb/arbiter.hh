@@ -19,10 +19,11 @@ namespace pdr::arb {
 constexpr int NoGrant = -1;
 
 /**
- * A request row: element i nonzero iff requestor i bids.  Byte elements
- * rather than std::vector<bool> because the rows are rebuilt and
- * scanned every allocation round of every router (hot path) and byte
- * loads beat bit extraction there.
+ * A request row: element i nonzero iff requestor i bids.  This is the
+ * dense byte representation used by the abstract interface, the
+ * round-robin ablation arbiter, and the scalar oracle; the router hot
+ * path stages packed uint64_t rows instead (arb/bitrow.hh) and calls
+ * MatrixArbiter::arbitrateMask directly.
  */
 using ReqRow = std::vector<std::uint8_t>;
 

@@ -1,22 +1,33 @@
 /**
  * @file
- * Matrix arbiter (Figure 10(b) of the paper).
+ * Matrix arbiter (Figure 10(b) of the paper), word-parallel storage.
  *
  * An upper-triangular matrix of flip-flops records the binary priority
  * between each pair of requestors.  A requestor wins iff it has higher
  * priority than every other current requestor.  When a requestor consumes
  * a grant its priority is set to the lowest of all requestors, which
  * makes the arbiter strongly fair (least-recently-served order).
+ *
+ * Storage is bitmask-native: row i is a packed uint64_t word array with
+ * bit j set iff i beats j (the full antisymmetric relation, both
+ * triangles materialized; the diagonal is never set).  A grant test for
+ * requestor i is then one AND-reduce -- i wins iff no *other* requestor
+ * falls outside row i: (requests & ~row_i & ~bit_i) == 0 -- and
+ * arbitrate walks only the set bits of the request word.  The scalar
+ * reference implementation is retained verbatim as
+ * ScalarMatrixArbiter in scalar_oracle.hh; tests/arb/test_alloc_equiv.cc
+ * drives both in lockstep.
  */
 
 #ifndef PDR_ARB_MATRIX_ARBITER_HH
 #define PDR_ARB_MATRIX_ARBITER_HH
 
 #include "arb/arbiter.hh"
+#include "arb/bitrow.hh"
 
 namespace pdr::arb {
 
-/** Least-recently-served matrix arbiter. */
+/** Least-recently-served matrix arbiter over packed priority rows. */
 class MatrixArbiter : public Arbiter
 {
   public:
@@ -25,15 +36,34 @@ class MatrixArbiter : public Arbiter
     int arbitrate(const ReqRow &requests) const override;
     void update(int winner) override;
 
+    /**
+     * Arbitrate a packed request row of words() words (bit i set iff
+     * requestor i bids).  Returns the winning index or NoGrant; does
+     * NOT update priority state.
+     */
+    int arbitrateMask(const std::uint64_t *requests) const;
+
+    /** Single-word fast path (requires size() <= 64). */
+    int arbitrateWord(std::uint64_t requests) const;
+
     /** Does requestor i currently beat requestor j? (diagnostic). */
     bool beats(int i, int j) const;
 
-  private:
-    /** Upper-triangular storage: m_[idx(i,j)] nonzero means i beats j,
-     *  for i < j.  Bytes, not bits: read in arbitrate's inner loop. */
-    std::vector<std::uint8_t> m_;
+    /** Words per packed row. */
+    int words() const { return words_; }
 
-    int idx(int i, int j) const;
+    /** Append the upper-triangular priority state (beats(i, j) for all
+     *  i < j, row-major) as 0/1 bytes -- the equivalence tests compare
+     *  this against the scalar oracle every round. */
+    void dumpState(std::vector<std::uint8_t> &out) const;
+
+  private:
+    int words_;
+    /** Row-major packed matrix: rows_[i * words_ + w] bit b set iff
+     *  requestor i beats requestor 64 * w + b.  Diagonal always 0. */
+    std::vector<std::uint64_t> rows_;
+    /** Scratch for the ReqRow compatibility entry point. */
+    mutable std::vector<std::uint64_t> pack_;
 };
 
 } // namespace pdr::arb

@@ -13,6 +13,9 @@ int
 RoundRobinArbiter::arbitrate(const ReqRow &requests) const
 {
     pdr_assert(int(requests.size()) == size());
+    // pdr-lint: allow(PDR-PERF-DENSESCAN) ablation-only arbiter (kept
+    // for the matrix-vs-round-robin comparison); not on the router
+    // allocation hot path
     for (int k = 0; k < size(); k++) {
         int i = (next_ + k) % size();
         if (requests[i])

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Scalar reference allocators: the dense byte-row implementations that
+ * predate the bitmask engine, retained verbatim as the equivalence
+ * oracle.
+ *
+ * Every class here implements the same interface as its bitmask
+ * counterpart and must produce bit-identical grants and priority-state
+ * evolution; tests/arb/test_alloc_equiv.cc drives both in lockstep over
+ * seeded random request streams, and the router can be switched onto
+ * this path wholesale with router.scalar_alloc (the bench_core A/B
+ * scenarios and whole-network golden comparisons use that).  Nothing
+ * here is on the default hot path, so the dense scans carry justified
+ * PDR-PERF-DENSESCAN suppressions rather than a rewrite.
+ */
+
+#ifndef PDR_ARB_SCALAR_ORACLE_HH
+#define PDR_ARB_SCALAR_ORACLE_HH
+
+#include <functional>
+#include <vector>
+
+#include "arb/switch_allocator.hh"
+#include "arb/vc_allocator.hh"
+
+namespace pdr::arb {
+
+/** The dense upper-triangular matrix arbiter (pre-bitmask layout). */
+class ScalarMatrixArbiter : public Arbiter
+{
+  public:
+    explicit ScalarMatrixArbiter(int n);
+
+    int arbitrate(const ReqRow &requests) const override;
+    void update(int winner) override;
+
+    bool beats(int i, int j) const;
+
+    /** Same serialization as MatrixArbiter::dumpState. */
+    void dumpState(std::vector<std::uint8_t> &out) const;
+
+  private:
+    /** Upper-triangular storage: m_[idx(i,j)] nonzero means i beats j,
+     *  for i < j. */
+    std::vector<std::uint8_t> m_;
+
+    int idx(int i, int j) const;
+};
+
+/** Dense per-output-port arbitration for wormhole routers. */
+class ScalarWormholeSwitchArbiter : public WormholeArbiterBase
+{
+  public:
+    explicit ScalarWormholeSwitchArbiter(int p);
+
+    const std::vector<SaGrant> &
+    allocate(const std::vector<SaRequest> &requests) override;
+
+    void dumpState(std::vector<std::uint8_t> &out) const override;
+
+  private:
+    int p_;
+    std::vector<ScalarMatrixArbiter> outputArb_;
+    ReqRow reqRow_;                //!< Reused per-output request row.
+    std::vector<SaGrant> grants_;
+};
+
+/** Dense input-first separable switch allocator. */
+class ScalarSeparableSwitchAllocator : public SwitchAllocatorBase
+{
+  public:
+    ScalarSeparableSwitchAllocator(int p, int v);
+
+    const std::vector<SaGrant> &
+    allocate(const std::vector<SaRequest> &requests) override;
+
+    void dumpState(std::vector<std::uint8_t> &out) const override;
+
+  private:
+    int p_;
+    int v_;
+    std::vector<ScalarMatrixArbiter> inputArb_;
+    std::vector<ScalarMatrixArbiter> outputArb_;
+
+    ReqRow inReq_;
+    std::vector<int> want_;
+    std::vector<int> stage1Vc_;
+    std::vector<int> stage1Out_;
+    ReqRow vcRow_;
+    ReqRow portRow_;
+    std::vector<SaGrant> grants_;
+};
+
+/** Dense parallel non-spec / spec allocation with non-spec priority. */
+class ScalarSpeculativeSwitchAllocator : public SwitchAllocatorBase
+{
+  public:
+    ScalarSpeculativeSwitchAllocator(int p, int v);
+
+    const std::vector<SaGrant> &
+    allocate(const std::vector<SaRequest> &requests) override;
+
+    void dumpState(std::vector<std::uint8_t> &out) const override;
+
+  private:
+    ScalarSeparableSwitchAllocator nonspec_;
+    ScalarSeparableSwitchAllocator spec_;
+    int p_;
+
+    std::vector<SaRequest> ns_;
+    std::vector<SaRequest> sp_;
+    std::vector<std::uint8_t> inUsed_;
+    std::vector<std::uint8_t> outUsed_;
+    std::vector<SaGrant> grants_;
+};
+
+/** Dense predicate-scanning separable VC allocator. */
+class ScalarVcAllocator : public VcAllocatorBase
+{
+  public:
+    ScalarVcAllocator(int p, int v);
+
+    /** Packed-word entry of the common interface: wraps the words back
+     *  into a predicate so the retained algorithm (and its cost shape)
+     *  is exactly the pre-bitmask one. */
+    const std::vector<VaGrant> &
+    allocate(const std::vector<VaRequest> &requests,
+             const std::uint64_t *free_vcs) override;
+
+    /** The original predicate-driven algorithm, verbatim. */
+    const std::vector<VaGrant> &
+    allocate(const std::vector<VaRequest> &requests,
+             const std::function<bool(int, int)> &is_free);
+
+    void dumpState(std::vector<std::uint8_t> &out) const override;
+
+  private:
+    int p_;
+    int v_;
+    std::vector<int> firstStagePtr_;
+    std::vector<ScalarMatrixArbiter> outputVcArb_;
+
+    bool granted(const std::vector<VaGrant> &grants, int ovc_idx) const;
+
+    ReqRow reqRow_;
+    std::vector<int> pickOf_;
+    std::vector<std::uint8_t> seen_;
+    std::vector<int> contested_;
+    std::vector<VaGrant> grants_;
+};
+
+} // namespace pdr::arb
+
+#endif // PDR_ARB_SCALAR_ORACLE_HH

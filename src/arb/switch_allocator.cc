@@ -1,111 +1,113 @@
 #include "arb/switch_allocator.hh"
 
-#include <algorithm>
-
 #include "common/logging.hh"
 
 namespace pdr::arb {
 
 WormholeSwitchArbiter::WormholeSwitchArbiter(int p) : p_(p)
 {
-    pdr_assert(p >= 1);
+    pdr_assert(p >= 1 && p <= kWordBits);
     outputArb_.reserve(p);
     for (int i = 0; i < p; i++)
         outputArb_.emplace_back(p);
-    reqRow_.assign(p, false);
+    outBids_.assign(p, 0);
 }
 
 const std::vector<SaGrant> &
 WormholeSwitchArbiter::allocate(const std::vector<SaRequest> &requests)
 {
     grants_.clear();
-    // One output port at a time: gather its requests and arbitrate.
-    // Request counts are tiny (<= p), so a linear pass per output is
-    // cheaper than building a full matrix.
-    for (int out = 0; out < p_; out++) {
-        bool any = false;
-        for (const auto &r : requests) {
-            pdr_assert(r.inPort >= 0 && r.inPort < p_);
-            pdr_assert(r.outPort >= 0 && r.outPort < p_);
-            pdr_assert(!r.spec);
-            if (r.outPort == out) {
-                pdr_assert(!reqRow_[r.inPort]);
-                reqRow_[r.inPort] = true;
-                any = true;
-            }
+    // Stage the requests as one input-port bid word per output; only
+    // outputs with a set bid bit run their arbiter.
+    outMask_ = 0;
+    for (const auto &r : requests) {
+        pdr_assert(r.inPort >= 0 && r.inPort < p_);
+        pdr_assert(r.outPort >= 0 && r.outPort < p_);
+        pdr_assert(!r.spec);
+        pdr_assert(!((outBids_[r.outPort] >> r.inPort) & 1u));
+        outBids_[r.outPort] |= std::uint64_t(1) << r.inPort;
+        outMask_ |= std::uint64_t(1) << r.outPort;
+    }
+    std::uint64_t m = outMask_;
+    while (m) {
+        int out = ctz64(m);
+        m &= m - 1;
+        int winner = outputArb_[out].arbitrateWord(outBids_[out]);
+        if (winner != NoGrant) {
+            outputArb_[out].update(winner);
+            grants_.push_back({winner, 0, out, false});
         }
-        if (any) {
-            int winner = outputArb_[out].arbitrate(reqRow_);
-            if (winner != NoGrant) {
-                outputArb_[out].update(winner);
-                grants_.push_back({winner, 0, out, false});
-            }
-            std::fill(reqRow_.begin(), reqRow_.end(), false);
-        }
+        outBids_[out] = 0;
     }
     return grants_;
+}
+
+void
+WormholeSwitchArbiter::dumpState(std::vector<std::uint8_t> &out) const
+{
+    for (const auto &a : outputArb_)
+        a.dumpState(out);
 }
 
 SeparableSwitchAllocator::SeparableSwitchAllocator(int p, int v)
     : p_(p), v_(v)
 {
-    pdr_assert(p >= 1 && v >= 1);
+    pdr_assert(p >= 1 && p <= kWordBits);
+    pdr_assert(v >= 1 && v <= kWordBits);
     inputArb_.reserve(p);
     outputArb_.reserve(p);
     for (int i = 0; i < p; i++) {
         inputArb_.emplace_back(v);
         outputArb_.emplace_back(p);
     }
-    inReq_.assign(std::size_t(p) * v, false);
+    inVcBids_.assign(p, 0);
+    outBids_.assign(p, 0);
     want_.assign(std::size_t(p) * v, NoGrant);
     stage1Vc_.assign(p, NoGrant);
-    stage1Out_.assign(p, NoGrant);
-    vcRow_.assign(v, false);
-    portRow_.assign(p, false);
 }
 
 const std::vector<SaGrant> &
 SeparableSwitchAllocator::allocate(const std::vector<SaRequest> &requests)
 {
     grants_.clear();
-    // Stage 1: per input port, a v:1 arbiter picks the bidding VC.
+    // Stage: one VC bid word per input port; want_ records each bidding
+    // VC's output (read only for stage-1 winners, so stale entries of
+    // non-bidding VCs are never consulted).
+    inMask_ = 0;
     for (const auto &r : requests) {
         pdr_assert(r.inPort >= 0 && r.inPort < p_);
         pdr_assert(r.inVc >= 0 && r.inVc < v_);
         pdr_assert(r.outPort >= 0 && r.outPort < p_);
-        std::size_t idx = std::size_t(r.inPort) * v_ + r.inVc;
-        pdr_assert(!inReq_[idx]);
-        inReq_[idx] = true;
-        want_[idx] = r.outPort;
+        pdr_assert(!((inVcBids_[r.inPort] >> r.inVc) & 1u));
+        inVcBids_[r.inPort] |= std::uint64_t(1) << r.inVc;
+        inMask_ |= std::uint64_t(1) << r.inPort;
+        want_[std::size_t(r.inPort) * v_ + r.inVc] = r.outPort;
     }
 
-    for (int in = 0; in < p_; in++) {
-        stage1Vc_[in] = NoGrant;
-        bool any = false;
-        for (int vc = 0; vc < v_; vc++) {
-            vcRow_[vc] = inReq_[std::size_t(in) * v_ + vc];
-            any = any || vcRow_[vc];
-        }
-        if (any) {
-            int vc = inputArb_[in].arbitrate(vcRow_);
-            if (vc != NoGrant) {
-                stage1Vc_[in] = vc;
-                stage1Out_[in] = want_[std::size_t(in) * v_ + vc];
-            }
+    // Stage 1: per bidding input port, a v:1 arbiter picks the VC; the
+    // winner becomes an input-port bid on its wanted output.
+    outMask_ = 0;
+    std::uint64_t m = inMask_;
+    while (m) {
+        int in = ctz64(m);
+        m &= m - 1;
+        int vc = inputArb_[in].arbitrateWord(inVcBids_[in]);
+        inVcBids_[in] = 0;
+        if (vc != NoGrant) {
+            stage1Vc_[in] = vc;
+            int out = want_[std::size_t(in) * v_ + vc];
+            outBids_[out] |= std::uint64_t(1) << in;
+            outMask_ |= std::uint64_t(1) << out;
         }
     }
 
-    // Stage 2: per output port, a p:1 arbiter among forwarded winners.
-    for (int out = 0; out < p_; out++) {
-        bool any = false;
-        for (int in = 0; in < p_; in++) {
-            portRow_[in] =
-                stage1Vc_[in] != NoGrant && stage1Out_[in] == out;
-            any = any || portRow_[in];
-        }
-        if (!any)
-            continue;
-        int in_win = outputArb_[out].arbitrate(portRow_);
+    // Stage 2: per contested output port, a p:1 arbiter among the
+    // forwarded stage-1 winners.
+    m = outMask_;
+    while (m) {
+        int out = ctz64(m);
+        m &= m - 1;
+        int in_win = outputArb_[out].arbitrateWord(outBids_[out]);
         if (in_win != NoGrant) {
             // Update priorities only for consumed grants so a VC that
             // won stage 1 but lost stage 2 keeps its turn.
@@ -113,19 +115,22 @@ SeparableSwitchAllocator::allocate(const std::vector<SaRequest> &requests)
             inputArb_[in_win].update(stage1Vc_[in_win]);
             grants_.push_back({in_win, stage1Vc_[in_win], out, false});
         }
-    }
-
-    // Clear scratch for the next round.
-    for (const auto &r : requests) {
-        std::size_t idx = std::size_t(r.inPort) * v_ + r.inVc;
-        inReq_[idx] = false;
-        want_[idx] = NoGrant;
+        outBids_[out] = 0;
     }
     return grants_;
 }
 
+void
+SeparableSwitchAllocator::dumpState(std::vector<std::uint8_t> &out) const
+{
+    for (const auto &a : inputArb_)
+        a.dumpState(out);
+    for (const auto &a : outputArb_)
+        a.dumpState(out);
+}
+
 SpeculativeSwitchAllocator::SpeculativeSwitchAllocator(int p, int v)
-    : nonspec_(p, v), spec_(p, v), p_(p)
+    : nonspec_(p, v), spec_(p, v)
 {
 }
 
@@ -143,21 +148,28 @@ SpeculativeSwitchAllocator::allocate(const std::vector<SaRequest> &requests)
         // Ports consumed by non-speculative winners mask speculative
         // grants (Figure 7(c): non-spec selected over spec).  The
         // speculative allocator still runs (and updates its priorities)
-        // exactly as the parallel hardware would.
-        inUsed_.assign(p_, false);
-        outUsed_.assign(p_, false);
+        // exactly as the parallel hardware would; the kill pass is two
+        // bit tests against the used-port words.
+        std::uint64_t in_used = 0, out_used = 0;
         for (const auto &g : grants_) {
-            inUsed_[g.inPort] = true;
-            outUsed_[g.outPort] = true;
+            in_used |= std::uint64_t(1) << g.inPort;
+            out_used |= std::uint64_t(1) << g.outPort;
         }
         for (const auto &g : spec_.allocate(sp_)) {
-            if (inUsed_[g.inPort] || outUsed_[g.outPort])
+            if (((in_used >> g.inPort) | (out_used >> g.outPort)) & 1u)
                 continue;
             grants_.push_back(g);
             grants_.back().spec = true;
         }
     }
     return grants_;
+}
+
+void
+SpeculativeSwitchAllocator::dumpState(std::vector<std::uint8_t> &out) const
+{
+    nonspec_.dumpState(out);
+    spec_.dumpState(out);
 }
 
 } // namespace pdr::arb

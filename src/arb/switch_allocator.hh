@@ -1,6 +1,6 @@
 /**
  * @file
- * Separable switch allocators (Figure 7 of the paper).
+ * Separable switch allocators (Figure 7 of the paper), bitmask engine.
  *
  * WormholeSwitchArbiter: one p:1 matrix arbiter per output port; the
  * router holds the granted port for the whole packet (Figure 7(a) - the
@@ -16,6 +16,15 @@
  * speculative ones; a non-speculative grant for an output port (or from
  * an input port) kills any speculative grant touching the same port, so
  * speculation can never hurt non-speculative traffic.
+ *
+ * Requests are staged as packed uint64_t bid words (one word over VCs
+ * per input port, one word over input ports per output port; the
+ * parameter schema caps p and v at 64) and both stages iterate only the
+ * set bits, so the cost scales with live requests rather than p * v.
+ * The speculative kill pass is two mask intersections.  The previous
+ * dense implementations are retained verbatim in scalar_oracle.hh as
+ * the equivalence oracle: grants and priority evolution are
+ * bit-identical (tests/arb/test_alloc_equiv.cc).
  */
 
 #ifndef PDR_ARB_SWITCH_ALLOCATOR_HH
@@ -46,11 +55,15 @@ struct SaGrant
     bool spec = false;
 };
 
-/** Per-output-port matrix arbitration for wormhole routers. */
-class WormholeSwitchArbiter
+/**
+ * Interface of the wormhole per-output-port arbiter, so the router can
+ * swap the bitmask engine for the scalar oracle at runtime
+ * (router.scalar_alloc; same grants either way).
+ */
+class WormholeArbiterBase
 {
   public:
-    explicit WormholeSwitchArbiter(int p);
+    virtual ~WormholeArbiterBase() = default;
 
     /**
      * Arbitrate head-flit requests for output ports.  Each input port
@@ -62,18 +75,49 @@ class WormholeSwitchArbiter
      * valid until the next allocate() call (one call per router per
      * cycle; returning by value showed up as malloc churn in profiles).
      */
+    virtual const std::vector<SaGrant> &
+    allocate(const std::vector<SaRequest> &requests) = 0;
+
+    /** Append all arbiter priority state (equivalence tests). */
+    virtual void dumpState(std::vector<std::uint8_t> &out) const = 0;
+};
+
+/** Interface of the per-flit switch allocators (separable and
+ *  speculative), runtime-swappable against the scalar oracle. */
+class SwitchAllocatorBase
+{
+  public:
+    virtual ~SwitchAllocatorBase() = default;
+
+    /** One allocation round; reference valid until the next call. */
+    virtual const std::vector<SaGrant> &
+    allocate(const std::vector<SaRequest> &requests) = 0;
+
+    /** Append all arbiter priority state (equivalence tests). */
+    virtual void dumpState(std::vector<std::uint8_t> &out) const = 0;
+};
+
+/** Per-output-port matrix arbitration for wormhole routers. */
+class WormholeSwitchArbiter : public WormholeArbiterBase
+{
+  public:
+    explicit WormholeSwitchArbiter(int p);
+
     const std::vector<SaGrant> &
-    allocate(const std::vector<SaRequest> &requests);
+    allocate(const std::vector<SaRequest> &requests) override;
+
+    void dumpState(std::vector<std::uint8_t> &out) const override;
 
   private:
     int p_;
     std::vector<MatrixArbiter> outputArb_;
-    ReqRow reqRow_;                //!< Reused per-output request row.
-    std::vector<SaGrant> grants_;  //!< Reused result storage.
+    std::uint64_t outMask_ = 0;          //!< Outputs with >= 1 bid.
+    std::vector<std::uint64_t> outBids_; //!< Per output: input-port bids.
+    std::vector<SaGrant> grants_;        //!< Reused result storage.
 };
 
 /** Input-first separable allocator for (non-speculative) VC routers. */
-class SeparableSwitchAllocator
+class SeparableSwitchAllocator : public SwitchAllocatorBase
 {
   public:
     SeparableSwitchAllocator(int p, int v);
@@ -82,11 +126,11 @@ class SeparableSwitchAllocator
      * Two-stage separable allocation.  At most one grant per input port
      * and per output port.  Arbiter priorities are updated only for
      * requests that win both stages (the consumed grants).
-     *
-     * The returned reference is valid until the next allocate() call.
      */
     const std::vector<SaGrant> &
-    allocate(const std::vector<SaRequest> &requests);
+    allocate(const std::vector<SaRequest> &requests) override;
+
+    void dumpState(std::vector<std::uint8_t> &out) const override;
 
     int numPorts() const { return p_; }
     int numVcs() const { return v_; }
@@ -97,18 +141,19 @@ class SeparableSwitchAllocator
     std::vector<MatrixArbiter> inputArb_;   //!< v:1 per input port.
     std::vector<MatrixArbiter> outputArb_;  //!< p:1 per output port.
 
-    // Reused per-call scratch (hot path).
-    ReqRow inReq_;
-    std::vector<int> want_;
-    std::vector<int> stage1Vc_;
-    std::vector<int> stage1Out_;
-    ReqRow vcRow_;
-    ReqRow portRow_;
+    // Reused per-call bid staging (hot path).  inVcBids_ / outBids_
+    // words are zeroed again before allocate() returns.
+    std::uint64_t inMask_ = 0;              //!< Inputs with >= 1 bid.
+    std::vector<std::uint64_t> inVcBids_;   //!< Per input: VC bids.
+    std::uint64_t outMask_ = 0;             //!< Outputs with a finalist.
+    std::vector<std::uint64_t> outBids_;    //!< Per output: input bids.
+    std::vector<int> want_;      //!< [in * v + vc] requested output.
+    std::vector<int> stage1Vc_;  //!< Stage-1 winner VC per input port.
     std::vector<SaGrant> grants_;
 };
 
 /** Parallel non-spec / spec allocation with non-spec priority. */
-class SpeculativeSwitchAllocator
+class SpeculativeSwitchAllocator : public SwitchAllocatorBase
 {
   public:
     SpeculativeSwitchAllocator(int p, int v);
@@ -119,22 +164,19 @@ class SpeculativeSwitchAllocator
      * Returned speculative grants carry spec = true; the router must
      * discard them if the parallel VA did not deliver an output VC (the
      * crossbar slot is then simply wasted).
-     *
-     * The returned reference is valid until the next allocate() call.
      */
     const std::vector<SaGrant> &
-    allocate(const std::vector<SaRequest> &requests);
+    allocate(const std::vector<SaRequest> &requests) override;
+
+    void dumpState(std::vector<std::uint8_t> &out) const override;
 
   private:
     SeparableSwitchAllocator nonspec_;
     SeparableSwitchAllocator spec_;
-    int p_;
 
     // Reused per-call scratch (hot path).
     std::vector<SaRequest> ns_;
     std::vector<SaRequest> sp_;
-    std::vector<std::uint8_t> inUsed_;
-    std::vector<std::uint8_t> outUsed_;
     std::vector<SaGrant> grants_;
 };
 

@@ -4,59 +4,57 @@
 
 namespace pdr::arb {
 
-VcAllocator::VcAllocator(int p, int v) : p_(p), v_(v)
+VcAllocator::VcAllocator(int p, int v)
+    : p_(p), v_(v), nivcWords_(wordsFor(p * v))
 {
-    pdr_assert(p >= 1 && v >= 1);
+    pdr_assert(p >= 1 && p <= kWordBits);
+    pdr_assert(v >= 1 && v <= kWordBits);
     int nivc = p * v;
     firstStagePtr_.assign(nivc, 0);
     outputVcArb_.reserve(nivc);
+    // pdr-lint: allow(PDR-PERF-DENSESCAN) one-time construction
     for (int i = 0; i < nivc; i++)
         outputVcArb_.emplace_back(nivc);
-    reqRow_.assign(nivc, false);
-    pickOf_.assign(nivc, -1);
-    seen_.assign(nivc, false);
+    bids_.assign(std::size_t(nivc) * nivcWords_, 0);
+    staged_.assign(nivcWords_, 0);
+    freeScratch_.assign(p, 0);
 }
 
 const std::vector<VaGrant> &
 VcAllocator::allocate(const std::vector<VaRequest> &requests,
-                      const std::function<bool(int, int)> &is_free)
+                      const std::uint64_t *free_vcs)
 {
     grants_.clear();
-    // Stage 1: each input VC picks one free candidate output VC on its
-    // routed port, scanning from its rotating pointer.  pickOf_[ivc]
-    // records the picked global output-VC index.
     contested_.clear();
+    // Stage 1: each input VC picks one free candidate output VC on its
+    // routed port -- the first set bit of (vcMask & free word) at or
+    // after its rotating pointer, wrapping below it -- and stages a bid
+    // on that output VC's packed (p*v)-wide row.
     for (const auto &r : requests) {
         pdr_assert(r.inPort >= 0 && r.inPort < p_);
         pdr_assert(r.inVc >= 0 && r.inVc < v_);
         pdr_assert(r.outPort >= 0 && r.outPort < p_);
         int ivc = r.inPort * v_ + r.inVc;
-        pdr_assert(!seen_[ivc]);
-        seen_[ivc] = true;
-        int start = firstStagePtr_[ivc];
-        for (int k = 0; k < v_; k++) {
-            int ovc = (start + k) % v_;
-            if (!((r.vcMask >> ovc) & 1u))
-                continue;
-            if (is_free(r.outPort, ovc)) {
-                int ovc_idx = r.outPort * v_ + ovc;
-                pickOf_[ivc] = ovc_idx;
-                contested_.push_back(ovc_idx);
-                break;
-            }
+        std::uint64_t cand = std::uint64_t(r.vcMask) & free_vcs[r.outPort];
+        if (!cand)
+            continue;
+        std::uint64_t hi = cand & (~std::uint64_t(0) << firstStagePtr_[ivc]);
+        int ovc = ctz64(hi ? hi : cand);
+        int ovc_idx = r.outPort * v_ + ovc;
+        std::uint64_t *row = &bids_[std::size_t(ovc_idx) * nivcWords_];
+        pdr_assert(!testBit(row, ivc));  // At most one request per ivc.
+        setBit(row, ivc);
+        if (!testBit(staged_.data(), ovc_idx)) {
+            setBit(staged_.data(), ovc_idx);
+            contested_.push_back(ovc_idx);
         }
     }
 
-    // Stage 2: per contested output VC, a (p*v):1 matrix arbiter over
-    // the input VCs that picked it.
+    // Stage 2: per contested output VC (in first-pick order, each once),
+    // a (p*v):1 matrix arbiter over the staged bid row.
     for (int ovc_idx : contested_) {
-        if (granted(grants_, ovc_idx))
-            continue;   // Already resolved this output VC.
-        // Build the request row for this output VC.
-        int nivc = p_ * v_;
-        for (int ivc = 0; ivc < nivc; ivc++)
-            reqRow_[ivc] = (pickOf_[ivc] == ovc_idx);
-        int winner = outputVcArb_[ovc_idx].arbitrate(reqRow_);
+        std::uint64_t *row = &bids_[std::size_t(ovc_idx) * nivcWords_];
+        int winner = outputVcArb_[ovc_idx].arbitrateMask(row);
         if (winner != NoGrant) {
             outputVcArb_[ovc_idx].update(winner);
             grants_.push_back({winner / v_, winner % v_,
@@ -65,24 +63,39 @@ VcAllocator::allocate(const std::vector<VaRequest> &requests,
             // over the output VCs next time.
             firstStagePtr_[winner] = (ovc_idx % v_ + 1) % v_;
         }
-    }
-
-    // Clear scratch state for the next round.
-    for (const auto &r : requests) {
-        int ivc = r.inPort * v_ + r.inVc;
-        seen_[ivc] = false;
-        pickOf_[ivc] = -1;
+        for (int w = 0; w < nivcWords_; w++)
+            row[w] = 0;
+        clearBit(staged_.data(), ovc_idx);
     }
     return grants_;
 }
 
-bool
-VcAllocator::granted(const std::vector<VaGrant> &grants, int ovc_idx) const
+const std::vector<VaGrant> &
+VcAllocator::allocate(const std::vector<VaRequest> &requests,
+                      const std::function<bool(int, int)> &is_free)
 {
-    for (const auto &g : grants)
-        if (g.outPort * v_ + g.outVc == ovc_idx)
-            return true;
-    return false;
+    // pdr-lint: allow(PDR-PERF-DENSESCAN) convenience entry for tests;
+    // the router maintains the free words incrementally instead
+    for (int out = 0; out < p_; out++) {
+        std::uint64_t w = 0;
+        // pdr-lint: allow(PDR-PERF-DENSESCAN) convenience entry for
+        // tests; materializes the packed free words once per call
+        for (int ov = 0; ov < v_; ov++) {
+            if (is_free(out, ov))
+                w |= std::uint64_t(1) << ov;
+        }
+        freeScratch_[out] = w;
+    }
+    return allocate(requests, freeScratch_.data());
+}
+
+void
+VcAllocator::dumpState(std::vector<std::uint8_t> &out) const
+{
+    for (int ptr : firstStagePtr_)
+        out.push_back(std::uint8_t(ptr));
+    for (const auto &a : outputVcArb_)
+        a.dumpState(out);
 }
 
 } // namespace pdr::arb

@@ -12,8 +12,14 @@
  *    input VCs competing for that output VC.
  *
  * Losers simply retry the next cycle.  Output-VC free/busy status is
- * owned by the router (outvc_state); the allocator asks through a
- * predicate so it never grants a busy VC.
+ * owned by the router, which hands it over as one packed free-VC word
+ * per output port (bit i set = output VC i free); stage 1 is then a
+ * rotated find-first-set over (vcMask & free word) instead of a
+ * predicate-call scan, and stage 2 stages one packed (p*v)-wide bid row
+ * per contested output VC.  The dense predicate-driven reference
+ * implementation is retained verbatim as ScalarVcAllocator in
+ * scalar_oracle.hh; grants and priority evolution are bit-identical
+ * (tests/arb/test_alloc_equiv.cc).
  */
 
 #ifndef PDR_ARB_VC_ALLOCATOR_HH
@@ -46,24 +52,50 @@ struct VaGrant
     int outVc;
 };
 
-/** Separable VC allocator with an Rp-range routing function. */
-class VcAllocator
+/** Interface of the VC allocator, runtime-swappable against the scalar
+ *  oracle (router.scalar_alloc; same grants either way). */
+class VcAllocatorBase
 {
   public:
-    VcAllocator(int p, int v);
+    virtual ~VcAllocatorBase() = default;
 
     /**
      * One allocation round.
      *
      * @param requests at most one per input VC.
-     * @param is_free predicate: is (outPort, outVc) unallocated?
+     * @param free_vcs one word per output port; bit i set iff output
+     *        VC i of that port is unallocated.  Bits >= numVcs must be
+     *        clear.
      * @return grants; at most one per request and per output VC.  The
      *         reference points into allocator-owned scratch and is
      *         valid until the next allocate() call.
      */
+    virtual const std::vector<VaGrant> &
+    allocate(const std::vector<VaRequest> &requests,
+             const std::uint64_t *free_vcs) = 0;
+
+    /** Append all priority state: the stage-1 rotating pointers, then
+     *  each stage-2 matrix arbiter (equivalence tests). */
+    virtual void dumpState(std::vector<std::uint8_t> &out) const = 0;
+};
+
+/** Separable VC allocator with an Rp-range routing function. */
+class VcAllocator : public VcAllocatorBase
+{
+  public:
+    VcAllocator(int p, int v);
+
+    const std::vector<VaGrant> &
+    allocate(const std::vector<VaRequest> &requests,
+             const std::uint64_t *free_vcs) override;
+
+    /** Predicate-driven convenience entry (tests): materializes the
+     *  free-VC words from is_free and runs the packed path. */
     const std::vector<VaGrant> &
     allocate(const std::vector<VaRequest> &requests,
              const std::function<bool(int, int)> &is_free);
+
+    void dumpState(std::vector<std::uint8_t> &out) const override;
 
     int numPorts() const { return p_; }
     int numVcs() const { return v_; }
@@ -71,20 +103,20 @@ class VcAllocator
   private:
     int p_;
     int v_;
+    int nivcWords_;  //!< Words per stage-2 (p*v)-wide bid row.
     /** Stage-1 rotating pointer per input VC (index inPort*v + inVc). */
     std::vector<int> firstStagePtr_;
     /** Stage-2 matrix arbiter per output VC (index outPort*v + outVc),
      *  arbitrating p*v input VCs. */
     std::vector<MatrixArbiter> outputVcArb_;
 
-    /** True if grants already contain the given output-VC index. */
-    bool granted(const std::vector<VaGrant> &grants, int ovc_idx) const;
-
-    // Reused per-call scratch (hot path: one call per router per cycle).
-    ReqRow reqRow_;
-    std::vector<int> pickOf_;
-    std::vector<std::uint8_t> seen_;
-    std::vector<int> contested_;
+    // Reused per-call scratch (hot path: one call per router per
+    // cycle).  bids_ rows and the staged_ bits are zeroed again before
+    // allocate() returns.
+    std::vector<std::uint64_t> bids_;    //!< [ovc_idx][nivcWords_] rows.
+    std::vector<std::uint64_t> staged_;  //!< Bitset over ovc_idx.
+    std::vector<int> contested_;         //!< Staged ovc_idx, pick order.
+    std::vector<std::uint64_t> freeScratch_;  //!< Predicate-entry words.
     std::vector<VaGrant> grants_;
 };
 

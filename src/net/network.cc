@@ -428,6 +428,21 @@ Network::auditCycle()
         }
     }
 
+    // [AUD-BID] Incremental allocation-bitset consistency: every
+    // router's RouteWait/Active bid bitsets and free output-VC words
+    // must equal a dense recompute from the per-VC pipeline state.
+    // The bitsets are the router-internal analog of the wake table
+    // (updated at the same mutation points), so a stale bit here is
+    // the allocation-side dual of an AUD-WAKE violation.
+    for (std::size_t i = 0; i < routers_.size(); i++) {
+        checks++;
+        std::string diag = routers_[i].auditBidState();
+        if (!diag.empty()) {
+            auditor_->fail(now_, csprintf("router %zu", i), "AUD-BID",
+                           diag);
+        }
+    }
+
     auditor_->addChecks(checks);
 }
 

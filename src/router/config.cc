@@ -64,9 +64,19 @@ RouterConfig::validate() const
             "router.num_ports: routers need at least 2 ports "
             "(0 = derive from the topology), got %d", numPorts));
     }
+    if (numPorts > 64) {
+        throw std::invalid_argument(csprintf(
+            "router.num_ports must be <= 64 (ports are staged as one "
+            "packed bid word), got %d", numPorts));
+    }
     if (numVcs < 1) {
         throw std::invalid_argument(csprintf(
             "router.num_vcs must be >= 1, got %d", numVcs));
+    }
+    if (numVcs > 64) {
+        throw std::invalid_argument(csprintf(
+            "router.num_vcs must be <= 64 (a port's VCs are staged as "
+            "one packed bid word), got %d", numVcs));
     }
     if (model == RouterModel::Wormhole && numVcs != 1) {
         throw std::invalid_argument(csprintf(

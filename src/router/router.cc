@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "arb/scalar_oracle.hh"
 #include "common/logging.hh"
 
 namespace pdr::router {
@@ -23,27 +24,50 @@ Router::Router(sim::NodeId id, const RouterConfig &cfg,
     inputs_.resize(p);
     outputs_.resize(p);
     invcs_.resize(std::size_t(p) * std::size_t(v));
-    outBusy_.assign(std::size_t(p) * std::size_t(v), 0);
+    outFree_.assign(p, arb::lowMask(v));
+    vcWords_ = arb::wordsFor(p * v);
+    bidRouteWait_.assign(vcWords_, 0);
+    bidActive_.assign(vcWords_, 0);
     outCredits_.assign(std::size_t(p) * std::size_t(v), cfg_.bufDepth);
     for (auto &ivc : invcs_)
         ivc.fifo.init(cfg_.bufDepth);
 
+    const bool scalar = cfg_.scalarAlloc;
+    auto make_sep = [&]() -> std::unique_ptr<arb::SwitchAllocatorBase> {
+        if (scalar)
+            return std::make_unique<arb::ScalarSeparableSwitchAllocator>(
+                p, v);
+        return std::make_unique<arb::SeparableSwitchAllocator>(p, v);
+    };
     switch (cfg_.model) {
       case RouterModel::Wormhole:
-        whArb_ = std::make_unique<arb::WormholeSwitchArbiter>(p);
+        if (scalar)
+            whArb_ =
+                std::make_unique<arb::ScalarWormholeSwitchArbiter>(p);
+        else
+            whArb_ = std::make_unique<arb::WormholeSwitchArbiter>(p);
         break;
       case RouterModel::VirtualChannel:
-        vcAlloc_ = std::make_unique<arb::VcAllocator>(p, v);
-        saAlloc_ = std::make_unique<arb::SeparableSwitchAllocator>(p, v);
+        vcAlloc_ = scalar
+            ? std::unique_ptr<arb::VcAllocatorBase>(
+                  std::make_unique<arb::ScalarVcAllocator>(p, v))
+            : std::make_unique<arb::VcAllocator>(p, v);
+        saAlloc_ = make_sep();
         break;
       case RouterModel::SpecVirtualChannel:
-        vcAlloc_ = std::make_unique<arb::VcAllocator>(p, v);
+        vcAlloc_ = scalar
+            ? std::unique_ptr<arb::VcAllocatorBase>(
+                  std::make_unique<arb::ScalarVcAllocator>(p, v))
+            : std::make_unique<arb::VcAllocator>(p, v);
         if (cfg_.singleCycle || cfg_.specEqualPriority) {
             // Unit-latency model (VA and SA complete in the same
             // cycle, no speculation needed) or the equal-priority
             // ablation: one separable allocator over all requests.
-            saAlloc_ =
-                std::make_unique<arb::SeparableSwitchAllocator>(p, v);
+            saAlloc_ = make_sep();
+        } else if (scalar) {
+            specAlloc_ =
+                std::make_unique<arb::ScalarSpeculativeSwitchAllocator>(
+                    p, v);
         } else {
             specAlloc_ =
                 std::make_unique<arb::SpeculativeSwitchAllocator>(p, v);
@@ -109,6 +133,54 @@ Router::auditCollectFlits(std::vector<sim::FlitRef> &out) const
         });
 }
 
+std::string
+Router::auditBidState() const
+{
+    const int p = cfg_.numPorts;
+    const int v = cfg_.numVcs;
+    // Expected output-VC busy words, rebuilt from the Active holders
+    // (an input VC holds (route, outVc) from VA grant to tail
+    // departure).  p <= 64 is enforced by RouterConfig::validate.
+    std::uint64_t busy[64] = {};
+    for (int port = 0; port < p; port++) {
+        for (int vc = 0; vc < v; vc++) {
+            const std::size_t vi = vidx(port, vc);
+            const InputVc &ivc = invcs_[vi];
+            const bool rw = ivc.state == VcState::RouteWait;
+            const bool act =
+                ivc.state == VcState::Active && !ivc.fifo.empty();
+            if (rw != arb::testBit(bidRouteWait_.data(), int(vi))) {
+                return csprintf(
+                    "bidRouteWait bit (port %d, vc %d): bit %d, "
+                    "state %d", port, vc, int(!rw), int(ivc.state));
+            }
+            if (act != arb::testBit(bidActive_.data(), int(vi))) {
+                return csprintf(
+                    "bidActive bit (port %d, vc %d): bit %d, state %d "
+                    "fifo %d", port, vc, int(!act), int(ivc.state),
+                    int(ivc.fifo.size()));
+            }
+            if (cfg_.model != RouterModel::Wormhole &&
+                ivc.state == VcState::Active) {
+                busy[ivc.route] |= std::uint64_t(1) << ivc.outVc;
+            }
+        }
+    }
+    if (cfg_.model != RouterModel::Wormhole) {
+        for (int port = 0; port < p; port++) {
+            const std::uint64_t expect = arb::lowMask(v) & ~busy[port];
+            if (outFree_[port] != expect) {
+                return csprintf(
+                    "outFree_[%d] = %#llx, expected %#llx from Active "
+                    "holders", port,
+                    (unsigned long long)outFree_[port],
+                    (unsigned long long)expect);
+            }
+        }
+    }
+    return std::string();
+}
+
 bool
 Router::quiescent() const
 {
@@ -118,8 +190,8 @@ Router::quiescent() const
     for (const auto &op : outputs_)
         if (op.heldBy != sim::Invalid)
             return false;
-    for (std::uint8_t busy : outBusy_)
-        if (busy)
+    for (std::uint64_t free : outFree_)
+        if (free != arb::lowMask(cfg_.numVcs))
             return false;
     return true;
 }
@@ -143,10 +215,19 @@ Router::portScore(int out_port) const
         return outCredits_[vidx(out_port, 0)];
     }
     int score = 0;
-    for (int vc = 0; vc < cfg_.numVcs; vc++) {
-        std::size_t i = vidx(out_port, vc);
-        if (!outBusy_[i])
-            score += outCredits_[i];
+    if (cfg_.scalarAlloc) {
+        // Pre-rework cost shape: test every VC of the port.
+        for (int vc = 0; vc < cfg_.numVcs; vc++) {
+            if ((outFree_[out_port] >> vc) & 1u)
+                score += outCredits_[vidx(out_port, vc)];
+        }
+        return score;
+    }
+    std::uint64_t free = outFree_[out_port];
+    while (free) {
+        int vc = arb::ctz64(free);
+        free &= free - 1;
+        score += outCredits_[vidx(out_port, vc)];
     }
     return score;
 }
@@ -234,6 +315,7 @@ Router::receiveFlits(sim::Cycle now)
                 ivc.actReady = f.eligible;
             }
             ivc.fifo.push(*r);
+            syncBid(vidx(port, f.vc));
             stats_.flitsIn++;
         }
     }
@@ -242,49 +324,74 @@ Router::receiveFlits(sim::Cycle now)
 void
 Router::vaPhase(sim::Cycle now)
 {
+    const int v = cfg_.numVcs;
+    if (cfg_.scalarAlloc) {
+        // Pre-rework cost shape: sweep every VC's flag each tick.
+        const int nivc = cfg_.numPorts * v;
+        for (int vi = 0; vi < nivc; vi++)
+            invcs_[vi].vaGrantedNow = false;
+        vaGranted_.clear();
+    } else {
+        // vaGrantedNow only matters within the tick that granted it;
+        // clear exactly last tick's grantees instead of sweeping.
+        for (std::size_t vi : vaGranted_)
+            invcs_[vi].vaGrantedNow = false;
+        vaGranted_.clear();
+    }
+
     vaReqs_.clear();
     saReqs_.clear();
 
-    for (int port = 0; port < cfg_.numPorts; port++) {
-        for (int vc = 0; vc < cfg_.numVcs; vc++) {
-            auto &ivc = invc(port, vc);
-            ivc.vaGrantedNow = false;
-            if (ivc.state != VcState::RouteWait || now < ivc.actReady)
-                continue;
-            pdr_assert(!ivc.fifo.empty());
-            const auto &head = pool_.get(ivc.fifo.front());
-            pdr_assert(sim::isHead(head.type));
-            if (routing_.isAdaptive()) {
-                // Footnote 5: re-iterate through the routing function
-                // on every attempt, picking one output port.
-                ivc.route = selectRoute(head);
-            }
-            vaReqs_.push_back({port, vc, ivc.route,
-                               routing_.vcMask(head, id_, ivc.route,
-                                               cfg_.numVcs)});
-            if (specBids_) {
-                // Speculative switch bid issued in parallel with the VA
-                // request, before its outcome is known.
-                saReqs_.push_back({port, vc, ivc.route, true});
-                stats_.specSaAttempts++;
-            }
+    auto consider = [&](int vi) {
+        auto &ivc = invcs_[vi];
+        pdr_assert(ivc.state == VcState::RouteWait);
+        if (now < ivc.actReady)
+            return;
+        pdr_assert(!ivc.fifo.empty());
+        const int port = vi / v, vc = vi % v;
+        const auto &head = pool_.get(ivc.fifo.front());
+        pdr_assert(sim::isHead(head.type));
+        if (routing_.isAdaptive()) {
+            // Footnote 5: re-iterate through the routing function
+            // on every attempt, picking one output port.
+            ivc.route = selectRoute(head);
         }
+        vaReqs_.push_back({port, vc, ivc.route,
+                           routing_.vcMask(head, id_, ivc.route, v)});
+        if (specBids_) {
+            // Speculative switch bid issued in parallel with the VA
+            // request, before its outcome is known.
+            saReqs_.push_back({port, vc, ivc.route, true});
+            stats_.specSaAttempts++;
+        }
+    };
+    if (cfg_.scalarAlloc) {
+        // Pre-rework cost shape (the A/B baseline): visit every input
+        // VC and test its state.  Same ascending order, same gates, so
+        // vaReqs_ is identical to the sparse walk's.
+        const int nivc = cfg_.numPorts * v;
+        for (int vi = 0; vi < nivc; vi++) {
+            if (invcs_[vi].state == VcState::RouteWait)
+                consider(vi);
+        }
+    } else {
+        arb::forEachSetBit(bidRouteWait_.data(), vcWords_, consider);
     }
 
     if (vaReqs_.empty())
         return;
 
-    const auto &grants = vcAlloc_->allocate(
-        vaReqs_, [this](int out_port, int out_vc) {
-            return !outBusy_[vidx(out_port, out_vc)];
-        });
+    const auto &grants = vcAlloc_->allocate(vaReqs_, outFree_.data());
     for (const auto &g : grants) {
-        auto &ivc = invc(g.inPort, g.inVc);
-        outBusy_[vidx(g.outPort, g.outVc)] = 1;
+        std::size_t vi = vidx(g.inPort, g.inVc);
+        auto &ivc = invcs_[vi];
+        outFree_[g.outPort] &= ~(std::uint64_t(1) << g.outVc);
         ivc.outVc = g.outVc;
         ivc.state = VcState::Active;
         ivc.vaGrantTick = now;
         ivc.vaGrantedNow = true;
+        vaGranted_.push_back(vi);
+        syncBid(vi);
         // Non-speculative switch requests start next cycle (same cycle
         // for the unit-latency model).
         ivc.saReady = now + (cfg_.singleCycle ? 0 : 1);
@@ -296,13 +403,18 @@ void
 Router::saPhaseWormhole(sim::Cycle now)
 {
     saReqs_.clear();
-    for (int port = 0; port < cfg_.numPorts; port++) {
+    // Wormhole has numVcs == 1, so vidx == port and the union of the
+    // bid bitsets is exactly the ports whose FIFO holds an actionable
+    // flit (RouteWait implies non-empty; Active-with-empty-FIFO ports
+    // have their bidActive_ bit clear).  departFlit() below mutates
+    // only the visited port's bits; the sparse walk iterates a word
+    // snapshot, so the traversal matches the dense ascending scan.
+    auto considerPort = [&](int port) {
         auto &ivc = invc(port, 0);
-        if (ivc.fifo.empty())
-            continue;
+        pdr_assert(!ivc.fifo.empty());
         const auto &f = pool_.get(ivc.fifo.front());
         if (now < f.eligible)
-            continue;
+            return;
         if (ivc.state == VcState::RouteWait && now >= ivc.actReady) {
             // Head arbitrates for a free output port; it also needs a
             // downstream buffer to move into.
@@ -327,6 +439,23 @@ Router::saPhaseWormhole(sim::Cycle now)
                 extendStall(ivc, now);
             }
         }
+    };
+    if (cfg_.scalarAlloc) {
+        // Pre-rework cost shape: scan every port, gated on the same
+        // condition the bid bits encode.
+        for (int port = 0; port < cfg_.numPorts; port++) {
+            const auto &ivc = invc(port, 0);
+            if (ivc.state == VcState::RouteWait ||
+                (ivc.state == VcState::Active && !ivc.fifo.empty()))
+                considerPort(port);
+        }
+    } else {
+        std::uint64_t occupied = bidRouteWait_[0] | bidActive_[0];
+        while (occupied) {
+            int port = arb::ctz64(occupied);
+            occupied &= occupied - 1;
+            considerPort(port);
+        }
     }
 
     if (saReqs_.empty())
@@ -345,24 +474,36 @@ void
 Router::saPhaseVc(sim::Cycle now)
 {
     // Non-speculative requests from Active VCs (saReqs_ already holds
-    // this tick's speculative bids, pushed by vaPhase).
-    for (int port = 0; port < cfg_.numPorts; port++) {
-        for (int vc = 0; vc < cfg_.numVcs; vc++) {
-            auto &ivc = invc(port, vc);
-            if (ivc.state != VcState::Active || ivc.fifo.empty())
-                continue;
-            if (ivc.vaGrantedNow && !cfg_.singleCycle)
-                continue;   // Covered by its speculative bid (specVC).
-            const auto &f = pool_.get(ivc.fifo.front());
-            if (now < f.eligible || now < ivc.saReady)
-                continue;
-            if (!hasCredit(ivc.route, ivc.outVc)) {
-                extendStall(ivc, now);
-                continue;
-            }
-            closeStall(ivc, now);
-            saReqs_.push_back({port, vc, ivc.route, false});
+    // this tick's speculative bids, pushed by vaPhase).  bidActive_ is
+    // exactly the Active VCs with a buffered flit, in ascending vidx
+    // order; no mutation happens until the grant loop below.
+    const int v = cfg_.numVcs;
+    auto consider = [&](int vi) {
+        auto &ivc = invcs_[vi];
+        pdr_assert(ivc.state == VcState::Active && !ivc.fifo.empty());
+        if (ivc.vaGrantedNow && !cfg_.singleCycle)
+            return;     // Covered by its speculative bid (specVC).
+        const auto &f = pool_.get(ivc.fifo.front());
+        if (now < f.eligible || now < ivc.saReady)
+            return;
+        if (!hasCredit(ivc.route, ivc.outVc)) {
+            extendStall(ivc, now);
+            return;
         }
+        closeStall(ivc, now);
+        saReqs_.push_back({vi / v, vi % v, ivc.route, false});
+    };
+    if (cfg_.scalarAlloc) {
+        // Pre-rework cost shape: visit every input VC and test its
+        // state; same ascending order and gates as the bid bits.
+        const int nivc = cfg_.numPorts * v;
+        for (int vi = 0; vi < nivc; vi++) {
+            const auto &ivc = invcs_[vi];
+            if (ivc.state == VcState::Active && !ivc.fifo.empty())
+                consider(vi);
+        }
+    } else {
+        arb::forEachSetBit(bidActive_.data(), vcWords_, consider);
     }
 
     if (saReqs_.empty())
@@ -426,6 +567,9 @@ Router::departFlit(int in_port, int in_vc, int out_port, int out_vc,
 
     if (sim::isTail(f.type))
         releaseAndTakeOver(in_port, in_vc, out_port, out_vc, now);
+    // One re-sync after pop (and possible tail takeover) covers every
+    // state this VC can land in.
+    syncBid(vidx(in_port, in_vc));
 }
 
 void
@@ -439,8 +583,9 @@ Router::releaseAndTakeOver(int in_port, int in_vc, int out_port,
         pdr_assert(op.heldBy == in_port);
         op.heldBy = sim::Invalid;
     } else {
-        pdr_assert(op.isSink || outBusy_[vidx(out_port, out_vc)]);
-        outBusy_[vidx(out_port, out_vc)] = 0;
+        pdr_assert(op.isSink ||
+                   !((outFree_[out_port] >> out_vc) & 1u));
+        outFree_[out_port] |= std::uint64_t(1) << out_vc;
     }
     ivc.outVc = sim::Invalid;
 
@@ -475,66 +620,87 @@ Router::nextWake(sim::Cycle now)
     sim::Cycle t = sim::CycleNever;
     const bool wh = cfg_.model == RouterModel::Wormhole;
     const int v = cfg_.numVcs;
-    for (int port = 0; port < cfg_.numPorts; port++) {
-        for (int vc = 0; vc < v; vc++) {
-            InputVc &ivc = invcs_[vidx(port, vc)];
-            if (ivc.fifo.empty())
-                continue;
-            const sim::Flit &f = pool_.get(ivc.fifo.front());
-            if (wh) {
-                if (ivc.state == VcState::RouteWait) {
-                    sim::Cycle r = std::max(f.eligible, ivc.actReady);
-                    if (r > now) {
-                        t = std::min(t, r);
-                    } else if (outputs_[ivc.route].heldBy !=
-                               sim::Invalid) {
-                        // Held port: only our own ticks release it.
-                    } else if (hasCredit(ivc.route, 0)) {
-                        return now + 1;     // Can bid for the port.
-                    } else {
-                        // Credit-stall sleep; the watched credit
-                        // channel ends it.
-                        openStall(ivc, now + 1);
-                    }
-                } else if (ivc.state == VcState::Active) {
-                    if (f.eligible > now)
-                        t = std::min(t, f.eligible);
-                    else if (hasCredit(ivc.route, 0))
-                        return now + 1;     // Flit can depart.
-                    else
-                        openStall(ivc, now + 1);
+    // The union of the bid bitsets is exactly the occupied, actionable
+    // VCs the dense scan used to filter down to (RouteWait implies a
+    // buffered head; Active VCs with drained FIFOs are excluded).
+    // check(vi) returns true when the VC can do observable work on the
+    // very next tick (the caller then returns now + 1).
+    auto check = [&](std::size_t vi) -> bool {
+        InputVc &ivc = invcs_[vi];
+        pdr_assert(!ivc.fifo.empty());
+        const sim::Flit &f = pool_.get(ivc.fifo.front());
+        if (wh) {
+            if (ivc.state == VcState::RouteWait) {
+                sim::Cycle r = std::max(f.eligible, ivc.actReady);
+                if (r > now) {
+                    t = std::min(t, r);
+                } else if (outputs_[ivc.route].heldBy !=
+                           sim::Invalid) {
+                    // Held port: only our own ticks release it.
+                } else if (hasCredit(ivc.route, 0)) {
+                    return true;        // Can bid for the port.
+                } else {
+                    // Credit-stall sleep; the watched credit
+                    // channel ends it.
+                    openStall(ivc, now + 1);
                 }
-            } else {
-                if (ivc.state == VcState::RouteWait) {
-                    if (ivc.actReady > now) {
-                        t = std::min(t, ivc.actReady);
-                        continue;
-                    }
-                    if (specBids_)
-                        return now + 1;     // Bids the switch per cycle.
-                    // Pure VA pipeline: the allocator's persistent
-                    // state only changes on grants, and a grant needs
-                    // a free candidate output VC.  All-busy candidates
-                    // free only during our own ticks (tail
-                    // departures), so such a VC does not pin us awake.
-                    std::uint32_t mask =
-                        routing_.vcMask(f, id_, ivc.route, v);
-                    for (int ov = 0; ov < v; ov++) {
-                        if (((mask >> ov) & 1u) &&
-                            !outBusy_[vidx(ivc.route, ov)])
-                            return now + 1; // VA can grant someone.
-                    }
-                } else if (ivc.state == VcState::Active) {
-                    sim::Cycle r = std::max(f.eligible, ivc.saReady);
-                    if (r > now)
-                        t = std::min(t, r);
-                    else if (hasCredit(ivc.route, ivc.outVc))
-                        return now + 1;     // Switch request next cycle.
-                    else
-                        // Interval-accounted credit stall; the watched
-                        // credit channel ends the sleep.
-                        openStall(ivc, now + 1);
+            } else if (ivc.state == VcState::Active) {
+                if (f.eligible > now)
+                    t = std::min(t, f.eligible);
+                else if (hasCredit(ivc.route, 0))
+                    return true;        // Flit can depart.
+                else
+                    openStall(ivc, now + 1);
+            }
+        } else {
+            if (ivc.state == VcState::RouteWait) {
+                if (ivc.actReady > now) {
+                    t = std::min(t, ivc.actReady);
+                    return false;
                 }
+                if (specBids_)
+                    return true;        // Bids the switch per cycle.
+                // Pure VA pipeline: the allocator's persistent
+                // state only changes on grants, and a grant needs
+                // a free candidate output VC.  All-busy candidates
+                // free only during our own ticks (tail
+                // departures), so such a VC does not pin us awake.
+                std::uint32_t mask =
+                    routing_.vcMask(f, id_, ivc.route, v);
+                if (std::uint64_t(mask) & outFree_[ivc.route])
+                    return true;        // VA can grant someone.
+            } else if (ivc.state == VcState::Active) {
+                sim::Cycle r = std::max(f.eligible, ivc.saReady);
+                if (r > now)
+                    t = std::min(t, r);
+                else if (hasCredit(ivc.route, ivc.outVc))
+                    return true;        // Switch request next cycle.
+                else
+                    // Interval-accounted credit stall; the watched
+                    // credit channel ends the sleep.
+                    openStall(ivc, now + 1);
+            }
+        }
+        return false;
+    };
+    if (cfg_.scalarAlloc) {
+        // Pre-rework cost shape: test every input VC's state.
+        const std::size_t nivc = std::size_t(cfg_.numPorts) * v;
+        for (std::size_t vi = 0; vi < nivc; vi++) {
+            const auto &ivc = invcs_[vi];
+            if (ivc.state == VcState::RouteWait ||
+                (ivc.state == VcState::Active && !ivc.fifo.empty()))
+                if (check(vi))
+                    return now + 1;
+        }
+    } else {
+        for (int w = 0; w < vcWords_; w++) {
+            std::uint64_t m = bidRouteWait_[w] | bidActive_[w];
+            while (m) {
+                int b = arb::ctz64(m);
+                m &= m - 1;
+                if (check(std::size_t(w) * 64 + b))
+                    return now + 1;
             }
         }
     }

@@ -33,8 +33,10 @@
 
 #include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "arb/bitrow.hh"
 #include "arb/switch_allocator.hh"
 #include "arb/vc_allocator.hh"
 #include "router/config.hh"
@@ -153,6 +155,13 @@ class Router
     int auditPendingCredits(int out_port, int out_vc) const;
     /** Append every flit handle buffered in any input FIFO. */
     void auditCollectFlits(std::vector<sim::FlitRef> &out) const;
+    /**
+     * AUD-BID: recompute the incremental allocation bitsets (RouteWait
+     * bids, Active bids, free output-VC words) densely from the per-VC
+     * state and compare.  Returns an empty string when consistent,
+     * otherwise a diagnostic naming the first mismatching entry.
+     */
+    std::string auditBidState() const;
 
   private:
     /** Input-VC pipeline states (invc_state / inpc_state of Figs 2, 3). */
@@ -300,8 +309,52 @@ class Router
 
     // SoA per-VC slabs, all indexed by vidx(port, vc).
     std::vector<InputVc> invcs_;        //!< Input VC pipeline state.
-    std::vector<std::uint8_t> outBusy_; //!< Output VC allocated flag.
     std::vector<int> outCredits_;       //!< Downstream buffer credits.
+
+    /**
+     * Free output VCs as one packed word per output port (bit vc set =
+     * unallocated; bits >= numVcs always clear).  Replaces the dense
+     * per-VC busy byte array: VA hands the words straight to the
+     * allocator, and nextWake's VA-candidate test is one AND.
+     */
+    std::vector<std::uint64_t> outFree_;
+
+    /**
+     * Incremental allocation-bid bitsets over vidx, the in-router
+     * analog of the network wake table: bidRouteWait_ holds every VC
+     * in RouteWait (head routed, awaiting VA -- or SA for wormhole),
+     * bidActive_ every Active VC with a buffered flit.  syncBid()
+     * re-derives both bits from (state, fifo) at every mutation point
+     * (flit arrival, VA grant, departure, tail takeover), so the
+     * allocation phases and nextWake iterate only set bits instead of
+     * walking all p * v VCs.  Audited against a dense recompute by
+     * AUD-BID (auditBidState).
+     */
+    std::vector<std::uint64_t> bidRouteWait_;
+    std::vector<std::uint64_t> bidActive_;
+    int vcWords_ = 1;   //!< Words per bid bitset (wordsFor(p * v)).
+
+    /** VCs whose vaGrantedNow flag is set; the flag only matters
+     *  within the granting tick, so the next vaPhase clears exactly
+     *  these instead of sweeping every VC. */
+    std::vector<std::size_t> vaGranted_;
+
+    /** Re-derive (port, vc)'s bits in the bid bitsets from its state. */
+    void
+    syncBid(std::size_t vi)
+    {
+        const InputVc &ivc = invcs_[vi];
+        const std::size_t w = vi >> 6;
+        const std::uint64_t bit = std::uint64_t(1) << (vi & 63);
+        if (ivc.state == VcState::RouteWait)
+            bidRouteWait_[w] |= bit;
+        else
+            bidRouteWait_[w] &= ~bit;
+        if (ivc.state == VcState::Active && !ivc.fifo.empty())
+            bidActive_[w] |= bit;
+        else
+            bidActive_[w] &= ~bit;
+    }
 
     std::deque<PendingCredit> pendingCredits_;
 
@@ -310,11 +363,13 @@ class Router
      *  VCs pin the router awake; cached model predicate. */
     bool specBids_ = false;
 
-    // Allocators (constructed per model).
-    std::unique_ptr<arb::WormholeSwitchArbiter> whArb_;
-    std::unique_ptr<arb::VcAllocator> vcAlloc_;
-    std::unique_ptr<arb::SeparableSwitchAllocator> saAlloc_;
-    std::unique_ptr<arb::SpeculativeSwitchAllocator> specAlloc_;
+    // Allocators (constructed per model; the bitmask engine by
+    // default, the dense scalar oracle under cfg.scalarAlloc -- same
+    // grants either way).
+    std::unique_ptr<arb::WormholeArbiterBase> whArb_;
+    std::unique_ptr<arb::VcAllocatorBase> vcAlloc_;
+    std::unique_ptr<arb::SwitchAllocatorBase> saAlloc_;
+    std::unique_ptr<arb::SwitchAllocatorBase> specAlloc_;
 
     // Per-tick scratch.
     std::vector<arb::VaRequest> vaReqs_;

@@ -20,6 +20,13 @@
  *     held upstream + credits maturing in the upstream pipeline +
  *     credits on the wire + flits buffered downstream + flits on the
  *     wire must equal the configured buffer depth, every cycle.
+ *   - allocation-bitset consistency [AUD-BID]: every router's
+ *     incremental RouteWait/Active bid bitsets and free output-VC
+ *     words (the sparse sets the allocation phases and nextWake
+ *     iterate) must equal a dense recompute from the per-VC pipeline
+ *     state, every cycle.  A stale bit is the allocation-side dual of
+ *     an AUD-WAKE violation: a VC that would bid under a dense scan
+ *     but is skipped by the sparse one.
  *   - flit-pool leaks [AUD-LEAK]: every live pool slot must be
  *     reachable from some queue (channel or router FIFO).  Checked at
  *     teardown; a slot that is alive but unreachable was allocated

@@ -22,6 +22,11 @@
  * `--cycles` simulated cycles `--repeats` times and reports the best
  * run (wall-clock minimum, the standard noise filter).  The simulation
  * itself is deterministic; only the timing varies.
+ *
+ * Allocator A/B pairs (bitmask engine vs `router.scalar_alloc`) are
+ * timed as interleaved segments over two live networks so both sides
+ * see the same memory-system state; the ratio of a pair's rows is the
+ * committed old-vs-new allocation speedup.
  */
 
 #include <algorithm>
@@ -30,6 +35,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -51,22 +57,39 @@ struct Scenario
     double offered;     //!< Fraction of uniform capacity.
     int k = 8;          //!< Mesh radix.
     int workers = 1;    //!< Intra-network workers (par::).
+    bool scalarAlloc = false;  //!< Retained scalar allocator path (A/B).
+    /** Name of the scalar-path partner row, set on the bitmask side of
+     *  an allocator A/B pair.  Paired scenarios are timed interleaved
+     *  (segment A, segment B, segment A, ...) inside one process so
+     *  both sides see the same heap, page and cache state -- timing
+     *  them back to back instead lets whichever runs later inherit a
+     *  warmed memory system and skews the ratio. */
+    const char *abWith = nullptr;
 };
 
 const Scenario kScenarios[] = {
     {"specvc_low_0.1", router::RouterModel::SpecVirtualChannel, 2, 4, 0.1},
     {"specvc_mid_0.5", router::RouterModel::SpecVirtualChannel, 2, 4, 0.5},
-    {"specvc_sat_0.9", router::RouterModel::SpecVirtualChannel, 2, 4, 0.9},
+    {"specvc_sat_0.9", router::RouterModel::SpecVirtualChannel, 2, 4, 0.9,
+     8, 1, false, "specvc_sat_0.9_scalar"},
+    // Same saturated scenario on the retained scalar allocator path
+    // (router.scalar_alloc): the committed old-vs-new allocation A/B.
+    // Results are bit-identical; only the wall clock differs.
+    {"specvc_sat_0.9_scalar", router::RouterModel::SpecVirtualChannel,
+     2, 4, 0.9, 8, 1, true},
     {"wormhole_low_0.1", router::RouterModel::Wormhole, 1, 8, 0.1},
     // Intra-network scaling: one saturated 16x16 mesh partitioned
     // across 1 / 2 / 4 workers (results are bit-identical; only the
     // wall clock changes).
     {"specvc_sat16_w1", router::RouterModel::SpecVirtualChannel, 2, 4,
-     0.9, 16, 1},
+     0.9, 16, 1, false, "specvc_sat16_scalar"},
     {"specvc_sat16_w2", router::RouterModel::SpecVirtualChannel, 2, 4,
      0.9, 16, 2},
     {"specvc_sat16_w4", router::RouterModel::SpecVirtualChannel, 2, 4,
      0.9, 16, 4},
+    // k=16 saturation A/B against the scalar allocator path.
+    {"specvc_sat16_scalar", router::RouterModel::SpecVirtualChannel, 2,
+     4, 0.9, 16, 1, true},
 };
 
 struct Result
@@ -76,35 +99,81 @@ struct Result
     double cyclesPerSec;
 };
 
-double
-timeScenario(const Scenario &sc, sim::Cycle cycles, int repeats)
+/** A warmed-up network plus its stepper, ready to time. */
+struct Bench
+{
+    std::unique_ptr<net::Network> network;
+    std::unique_ptr<par::ParallelStepper> stepper;
+};
+
+Bench
+buildBench(const Scenario &sc)
 {
     net::NetworkConfig cfg;
     cfg.k = sc.k;
     cfg.router.model = sc.model;
     cfg.router.numVcs = sc.numVcs;
     cfg.router.bufDepth = sc.bufDepth;
+    cfg.router.scalarAlloc = sc.scalarAlloc;
     cfg.packetLength = 5;
     cfg.warmup = 0;
     cfg.samplePackets = 1u << 30;   // Never ends the sample space.
     cfg.setOfferedFraction(sc.offered);
 
-    net::Network network(cfg);
+    Bench b;
+    b.network = std::make_unique<net::Network>(cfg);
     par::ParConfig pcfg;
     pcfg.workers = sc.workers;
-    par::ParallelStepper stepper(network, pcfg);
-    stepper.run(2000);              // Reach steady state untimed.
+    b.stepper = std::make_unique<par::ParallelStepper>(*b.network, pcfg);
+    b.stepper->run(2000);           // Reach steady state untimed.
+    return b;
+}
 
+double
+timeSegment(Bench &b, sim::Cycle cycles)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    b.stepper->run(cycles);
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+double
+timeScenario(const Scenario &sc, sim::Cycle cycles, int repeats)
+{
+    Bench b = buildBench(sc);
     double best = -1.0;
     for (int r = 0; r < repeats; r++) {
-        auto t0 = std::chrono::steady_clock::now();
-        stepper.run(cycles);
-        auto t1 = std::chrono::steady_clock::now();
-        double s = std::chrono::duration<double>(t1 - t0).count();
+        double s = timeSegment(b, cycles);
         if (best < 0.0 || s < best)
             best = s;
     }
     return best;
+}
+
+/**
+ * Time an allocator A/B pair with interleaved segments: A, B, A, B...
+ * over two live networks in the same process, so both sides run
+ * against the same heap / page / cache state.  (Timing the pair as
+ * two sequential scenarios instead hands the later one a warmed
+ * memory system -- on a saturated 16x16 mesh that alone moves the
+ * measured ratio by ~20%.)
+ */
+void
+timePair(const Scenario &a, const Scenario &b, sim::Cycle cycles,
+         int repeats, double &best_a, double &best_b)
+{
+    Bench ba = buildBench(a);
+    Bench bb = buildBench(b);
+    best_a = best_b = -1.0;
+    for (int r = 0; r < repeats; r++) {
+        double s = timeSegment(ba, cycles);
+        if (best_a < 0.0 || s < best_a)
+            best_a = s;
+        s = timeSegment(bb, cycles);
+        if (best_b < 0.0 || s < best_b)
+            best_b = s;
+    }
 }
 
 int
@@ -151,15 +220,50 @@ main(int argc, char **argv)
     if (cycles < 1 || repeats < 1)
         return usage();
 
-    std::vector<Result> results;
-    for (const auto &sc : kScenarios) {
-        double best = timeScenario(sc, sim::Cycle(cycles), repeats);
+    auto report = [&](const Scenario &sc, double best) -> Result {
         double cps = double(cycles) / best;
-        results.push_back({&sc, best, cps});
         std::printf("%-18s %12.0f cycles/sec  (best of %d x %llu "
                     "cycles: %.3f s)\n",
                     sc.name, cps, repeats,
                     static_cast<unsigned long long>(cycles), best);
+        return {&sc, best, cps};
+    };
+    auto findScenario = [](const char *name) -> const Scenario & {
+        for (const auto &sc : kScenarios)
+            if (std::strcmp(sc.name, name) == 0)
+                return sc;
+        std::fprintf(stderr, "bench_core: no scenario '%s'\n", name);
+        std::exit(1);
+    };
+
+    // Timed in declaration order; a paired scenario also produces its
+    // partner's row (interleaved segments), which is then skipped when
+    // the loop reaches it.
+    std::vector<Result> paired;
+    std::vector<Result> results;
+    auto alreadyDone = [&](const Scenario &sc) -> const Result * {
+        for (const auto &r : paired)
+            if (r.sc == &sc)
+                return &r;
+        return nullptr;
+    };
+    for (const auto &sc : kScenarios) {
+        if (const Result *r = alreadyDone(sc)) {
+            results.push_back(*r);
+            continue;
+        }
+        if (sc.abWith) {
+            const Scenario &partner = findScenario(sc.abWith);
+            double best_a = 0.0, best_b = 0.0;
+            timePair(sc, partner, sim::Cycle(cycles), repeats,
+                     best_a, best_b);
+            results.push_back(report(sc, best_a));
+            paired.push_back(report(partner, best_b));
+        } else {
+            results.push_back(
+                report(sc, timeScenario(sc, sim::Cycle(cycles),
+                                        repeats)));
+        }
     }
 
     std::ofstream f(out);
@@ -180,9 +284,12 @@ main(int argc, char **argv)
         std::snprintf(buf, sizeof(buf),
                       "    {\"name\": \"%s\", \"offered\": %.2f, "
                       "\"k\": %d, \"workers\": %d, "
+                      "\"scalar_alloc\": %s, "
                       "\"best_wall_s\": %.6f, \"cycles_per_sec\": %.0f}",
                       r.sc->name, r.sc->offered, r.sc->k,
-                      r.sc->workers, r.bestWallS, r.cyclesPerSec);
+                      r.sc->workers,
+                      r.sc->scalarAlloc ? "true" : "false",
+                      r.bestWallS, r.cyclesPerSec);
         f << buf << (i + 1 < results.size() ? ",\n" : "\n");
     }
     f << "  ]\n}\n";

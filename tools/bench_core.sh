@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
-# Regenerate BENCH_core.json: build the Release bench_core driver and
-# time the simulation core's fixed scenarios (see tools/bench_core.cc).
+# Regenerate BENCH_core.json and BENCH_alloc.json: build the Release
+# bench drivers, time the simulation core's fixed scenarios (see
+# tools/bench_core.cc -- including the scalar-allocator A/B pairs) and
+# the allocator-level bitmask-vs-scalar A/B (tools/bench_alloc.cc).
 #
 #   tools/bench_core.sh [--cycles N] [--repeats R]
 #
-# Writes BENCH_core.json at the repository root.  Compare against the
-# committed copy (or a previous run) to track the core's cycles/sec
+# Writes both JSON files at the repository root.  Compare against the
+# committed copies (or a previous run) to track the core's cycles/sec
 # trajectory PR over PR:
 #
 #   jq -r '.scenarios[] | "\(.name) \(.cycles_per_sec)"' BENCH_core.json
+#   jq -r '.scenarios[] | "\(.name) \(.ratio)"' BENCH_alloc.json
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -17,6 +20,8 @@ build="$repo/build-bench"
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release \
       -DPDR_BUILD_TESTS=OFF -DPDR_BUILD_BENCHES=OFF \
       -DPDR_BUILD_EXAMPLES=OFF > /dev/null
-cmake --build "$build" -j "$(nproc)" --target bench_core > /dev/null
+cmake --build "$build" -j "$(nproc)" --target bench_core \
+      --target bench_alloc > /dev/null
 
+"$build/bench_alloc" --out "$repo/BENCH_alloc.json"
 exec "$build/bench_core" --out "$repo/BENCH_core.json" "$@"

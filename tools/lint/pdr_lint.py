@@ -199,6 +199,16 @@ def check_ovr_virt(path, lines):
                            "drift is a compile error" % name)
 
 
+# Dense allocation-path structures/scans in src/arb/: a vector<bool>
+# request row, or a for loop whose bound is a dense arbiter dimension
+# (bare size(), n_/p_/v_ members, the nivc = p*v product).  The bound
+# must directly follow the comparison so container.size() calls and
+# word-count loops (words_, nivcWords_) stay out of scope.
+DENSESCAN_RE = re.compile(
+    r"std::vector\s*<\s*bool\s*>"
+    r"|\bfor\s*\([^;]*;[^;]*<=?\s*"
+    r"(?:size\s*\(\s*\)|(?:n_|p_|v_|nivc)\b)")
+
 TICK_DECL_RE = re.compile(r"\btick\s*\(\s*(?:sim::)?Cycle\b")
 NEXTWAKE_RE = re.compile(r"\bnextWake\w*\s*\(")
 
@@ -288,6 +298,18 @@ RULES = [
          message="mutable static: process-global state leaks across "
                  "simulations and sweep slices; make it per-Network or "
                  "justify why it cannot affect results"),
+    Rule("PDR-PERF-DENSESCAN",
+         "dense request row or full-range scan in src/arb/: the "
+         "allocation hot path stages requests as packed uint64_t bid "
+         "words and iterates set bits; vector<bool> rows and loops "
+         "bounded by a dense arbiter dimension (size(), n_, p_, v_, "
+         "nivc) reintroduce the O(p*v) walk the bitmask engine removed",
+         lambda p: p.startswith("src/arb/"),
+         pattern=DENSESCAN_RE,
+         message="dense structure/scan on the allocation path: stage "
+                 "requests as packed bid words and walk set bits "
+                 "(ctz), or justify (scalar oracle, one-time ctor, "
+                 "diagnostics)"),
     Rule("PDR-WAKE-NEXT",
          "component with tick() but no nextWake(): unschedulable under "
          "the wake-table scheduler (invariant 1)",
@@ -501,6 +523,29 @@ FIXTURES = [
     ("PDR-STA-MUT", "src/arb/demo.cc",
      "static int grantCount = 0;\n",
      "static const int kMaxGrants = 8;\n"),
+    ("PDR-PERF-DENSESCAN", "src/arb/demo.hh",
+     "std::vector<bool> reqRow_;\n",
+     "std::uint64_t reqBits_ = 0;\n"),
+    ("PDR-PERF-DENSESCAN", "src/arb/demo.cc",
+     "int pick() {\n"
+     "    for (int i = 0; i < size(); i++) {\n"
+     "        if (req_[i]) return i;\n"
+     "    }\n"
+     "    return NoGrant;\n"
+     "}\n",
+     "int pick(std::uint64_t m) {\n"
+     "    while (m) { int i = ctz64(m); m &= m - 1; return i; }\n"
+     "    return NoGrant;\n"
+     "}\n"),
+    ("PDR-PERF-DENSESCAN", "src/arb/demo2.cc",
+     "void stage() {\n"
+     "    for (int vc = 0; vc < v_; vc++)\n"
+     "        row_[vc] = inReq_[vc];\n"
+     "}\n",
+     "void stage() {\n"
+     "    for (int w = 0; w < nivcWords_; w++)\n"
+     "        row_[w] = inReq_[w];\n"
+     "}\n"),
     ("PDR-WAKE-NEXT", "src/traffic/demo.hh",
      "class Pulser {\n"
      "  public:\n"
@@ -521,6 +566,8 @@ SCOPE_FIXTURES = [
      "std::unordered_map<std::string, int> keys_;\n"),
     ("PDR-RNG-SRC", "tests/common/demo.cc",
      "int r = rand();\n"),
+    ("PDR-PERF-DENSESCAN", "src/router/demo.cc",
+     "void scan() { for (int i = 0; i < p_; i++) use(i); }\n"),
 ]
 
 
