@@ -392,6 +392,53 @@ defs()
              (void)par::schemeFromString(v);   // Throws on bad names.
              c.parScheme = v;
          }},
+        {"telem.enable",
+         "windowed telemetry stream sampler (read-only: results are "
+         "bit-identical on or off, at any worker count)",
+         [](const SimConfig &c) {
+             return std::string(c.telem.enable ? "true" : "false");
+         },
+         [](SimConfig &c, const std::string &v) {
+             c.telem.enable = parseBool("telem.enable", v);
+         }},
+        {"telem.interval",
+         "telemetry sampling window length in cycles (>= 1)",
+         [](const SimConfig &c) {
+             return std::to_string(c.telem.interval);
+         },
+         [](SimConfig &c, const std::string &v) {
+             c.telem.interval =
+                 sim::Cycle(parseU64("telem.interval", v, 1));
+         }},
+        {"telem.out",
+         "telemetry stream destination: a file path, '-' for stdout, "
+         "or empty to sample without writing",
+         [](const SimConfig &c) { return c.telem.out; },
+         [](SimConfig &c, const std::string &v) { c.telem.out = v; }},
+        {"telem.format",
+         "telemetry stream format: 'ndjson' (records + heatmap + "
+         "summary) or 'csv' (window rows only)",
+         [](const SimConfig &c) { return c.telem.format; },
+         [](SimConfig &c, const std::string &v) {
+             if (v != "ndjson" && v != "csv")
+                 badValue("telem.format", v, "'ndjson' or 'csv'");
+             c.telem.format = v;
+         }},
+        {"telem.trace",
+         "Chrome trace-event JSON destination (opens in Perfetto / "
+         "chrome://tracing); empty disables tracing",
+         [](const SimConfig &c) { return c.telem.trace; },
+         [](SimConfig &c, const std::string &v) { c.telem.trace = v; }},
+        {"telem.trace_packets",
+         "packet-lifecycle trace sampling stride: packets whose id "
+         "is a multiple of this are traced (>= 1)",
+         [](const SimConfig &c) {
+             return std::to_string(c.telem.tracePackets);
+         },
+         [](SimConfig &c, const std::string &v) {
+             c.telem.tracePackets =
+                 parseU64("telem.trace_packets", v, 1);
+         }},
     };
     return table;
 }
@@ -462,6 +509,7 @@ validate(const SimConfig &cfg)
     // The network-level checks live on NetworkConfig so this cannot
     // drift from what the Network constructor enforces.
     cfg.net.validate();
+    cfg.telem.validate();
     if (cfg.mode != "sample" && cfg.mode != "fixed") {
         throw std::invalid_argument(
             "sim.mode must be 'sample' or 'fixed', got '" + cfg.mode +

@@ -1,11 +1,13 @@
 #include "api/simulation.hh"
 
 #include <cstdlib>
+#include <memory>
 #include <stdexcept>
 
 #include "common/logging.hh"
 #include "exec/sweep.hh"
 #include "par/stepper.hh"
+#include "telem/telemetry.hh"
 
 namespace pdr::api {
 
@@ -67,26 +69,68 @@ runSimulation(const SimConfig &cfg)
     pcfg.scheme = par::schemeFromString(cfg.parScheme);
     par::ParallelStepper stepper(network, pcfg);
 
+    // Observability sidecar: constructed after the stepper (destroyed
+    // before it), samples only at epochs where the gang is parked.
+    // Strictly read-only -- the stepping below is schedule-identical
+    // with telemetry on or off.
+    std::unique_ptr<telem::Telemetry> tel;
+    if (cfg.telem.active())
+        tel = std::make_unique<telem::Telemetry>(cfg.telem, network);
+
     if (cfg.mode == "fixed") {
         // Fixed horizon: ignore the measurement protocol and report
         // steady-state rates after exactly `horizon` cycles.
-        stepper.run(cfg.horizon);
+        telem::HostProfiler::Scope phase(tel ? &tel->host() : nullptr,
+                                         "fixed");
+        stepper.stepTo(network.now() + cfg.horizon, tel.get());
     } else {
-        // Warm-up phase.
-        stepper.run(cfg.net.warmup);
+        {
+            // Warm-up phase.
+            telem::HostProfiler::Scope phase(
+                tel ? &tel->host() : nullptr, "warmup");
+            stepper.stepTo(network.now() + cfg.net.warmup, tel.get());
+        }
 
         // Sample phase: run until the sample space is tagged and
         // received, or the cycle cap is reached (saturated networks
         // never drain).  done() can only change on a cycle where some
         // component acts, so fast-forwarding through idle regions
         // between steps never skips the termination cycle.
-        while (!ctrl.done() && network.now() < cfg.maxCycles) {
-            stepper.skipIdle(cfg.maxCycles);
-            if (network.now() >= cfg.maxCycles)
-                break;
-            stepper.step();
+        telem::HostProfiler::Scope phase(tel ? &tel->host() : nullptr,
+                                         "sample");
+        if (!tel) {
+            while (!ctrl.done() && network.now() < cfg.maxCycles) {
+                stepper.skipIdle(cfg.maxCycles);
+                if (network.now() >= cfg.maxCycles)
+                    break;
+                stepper.step();
+            }
+        } else {
+            // Telemetry variant: idle jumps capped at sampling
+            // boundaries, poll() before sizing each jump and again
+            // after it (a jump landing on a boundary emits before the
+            // boundary cycle runs); a capped jump that parks on a
+            // boundary with no due wake resumes the jump instead of
+            // stepping (see ParallelStepper::stepTo for why this is
+            // schedule-identical to the plain loop).
+            while (!ctrl.done() && network.now() < cfg.maxCycles) {
+                tel->poll();
+                sim::Cycle before = network.now();
+                stepper.skipIdle(tel->cap(cfg.maxCycles));
+                tel->poll();
+                if (network.now() >= cfg.maxCycles)
+                    break;
+                if (network.now() != before &&
+                    network.nextWakeCycle() > network.now()) {
+                    continue;
+                }
+                stepper.step();
+            }
         }
     }
+
+    if (tel)
+        tel->finish();
 
     // [AUD-LEAK] All in-flight state has a home; anything the pool
     // still believes live but no queue reaches was leaked.
@@ -106,6 +150,8 @@ runSimulation(const SimConfig &cfg)
     res.drained = cfg.mode == "fixed" || ctrl.done();
     res.cycles = network.now();
     res.routers = network.routerTotals();
+    if (tel)
+        res.telem = tel->summary();
     return res;
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "net/network.hh"
+#include "telem/config.hh"
 
 namespace pdr::exec {
 struct SweepPoint;
@@ -58,6 +59,14 @@ struct SimConfig
     std::string parScheme = "planes";
 
     /**
+     * Observability (telem.* keys): windowed counter streaming and
+     * trace emission.  Strictly read-only with respect to the
+     * simulation -- results and goldens are bit-identical whether
+     * telemetry is on or off, for any worker count.
+     */
+    telem::Config telem;
+
+    /**
      * Scale the sample-space size (and warm-up) from the environment:
      * PDR_PACKETS overrides samplePackets (paper value 100000; default
      * here 30000 to keep the full bench suite minutes-scale).
@@ -70,7 +79,8 @@ operator==(const SimConfig &a, const SimConfig &b)
 {
     return a.net == b.net && a.maxCycles == b.maxCycles &&
            a.mode == b.mode && a.horizon == b.horizon &&
-           a.parWorkers == b.parWorkers && a.parScheme == b.parScheme;
+           a.parWorkers == b.parWorkers && a.parScheme == b.parScheme &&
+           a.telem == b.telem;
 }
 
 inline bool
@@ -91,6 +101,7 @@ struct SimResults
     bool drained = false;           //!< Sample fully received in time.
     sim::Cycle cycles = 0;          //!< Total simulated cycles.
     router::RouterStats routers;    //!< Aggregated router counters.
+    telem::Summary telem;           //!< Emission totals (zero if off).
 
     /**
      * Saturation heuristic: the run is considered saturated when the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <mutex>
 #include <stdexcept>
 
 #include "common/logging.hh"
@@ -64,6 +65,25 @@ SweepResults::toTable() const
     return t;
 }
 
+stats::Table
+SweepResults::telemTable() const
+{
+    stats::Table t({"index", "label", "telem_windows", "telem_flits",
+                    "telem_packets", "peak_window_rate",
+                    "trace_events"});
+    for (std::size_t i = 0; i < points.size(); i++) {
+        const auto &p = points[i];
+        std::uint64_t index = indexOffset + i;
+        t.addRow({stats::Table::cell(index), p.label,
+                  stats::Table::cell(p.res.telem.windows),
+                  stats::Table::cell(p.res.telem.flits),
+                  stats::Table::cell(p.res.telem.packets),
+                  stats::Table::cell(p.res.telem.peakWindowRate),
+                  stats::Table::cell(p.res.telem.traceEvents)});
+    }
+    return t;
+}
+
 SweepRunner::SweepRunner(SweepOptions opts) : opts_(opts) {}
 
 std::uint64_t
@@ -85,8 +105,9 @@ SweepResults
 SweepRunner::run(const std::vector<SweepPoint> &points,
                  const RunFn &fn) const
 {
-    // pdr-lint: allow(PDR-RNG-TIME) wall-time telemetry only (elapsed
-    // reporting); never read by the simulation.
+    // pdr-lint: allow(PDR-OBS-WALLCLOCK) wall-time telemetry only
+    // (elapsed reporting); never reaches simulation state or
+    // sim-facing output.
     auto sweep_start = std::chrono::steady_clock::now();
 
     SweepResults results;
@@ -125,11 +146,20 @@ SweepRunner::run(const std::vector<SweepPoint> &points,
                          });
     }
 
+    // Progress state shared by the pool workers: the mutex serializes
+    // onPointDone calls, so user callbacks (a CLI progress line) need
+    // no locking of their own.  Pure reporting -- per-point results
+    // are written before the counter moves and never read here.
+    std::mutex progress_mutex;
+    std::size_t done = 0;
+    const std::size_t total = points.size();
+
     for (std::size_t i : order) {
         PointResult *slot = &results.points[i];
-        pool.submit([slot, &fn] {
-            // pdr-lint: allow(PDR-RNG-TIME) per-point wall-time
-            // telemetry; results do not depend on it.
+        pool.submit([this, slot, &fn, &progress_mutex, &done, total] {
+            // pdr-lint: allow(PDR-OBS-WALLCLOCK) per-point wall-time
+            // telemetry; never reaches simulation state or sim-facing
+            // output.
             auto start = std::chrono::steady_clock::now();
             try {
                 slot->res = fn(slot->cfg);
@@ -140,6 +170,11 @@ SweepRunner::run(const std::vector<SweepPoint> &points,
                 slot->error = "unknown exception";
             }
             slot->wallMs = msSince(start);
+            if (opts_.onPointDone) {
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                done++;
+                opts_.onPointDone(done, total, slot->wallMs);
+            }
         });
     }
     pool.wait();

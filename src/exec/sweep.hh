@@ -85,6 +85,14 @@ struct SweepResults
      * count -- `diff` is a valid reproducibility check.
      */
     stats::Table toTable() const;
+
+    /**
+     * Per-point telemetry emission summaries (windows, flits, packets,
+     * peak window rate, trace events), one row per point.  All zeros
+     * for points run with telemetry off; like toTable(), carries only
+     * deterministic columns, so exports are thread-count-independent.
+     */
+    stats::Table telemTable() const;
 };
 
 /** Execution options for a sweep. */
@@ -108,6 +116,16 @@ struct SweepOptions
      * way, and results always come back in input order.
      */
     bool heaviestFirst = true;
+    /**
+     * Progress hook, called after each point completes with (done,
+     * total, pointWallMs).  Calls are serialized under an internal
+     * mutex but arrive from pool worker threads in completion order
+     * (nondeterministic); use for live reporting only, never to
+     * influence results.  Null = silent.
+     */
+    std::function<void(std::size_t done, std::size_t total,
+                       double pointWallMs)>
+        onPointDone;
 };
 
 /** Fans sweep points across a fixed thread pool. */

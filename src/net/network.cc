@@ -542,13 +542,32 @@ Network::acceptedFlitRate() const
     return double(flits) / (cycles * mesh_.numNodes());
 }
 
+std::uint64_t
+Network::deliveredFlits() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : sinks_)
+        n += s.totalFlits();
+    return n;
+}
+
+std::uint64_t
+Network::deliveredPackets() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : sinks_)
+        n += s.packets();
+    return n;
+}
+
 router::RouterStats
 Network::routerTotals() const
 {
     router::RouterStats t;
     for (const auto &r : routers_) {
-        // statsAt flushes open credit-stall intervals through now_,
-        // so sleeping routers report what per-cycle ticking would.
+        // statsAt flushes open credit-stall intervals (and the
+        // occupancy integral) through now_, so sleeping routers
+        // report what per-cycle ticking would.
         const auto s = r.statsAt(now_);
         t.flitsIn += s.flitsIn;
         t.flitsOut += s.flitsOut;
@@ -558,6 +577,7 @@ Network::routerTotals() const
         t.specSaWins += s.specSaWins;
         t.specSaUseful += s.specSaUseful;
         t.creditStallCycles += s.creditStallCycles;
+        t.bufOccupancy += s.bufOccupancy;
     }
     return t;
 }

@@ -293,6 +293,10 @@ class Network
 
     /** Router `r` of the lattice (r in [0, numRouters)). */
     router::Router &routerAt(sim::NodeId r) { return routers_[r]; }
+    const router::Router &routerAt(sim::NodeId r) const
+    {
+        return routers_[r];
+    }
     /** Source / sink of terminal node `n` (n in [0, numNodes)). */
     traffic::Source &sourceAt(sim::NodeId n) { return sources_[n]; }
     const traffic::Sink &sinkAt(sim::NodeId n) const
@@ -307,6 +311,14 @@ class Network
 
     /** Accepted traffic since warm-up, in flits per node per cycle. */
     double acceptedFlitRate() const;
+
+    // ----- telemetry sampling hooks (read-only aggregates) -----------
+
+    /** Flits delivered at all sinks since cycle 0 (telemetry window
+     *  deltas; warm-up traffic included, unlike measuredFlits). */
+    std::uint64_t deliveredFlits() const;
+    /** Complete packets delivered at all sinks since cycle 0. */
+    std::uint64_t deliveredPackets() const;
 
     /** Accepted traffic as a fraction of uniform capacity. */
     double acceptedFraction() const

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "exec/thread_pool.hh"
+#include "telem/telemetry.hh"
 
 namespace pdr::par {
 
@@ -238,6 +239,41 @@ ParallelStepper::stepTo(sim::Cycle limit)
             break;
         step();
     }
+}
+
+void
+ParallelStepper::stepTo(sim::Cycle limit, telem::Telemetry *tel)
+{
+    if (!tel) {
+        stepTo(limit);
+        return;
+    }
+    while (net_.now() < limit) {
+        // First poll: a step that just crossed onto a boundary emits
+        // its epoch here, advancing the cap past `now` before the
+        // next jump is sized.
+        tel->poll();
+        sim::Cycle before = net_.now();
+        skipIdle(tel->cap(limit));
+        // Second poll: a jump that landed exactly on a boundary emits
+        // before the boundary cycle (if any is due) executes.
+        tel->poll();
+        if (net_.now() >= limit)
+            break;
+        // A capped jump can park exactly on a sampling boundary with
+        // no component due: resume the jump instead of forcing a step
+        // a serial (uncapped) run would never have taken.  No jump
+        // (`before` unchanged, e.g. under forceTickAll, or a wake due
+        // right now) always falls through to step(), and a jump that
+        // landed on the next wake steps it exactly like the plain
+        // loop.
+        if (net_.now() != before
+            && net_.nextWakeCycle() > net_.now()) {
+            continue;
+        }
+        step();
+    }
+    tel->poll();
 }
 
 void

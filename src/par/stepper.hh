@@ -50,6 +50,10 @@
 #include "net/network.hh"
 #include "par/partition.hh"
 
+namespace pdr::telem {
+class Telemetry;
+} // namespace pdr::telem
+
 namespace pdr::par {
 
 /** Parallel-execution configuration (the par.* experiment keys). */
@@ -108,6 +112,20 @@ class ParallelStepper
     /** Advance to cycle `limit`, fast-forwarding through idle
      *  regions. */
     void stepTo(sim::Cycle limit);
+
+    /**
+     * stepTo() with telemetry epochs: idle jumps are capped at the
+     * sampler's next boundary (tel->cap()) and tel->poll() runs
+     * before each jump is sized and again after it lands, so windows
+     * are emitted at exact `telem.interval` multiples -- before the
+     * boundary cycle executes -- with the gang parked at the
+     * cycle-start barrier (a safe, quiescent sampling point).
+     * Capping a jump never changes what executes -- skipIdle() ticks
+     * nothing, and a boundary cycle with no due wake is skipped over
+     * without stepping -- so the schedule is bit-identical to the
+     * plain overload.  `tel` may be null (plain stepTo()).
+     */
+    void stepTo(sim::Cycle limit, telem::Telemetry *tel);
 
     /**
      * Fast-forward the clock to the network's next wake (clamped to

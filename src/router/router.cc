@@ -255,6 +255,15 @@ Router::selectRoute(const sim::Flit &head)
 void
 Router::tick(sim::Cycle now)
 {
+    // Occupancy integral: the buffered-flit count is constant between
+    // this router's ticks (only receiveFlits/departFlit below change
+    // it), so folding count * elapsed here matches per-cycle counting
+    // across any sleep schedule.
+    if (now > occObsAt_) {
+        stats_.bufOccupancy +=
+            std::uint64_t(bufferedNow_) * (now - occObsAt_);
+        occObsAt_ = now;
+    }
     receiveCredits(now);
     receiveFlits(now);
     if (cfg_.model == RouterModel::Wormhole) {
@@ -315,6 +324,7 @@ Router::receiveFlits(sim::Cycle now)
                 ivc.actReady = f.eligible;
             }
             ivc.fifo.push(*r);
+            bufferedNow_++;
             syncBid(vidx(port, f.vc));
             stats_.flitsIn++;
         }
@@ -543,6 +553,7 @@ Router::departFlit(int in_port, int in_vc, int out_port, int out_vc,
     auto &ivc = invc(in_port, in_vc);
     pdr_assert(!ivc.fifo.empty());
     sim::FlitRef ref = ivc.fifo.pop();
+    bufferedNow_--;
     sim::Flit &f = pool_.get(ref);
 
     // Freed buffer slot: return a credit upstream (none for injection
@@ -727,7 +738,23 @@ Router::statsAt(sim::Cycle now) const
             s.creditStallCycles += now - ivc.stallSince;
         }
     }
+    pdr_assert(now >= occObsAt_);
+    s.bufOccupancy += std::uint64_t(bufferedNow_) * (now - occObsAt_);
     return s;
+}
+
+void
+Router::traceOpenStalls(sim::Cycle now)
+{
+    if (!stallTrace_)
+        return;
+    for (const auto &ivc : invcs_) {
+        if (ivc.stallSince != sim::CycleNever && now > ivc.stallOpen) {
+            stallTrace_->push_back(
+                {std::uint32_t(&ivc - invcs_.data()), ivc.stallOpen,
+                 now});
+        }
+    }
 }
 
 } // namespace pdr::router

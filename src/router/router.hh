@@ -67,6 +67,16 @@ struct RouterStats
      * comparisons at a common read cycle).
      */
     std::uint64_t creditStallCycles = 0;
+    /**
+     * Input-buffer occupancy integral in flit-cycles: the sum over
+     * completed cycles of the flits buffered in this router's input
+     * FIFOs at the end of each cycle.  Interval-accounted like
+     * creditStallCycles (occupancy cannot change between a router's
+     * ticks), so sleeping schedules report exactly what per-cycle
+     * counting would; statsAt(now) flushes through `now`.  Divide by
+     * the cycles observed for mean buffered flits.
+     */
+    std::uint64_t bufOccupancy = 0;
 };
 
 /** A cycle-accurate pipelined router. */
@@ -129,6 +139,34 @@ class Router
     const RouterStats &stats() const { return stats_; }
 
     /**
+     * One closed credit-stall interval on input VC `vidx` (flat
+     * port * numVcs + vc index): cycles [from, to) were spent
+     * ready-but-creditless.  Matches creditStallCycles accounting
+     * span for span (telemetry trace emission).
+     */
+    struct StallSpan
+    {
+        std::uint32_t vidx;
+        sim::Cycle from;
+        sim::Cycle to;
+    };
+
+    /**
+     * Record every closed credit-stall interval into `out` (telemetry
+     * trace hook; nullptr disables, the default).  Observational:
+     * statistics and simulated behavior are unchanged either way.
+     * The buffer is owned by the caller and must be distinct per
+     * router -- under partitioned stepping each router appends from
+     * its owning worker.  Zero-length intervals are not recorded.
+     */
+    void traceStalls(std::vector<StallSpan> *out) { stallTrace_ = out; }
+
+    /** Flush intervals still open at end-of-run as spans ending at
+     *  `now` (no-op unless traceStalls is attached; statistics are
+     *  not touched -- statsAt does that independently). */
+    void traceOpenStalls(sim::Cycle now);
+
+    /**
      * Statistics as they would read at cycle `now` under a
      * tick-every-cycle schedule: stats() plus the still-open
      * credit-stall intervals flushed through `now` (exclusive).
@@ -187,6 +225,10 @@ class Router
          *  not stalled); cycles up to the last observation are already
          *  folded into stats_.creditStallCycles. */
         sim::Cycle stallSince = sim::CycleNever;
+        /** First cycle of the whole open stall (stallSince tracks only
+         *  the not-yet-folded suffix); maintained only while a
+         *  stall-span trace is attached. */
+        sim::Cycle stallOpen = sim::CycleNever;
     };
 
     // Hot per-VC state lives in flat structure-of-arrays slabs indexed
@@ -261,6 +303,8 @@ class Router
     {
         if (ivc.stallSince != sim::CycleNever)
             stats_.creditStallCycles += now - ivc.stallSince;
+        else if (stallTrace_)
+            ivc.stallOpen = now;    // A new stall begins here.
         ivc.stallSince = now;
     }
     /** Observed (port, vc) not stalled at `now`: close the interval
@@ -271,6 +315,11 @@ class Router
         if (ivc.stallSince != sim::CycleNever) {
             stats_.creditStallCycles += now - ivc.stallSince;
             ivc.stallSince = sim::CycleNever;
+            if (stallTrace_ && now > ivc.stallOpen) {
+                stallTrace_->push_back(
+                    {std::uint32_t(&ivc - invcs_.data()),
+                     ivc.stallOpen, now});
+            }
         }
     }
     /**
@@ -284,8 +333,11 @@ class Router
     void
     openStall(InputVc &ivc, sim::Cycle at)
     {
-        if (ivc.stallSince == sim::CycleNever)
+        if (ivc.stallSince == sim::CycleNever) {
             ivc.stallSince = at;
+            if (stallTrace_)
+                ivc.stallOpen = at;
+        }
     }
 
     /**
@@ -357,6 +409,19 @@ class Router
     }
 
     std::deque<PendingCredit> pendingCredits_;
+
+    /**
+     * Interval-accounted input-buffer occupancy (stats_.bufOccupancy):
+     * the flit count only changes during this router's ticks
+     * (receiveFlits push / departFlit pop), so folding
+     * bufferedNow_ * elapsed at each tick reproduces per-cycle
+     * counting under any sleep schedule.
+     */
+    int bufferedNow_ = 0;           //!< Flits in the input FIFOs now.
+    sim::Cycle occObsAt_ = 0;       //!< Integral folded through here.
+
+    /** Telemetry stall-span sink (traceStalls); nullptr = off. */
+    std::vector<StallSpan> *stallTrace_ = nullptr;
 
     /** Speculative switch bids are issued for every ready RouteWait VC
      *  each cycle (evolving arbiter state + specSaAttempts), so such

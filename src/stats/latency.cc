@@ -62,6 +62,38 @@ LatencyStats::merged(const std::vector<LatencyStats> &shards)
     return all;
 }
 
+LatencyStats
+LatencyStats::deltaSince(const LatencyStats &prev) const
+{
+    pdr_assert(count_ >= prev.count_);
+    pdr_assert(unmeasured_ >= prev.unmeasured_);
+    pdr_assert(overflow_ >= prev.overflow_);
+    LatencyStats d;
+    d.count_ = count_ - prev.count_;
+    d.unmeasured_ = unmeasured_ - prev.unmeasured_;
+    d.overflow_ = overflow_ - prev.overflow_;
+    d.sum_ = sum_ - prev.sum_;
+    d.sumSq_ = sumSq_ - prev.sumSq_;
+    int lo = -1, hi = -1;
+    for (int i = 0; i < binCount_; i++) {
+        pdr_assert(bins_[i] >= prev.bins_[i]);
+        d.bins_[i] = bins_[i] - prev.bins_[i];
+        if (d.bins_[i] != 0) {
+            if (lo < 0)
+                lo = i;
+            hi = i;
+        }
+    }
+    // Min/max from the histogram delta: exact to the 1-cycle bins
+    // (bin floor); an overflow delta pins max at the bin limit.
+    if (d.count_ > 0) {
+        d.min_ = lo >= 0 ? double(lo) : double(binCount_);
+        d.max_ = d.overflow_ > 0 ? double(binCount_)
+                                 : (hi >= 0 ? double(hi) : 0.0);
+    }
+    return d;
+}
+
 double
 LatencyStats::mean() const
 {

@@ -48,6 +48,19 @@ class LatencyStats
      */
     static LatencyStats merged(const std::vector<LatencyStats> &shards);
 
+    /**
+     * The inverse edge of the merge algebra: the samples recorded
+     * after `prev`, where `prev` is an earlier snapshot (a copy) of
+     * this accumulator's own history.  Count, histogram and sums
+     * subtract exactly (integer fields telescope: summing window
+     * deltas reproduces the end-of-run totals bit for bit); min/max
+     * are recomputed from the histogram delta, so they are exact to
+     * the 1-cycle bin floor, with any overflow-bin delta reported as
+     * the bin limit.  Telemetry's windowed latency records are
+     * deltaSince(previous window boundary).
+     */
+    LatencyStats deltaSince(const LatencyStats &prev) const;
+
     std::uint64_t count() const { return count_; }
     double mean() const;
     double min() const { return count_ ? min_ : 0.0; }

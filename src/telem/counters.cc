@@ -1,0 +1,103 @@
+#include "telem/counters.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "net/network.hh"
+
+namespace pdr::telem {
+
+const std::vector<CounterDef> &
+counterCatalog()
+{
+    // Schema order; append-only (records are keyed by name, but the
+    // snapshot layout and the docs' counter catalog follow this).
+    static const std::vector<CounterDef> catalog = {
+        {"flits_in",
+         [](const router::RouterStats &s) { return s.flitsIn; }},
+        {"flits_out",
+         [](const router::RouterStats &s) { return s.flitsOut; }},
+        {"head_grants",
+         [](const router::RouterStats &s) { return s.headGrants; }},
+        {"va_grants",
+         [](const router::RouterStats &s) { return s.vaGrants; }},
+        {"spec_sa_attempts",
+         [](const router::RouterStats &s) { return s.specSaAttempts; }},
+        {"spec_sa_wins",
+         [](const router::RouterStats &s) { return s.specSaWins; }},
+        {"spec_sa_useful",
+         [](const router::RouterStats &s) { return s.specSaUseful; }},
+        {"credit_stall_cycles",
+         [](const router::RouterStats &s) {
+             return s.creditStallCycles;
+         }},
+        {"buf_occupancy",
+         [](const router::RouterStats &s) { return s.bufOccupancy; }},
+    };
+    return catalog;
+}
+
+int
+counterIndex(const char *name)
+{
+    const auto &cat = counterCatalog();
+    for (std::size_t i = 0; i < cat.size(); i++)
+        if (std::strcmp(cat[i].name, name) == 0)
+            return int(i);
+    return -1;
+}
+
+CounterSnapshot
+CounterSnapshot::sample(const net::Network &net, sim::Cycle at)
+{
+    const auto &cat = counterCatalog();
+    CounterSnapshot snap;
+    snap.at_ = at;
+    snap.routers_ = std::size_t(net.lattice().numRouters());
+    snap.v_.resize(snap.routers_ * cat.size());
+    std::size_t o = 0;
+    for (sim::NodeId r = 0; r < net.lattice().numRouters(); r++) {
+        const router::RouterStats s = net.routerAt(r).statsAt(at);
+        for (const auto &c : cat)
+            snap.v_[o++] = c.get(s);
+    }
+    return snap;
+}
+
+std::uint64_t
+CounterSnapshot::total(std::size_t counter) const
+{
+    std::uint64_t t = 0;
+    for (std::size_t r = 0; r < routers_; r++)
+        t += value(r, counter);
+    return t;
+}
+
+CounterSnapshot
+CounterSnapshot::deltaSince(const CounterSnapshot &prev) const
+{
+    pdr_assert(prev.v_.size() == v_.size());
+    pdr_assert(prev.at_ <= at_);
+    CounterSnapshot d = *this;
+    for (std::size_t i = 0; i < v_.size(); i++) {
+        pdr_assert(prev.v_[i] <= v_[i]);
+        d.v_[i] -= prev.v_[i];
+    }
+    return d;
+}
+
+void
+CounterSnapshot::accumulate(const CounterSnapshot &d)
+{
+    if (v_.empty()) {
+        *this = d;
+        return;
+    }
+    pdr_assert(d.v_.size() == v_.size());
+    at_ = std::max(at_, d.at_);
+    for (std::size_t i = 0; i < v_.size(); i++)
+        v_[i] += d.v_[i];
+}
+
+} // namespace pdr::telem

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Sharded per-router counter registry.
+ *
+ * The counters themselves are the fields of router::RouterStats: each
+ * router's stats struct is owned -- like a kernel per-cpu counter --
+ * by exactly one worker (the partitioned stepper assigns disjoint
+ * router ranges), so the tick path bumps them with plain non-atomic
+ * increments and no cross-worker traffic.  This registry is the
+ * merge-side half: a fixed catalog naming each counter, and
+ * CounterSnapshot, which reads every router's counters at a sampling
+ * epoch (a safe point where the gang is parked between cycles) into
+ * one flat array.  Snapshots form a delta algebra -- deltaSince()
+ * gives the per-window increments, accumulate() sums windows back up
+ * -- which is what the streaming sampler and its sum-of-windows ==
+ * end-of-run-totals tests are built on.
+ *
+ * Reading a snapshot never mutates simulation state: statsAt() flushes
+ * open credit-stall intervals into a *copy* of the stats.
+ */
+
+#ifndef PDR_TELEM_COUNTERS_HH
+#define PDR_TELEM_COUNTERS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "router/router.hh"
+#include "sim/types.hh"
+
+namespace pdr::net {
+class Network;
+} // namespace pdr::net
+
+namespace pdr::telem {
+
+/** One named per-router counter: a projection of RouterStats. */
+struct CounterDef
+{
+    const char *name;   //!< Stable schema name (docs/OBSERVABILITY.md).
+    std::uint64_t (*get)(const router::RouterStats &s);
+};
+
+/** The fixed per-router counter catalog, in schema order (the order
+ *  of fields in every NDJSON record and heatmap row). */
+const std::vector<CounterDef> &counterCatalog();
+
+/** Index of `name` in the catalog; -1 when absent (tests). */
+int counterIndex(const char *name);
+
+/** Every catalog counter on every router, sampled at one cycle. */
+class CounterSnapshot
+{
+  public:
+    CounterSnapshot() = default;
+
+    /**
+     * Sample all routers at cycle `at` (>= every tick so far; open
+     * credit-stall intervals are flushed through `at`, so snapshots
+     * at a common cycle agree across tick schedules and worker
+     * counts).  Routers are read in index order; the result is a pure
+     * function of simulation state.
+     */
+    static CounterSnapshot sample(const net::Network &net, sim::Cycle at);
+
+    sim::Cycle at() const { return at_; }
+    std::size_t numRouters() const { return routers_; }
+
+    std::uint64_t value(std::size_t router, std::size_t counter) const
+    {
+        return v_[router * stride() + counter];
+    }
+
+    /** Sum of `counter` over all routers. */
+    std::uint64_t total(std::size_t counter) const;
+
+    /** Entry-wise `this - prev`; `prev` must be an earlier snapshot
+     *  of the same network (every counter is monotone). */
+    CounterSnapshot deltaSince(const CounterSnapshot &prev) const;
+
+    /** Entry-wise `this += d` (re-summing window deltas). */
+    void accumulate(const CounterSnapshot &d);
+
+    bool operator==(const CounterSnapshot &o) const
+    {
+        return at_ == o.at_ && routers_ == o.routers_ && v_ == o.v_;
+    }
+    bool operator!=(const CounterSnapshot &o) const
+    {
+        return !(*this == o);
+    }
+
+  private:
+    static std::size_t stride() { return counterCatalog().size(); }
+
+    sim::Cycle at_ = 0;
+    std::size_t routers_ = 0;
+    /** [router * catalog-size + counter], router-index order. */
+    std::vector<std::uint64_t> v_;
+};
+
+} // namespace pdr::telem
+
+#endif // PDR_TELEM_COUNTERS_HH

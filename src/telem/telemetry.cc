@@ -1,0 +1,252 @@
+#include "telem/telemetry.hh"
+
+#include <iostream>
+#include <stdexcept>
+
+#include "common/logging.hh"
+
+namespace pdr::telem {
+
+void
+Config::validate() const
+{
+    if (format != "ndjson" && format != "csv") {
+        throw std::invalid_argument(
+            "telem.format must be 'ndjson' or 'csv', got '" + format +
+            "'");
+    }
+    if (interval < 1) {
+        throw std::invalid_argument(
+            "telem.interval must be >= 1 cycle");
+    }
+    if (tracePackets < 1) {
+        throw std::invalid_argument(
+            "telem.trace_packets must be >= 1 (1 traces every "
+            "packet)");
+    }
+}
+
+bool
+operator==(const Config &a, const Config &b)
+{
+    return a.enable == b.enable && a.interval == b.interval &&
+           a.out == b.out && a.format == b.format &&
+           a.trace == b.trace && a.tracePackets == b.tracePackets;
+}
+
+// ----- HostProfiler ----------------------------------------------------
+
+void
+HostProfiler::bind(TraceWriter *trace)
+{
+    trace_ = trace;
+    // Wall clock, host-profile stream only: these timestamps are
+    // emitted exclusively as kHostPid trace events.
+    // pdr-lint: allow(PDR-OBS-WALLCLOCK) host-profile trace stream;
+    // values never reach sim-facing output.
+    epoch_ = std::chrono::steady_clock::now();
+    lastWindowUs_ = 0;
+}
+
+std::uint64_t
+HostProfiler::nowUs() const
+{
+    if (!trace_)
+        return 0;
+    // pdr-lint: allow(PDR-OBS-WALLCLOCK) host-profile trace stream;
+    // values never reach sim-facing output.
+    auto d = std::chrono::steady_clock::now() - epoch_;
+    return std::uint64_t(
+        std::chrono::duration_cast<std::chrono::microseconds>(d)
+            .count());
+}
+
+void
+HostProfiler::windowSpan(sim::Cycle cycle)
+{
+    if (!trace_ || !trace_->active())
+        return;
+    const std::uint64_t now = nowUs();
+    trace_->completeEvent(TraceWriter::kHostPid, 0, "window", "host",
+                          lastWindowUs_, now - lastWindowUs_,
+                          csprintf("{\"cycle\": %llu}",
+                                   (unsigned long long)cycle));
+    lastWindowUs_ = now;
+}
+
+HostProfiler::Scope::Scope(HostProfiler *prof, const char *name)
+    : prof_(prof && prof->trace_ ? prof : nullptr), name_(name)
+{
+    if (prof_)
+        t0_ = prof_->nowUs();
+}
+
+HostProfiler::Scope::~Scope()
+{
+    if (!prof_ || !prof_->trace_->active())
+        return;
+    const std::uint64_t t1 = prof_->nowUs();
+    prof_->trace_->completeEvent(TraceWriter::kHostPid, 0, name_,
+                                 "host", t0_, t1 - t0_);
+}
+
+// ----- Telemetry -------------------------------------------------------
+
+Telemetry::Telemetry(const Config &cfg, net::Network &net)
+    : cfg_(cfg), net_(net)
+{
+    cfg_.validate();
+
+    if (cfg_.enable && !cfg_.out.empty()) {
+        if (cfg_.out == "-") {
+            streamOut_ = &std::cout;
+        } else {
+            streamFile_.open(cfg_.out);
+            if (!streamFile_) {
+                throw std::runtime_error("telem.out: cannot write '" +
+                                         cfg_.out + "'");
+            }
+            streamOut_ = &streamFile_;
+        }
+    }
+
+    if (!cfg_.trace.empty()) {
+        traceFile_.open(cfg_.trace);
+        if (!traceFile_) {
+            throw std::runtime_error("telem.trace: cannot write '" +
+                                     cfg_.trace + "'");
+        }
+        trace_ = std::make_unique<TraceWriter>(&traceFile_);
+        trace_->processName(TraceWriter::kPacketPid, "sim: packets");
+        trace_->processName(TraceWriter::kRouterPid, "sim: routers");
+        trace_->processName(TraceWriter::kHostPid, "host: profile");
+        host_.bind(trace_.get());
+
+        // Read-only hooks: the sinks append deliveries (the stepper
+        // re-shards this per worker and merges back in node order),
+        // and each router appends its closed credit-stall spans to
+        // its own buffer.
+        net_.recordDeliveries(&deliveries_);
+        stallSpans_.resize(std::size_t(net_.lattice().numRouters()));
+        for (sim::NodeId r = 0; r < net_.lattice().numRouters(); r++)
+            net_.routerAt(r).traceStalls(&stallSpans_[std::size_t(r)]);
+    }
+
+    if (cfg_.enable)
+        sampler_ =
+            std::make_unique<StreamSampler>(cfg_, net_, streamOut_);
+
+    if (cfg_.active())
+        nextSampleAt_ = net_.now() + cfg_.interval;
+}
+
+Telemetry::~Telemetry()
+{
+    finish();
+}
+
+void
+Telemetry::poll()
+{
+    while (nextSampleAt_ <= net_.now()) {
+        emitEpoch(nextSampleAt_);
+        nextSampleAt_ += cfg_.interval;
+    }
+}
+
+void
+Telemetry::emitEpoch(sim::Cycle at)
+{
+    // Epochs land exactly on their boundary: cap() bounds every clock
+    // jump and poll() runs before each step, so the clock cannot pass
+    // a boundary unobserved.
+    pdr_assert(net_.now() == at);
+    host_.windowSpan(at);
+    if (sampler_)
+        sampler_->sampleWindow(at, trace_.get());
+    if (trace_) {
+        drainPacketSpans();
+        drainStallSpans();
+    }
+}
+
+void
+Telemetry::drainPacketSpans()
+{
+    // Deliveries arrive in ejection order (serial and partitioned
+    // stepping agree; the stepper merges worker shards per cycle in
+    // node order).  Sampling by packet id keeps the traced subset
+    // identical across worker counts.
+    for (const auto &d : deliveries_) {
+        if (d.packet % cfg_.tracePackets != 0)
+            continue;
+        trace_->completeEvent(
+            TraceWriter::kPacketPid, std::uint64_t(d.dest), "packet",
+            "packet", d.at - d.latency, d.latency,
+            csprintf("{\"packet\": %llu, \"dest\": %d}",
+                     (unsigned long long)d.packet, int(d.dest)));
+    }
+    deliveries_.clear();
+}
+
+void
+Telemetry::drainStallSpans()
+{
+    // Router-index order; each router's spans are already in close
+    // order (its own ticks observe increasing cycles), so the drain
+    // order is a pure function of simulation state.
+    for (std::size_t r = 0; r < stallSpans_.size(); r++) {
+        const int v = net_.routerAt(sim::NodeId(r)).config().numVcs;
+        for (const auto &s : stallSpans_[r]) {
+            trace_->completeEvent(
+                TraceWriter::kRouterPid, r, "credit_stall", "stall",
+                s.from, s.to - s.from,
+                csprintf("{\"port\": %d, \"vc\": %d}",
+                         int(s.vidx) / v, int(s.vidx) % v));
+        }
+        stallSpans_[r].clear();
+    }
+}
+
+void
+Telemetry::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+
+    poll();
+    const sim::Cycle end = net_.now();
+    if (sampler_)
+        sampler_->finish(end, trace_.get());
+    if (trace_) {
+        // Flush intervals still open at end-of-run as spans ending at
+        // `end` (read-only: statistics are untouched).
+        for (sim::NodeId r = 0;
+             r < net_.lattice().numRouters(); r++)
+            net_.routerAt(r).traceOpenStalls(end);
+        drainPacketSpans();
+        drainStallSpans();
+    }
+
+    if (sampler_)
+        summary_ = sampler_->summary();
+    summary_.traceEvents = trace_ ? trace_->events() : 0;
+
+    if (trace_)
+        trace_->close();
+
+    // Detach the read hooks so the network outlives the facade
+    // cleanly (the stepper re-binds its shards off the generation
+    // counter on its next step, if any).
+    if (!cfg_.trace.empty()) {
+        net_.recordDeliveries(nullptr);
+        for (sim::NodeId r = 0;
+             r < net_.lattice().numRouters(); r++)
+            net_.routerAt(r).traceStalls(nullptr);
+    }
+    if (streamOut_)
+        streamOut_->flush();
+}
+
+} // namespace pdr::telem

@@ -1,0 +1,72 @@
+#include "telem/trace.hh"
+
+#include "common/logging.hh"
+
+namespace pdr::telem {
+
+TraceWriter::TraceWriter(std::ostream *out) : out_(out)
+{
+    if (!out_)
+        return;
+    // displayTimeUnit only affects the viewer's ruler; the sim pids
+    // carry cycles in the ts/dur fields regardless.
+    *out_ << "{\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+}
+
+void
+TraceWriter::emit(const std::string &line)
+{
+    if (!out_)
+        return;
+    if (events_ > 0)
+        *out_ << ",\n";
+    *out_ << line;
+    events_++;
+}
+
+void
+TraceWriter::processName(int pid, const char *name)
+{
+    emit(csprintf("{\"name\": \"process_name\", \"ph\": \"M\", "
+                  "\"pid\": %d, \"tid\": 0, "
+                  "\"args\": {\"name\": \"%s\"}}",
+                  pid, name));
+}
+
+void
+TraceWriter::completeEvent(int pid, std::uint64_t tid, const char *name,
+                           const char *cat, std::uint64_t ts,
+                           std::uint64_t dur, const std::string &args)
+{
+    std::string line = csprintf(
+        "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+        "\"pid\": %d, \"tid\": %llu, \"ts\": %llu, \"dur\": %llu",
+        name, cat, pid, (unsigned long long)tid,
+        (unsigned long long)ts, (unsigned long long)dur);
+    if (!args.empty())
+        line += ", \"args\": " + args;
+    line += "}";
+    emit(line);
+}
+
+void
+TraceWriter::counterEvent(int pid, const char *name, std::uint64_t ts,
+                          const char *key, double value)
+{
+    emit(csprintf("{\"name\": \"%s\", \"ph\": \"C\", \"pid\": %d, "
+                  "\"tid\": 0, \"ts\": %llu, "
+                  "\"args\": {\"%s\": %.6g}}",
+                  name, pid, (unsigned long long)ts, key, value));
+}
+
+void
+TraceWriter::close()
+{
+    if (!out_)
+        return;
+    *out_ << "\n]}\n";
+    out_->flush();
+    out_ = nullptr;
+}
+
+} // namespace pdr::telem

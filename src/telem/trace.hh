@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Chrome trace-event JSON writer (the "JSON Array with metadata"
+ * flavor: {"displayTimeUnit": ..., "traceEvents": [...]}) -- loadable
+ * in Perfetto / chrome://tracing.
+ *
+ * Three event streams ride in one file, separated by pid:
+ *
+ *   kPacketPid  sim-time packet-lifecycle spans (ts/dur in cycles,
+ *               one tid per destination node) for the sampled subset;
+ *   kRouterPid  sim-time router credit-stall spans and per-window
+ *               counter tracks (one tid per router);
+ *   kHostPid    host wall-clock profile scopes (ts/dur in real
+ *               microseconds since the run started).
+ *
+ * Determinism contract: every kPacketPid / kRouterPid event is a pure
+ * function of simulation state, emitted in a fixed order, so the
+ * sim-time lines of the file are byte-identical across runs and
+ * worker counts.  Wall-clock values appear only in kHostPid events.
+ * One event per line, which is what the trace tests key on.
+ */
+
+#ifndef PDR_TELEM_TRACE_HH
+#define PDR_TELEM_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace pdr::telem {
+
+/** Streaming Chrome trace-event writer; see file comment. */
+class TraceWriter
+{
+  public:
+    static constexpr int kPacketPid = 1;    //!< Sim packet lifecycles.
+    static constexpr int kRouterPid = 2;    //!< Sim router activity.
+    static constexpr int kHostPid = 3;      //!< Host wall-clock profile.
+
+    /** Writes the array header immediately; `out` must outlive the
+     *  writer.  nullptr = inactive (every emit is a no-op). */
+    explicit TraceWriter(std::ostream *out);
+
+    /** Still pointing at a live stream. */
+    bool active() const { return out_ != nullptr; }
+
+    /** Process-name metadata event (ph "M"). */
+    void processName(int pid, const char *name);
+
+    /**
+     * Complete event (ph "X"): a [ts, ts + dur) span on (pid, tid).
+     * `args` is a pre-rendered JSON object ("{...}") or empty.
+     * Timestamps are raw uint64 in the stream's unit (cycles for the
+     * sim pids, microseconds for the host pid).
+     */
+    void completeEvent(int pid, std::uint64_t tid, const char *name,
+                       const char *cat, std::uint64_t ts,
+                       std::uint64_t dur,
+                       const std::string &args = std::string());
+
+    /** Counter event (ph "C"): one named series on (pid, tid=0). */
+    void counterEvent(int pid, const char *name, std::uint64_t ts,
+                      const char *key, double value);
+
+    /** Close the JSON array; further emits are no-ops. */
+    void close();
+
+    /** Events written so far (all pids, metadata included). */
+    std::uint64_t events() const { return events_; }
+
+  private:
+    void emit(const std::string &line);
+
+    std::ostream *out_;
+    std::uint64_t events_ = 0;
+};
+
+} // namespace pdr::telem
+
+#endif // PDR_TELEM_TRACE_HH

@@ -1,0 +1,137 @@
+/** @file Tests for the per-router counter catalog and snapshots. */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "net/network.hh"
+#include "par/stepper.hh"
+#include "telem/counters.hh"
+
+using namespace pdr;
+
+namespace {
+
+net::NetworkConfig
+tinyConfig(double load = 0.5)
+{
+    net::NetworkConfig cfg;
+    cfg.k = 4;
+    cfg.router.model = router::RouterModel::SpecVirtualChannel;
+    cfg.router.numVcs = 2;
+    cfg.router.bufDepth = 4;
+    cfg.warmup = 0;
+    cfg.samplePackets = 1u << 30;   // Sample space never closes.
+    cfg.setOfferedFraction(load);
+    return cfg;
+}
+
+} // namespace
+
+TEST(CounterCatalog, NamesAreStableAndIndexed)
+{
+    const auto &cat = telem::counterCatalog();
+    ASSERT_GE(cat.size(), 9u);
+    for (std::size_t i = 0; i < cat.size(); i++) {
+        EXPECT_EQ(telem::counterIndex(cat[i].name), int(i));
+        // Schema names: lowercase identifiers, no spaces.
+        for (const char *p = cat[i].name; *p; p++)
+            EXPECT_TRUE((*p >= 'a' && *p <= 'z') || *p == '_')
+                << cat[i].name;
+    }
+    EXPECT_EQ(telem::counterIndex("no_such_counter"), -1);
+    EXPECT_GE(telem::counterIndex("flits_out"), 0);
+    EXPECT_GE(telem::counterIndex("credit_stall_cycles"), 0);
+    EXPECT_GE(telem::counterIndex("buf_occupancy"), 0);
+}
+
+TEST(CounterSnapshot, TotalsMatchRouterTotals)
+{
+    net::Network net(tinyConfig());
+    net.run(2000);
+
+    auto snap = telem::CounterSnapshot::sample(net, net.now());
+    auto totals = net.routerTotals();
+
+    EXPECT_EQ(snap.numRouters(), std::size_t(net.lattice().numRouters()));
+    const auto &cat = telem::counterCatalog();
+    // The catalog getters project RouterStats, so per-counter totals
+    // must equal the aggregate Network::routerTotals() fields.
+    EXPECT_EQ(snap.total(std::size_t(telem::counterIndex("flits_in"))),
+              totals.flitsIn);
+    EXPECT_EQ(snap.total(std::size_t(telem::counterIndex("flits_out"))),
+              totals.flitsOut);
+    EXPECT_EQ(snap.total(std::size_t(
+                  telem::counterIndex("credit_stall_cycles"))),
+              totals.creditStallCycles);
+    EXPECT_EQ(snap.total(std::size_t(
+                  telem::counterIndex("buf_occupancy"))),
+              totals.bufOccupancy);
+    // Something actually moved in 2000 loaded cycles.
+    EXPECT_GT(snap.total(std::size_t(telem::counterIndex("flits_out"))),
+              0u);
+    // Per-router values sum to the totals for every catalog entry.
+    for (std::size_t c = 0; c < cat.size(); c++) {
+        std::uint64_t sum = 0;
+        for (std::size_t r = 0; r < snap.numRouters(); r++)
+            sum += snap.value(r, c);
+        EXPECT_EQ(sum, snap.total(c)) << cat[c].name;
+    }
+}
+
+TEST(CounterSnapshot, DeltaAlgebraTelescopes)
+{
+    net::Network net(tinyConfig());
+
+    // Window the run; accumulate the per-window deltas and check they
+    // reproduce the final snapshot's totals exactly.
+    telem::CounterSnapshot prev =
+        telem::CounterSnapshot::sample(net, net.now());
+    telem::CounterSnapshot acc = prev;
+    for (int w = 0; w < 5; w++) {
+        net.run(400);
+        auto cur = telem::CounterSnapshot::sample(net, net.now());
+        auto d = cur.deltaSince(prev);
+        acc.accumulate(d);
+        prev = cur;
+    }
+    auto final_snap = telem::CounterSnapshot::sample(net, net.now());
+    const auto &cat = telem::counterCatalog();
+    for (std::size_t c = 0; c < cat.size(); c++)
+        EXPECT_EQ(acc.total(c), final_snap.total(c)) << cat[c].name;
+}
+
+TEST(CounterSnapshot, SampleIsReadOnly)
+{
+    net::Network net(tinyConfig());
+    net.run(1000);
+    auto a = telem::CounterSnapshot::sample(net, net.now());
+    // Sampling again without stepping reads identical values: the
+    // flush of open intervals happens in a copy, never in the router.
+    auto b = telem::CounterSnapshot::sample(net, net.now());
+    EXPECT_EQ(a, b);
+}
+
+TEST(CounterSnapshot, ShardMergeMatchesSerial)
+{
+    // The per-router stats are the per-worker shards: a partitioned
+    // run must produce the exact serial snapshot at a common cycle.
+    net::NetworkConfig cfg = tinyConfig();
+
+    net::Network serial(cfg);
+    serial.run(1500);
+    auto serial_snap =
+        telem::CounterSnapshot::sample(serial, serial.now());
+
+    net::Network par_net(cfg);
+    {
+        par::ParConfig pcfg;
+        pcfg.workers = 2;
+        par::ParallelStepper stepper(par_net, pcfg);
+        stepper.run(1500);
+        ASSERT_EQ(par_net.now(), serial.now());
+        auto par_snap =
+            telem::CounterSnapshot::sample(par_net, par_net.now());
+        EXPECT_EQ(par_snap, serial_snap);
+    }
+}

@@ -1,0 +1,152 @@
+/** @file Tests for the Chrome trace-event writer and its determinism. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/simulation.hh"
+#include "telem/trace.hh"
+
+using namespace pdr;
+
+namespace {
+
+api::SimConfig
+tinyConfig(double load = 0.4)
+{
+    api::SimConfig cfg;
+    cfg.net.k = 4;
+    cfg.net.router.model = router::RouterModel::SpecVirtualChannel;
+    cfg.net.router.numVcs = 2;
+    cfg.net.router.bufDepth = 4;
+    cfg.net.warmup = 500;
+    cfg.net.samplePackets = 1000;
+    cfg.net.setOfferedFraction(load);
+    cfg.maxCycles = 100000;
+    return cfg;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream f(path);
+    EXPECT_TRUE(bool(f)) << path;
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+}
+
+/** The sim-time lines of a trace: every line mentioning a sim pid, in
+ *  file order, with the host-profile (wall-clock) lines dropped. */
+std::vector<std::string>
+simLines(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.find("\"pid\": 1") != std::string::npos ||
+            line.find("\"pid\": 2") != std::string::npos) {
+            out.push_back(line);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(TraceWriter, EmitsValidSkeleton)
+{
+    std::ostringstream ss;
+    telem::TraceWriter tw(&ss);
+    tw.processName(telem::TraceWriter::kPacketPid, "packets");
+    tw.completeEvent(telem::TraceWriter::kPacketPid, 7, "pkt", "packet",
+                     100, 25, "{\"id\": 7}");
+    tw.counterEvent(telem::TraceWriter::kRouterPid, "delivered", 200,
+                    "flits", 42.0);
+    tw.close();
+
+    std::string t = ss.str();
+    EXPECT_EQ(t.rfind("{\"displayTimeUnit\": \"ms\",", 0), 0u);
+    EXPECT_NE(t.find("\"traceEvents\": ["), std::string::npos);
+    EXPECT_NE(t.find("\"ph\": \"M\""), std::string::npos);
+    EXPECT_NE(t.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(t.find("\"ph\": \"C\""), std::string::npos);
+    EXPECT_NE(t.find("\"ts\": 100"), std::string::npos);
+    EXPECT_NE(t.find("\"dur\": 25"), std::string::npos);
+    EXPECT_NE(t.find("\"tid\": 7"), std::string::npos);
+    EXPECT_EQ(t.substr(t.size() - 4), "\n]}\n");
+    EXPECT_EQ(tw.events(), 3u);
+
+    // Further emits after close are dropped.
+    tw.completeEvent(telem::TraceWriter::kPacketPid, 1, "late", "packet",
+                     1, 1);
+    EXPECT_EQ(tw.events(), 3u);
+    EXPECT_EQ(ss.str(), t);
+}
+
+TEST(TraceWriter, InactiveWriterIsNoop)
+{
+    telem::TraceWriter tw(nullptr);
+    EXPECT_FALSE(tw.active());
+    tw.processName(1, "x");
+    tw.completeEvent(1, 0, "a", "b", 0, 1);
+    tw.counterEvent(2, "c", 0, "k", 1.0);
+    tw.close();
+    EXPECT_EQ(tw.events(), 0u);
+}
+
+TEST(Trace, SimPidsByteIdenticalAcrossWorkers)
+{
+    // The kPacketPid / kRouterPid streams are simulation output; only
+    // the kHostPid (wall clock) lines may differ between runs.
+    std::string out1 = "pdr_test_trace_w1.json";
+    std::string out2 = "pdr_test_trace_w2.json";
+
+    api::SimConfig cfg = tinyConfig();
+    cfg.telem.trace = out1;
+    cfg.parWorkers = 1;
+    auto r1 = api::runSimulation(cfg);
+
+    cfg.telem.trace = out2;
+    cfg.parWorkers = 2;
+    auto r2 = api::runSimulation(cfg);
+
+    EXPECT_EQ(r1.cycles, r2.cycles);
+    EXPECT_GT(r1.telem.traceEvents, 0u);
+
+    auto sim1 = simLines(slurp(out1));
+    auto sim2 = simLines(slurp(out2));
+    std::remove(out1.c_str());
+    std::remove(out2.c_str());
+
+    ASSERT_FALSE(sim1.empty());
+    ASSERT_EQ(sim1.size(), sim2.size());
+    for (std::size_t i = 0; i < sim1.size(); i++)
+        ASSERT_EQ(sim1[i], sim2[i]) << "line " << i;
+}
+
+TEST(Trace, TraceAloneLeavesResultsUntouched)
+{
+    // --trace without telem.enable activates only the trace stream,
+    // and the simulation results stay bit-identical.
+    api::SimConfig plain = tinyConfig();
+    api::SimConfig traced = tinyConfig();
+    traced.telem.trace = "pdr_test_trace_solo.json";
+
+    auto a = api::runSimulation(plain);
+    auto b = api::runSimulation(traced);
+    std::remove(traced.telem.trace.c_str());
+
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_DOUBLE_EQ(a.avgLatency, b.avgLatency);
+    EXPECT_EQ(a.routers.flitsOut, b.routers.flitsOut);
+    EXPECT_EQ(a.routers.creditStallCycles, b.routers.creditStallCycles);
+    EXPECT_EQ(a.telem.windows, 0u);     // Sampler stays off.
+    EXPECT_EQ(b.telem.windows, 0u);
+    EXPECT_GT(b.telem.traceEvents, 0u);
+}

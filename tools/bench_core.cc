@@ -43,6 +43,7 @@
 #include "net/network.hh"
 #include "par/stepper.hh"
 #include "router/config.hh"
+#include "telem/telemetry.hh"
 
 using namespace pdr;
 
@@ -65,6 +66,9 @@ struct Scenario
      *  them back to back instead lets whichever runs later inherit a
      *  warmed memory system and skews the ratio. */
     const char *abWith = nullptr;
+    /** Stream windowed telemetry (interval 1000, records discarded
+     *  into /dev/null) while timing: the telemetry-overhead A/B. */
+    bool telem = false;
 };
 
 const Scenario kScenarios[] = {
@@ -90,6 +94,14 @@ const Scenario kScenarios[] = {
     // k=16 saturation A/B against the scalar allocator path.
     {"specvc_sat16_scalar", router::RouterModel::SpecVirtualChannel, 2,
      4, 0.9, 16, 1, true},
+    // Telemetry-overhead A/B: the same saturated k=8 scenario with the
+    // windowed sampler off vs on (interval 1000, stream discarded), so
+    // the pair's ratio is the committed telemetry tick-path overhead.
+    // Simulation results are bit-identical; only the wall clock moves.
+    {"specvc_sat_telem_off", router::RouterModel::SpecVirtualChannel,
+     2, 4, 0.9, 8, 1, false, "specvc_sat_telem_on"},
+    {"specvc_sat_telem_on", router::RouterModel::SpecVirtualChannel,
+     2, 4, 0.9, 8, 1, false, nullptr, true},
 };
 
 struct Result
@@ -104,6 +116,9 @@ struct Bench
 {
     std::unique_ptr<net::Network> network;
     std::unique_ptr<par::ParallelStepper> stepper;
+    /** Attached after warm-up for telemetry scenarios (destroyed
+     *  first, before the stepper detaches). */
+    std::unique_ptr<telem::Telemetry> tel;
 };
 
 Bench
@@ -126,6 +141,13 @@ buildBench(const Scenario &sc)
     pcfg.workers = sc.workers;
     b.stepper = std::make_unique<par::ParallelStepper>(*b.network, pcfg);
     b.stepper->run(2000);           // Reach steady state untimed.
+    if (sc.telem) {
+        telem::Config tc;
+        tc.enable = true;
+        tc.interval = 1000;
+        tc.out = "/dev/null";       // Full emission path, discarded.
+        b.tel = std::make_unique<telem::Telemetry>(tc, *b.network);
+    }
     return b;
 }
 
@@ -133,7 +155,7 @@ double
 timeSegment(Bench &b, sim::Cycle cycles)
 {
     auto t0 = std::chrono::steady_clock::now();
-    b.stepper->run(cycles);
+    b.stepper->stepTo(b.network->now() + cycles, b.tel.get());
     auto t1 = std::chrono::steady_clock::now();
     return std::chrono::duration<double>(t1 - t0).count();
 }
@@ -284,11 +306,12 @@ main(int argc, char **argv)
         std::snprintf(buf, sizeof(buf),
                       "    {\"name\": \"%s\", \"offered\": %.2f, "
                       "\"k\": %d, \"workers\": %d, "
-                      "\"scalar_alloc\": %s, "
+                      "\"scalar_alloc\": %s, \"telem\": %s, "
                       "\"best_wall_s\": %.6f, \"cycles_per_sec\": %.0f}",
                       r.sc->name, r.sc->offered, r.sc->k,
                       r.sc->workers,
                       r.sc->scalarAlloc ? "true" : "false",
+                      r.sc->telem ? "true" : "false",
                       r.bestWallS, r.cyclesPerSec);
         f << buf << (i + 1 < results.size() ? ",\n" : "\n");
     }

@@ -47,6 +47,14 @@ from pathlib import Path
 HOT_DIRS = ("src/net/", "src/router/", "src/arb/", "src/par/",
             "src/sim/", "src/traffic/")
 
+# Directories whose code may legitimately read the host clock for
+# *observability* (sweep wall-time telemetry, the host-profile trace
+# stream).  Wall-clock reads there fall under PDR-OBS-WALLCLOCK --
+# still suppression-gated, but with an observability-specific message
+# -- while everywhere else in src/ stays under the stricter
+# PDR-RNG-TIME.
+OBS_DIRS = ("src/telem/", "src/exec/")
+
 
 def in_src(path):
     return path.startswith("src/")
@@ -54,6 +62,14 @@ def in_src(path):
 
 def in_hot(path):
     return path.startswith(HOT_DIRS)
+
+
+def in_obs(path):
+    return path.startswith(OBS_DIRS)
+
+
+def in_src_except_obs(path):
+    return in_src(path) and not in_obs(path)
 
 
 def in_src_except_rng(path):
@@ -263,11 +279,23 @@ RULES = [
     Rule("PDR-RNG-TIME",
          "wall-clock read: time()/clock()/chrono clocks feeding "
          "simulation state make runs time-dependent; simulated time is "
-         "the only clock",
-         in_src, pattern=RNG_TIME_RE,
+         "the only clock (src/telem/ and src/exec/ observability paths "
+         "are governed by PDR-OBS-WALLCLOCK instead)",
+         in_src_except_obs, pattern=RNG_TIME_RE,
          message="wall-clock read: simulation behavior may not depend "
                  "on host time (telemetry needs a justified "
                  "suppression)"),
+    Rule("PDR-OBS-WALLCLOCK",
+         "wall-clock read in an observability path (src/telem/, "
+         "src/exec/): host time is allowed only in host-profile / "
+         "wall-time telemetry streams that never feed simulation "
+         "state or sim-facing output, and every read must carry a "
+         "justified suppression saying so",
+         in_obs, pattern=RNG_TIME_RE,
+         message="wall-clock read in an observability path: confine "
+                 "it to the host-profile / wall-time stream and "
+                 "justify with a suppression that the value never "
+                 "reaches simulation state or sim-facing output"),
     Rule("PDR-ORD-UNORD",
          "unordered container in a hot-path component: iteration/bucket "
          "order is hash- and address-dependent; hot-path state must "
@@ -497,9 +525,15 @@ FIXTURES = [
     ("PDR-RNG-TIME", "src/sim/demo.cc",
      "auto t0 = std::chrono::steady_clock::now();\n",
      "sim::Cycle t0 = now;\n"),
-    ("PDR-RNG-TIME", "src/exec/demo.cc",
+    ("PDR-RNG-TIME", "src/api/demo.cc",
      "std::uint64_t seed = time(nullptr);\n",
      "std::uint64_t seed = cfg.seed;\n"),
+    ("PDR-OBS-WALLCLOCK", "src/telem/demo.cc",
+     "auto t0 = std::chrono::steady_clock::now();\n",
+     "sim::Cycle t0 = net.now();\n"),
+    ("PDR-OBS-WALLCLOCK", "src/exec/demo.cc",
+     "auto start = std::chrono::steady_clock::now();\n",
+     "sim::Cycle start = 0;\n"),
     ("PDR-ORD-UNORD", "src/router/demo.hh",
      "std::unordered_map<int, int> credits_;\n",
      "std::vector<int> credits_;\n"),
@@ -568,6 +602,14 @@ SCOPE_FIXTURES = [
      "int r = rand();\n"),
     ("PDR-PERF-DENSESCAN", "src/router/demo.cc",
      "void scan() { for (int i = 0; i < p_; i++) use(i); }\n"),
+    # Observability dirs are PDR-OBS-WALLCLOCK territory ...
+    ("PDR-RNG-TIME", "src/telem/demo.cc",
+     "auto t0 = std::chrono::steady_clock::now();\n"),
+    ("PDR-RNG-TIME", "src/exec/demo.cc",
+     "auto t0 = std::chrono::steady_clock::now();\n"),
+    # ... and the rest of src/ is PDR-RNG-TIME territory.
+    ("PDR-OBS-WALLCLOCK", "src/router/demo.cc",
+     "auto t0 = std::chrono::steady_clock::now();\n"),
 ]
 
 

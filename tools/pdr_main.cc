@@ -25,10 +25,16 @@
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <functional>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "api/params.hh"
 #include "api/simulation.hh"
@@ -89,6 +95,18 @@ usage(FILE *out)
         "  --tolerance X      diff: relative numeric tolerance per "
         "cell\n"
         "                     (default 0 = bit-exact text compare)\n"
+        "  --telem PATH       run: stream windowed telemetry records "
+        "to PATH\n"
+        "                     ('-' = stdout); sweep: PATH is a prefix "
+        "-- each\n"
+        "                     point streams to PATH.<index>.ndjson and "
+        "the\n"
+        "                     per-point totals land in "
+        "PATH.summary.csv\n"
+        "                     (telem.* keys tune interval/format)\n"
+        "  --trace PATH       run: write a Chrome trace-event JSON "
+        "(opens in\n"
+        "                     Perfetto / chrome://tracing) to PATH\n"
         "\n"
         "environment: PDR_FAST=1 coarsens the load axis; PDR_PACKETS,\n"
         "PDR_WARMUP, PDR_MAX_CYCLES override the base config.\n"
@@ -112,6 +130,8 @@ struct Options
     double tolerance = 0.0;
     int sliceIndex = 0;
     int sliceCount = 0;     //!< 0 = no --slice given.
+    std::string telemPath;  //!< --telem: stream path (sweep: prefix).
+    std::string tracePath;  //!< --trace: Chrome trace JSON path.
     /** --key=value overrides, in command-line order. */
     std::vector<std::pair<std::string, std::string>> overrides;
     /** Positional arguments (CSV paths of `pdr diff` / `pdr merge`). */
@@ -157,6 +177,10 @@ parseArgs(int argc, char **argv, Options &opt)
         } else if (arg == "--seed") {
             opt.seed = std::strtoull(want_value("--seed").c_str(),
                                      nullptr, 10);
+        } else if (arg == "--telem") {
+            opt.telemPath = want_value("--telem");
+        } else if (arg == "--trace") {
+            opt.tracePath = want_value("--trace");
         } else if (arg == "--tolerance") {
             opt.tolerance = std::atof(want_value("--tolerance").c_str());
         } else if (arg == "--slice") {
@@ -234,6 +258,12 @@ cmdRun(const Options &opt)
                      "axis/axes -- use 'pdr sweep' to run them\n",
                      exp.curves.size(), exp.axes.size());
     }
+    if (!opt.telemPath.empty()) {
+        exp.base.telem.enable = true;
+        exp.base.telem.out = opt.telemPath;
+    }
+    if (!opt.tracePath.empty())
+        exp.base.telem.trace = opt.tracePath;
     api::params::validate(exp.base);
 
     auto res = api::runSimulation(exp.base);
@@ -261,7 +291,52 @@ cmdRun(const Options &opt)
                                                            : "false");
     std::printf("cycles             %llu\n",
                 static_cast<unsigned long long>(res.cycles));
+    if (exp.base.telem.active()) {
+        std::printf("telem_windows      %llu\n",
+                    static_cast<unsigned long long>(res.telem.windows));
+        std::printf("trace_events       %llu\n",
+                    static_cast<unsigned long long>(
+                        res.telem.traceEvents));
+    }
     return 0;
+}
+
+/**
+ * Live sweep progress on stderr: a single \r-rewritten line with
+ * done/total and a smoothed ETA from the mean point wall time so far.
+ * Only when stderr is an interactive terminal (never into logs or CI
+ * transcripts) and the log level is not silent.
+ */
+std::function<void(std::size_t, std::size_t, double)>
+makeProgressLine()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    if (!isatty(fileno(stderr)))
+        return nullptr;
+#else
+    return nullptr;
+#endif
+    if (logLevel() == LogLevel::Silent)
+        return nullptr;
+    // State lives in the closure; calls are serialized by the sweep
+    // runner's progress mutex.
+    auto total_ms = std::make_shared<double>(0.0);
+    return [total_ms](std::size_t done, std::size_t total,
+                      double point_ms) {
+        *total_ms += point_ms;
+        // Points run concurrently, so the per-point mean overestimates
+        // wall time by roughly the thread count; good enough for a
+        // progress hint without threading the pool size through.
+        double mean_ms = *total_ms / double(done);
+        double eta_s = mean_ms * double(total - done) / 1000.0;
+        std::fprintf(stderr,
+                     "\rsweep: %zu/%zu points (%3.0f%%), eta ~%.0fs ",
+                     done, total, 100.0 * double(done) / double(total),
+                     eta_s);
+        if (done == total)
+            std::fputc('\n', stderr);
+        std::fflush(stderr);
+    };
 }
 
 int
@@ -270,6 +345,12 @@ cmdSweep(const Options &opt)
     auto exp = buildExperiment(opt);
     exp.applyEnv();
 
+    if (!opt.tracePath.empty()) {
+        throw std::invalid_argument(
+            "--trace is per-run output; use 'pdr run' (or a "
+            "--telem.trace=PATH override on a single point)");
+    }
+
     auto points = exp.points();
     if (points.empty())
         throw std::invalid_argument("experiment expands to no points");
@@ -277,6 +358,7 @@ cmdSweep(const Options &opt)
     exec::SweepOptions sweep_opts;
     sweep_opts.threads = opt.threads;
     sweep_opts.baseSeed = opt.seed;
+    sweep_opts.onPointDone = makeProgressLine();
 
     // --slice I/N: run one contiguous block of the expanded grid.
     // Seeds are assigned from the *global* point index before slicing,
@@ -305,11 +387,38 @@ cmdSweep(const Options &opt)
         }
     }
 
+    // --telem PREFIX: every point streams into its own file, named by
+    // the *global* grid index so sliced shards never collide and a
+    // point's stream is byte-identical however the sweep was sharded.
+    if (!opt.telemPath.empty()) {
+        for (std::size_t i = 0; i < points.size(); i++) {
+            auto &t = points[i].cfg.telem;
+            t.enable = true;
+            t.out = csprintf("%s.%zu.%s", opt.telemPath.c_str(),
+                             slice_lo + i,
+                             t.format == "csv" ? "csv" : "ndjson");
+        }
+    }
+
     auto results = api::runSweep(points, sweep_opts);
     results.indexOffset = slice_lo;
 
     writeTable(results.toTable(), opt.json,
                opt.json ? opt.jsonPath : opt.csvPath);
+
+    if (!opt.telemPath.empty()) {
+        std::string summary_path = opt.telemPath + ".summary.csv";
+        std::ofstream f(summary_path);
+        if (!f) {
+            throw std::invalid_argument("cannot write '" +
+                                        summary_path + "'");
+        }
+        results.telemTable().writeCsv(f);
+        std::fprintf(stderr, "telem: %zu per-point stream(s) at "
+                     "%s.<index>.*, summary at %s\n",
+                     results.points.size(), opt.telemPath.c_str(),
+                     summary_path.c_str());
+    }
 
     std::fprintf(stderr, "sweep: %zu points on %d threads in %.1f s\n",
                  results.points.size(), results.threads,

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Validate a pdr Chrome trace-event JSON file.
+
+The trace writer (src/telem/trace.cc) emits the Trace Event Format's
+"JSON object" flavor: a top-level object with a `traceEvents` array of
+metadata ("M"), complete ("X") and counter ("C") events.  This checks
+-- with nothing beyond the Python standard library, so it can run as a
+CI step anywhere -- that the file is something Perfetto and
+chrome://tracing will actually open:
+
+  * the file parses as one JSON object with a `traceEvents` list;
+  * every event carries the required fields with sane types
+    (name/ph/pid/tid, ts for X and C, dur for X, args for M and C);
+  * only the documented phases appear;
+  * complete events have non-negative durations;
+  * the three pdr processes are named via process_name metadata, and
+    sim-time pids (1 = packets, 2 = routers) coexist with the
+    host-profile pid (3) without mixing into each other's tids.
+
+Exit status: 0 = valid, 1 = findings, 2 = usage / unreadable input.
+"""
+
+import argparse
+import json
+import sys
+
+SIM_PACKET_PID = 1
+SIM_ROUTER_PID = 2
+HOST_PID = 3
+KNOWN_PHASES = {"M", "X", "C"}
+
+
+def validate(doc, errors):
+    if not isinstance(doc, dict):
+        errors.append("top level is not a JSON object")
+        return {}
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        errors.append("missing or non-array 'traceEvents'")
+        return {}
+
+    by_pid = {}
+    named_pids = set()
+    for i, ev in enumerate(events):
+        where = "event %d" % i
+
+        def err(msg):
+            errors.append("%s: %s" % (where, msg))
+
+        if not isinstance(ev, dict):
+            err("not an object")
+            continue
+        name = ev.get("name")
+        ph = ev.get("ph")
+        if not isinstance(name, str) or not name:
+            err("missing/empty 'name'")
+        if not isinstance(ph, str) or ph not in KNOWN_PHASES:
+            err("unknown phase %r (want one of %s)"
+                % (ph, sorted(KNOWN_PHASES)))
+            continue
+        for field in ("pid", "tid"):
+            if not isinstance(ev.get(field), int):
+                err("missing/non-integer '%s'" % field)
+        pid = ev.get("pid")
+        if isinstance(pid, int):
+            by_pid[pid] = by_pid.get(pid, 0) + 1
+
+        if ph == "M":
+            if name == "process_name":
+                args = ev.get("args")
+                if (not isinstance(args, dict)
+                        or not isinstance(args.get("name"), str)):
+                    err("process_name without args.name")
+                elif isinstance(pid, int):
+                    named_pids.add(pid)
+            continue
+
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            err("missing/negative 'ts'")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                err("complete event with missing/negative 'dur'")
+        if ph == "C" and not isinstance(ev.get("args"), dict):
+            err("counter event without 'args'")
+
+    for pid in sorted(by_pid):
+        if pid not in named_pids:
+            errors.append("pid %d has events but no process_name "
+                          "metadata" % pid)
+    return by_pid
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="validate a pdr Chrome trace-event JSON file")
+    ap.add_argument("trace", help="trace file (pdr run --trace=...)")
+    ap.add_argument("--min-events", type=int, default=0,
+                    help="fail unless at least this many non-metadata "
+                         "events are present")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        print("validate_trace: cannot read %s: %s" % (args.trace, e),
+              file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as e:
+        print("validate_trace: %s: not valid JSON: %s"
+              % (args.trace, e), file=sys.stderr)
+        return 1
+
+    errors = []
+    by_pid = validate(doc, errors)
+
+    events = doc.get("traceEvents", [])
+    data_events = [e for e in events
+                   if isinstance(e, dict) and e.get("ph") != "M"]
+    if len(data_events) < args.min_events:
+        errors.append("only %d non-metadata event(s), expected >= %d"
+                      % (len(data_events), args.min_events))
+
+    for e in errors[:20]:
+        print("validate_trace: %s: %s" % (args.trace, e),
+              file=sys.stderr)
+    if len(errors) > 20:
+        print("validate_trace: ... and %d more" % (len(errors) - 20),
+              file=sys.stderr)
+    if errors:
+        return 1
+
+    pids = ", ".join("pid %d: %d" % (p, n)
+                     for p, n in sorted(by_pid.items()))
+    print("validate_trace: %s: %d events OK (%s)"
+          % (args.trace, len(events), pids))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
