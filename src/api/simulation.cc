@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "exec/sweep.hh"
 #include "par/stepper.hh"
+#include "prof/profiler.hh"
 #include "telem/telemetry.hh"
 
 namespace pdr::api {
@@ -69,13 +70,25 @@ runSimulation(const SimConfig &cfg)
     pcfg.scheme = par::schemeFromString(cfg.parScheme);
     par::ParallelStepper stepper(network, pcfg);
 
+    // Engine profiler: constructed after the stepper, destroyed
+    // before it (declaration order); the stepper holds a raw pointer
+    // while profiling.  Read-only, like telemetry below.
+    std::unique_ptr<prof::Profiler> prof;
+    if (cfg.prof.enable) {
+        prof = std::make_unique<prof::Profiler>(network,
+                                                stepper.workers());
+        stepper.attachProfiler(prof.get());
+    }
+
     // Observability sidecar: constructed after the stepper (destroyed
     // before it), samples only at epochs where the gang is parked.
     // Strictly read-only -- the stepping below is schedule-identical
-    // with telemetry on or off.
+    // with telemetry on or off.  A profiled run always has one: the
+    // profiler's epochs ride the telemetry cadence.
     std::unique_ptr<telem::Telemetry> tel;
-    if (cfg.telem.active())
-        tel = std::make_unique<telem::Telemetry>(cfg.telem, network);
+    if (cfg.telem.active() || prof)
+        tel = std::make_unique<telem::Telemetry>(cfg.telem, network,
+                                                 prof.get());
 
     if (cfg.mode == "fixed") {
         // Fixed horizon: ignore the measurement protocol and report
@@ -152,6 +165,9 @@ runSimulation(const SimConfig &cfg)
     res.routers = network.routerTotals();
     if (tel)
         res.telem = tel->summary();
+    if (prof)
+        res.prof = std::make_shared<const prof::Capture>(
+            prof->takeCapture());
     return res;
 }
 

@@ -17,10 +17,12 @@
 #ifndef PDR_API_SIMULATION_HH
 #define PDR_API_SIMULATION_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "net/network.hh"
+#include "prof/config.hh"
 #include "telem/config.hh"
 
 namespace pdr::exec {
@@ -67,6 +69,15 @@ struct SimConfig
     telem::Config telem;
 
     /**
+     * Engine profiling (prof.* keys): per-worker phase wall time and
+     * per-router tick weights, exported through the telemetry streams
+     * and summarized by `pdr profile`.  Same read-only contract as
+     * telem: results are bit-identical on or off, at any worker
+     * count (docs/OBSERVABILITY.md).
+     */
+    prof::Config prof;
+
+    /**
      * Scale the sample-space size (and warm-up) from the environment:
      * PDR_PACKETS overrides samplePackets (paper value 100000; default
      * here 30000 to keep the full bench suite minutes-scale).
@@ -80,7 +91,7 @@ operator==(const SimConfig &a, const SimConfig &b)
     return a.net == b.net && a.maxCycles == b.maxCycles &&
            a.mode == b.mode && a.horizon == b.horizon &&
            a.parWorkers == b.parWorkers && a.parScheme == b.parScheme &&
-           a.telem == b.telem;
+           a.telem == b.telem && a.prof == b.prof;
 }
 
 inline bool
@@ -102,6 +113,9 @@ struct SimResults
     sim::Cycle cycles = 0;          //!< Total simulated cycles.
     router::RouterStats routers;    //!< Aggregated router counters.
     telem::Summary telem;           //!< Emission totals (zero if off).
+    /** Engine profile (null unless prof.enable); shared so result
+     *  rows stay cheap to copy through the sweep machinery. */
+    std::shared_ptr<const prof::Capture> prof;
 
     /**
      * Saturation heuristic: the run is considered saturated when the

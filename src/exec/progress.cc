@@ -1,0 +1,46 @@
+#include "exec/progress.hh"
+
+#include <cstdio>
+#include <memory>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "common/logging.hh"
+
+namespace pdr::exec {
+
+std::function<void(std::size_t, std::size_t, double)>
+makeProgressLine(bool forceTty)
+{
+#if defined(__unix__) || defined(__APPLE__)
+    if (!forceTty && !isatty(fileno(stderr)))
+        return nullptr;
+#else
+    if (!forceTty)
+        return nullptr;
+#endif
+    if (logLevel() == LogLevel::Silent)
+        return nullptr;
+    // State lives in the closure; calls are serialized by the sweep
+    // runner's progress mutex.
+    auto total_ms = std::make_shared<double>(0.0);
+    return [total_ms](std::size_t done, std::size_t total,
+                      double point_ms) {
+        *total_ms += point_ms;
+        // Points run concurrently, so the per-point mean overestimates
+        // wall time by roughly the thread count; good enough for a
+        // progress hint without threading the pool size through.
+        double mean_ms = *total_ms / double(done);
+        double eta_s = mean_ms * double(total - done) / 1000.0;
+        double pct = 100.0 * double(done) / double(total);
+        std::fprintf(stderr, "\rsweep: %zu/%zu (%3.0f%%), eta ~%.0fs ",
+                     done, total, pct, eta_s);
+        if (done == total)
+            std::fputc('\n', stderr);
+        std::fflush(stderr);
+    };
+}
+
+} // namespace pdr::exec

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Live sweep progress reporting: builds the SweepOptions::onPointDone
+ * callback `pdr sweep` installs.  Reporting-only -- completion order
+ * is nondeterministic, the results table is ordered by point index
+ * regardless (docs/OBSERVABILITY.md).
+ */
+
+#ifndef PDR_EXEC_PROGRESS_HH
+#define PDR_EXEC_PROGRESS_HH
+
+#include <cstddef>
+#include <functional>
+
+namespace pdr::exec {
+
+/**
+ * A single \r-rewritten stderr line with done/total, percent, and a
+ * smoothed ETA from the mean point wall time so far.  Returns nullptr
+ * -- no reporting -- when stderr is not an interactive terminal
+ * (never into logs or CI transcripts) or the log level is silent
+ * (PDR_LOG_LEVEL=silent).  `forceTty` skips the terminal check only
+ * (tests); the silent-level suppression always applies.
+ */
+std::function<void(std::size_t, std::size_t, double)>
+makeProgressLine(bool forceTty = false);
+
+} // namespace pdr::exec
+
+#endif // PDR_EXEC_PROGRESS_HH

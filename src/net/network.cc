@@ -279,7 +279,11 @@ Network::tickRouters(sim::NodeId lo, sim::NodeId hi)
         } else if (wakeAt_[rtrComp(i)] <= now_) {
             routers_[i].tick(now_);
             wakeAt_[rtrComp(i)] = routers_[i].nextWake(now_);
+        } else {
+            continue;
         }
+        if (tickWeights_)
+            (*tickWeights_)[std::size_t(i)]++;
     }
 }
 

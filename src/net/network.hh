@@ -281,6 +281,20 @@ class Network
      *  shard rebinding off this, not the pointer value. */
     std::uint64_t deliveryTraceGen() const { return traceGen_; }
 
+    /**
+     * Count router ticks into `weights` (one slot per router, index
+     * order, incremented on every actual tick); nullptr disables.
+     * Observational (the engine profiler's tick-weight signal): the
+     * tick schedule is a pure function of the wake table, so the
+     * counts are deterministic and byte-identical across worker
+     * counts, and workers own disjoint router ranges so the
+     * increments never share a slot.
+     */
+    void profileTickWeights(std::vector<std::uint64_t> *weights)
+    {
+        tickWeights_ = weights;
+    }
+
     sim::Cycle now() const { return now_; }
     const NetworkConfig &config() const { return cfg_; }
     const Lattice &lattice() const { return mesh_; }
@@ -409,6 +423,10 @@ class Network
 
     std::vector<traffic::Delivery> *trace_ = nullptr;
     std::uint64_t traceGen_ = 0;
+
+    /** Per-router tick-weight sink (engine profiler); see
+     *  profileTickWeights(). */
+    std::vector<std::uint64_t> *tickWeights_ = nullptr;
 
     // ----- invariant auditing (allocated only when enabled) ----------
 

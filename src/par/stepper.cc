@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "exec/thread_pool.hh"
+#include "prof/profiler.hh"
 #include "telem/telemetry.hh"
 
 namespace pdr::par {
@@ -182,13 +183,27 @@ ParallelStepper::drainSlice(int w)
 void
 ParallelStepper::workerLoop(int w)
 {
+    // Profiler marks: the cycle-start park (and the shutdown wait) is
+    // accounted to the Barrier phase left open by the previous
+    // iteration (or by Profiler construction, which opens Barrier for
+    // workers 1..W-1).  Reading prof_ is race-free: it is written by
+    // worker 0 before its first step() and published by that cycle's
+    // start-barrier release.
     for (;;) {
         barrier_.arrive();      // Cycle start (or shutdown).
         if (stop_.load(std::memory_order_acquire))
             return;
+        if (prof_)
+            prof_->mark(w, prof::Profiler::Phase::Tick);
         runSlice(w);
+        if (prof_)
+            prof_->mark(w, prof::Profiler::Phase::Barrier);
         barrier_.arrive();      // Phase A done everywhere.
+        if (prof_)
+            prof_->mark(w, prof::Profiler::Phase::Drain);
         drainSlice(w);
+        if (prof_)
+            prof_->mark(w, prof::Profiler::Phase::Barrier);
         barrier_.arrive();      // Phase B done everywhere.
     }
 }
@@ -197,10 +212,18 @@ void
 ParallelStepper::step()
 {
     if (W_ == 1) {
-        net_.step();
+        if (prof_) {
+            prof_->mark(0, prof::Profiler::Phase::Tick);
+            net_.step();
+            prof_->mark(0, prof::Profiler::Phase::Idle);
+        } else {
+            net_.step();
+        }
         return;
     }
     syncTrace();
+    if (prof_)
+        prof_->mark(0, prof::Profiler::Phase::Tick);
 
     // Classify the cycle's tagging before any source runs: each
     // source creates at most one packet per cycle, so numNodes bounds
@@ -215,10 +238,18 @@ ParallelStepper::step()
 
     barrier_.arrive();          // Release the gang into phase A.
     runSlice(0);
+    if (prof_)
+        prof_->mark(0, prof::Profiler::Phase::Barrier);
     barrier_.arrive();
+    if (prof_)
+        prof_->mark(0, prof::Profiler::Phase::Drain);
     drainSlice(0);
+    if (prof_)
+        prof_->mark(0, prof::Profiler::Phase::Barrier);
     barrier_.arrive();
     net_.finishCycle();
+    if (prof_)
+        prof_->mark(0, prof::Profiler::Phase::Idle);
 }
 
 sim::Cycle

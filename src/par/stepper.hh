@@ -50,6 +50,10 @@
 #include "net/network.hh"
 #include "par/partition.hh"
 
+namespace pdr::prof {
+class Profiler;
+} // namespace pdr::prof
+
 namespace pdr::telem {
 class Telemetry;
 } // namespace pdr::telem
@@ -138,6 +142,18 @@ class ParallelStepper
      */
     sim::Cycle skipIdle(sim::Cycle limit);
 
+    /**
+     * Attach the engine profiler (null detaches).  Must be called
+     * from the stepping thread between cycles, before the profiled
+     * span starts: workers read the pointer only after the next
+     * cycle-start barrier release, which publishes the write.  The
+     * profiler must outlive all subsequent stepping (destroy it
+     * before the stepper, or detach first).  When attached, every
+     * worker timestamps its tick / drain / barrier-wait phase
+     * transitions -- purely observational, results unchanged.
+     */
+    void attachProfiler(prof::Profiler *prof) { prof_ = prof; }
+
     int workers() const { return W_; }
     const Partitioner &partitioner() const { return part_; }
     /** Channels currently in staged (cross-boundary) mode. */
@@ -169,6 +185,7 @@ class ParallelStepper
     std::uint64_t boundTraceGen_ = 0;
 
     std::vector<std::thread> threads_;  //!< Workers 1..W-1.
+    prof::Profiler *prof_ = nullptr;    //!< Engine profiler, optional.
     SpinBarrier barrier_;
     std::atomic<bool> stop_{false};
     TagMode mode_ = TagMode::None;      //!< Published at cycle start.

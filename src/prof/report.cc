@@ -1,0 +1,314 @@
+#include "prof/report.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <istream>
+#include <stdexcept>
+
+#include "common/logging.hh"
+#include "par/partition.hh"
+
+namespace pdr::prof {
+
+namespace {
+
+/** Per-block weight shares of a plane-aligned split. */
+std::vector<std::uint64_t>
+planeBlockWeights(const std::vector<std::uint64_t> &weights,
+                  const topo::Lattice &lat, int workers,
+                  std::vector<par::Block> *blocksOut = nullptr)
+{
+    par::Partitioner part(lat, workers, par::Scheme::Planes);
+    std::vector<std::uint64_t> blockW(
+        std::size_t(part.workers()), 0);
+    for (int b = 0; b < part.workers(); b++) {
+        const par::Block &blk = part.blocks()[std::size_t(b)];
+        for (sim::NodeId r = blk.routerLo; r < blk.routerHi; r++)
+            blockW[std::size_t(b)] += weights[std::size_t(r)];
+    }
+    if (blocksOut)
+        *blocksOut = part.blocks();
+    return blockW;
+}
+
+/**
+ * The boundary the weighted scheme would pick: greedy cuts at the
+ * cumulative-weight quantiles.  Returns the last router id of each of
+ * the first W-1 blocks, plus the resulting max block share.
+ */
+std::vector<sim::NodeId>
+weightedCuts(const std::vector<std::uint64_t> &weights, int workers,
+             double *maxShare)
+{
+    std::uint64_t total = 0;
+    for (auto w : weights)
+        total += w;
+    std::vector<sim::NodeId> cuts;
+    *maxShare = 0.0;
+    if (!total || workers < 2)
+        return cuts;
+    std::uint64_t cum = 0, blockStartCum = 0;
+    int nextCut = 1;
+    for (std::size_t r = 0;
+         r < weights.size() && nextCut < workers; r++) {
+        cum += weights[r];
+        if (double(cum) >=
+            double(total) * double(nextCut) / double(workers)) {
+            cuts.push_back(sim::NodeId(r));
+            *maxShare = std::max(
+                *maxShare, double(cum - blockStartCum) /
+                               double(total));
+            blockStartCum = cum;
+            nextCut++;
+        }
+    }
+    *maxShare =
+        std::max(*maxShare,
+                 double(total - blockStartCum) / double(total));
+    return cuts;
+}
+
+std::string
+coordsOf(const topo::Lattice &lat, sim::NodeId r)
+{
+    std::string s = "(";
+    for (int d = 0; d < lat.dims(); d++)
+        s += csprintf("%s%d", d ? "," : "", lat.coordOf(r, d));
+    return s + ")";
+}
+
+// ----- NDJSON parsing helpers ------------------------------------------
+
+bool
+extractU64(const std::string &line, const char *key,
+           std::uint64_t &out)
+{
+    const std::string pat = std::string("\"") + key + "\": ";
+    const auto pos = line.find(pat);
+    if (pos == std::string::npos)
+        return false;
+    out = std::strtoull(line.c_str() + pos + pat.size(), nullptr, 10);
+    return true;
+}
+
+bool
+extractArray(const std::string &line, const char *key,
+             std::vector<std::uint64_t> &out)
+{
+    const std::string pat = std::string("\"") + key + "\": [";
+    const auto pos = line.find(pat);
+    if (pos == std::string::npos)
+        return false;
+    out.clear();
+    const char *p = line.c_str() + pos + pat.size();
+    while (*p && *p != ']') {
+        char *end = nullptr;
+        out.push_back(std::strtoull(p, &end, 10));
+        if (end == p)
+            break;
+        p = end;
+        if (*p == ',')
+            p++;
+    }
+    return true;
+}
+
+} // namespace
+
+double
+weightImbalance(const std::vector<std::uint64_t> &weights,
+                const topo::Lattice &lat, int workers)
+{
+    const auto blockW = planeBlockWeights(weights, lat, workers);
+    std::uint64_t total = 0, maxW = 0;
+    for (auto w : blockW) {
+        total += w;
+        maxW = std::max(maxW, w);
+    }
+    if (!total)
+        return 0.0;
+    return double(maxW) * double(blockW.size()) / double(total);
+}
+
+std::string
+buildReport(const Capture &cap, const topo::Lattice &lat,
+            const Config &cfg)
+{
+    std::string out;
+    out += csprintf(
+        "profile: %zu window(s) over %llu cycles, %d worker(s)\n",
+        cap.epochs.size(), (unsigned long long)cap.cycles,
+        cap.workers);
+
+    // ----- per-worker utilization (host wall clock) ------------------
+    const auto W = std::size_t(std::max(cap.workers, 1));
+    std::vector<std::uint64_t> tick(W, 0), drain(W, 0), barrier(W, 0),
+        idle(W, 0);
+    for (const auto &e : cap.epochs) {
+        for (std::size_t w = 0; w < W && w < e.tickUs.size(); w++) {
+            tick[w] += e.tickUs[w];
+            drain[w] += e.drainUs[w];
+            barrier[w] += e.barrierUs[w];
+            idle[w] += e.idleUs[w];
+        }
+    }
+    out += "\nper-worker phase wall time (whole run):\n";
+    out += "  worker     tick_ms    drain_ms  barrier_ms   util%\n";
+    std::uint64_t sumTick = 0, maxTick = 0, sumBar = 0, sumAll = 0;
+    for (std::size_t w = 0; w < W; w++) {
+        const std::uint64_t busy = tick[w] + drain[w] + barrier[w];
+        const std::uint64_t all = busy + idle[w];
+        out += csprintf(
+            "  %6zu  %10.1f  %10.1f  %10.1f  %6.1f\n", w,
+            double(tick[w]) / 1000.0, double(drain[w]) / 1000.0,
+            double(barrier[w]) / 1000.0,
+            all ? 100.0 * double(tick[w] + drain[w]) / double(all)
+                : 0.0);
+        sumTick += tick[w];
+        maxTick = std::max(maxTick, tick[w]);
+        sumBar += barrier[w];
+        sumAll += all;
+    }
+    out += csprintf(
+        "  load max/mean (tick): %.2f   barrier-wait fraction: "
+        "%.1f%%\n",
+        sumTick ? double(maxTick) * double(W) / double(sumTick) : 0.0,
+        sumAll ? 100.0 * double(sumBar) / double(sumAll) : 0.0);
+
+    // ----- per-window wall imbalance ---------------------------------
+    out += "\nper-window wall imbalance (max/mean worker tick):\n";
+    for (const auto &e : cap.epochs) {
+        std::uint64_t s = 0, m = 0;
+        for (std::size_t w = 0; w < e.tickUs.size(); w++) {
+            s += e.tickUs[w];
+            m = std::max(m, e.tickUs[w]);
+        }
+        out += csprintf(
+            "  cycle %8llu  window %6llu  imbalance %.2f\n",
+            (unsigned long long)e.cycle, (unsigned long long)e.window,
+            s ? double(m) * double(e.tickUs.size()) / double(s)
+              : 0.0);
+    }
+
+    // ----- hottest routers (deterministic tick weights) --------------
+    std::uint64_t total = 0;
+    for (auto w : cap.weights)
+        total += w;
+    std::vector<sim::NodeId> order(cap.weights.size());
+    for (std::size_t r = 0; r < order.size(); r++)
+        order[r] = sim::NodeId(r);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](sim::NodeId a, sim::NodeId b) {
+                         return cap.weights[std::size_t(a)] >
+                                cap.weights[std::size_t(b)];
+                     });
+    const auto top =
+        std::min(order.size(), std::size_t(std::max(cfg.top, 1)));
+    out += csprintf(
+        "\nhottest routers by cycles ticked (top %zu of %zu):\n", top,
+        order.size());
+    for (std::size_t i = 0; i < top; i++) {
+        const sim::NodeId r = order[i];
+        out += csprintf(
+            "  router %4d  %-12s  %10llu ticks  %5.1f%%\n", int(r),
+            coordsOf(lat, r).c_str(),
+            (unsigned long long)cap.weights[std::size_t(r)],
+            total ? 100.0 * double(cap.weights[std::size_t(r)]) /
+                        double(total)
+                  : 0.0);
+    }
+
+    // ----- partition quality (deterministic verdict) -----------------
+    std::vector<par::Block> blocks;
+    const auto blockW = planeBlockWeights(cap.weights, lat,
+                                          cfg.reportWorkers, &blocks);
+    out += csprintf(
+        "\npartition quality (planes split, %zu analysis workers):\n",
+        blockW.size());
+    std::size_t heaviest = 0;
+    for (std::size_t b = 0; b < blockW.size(); b++) {
+        out += csprintf(
+            "  worker %zu  routers [%4d,%4d)  weight %5.1f%%\n", b,
+            int(blocks[b].routerLo), int(blocks[b].routerHi),
+            total ? 100.0 * double(blockW[b]) / double(total) : 0.0);
+        if (blockW[b] > blockW[heaviest])
+            heaviest = b;
+    }
+    out += csprintf("weight_imbalance %.4f\n",
+                    weightImbalance(cap.weights, lat,
+                                    cfg.reportWorkers));
+
+    double maxShare = 0.0;
+    const auto cuts = weightedCuts(cap.weights,
+                                   int(blockW.size()), &maxShare);
+    std::string cutStr;
+    for (std::size_t i = 0; i < cuts.size(); i++)
+        cutStr += csprintf("%s%d", i ? ", " : "", int(cuts[i]));
+    out += csprintf(
+        "verdict: planes split puts %.1f%% of tick weight on worker "
+        "%zu",
+        total ? 100.0 * double(blockW[heaviest]) / double(total)
+              : 0.0,
+        heaviest);
+    if (!cuts.empty()) {
+        out += csprintf("; a weighted split would cut after "
+                        "router%s %s (max share %.1f%%)",
+                        cuts.size() > 1 ? "s" : "", cutStr.c_str(),
+                        100.0 * maxShare);
+    }
+    out += ".\n";
+    return out;
+}
+
+Capture
+parseStream(std::istream &in)
+{
+    Capture cap;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find("\"type\": \"worker_window\"") !=
+            std::string::npos) {
+            Epoch e;
+            std::uint64_t v = 0;
+            if (extractU64(line, "cycle", v))
+                e.cycle = sim::Cycle(v);
+            if (extractU64(line, "window", v))
+                e.window = sim::Cycle(v);
+            if (extractU64(line, "workers", v))
+                cap.workers = int(v);
+            extractArray(line, "tick_us", e.tickUs);
+            extractArray(line, "drain_us", e.drainUs);
+            extractArray(line, "barrier_us", e.barrierUs);
+            extractArray(line, "idle_us", e.idleUs);
+            cap.cycles = std::max(cap.cycles, e.cycle);
+            cap.epochs.push_back(std::move(e));
+        } else if (line.find("\"type\": \"weight_heatmap\"") !=
+                   std::string::npos) {
+            std::vector<std::uint64_t> weights;
+            extractArray(line, "weights", weights);
+            std::uint64_t cycle = 0;
+            extractU64(line, "cycle", cycle);
+            // Deltas attach to the worker_window of the same cycle
+            // (emitted immediately before) and telescope into the
+            // end-of-run totals.
+            for (auto &e : cap.epochs) {
+                if (e.cycle == sim::Cycle(cycle) && e.weights.empty())
+                    e.weights = weights;
+            }
+            if (cap.weights.size() < weights.size())
+                cap.weights.resize(weights.size(), 0);
+            for (std::size_t r = 0; r < weights.size(); r++)
+                cap.weights[r] += weights[r];
+        }
+    }
+    if (cap.epochs.empty() && cap.weights.empty()) {
+        throw std::runtime_error(
+            "no worker_window / weight_heatmap records found (was "
+            "the stream written with prof.enable=true?)");
+    }
+    if (!cap.workers && !cap.epochs.empty())
+        cap.workers = int(cap.epochs.front().tickUs.size());
+    return cap;
+}
+
+} // namespace pdr::prof

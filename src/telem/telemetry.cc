@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/logging.hh"
+#include "prof/profiler.hh"
 
 namespace pdr::telem {
 
@@ -92,12 +93,13 @@ HostProfiler::Scope::~Scope()
 
 // ----- Telemetry -------------------------------------------------------
 
-Telemetry::Telemetry(const Config &cfg, net::Network &net)
-    : cfg_(cfg), net_(net)
+Telemetry::Telemetry(const Config &cfg, net::Network &net,
+                     prof::Profiler *prof)
+    : cfg_(cfg), net_(net), prof_(prof)
 {
     cfg_.validate();
 
-    if (cfg_.enable && !cfg_.out.empty()) {
+    if ((cfg_.enable || prof_) && !cfg_.out.empty()) {
         if (cfg_.out == "-") {
             streamOut_ = &std::cout;
         } else {
@@ -120,6 +122,9 @@ Telemetry::Telemetry(const Config &cfg, net::Network &net)
         trace_->processName(TraceWriter::kPacketPid, "sim: packets");
         trace_->processName(TraceWriter::kRouterPid, "sim: routers");
         trace_->processName(TraceWriter::kHostPid, "host: profile");
+        if (prof_)
+            trace_->processName(TraceWriter::kWorkerPid,
+                                "host: workers");
         host_.bind(trace_.get());
 
         // Read-only hooks: the sinks append deliveries (the stepper
@@ -136,7 +141,9 @@ Telemetry::Telemetry(const Config &cfg, net::Network &net)
         sampler_ =
             std::make_unique<StreamSampler>(cfg_, net_, streamOut_);
 
-    if (cfg_.active())
+    // The profiler rides the telemetry cadence: a profiled run has
+    // sampling epochs even with the stream sampler and trace off.
+    if (cfg_.active() || prof_)
         nextSampleAt_ = net_.now() + cfg_.interval;
 }
 
@@ -164,9 +171,112 @@ Telemetry::emitEpoch(sim::Cycle at)
     host_.windowSpan(at);
     if (sampler_)
         sampler_->sampleWindow(at, trace_.get());
+    if (prof_)
+        emitProfEpoch(prof_->sampleEpoch(at));
     if (trace_) {
         drainPacketSpans();
         drainStallSpans();
+    }
+}
+
+void
+Telemetry::emitProfEpoch(const prof::Epoch &e)
+{
+    const auto W = std::size_t(prof_->workers());
+
+    // Window-level imbalance metrics: max/mean worker tick load and
+    // the fraction of total worker wall time spent barrier-waiting.
+    std::uint64_t sumTick = 0, maxTick = 0, sumBar = 0, sumAll = 0;
+    for (std::size_t w = 0; w < W; w++) {
+        sumTick += e.tickUs[w];
+        maxTick = std::max(maxTick, e.tickUs[w]);
+        sumBar += e.barrierUs[w];
+        sumAll += e.tickUs[w] + e.drainUs[w] + e.barrierUs[w] +
+                  e.idleUs[w];
+    }
+    const double loadMaxMean =
+        sumTick ? double(maxTick) * double(W) / double(sumTick) : 0.0;
+    const double barrierFrac =
+        sumAll ? double(sumBar) / double(sumAll) : 0.0;
+
+    if (streamOut_ && cfg_.format == "ndjson") {
+        // worker_window: host wall time per worker and phase --
+        // inherently nondeterministic (wall clock), unlike every
+        // sim-derived record in this stream.
+        std::string rec = csprintf(
+            "{\"type\": \"worker_window\", \"cycle\": %llu, "
+            "\"window\": %llu, \"workers\": %d",
+            (unsigned long long)e.cycle, (unsigned long long)e.window,
+            int(W));
+        struct
+        {
+            const char *name;
+            const std::vector<std::uint64_t> &v;
+        } series[] = {{"tick_us", e.tickUs},
+                      {"drain_us", e.drainUs},
+                      {"barrier_us", e.barrierUs},
+                      {"idle_us", e.idleUs}};
+        for (const auto &s : series) {
+            rec += csprintf(", \"%s\": [", s.name);
+            for (std::size_t w = 0; w < W; w++)
+                rec += csprintf("%s%llu", w ? "," : "",
+                                (unsigned long long)s.v[w]);
+            rec += "]";
+        }
+        rec += csprintf(
+            ", \"load_max_mean\": %.4f, \"barrier_frac\": %.4f}\n",
+            loadMaxMean, barrierFrac);
+        *streamOut_ << rec;
+
+        // weight_heatmap: per-router cycles ticked in the window --
+        // deterministic, byte-identical across worker counts (the
+        // repartitioner-facing signal).
+        rec = csprintf("{\"type\": \"weight_heatmap\", \"cycle\": "
+                       "%llu, \"window\": %llu, \"weights\": [",
+                       (unsigned long long)e.cycle,
+                       (unsigned long long)e.window);
+        for (std::size_t r = 0; r < e.weights.size(); r++)
+            rec += csprintf("%s%llu", r ? "," : "",
+                            (unsigned long long)e.weights[r]);
+        rec += "]}\n";
+        *streamOut_ << rec;
+    }
+
+    if (trace_ && trace_->active()) {
+        // One window span per worker tid with the phase spans laid
+        // contiguously inside it (tick, then drain, then barrier;
+        // idle is the remainder), so span nesting holds by
+        // construction and ts is monotonic per tid.
+        workerSpanUs_.resize(W, 0);
+        for (std::size_t w = 0; w < W; w++) {
+            const std::uint64_t t0 = workerSpanUs_[w];
+            const std::uint64_t busy =
+                e.tickUs[w] + e.drainUs[w] + e.barrierUs[w];
+            const std::uint64_t dur = busy + e.idleUs[w];
+            trace_->completeEvent(
+                TraceWriter::kWorkerPid, w, "window", "worker", t0,
+                dur,
+                csprintf("{\"cycle\": %llu}",
+                         (unsigned long long)e.cycle));
+            trace_->completeEvent(TraceWriter::kWorkerPid, w, "tick",
+                                  "worker", t0, e.tickUs[w]);
+            trace_->completeEvent(TraceWriter::kWorkerPid, w, "drain",
+                                  "worker", t0 + e.tickUs[w],
+                                  e.drainUs[w]);
+            trace_->completeEvent(TraceWriter::kWorkerPid, w,
+                                  "barrier", "worker",
+                                  t0 + e.tickUs[w] + e.drainUs[w],
+                                  e.barrierUs[w]);
+            const double util =
+                dur ? 100.0 * double(e.tickUs[w] + e.drainUs[w]) /
+                          double(dur)
+                    : 0.0;
+            const std::string track = csprintf("worker%d", int(w));
+            trace_->counterEvent(TraceWriter::kWorkerPid,
+                                 track.c_str(), t0 + dur, "util_pct",
+                                 util);
+            workerSpanUs_[w] = t0 + dur;
+        }
     }
 }
 
@@ -217,6 +327,11 @@ Telemetry::finish()
 
     poll();
     const sim::Cycle end = net_.now();
+    if (prof_) {
+        // Final partial profiling window (mirrors the sampler's).
+        if (const prof::Epoch *e = prof_->finish(end))
+            emitProfEpoch(*e);
+    }
     if (sampler_)
         sampler_->finish(end, trace_.get());
     if (trace_) {

@@ -38,9 +38,14 @@
 #include <vector>
 
 #include "net/network.hh"
+#include "prof/config.hh"
 #include "telem/config.hh"
 #include "telem/sampler.hh"
 #include "telem/trace.hh"
+
+namespace pdr::prof {
+class Profiler;
+} // namespace pdr::prof
 
 namespace pdr::telem {
 
@@ -91,9 +96,16 @@ class HostProfiler
 class Telemetry
 {
   public:
-    /** Opens the configured streams (throws std::runtime_error when a
-     *  path cannot be written) and attaches the read-only hooks. */
-    Telemetry(const Config &cfg, net::Network &net);
+    /**
+     * Opens the configured streams (throws std::runtime_error when a
+     * path cannot be written) and attaches the read-only hooks.  A
+     * non-null `prof` exports the engine profiler through the same
+     * streams: worker_window / weight_heatmap NDJSON records each
+     * epoch and kWorkerPid trace spans, with epochs running on the
+     * telemetry cadence even when the sampler itself is off.
+     */
+    Telemetry(const Config &cfg, net::Network &net,
+              prof::Profiler *prof = nullptr);
     ~Telemetry();
 
     Telemetry(const Telemetry &) = delete;
@@ -123,11 +135,13 @@ class Telemetry
 
   private:
     void emitEpoch(sim::Cycle at);
+    void emitProfEpoch(const prof::Epoch &e);
     void drainPacketSpans();
     void drainStallSpans();
 
     Config cfg_;
     net::Network &net_;
+    prof::Profiler *prof_ = nullptr;    //!< Engine profiler, optional.
 
     std::ofstream streamFile_;
     std::ofstream traceFile_;
@@ -143,6 +157,10 @@ class Telemetry
     /** Per-router closed stall spans (one vector per router so
      *  concurrently ticking workers never share a buffer). */
     std::vector<std::vector<router::Router::StallSpan>> stallSpans_;
+
+    /** Per-worker trace-span cursor: where the next kWorkerPid window
+     *  span starts (wall us); keeps spans contiguous per tid. */
+    std::vector<std::uint64_t> workerSpanUs_;
 
     sim::Cycle nextSampleAt_ = sim::CycleNever;
     Summary summary_;

@@ -11,12 +11,17 @@
  *   kRouterPid  sim-time router credit-stall spans and per-window
  *               counter tracks (one tid per router);
  *   kHostPid    host wall-clock profile scopes (ts/dur in real
- *               microseconds since the run started).
+ *               microseconds since the run started);
+ *   kWorkerPid  engine-profiler worker phase spans (tick / drain /
+ *               barrier nested in per-epoch window spans, one tid
+ *               per worker) and per-worker utilization counter
+ *               tracks, ts/dur in real microseconds.
  *
  * Determinism contract: every kPacketPid / kRouterPid event is a pure
  * function of simulation state, emitted in a fixed order, so the
  * sim-time lines of the file are byte-identical across runs and
- * worker counts.  Wall-clock values appear only in kHostPid events.
+ * worker counts.  Wall-clock values appear only in kHostPid and
+ * kWorkerPid events.
  * One event per line, which is what the trace tests key on.
  */
 
@@ -36,6 +41,7 @@ class TraceWriter
     static constexpr int kPacketPid = 1;    //!< Sim packet lifecycles.
     static constexpr int kRouterPid = 2;    //!< Sim router activity.
     static constexpr int kHostPid = 3;      //!< Host wall-clock profile.
+    static constexpr int kWorkerPid = 4;    //!< Engine worker phases.
 
     /** Writes the array header immediately; `out` must outlive the
      *  writer.  nullptr = inactive (every emit is a no-op). */

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Engine-profiler tests: the read-only contract (results bit-identical
+ * with profiling on or off, at any worker count), determinism of the
+ * tick-weight signal, the telescoping of per-epoch weight deltas, the
+ * report, and the NDJSON round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "api/simulation.hh"
+#include "prof/report.hh"
+
+using namespace pdr;
+
+namespace {
+
+api::SimConfig
+tinyConfig(double load = 0.4)
+{
+    api::SimConfig cfg;
+    cfg.net.k = 4;
+    cfg.net.router.model = router::RouterModel::SpecVirtualChannel;
+    cfg.net.router.numVcs = 2;
+    cfg.net.router.bufDepth = 4;
+    cfg.net.warmup = 500;
+    cfg.net.samplePackets = 1000;
+    cfg.net.setOfferedFraction(load);
+    cfg.maxCycles = 100000;
+    return cfg;
+}
+
+api::SimConfig
+k8Config(const std::string &pattern, double load)
+{
+    api::SimConfig cfg;
+    cfg.net.k = 8;
+    cfg.net.router.model = router::RouterModel::SpecVirtualChannel;
+    cfg.net.router.numVcs = 2;
+    cfg.net.router.bufDepth = 4;
+    cfg.net.warmup = 300;
+    cfg.net.samplePackets = 1000;
+    cfg.net.pattern = pattern;
+    cfg.net.setOfferedFraction(load);
+    cfg.maxCycles = 30000;
+    return cfg;
+}
+
+void
+expectSameResults(const api::SimResults &a, const api::SimResults &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.sampleReceived, b.sampleReceived);
+    EXPECT_EQ(a.sampleSize, b.sampleSize);
+    EXPECT_EQ(a.drained, b.drained);
+    EXPECT_DOUBLE_EQ(a.acceptedFraction, b.acceptedFraction);
+    EXPECT_DOUBLE_EQ(a.avgLatency, b.avgLatency);
+    EXPECT_DOUBLE_EQ(a.p99Latency, b.p99Latency);
+    EXPECT_EQ(a.routers.flitsIn, b.routers.flitsIn);
+    EXPECT_EQ(a.routers.flitsOut, b.routers.flitsOut);
+    EXPECT_EQ(a.routers.headGrants, b.routers.headGrants);
+    EXPECT_EQ(a.routers.vaGrants, b.routers.vaGrants);
+    EXPECT_EQ(a.routers.specSaAttempts, b.routers.specSaAttempts);
+    EXPECT_EQ(a.routers.specSaWins, b.routers.specSaWins);
+    EXPECT_EQ(a.routers.specSaUseful, b.routers.specSaUseful);
+    EXPECT_EQ(a.routers.creditStallCycles,
+              b.routers.creditStallCycles);
+    EXPECT_EQ(a.routers.bufOccupancy, b.routers.bufOccupancy);
+}
+
+} // namespace
+
+TEST(Prof, ProfilingIsReadOnly)
+{
+    // The hard contract: identical SimResults with the profiler on or
+    // off, field by field, at 1, 2 and 4 workers.
+    api::SimConfig off = tinyConfig();
+    auto base = api::runSimulation(off);
+    EXPECT_EQ(base.prof, nullptr);
+
+    for (int w : {1, 2, 4}) {
+        api::SimConfig on = tinyConfig();
+        on.prof.enable = true;
+        on.parWorkers = w;
+        auto res = api::runSimulation(on);
+        expectSameResults(base, res);
+        ASSERT_NE(res.prof, nullptr);
+        EXPECT_GT(res.prof->epochs.size(), 0u);
+    }
+}
+
+TEST(Prof, WeightsIdenticalAcrossWorkerCounts)
+{
+    // The tick-weight signal depends only on the wake-table schedule,
+    // so the merged shards -- and every per-epoch delta -- must be
+    // byte-identical for any worker count.
+    std::shared_ptr<const prof::Capture> caps[3];
+    const int workers[] = {1, 2, 4};
+    for (int i = 0; i < 3; i++) {
+        api::SimConfig cfg = tinyConfig();
+        cfg.prof.enable = true;
+        cfg.parWorkers = workers[i];
+        caps[i] = api::runSimulation(cfg).prof;
+        ASSERT_NE(caps[i], nullptr);
+    }
+    for (int i = 1; i < 3; i++) {
+        EXPECT_EQ(caps[0]->cycles, caps[i]->cycles);
+        EXPECT_EQ(caps[0]->weights, caps[i]->weights);
+        ASSERT_EQ(caps[0]->epochs.size(), caps[i]->epochs.size());
+        for (std::size_t e = 0; e < caps[0]->epochs.size(); e++) {
+            EXPECT_EQ(caps[0]->epochs[e].cycle,
+                      caps[i]->epochs[e].cycle);
+            EXPECT_EQ(caps[0]->epochs[e].weights,
+                      caps[i]->epochs[e].weights);
+        }
+    }
+}
+
+TEST(Prof, EpochWeightsTelescopeToTotals)
+{
+    api::SimConfig cfg = tinyConfig();
+    cfg.prof.enable = true;
+    cfg.telem.interval = 300;
+    auto cap = api::runSimulation(cfg).prof;
+    ASSERT_NE(cap, nullptr);
+    ASSERT_GT(cap->epochs.size(), 1u);
+    std::vector<std::uint64_t> sum(cap->weights.size(), 0);
+    for (const auto &e : cap->epochs) {
+        ASSERT_EQ(e.weights.size(), sum.size());
+        for (std::size_t r = 0; r < sum.size(); r++)
+            sum[r] += e.weights[r];
+    }
+    EXPECT_EQ(sum, cap->weights);
+    // Somebody actually ticked.
+    std::uint64_t total = 0;
+    for (auto w : cap->weights)
+        total += w;
+    EXPECT_GT(total, 0u);
+}
+
+TEST(Prof, PhaseTimesCoverEachEpoch)
+{
+    api::SimConfig cfg = tinyConfig();
+    cfg.prof.enable = true;
+    cfg.parWorkers = 2;
+    auto cap = api::runSimulation(cfg).prof;
+    ASSERT_NE(cap, nullptr);
+    EXPECT_GE(cap->workers, 1);
+    for (const auto &e : cap->epochs) {
+        ASSERT_EQ(e.tickUs.size(), std::size_t(cap->workers));
+        ASSERT_EQ(e.drainUs.size(), std::size_t(cap->workers));
+        ASSERT_EQ(e.barrierUs.size(), std::size_t(cap->workers));
+        ASSERT_EQ(e.idleUs.size(), std::size_t(cap->workers));
+    }
+    // Worker 0 spent some wall time ticking overall (the values are
+    // host-clock readings, so only coarse properties are testable).
+    std::uint64_t tick0 = 0;
+    for (const auto &e : cap->epochs)
+        tick0 += e.tickUs[0];
+    EXPECT_GT(tick0, 0u);
+}
+
+TEST(Prof, HotspotMoreImbalancedThanUniform)
+{
+    // The acceptance check behind `pdr profile`: under a hotspot
+    // pattern the plane-aligned tick-weight split is strictly more
+    // imbalanced than under uniform traffic, and the ratio -- being a
+    // pure function of the deterministic weights -- is identical at
+    // any execution worker count.
+    api::SimConfig hot = k8Config("hotspot", 0.85);
+    hot.prof.enable = true;
+    auto hotCap = api::runSimulation(hot).prof;
+    ASSERT_NE(hotCap, nullptr);
+
+    api::SimConfig uni = k8Config("uniform", 0.85);
+    uni.prof.enable = true;
+    auto uniCap = api::runSimulation(uni).prof;
+    ASSERT_NE(uniCap, nullptr);
+
+    const auto lat = hot.net.makeLattice();
+    const double hotImb =
+        prof::weightImbalance(hotCap->weights, lat, 4);
+    const double uniImb =
+        prof::weightImbalance(uniCap->weights, lat, 4);
+    EXPECT_GT(hotImb, uniImb);
+    EXPECT_GT(hotImb, 1.0);
+
+    hot.parWorkers = 2;
+    auto hotCap2 = api::runSimulation(hot).prof;
+    ASSERT_NE(hotCap2, nullptr);
+    EXPECT_EQ(hotCap->weights, hotCap2->weights);
+    EXPECT_DOUBLE_EQ(
+        hotImb, prof::weightImbalance(hotCap2->weights, lat, 4));
+}
+
+TEST(Prof, ReportNamesTheVerdict)
+{
+    api::SimConfig cfg = k8Config("hotspot", 0.85);
+    cfg.prof.enable = true;
+    auto res = api::runSimulation(cfg);
+    ASSERT_NE(res.prof, nullptr);
+    const std::string report = prof::buildReport(
+        *res.prof, cfg.net.makeLattice(), cfg.prof);
+    EXPECT_NE(report.find("per-worker phase wall time"),
+              std::string::npos);
+    EXPECT_NE(report.find("hottest routers"), std::string::npos);
+    EXPECT_NE(report.find("weight_imbalance"), std::string::npos);
+    EXPECT_NE(report.find("verdict: planes split puts"),
+              std::string::npos);
+    EXPECT_NE(report.find("weighted split would cut"),
+              std::string::npos);
+}
+
+TEST(Prof, StreamRoundTripsThroughParser)
+{
+    // A profiled run with a stream destination writes worker_window /
+    // weight_heatmap records even with the telemetry sampler off;
+    // parseStream must rebuild the deterministic half of the capture
+    // exactly.
+    const std::string out = "pdr_test_prof_roundtrip.ndjson";
+    api::SimConfig cfg = tinyConfig();
+    cfg.prof.enable = true;
+    cfg.telem.out = out;    // Note: telem.enable stays false.
+    auto res = api::runSimulation(cfg);
+    ASSERT_NE(res.prof, nullptr);
+
+    std::ifstream in(out);
+    ASSERT_TRUE(bool(in));
+    auto parsed = prof::parseStream(in);
+    std::remove(out.c_str());
+
+    EXPECT_EQ(parsed.workers, res.prof->workers);
+    EXPECT_EQ(parsed.epochs.size(), res.prof->epochs.size());
+    EXPECT_EQ(parsed.weights, res.prof->weights);
+    for (std::size_t e = 0; e < parsed.epochs.size(); e++) {
+        EXPECT_EQ(parsed.epochs[e].cycle, res.prof->epochs[e].cycle);
+        EXPECT_EQ(parsed.epochs[e].weights,
+                  res.prof->epochs[e].weights);
+        EXPECT_EQ(parsed.epochs[e].tickUs, res.prof->epochs[e].tickUs);
+    }
+}
+
+TEST(Prof, StreamByteIdenticalHeatmapAcrossWorkers)
+{
+    // The weight_heatmap lines are simulation output: byte-identical
+    // at any worker count (worker_window lines are wall clock and are
+    // excluded).
+    std::string heatmaps[2];
+    const int workers[] = {1, 2};
+    for (int i = 0; i < 2; i++) {
+        const std::string out =
+            std::string("pdr_test_prof_hm") + (i ? "2" : "1") +
+            ".ndjson";
+        api::SimConfig cfg = tinyConfig();
+        cfg.prof.enable = true;
+        cfg.parWorkers = workers[i];
+        cfg.telem.out = out;
+        api::runSimulation(cfg);
+        std::ifstream in(out);
+        ASSERT_TRUE(bool(in));
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.find("\"type\": \"weight_heatmap\"") !=
+                std::string::npos)
+                heatmaps[i] += line + "\n";
+        }
+        std::remove(out.c_str());
+    }
+    EXPECT_FALSE(heatmaps[0].empty());
+    EXPECT_EQ(heatmaps[0], heatmaps[1]);
+}
+
+TEST(Prof, ConfigValidates)
+{
+    prof::Config c;
+    EXPECT_NO_THROW(c.validate());
+    c.top = 0;
+    EXPECT_THROW(c.validate(), std::exception);
+    c.top = 8;
+    c.reportWorkers = 0;
+    EXPECT_THROW(c.validate(), std::exception);
+    c.reportWorkers = 4;
+    EXPECT_NO_THROW(c.validate());
+    prof::Config d;
+    EXPECT_TRUE(c == d);
+    d.top = 9;
+    EXPECT_TRUE(c != d);
+}

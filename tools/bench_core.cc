@@ -42,6 +42,7 @@
 
 #include "net/network.hh"
 #include "par/stepper.hh"
+#include "prof/profiler.hh"
 #include "router/config.hh"
 #include "telem/telemetry.hh"
 
@@ -69,6 +70,10 @@ struct Scenario
     /** Stream windowed telemetry (interval 1000, records discarded
      *  into /dev/null) while timing: the telemetry-overhead A/B. */
     bool telem = false;
+    /** Engine profiling on (phase marks in the stepper, per-router
+     *  tick-weight counts, epochs streamed to /dev/null): the
+     *  profiler-overhead A/B. */
+    bool prof = false;
 };
 
 const Scenario kScenarios[] = {
@@ -102,6 +107,14 @@ const Scenario kScenarios[] = {
      2, 4, 0.9, 8, 1, false, "specvc_sat_telem_on"},
     {"specvc_sat_telem_on", router::RouterModel::SpecVirtualChannel,
      2, 4, 0.9, 8, 1, false, nullptr, true},
+    // Profiler-overhead A/B: the same saturated k=8 scenario with the
+    // engine profiler off vs on (2 workers so the phase marks hit the
+    // parallel stepping path; epochs stream to /dev/null).  Results
+    // are bit-identical; only the wall clock moves.
+    {"specvc_sat_prof_off", router::RouterModel::SpecVirtualChannel,
+     2, 4, 0.9, 8, 2, false, "specvc_sat_prof_on"},
+    {"specvc_sat_prof_on", router::RouterModel::SpecVirtualChannel,
+     2, 4, 0.9, 8, 2, false, nullptr, false, true},
 };
 
 struct Result
@@ -116,6 +129,10 @@ struct Bench
 {
     std::unique_ptr<net::Network> network;
     std::unique_ptr<par::ParallelStepper> stepper;
+    /** Profiler for prof scenarios; declared after the stepper and
+     *  before the facade so destruction runs tel -> prof -> stepper
+     *  -> network. */
+    std::unique_ptr<prof::Profiler> prof;
     /** Attached after warm-up for telemetry scenarios (destroyed
      *  first, before the stepper detaches). */
     std::unique_ptr<telem::Telemetry> tel;
@@ -141,12 +158,18 @@ buildBench(const Scenario &sc)
     pcfg.workers = sc.workers;
     b.stepper = std::make_unique<par::ParallelStepper>(*b.network, pcfg);
     b.stepper->run(2000);           // Reach steady state untimed.
-    if (sc.telem) {
+    if (sc.prof) {
+        b.prof = std::make_unique<prof::Profiler>(
+            *b.network, b.stepper->workers());
+        b.stepper->attachProfiler(b.prof.get());
+    }
+    if (sc.telem || sc.prof) {
         telem::Config tc;
-        tc.enable = true;
+        tc.enable = sc.telem;
         tc.interval = 1000;
         tc.out = "/dev/null";       // Full emission path, discarded.
-        b.tel = std::make_unique<telem::Telemetry>(tc, *b.network);
+        b.tel = std::make_unique<telem::Telemetry>(tc, *b.network,
+                                                   b.prof.get());
     }
     return b;
 }
@@ -307,11 +330,13 @@ main(int argc, char **argv)
                       "    {\"name\": \"%s\", \"offered\": %.2f, "
                       "\"k\": %d, \"workers\": %d, "
                       "\"scalar_alloc\": %s, \"telem\": %s, "
+                      "\"prof\": %s, "
                       "\"best_wall_s\": %.6f, \"cycles_per_sec\": %.0f}",
                       r.sc->name, r.sc->offered, r.sc->k,
                       r.sc->workers,
                       r.sc->scalarAlloc ? "true" : "false",
                       r.sc->telem ? "true" : "false",
+                      r.sc->prof ? "true" : "false",
                       r.bestWallS, r.cyclesPerSec);
         f << buf << (i + 1 < results.size() ? ",\n" : "\n");
     }

@@ -49,11 +49,13 @@ HOT_DIRS = ("src/net/", "src/router/", "src/arb/", "src/par/",
 
 # Directories whose code may legitimately read the host clock for
 # *observability* (sweep wall-time telemetry, the host-profile trace
-# stream).  Wall-clock reads there fall under PDR-OBS-WALLCLOCK --
-# still suppression-gated, but with an observability-specific message
-# -- while everywhere else in src/ stays under the stricter
-# PDR-RNG-TIME.
-OBS_DIRS = ("src/telem/", "src/exec/")
+# stream, the engine profiler's worker-phase timing).  Wall-clock
+# reads there fall under PDR-OBS-WALLCLOCK -- still
+# suppression-gated, but with an observability-specific message --
+# while everywhere else in src/ (notably src/par/, whose phase
+# transitions the profiler timestamps from the *outside*) stays under
+# the stricter PDR-RNG-TIME.
+OBS_DIRS = ("src/telem/", "src/exec/", "src/prof/")
 
 
 def in_src(path):
@@ -279,18 +281,19 @@ RULES = [
     Rule("PDR-RNG-TIME",
          "wall-clock read: time()/clock()/chrono clocks feeding "
          "simulation state make runs time-dependent; simulated time is "
-         "the only clock (src/telem/ and src/exec/ observability paths "
-         "are governed by PDR-OBS-WALLCLOCK instead)",
+         "the only clock (the src/telem/, src/exec/ and src/prof/ "
+         "observability paths are governed by PDR-OBS-WALLCLOCK "
+         "instead)",
          in_src_except_obs, pattern=RNG_TIME_RE,
          message="wall-clock read: simulation behavior may not depend "
                  "on host time (telemetry needs a justified "
                  "suppression)"),
     Rule("PDR-OBS-WALLCLOCK",
          "wall-clock read in an observability path (src/telem/, "
-         "src/exec/): host time is allowed only in host-profile / "
-         "wall-time telemetry streams that never feed simulation "
-         "state or sim-facing output, and every read must carry a "
-         "justified suppression saying so",
+         "src/exec/, src/prof/): host time is allowed only in "
+         "host-profile / wall-time telemetry streams that never feed "
+         "simulation state or sim-facing output, and every read must "
+         "carry a justified suppression saying so",
          in_obs, pattern=RNG_TIME_RE,
          message="wall-clock read in an observability path: confine "
                  "it to the host-profile / wall-time stream and "
@@ -534,6 +537,14 @@ FIXTURES = [
     ("PDR-OBS-WALLCLOCK", "src/exec/demo.cc",
      "auto start = std::chrono::steady_clock::now();\n",
      "sim::Cycle start = 0;\n"),
+    ("PDR-OBS-WALLCLOCK", "src/prof/demo.cc",
+     "auto t0 = std::chrono::steady_clock::now();\n",
+     "sim::Cycle t0 = net.now();\n"),
+    # The profiler times src/par/ phases, but from its own shards:
+    # raw clock reads inside the stepper itself stay forbidden.
+    ("PDR-RNG-TIME", "src/par/demo.cc",
+     "auto t0 = std::chrono::steady_clock::now();\n",
+     "prof->mark(w, prof::Profiler::Phase::Tick);\n"),
     ("PDR-ORD-UNORD", "src/router/demo.hh",
      "std::unordered_map<int, int> credits_;\n",
      "std::vector<int> credits_;\n"),
@@ -606,6 +617,8 @@ SCOPE_FIXTURES = [
     ("PDR-RNG-TIME", "src/telem/demo.cc",
      "auto t0 = std::chrono::steady_clock::now();\n"),
     ("PDR-RNG-TIME", "src/exec/demo.cc",
+     "auto t0 = std::chrono::steady_clock::now();\n"),
+    ("PDR-RNG-TIME", "src/prof/demo.cc",
      "auto t0 = std::chrono::steady_clock::now();\n"),
     # ... and the rest of src/ is PDR-RNG-TIME territory.
     ("PDR-OBS-WALLCLOCK", "src/router/demo.cc",

@@ -4,6 +4,7 @@
  *
  *   pdr run      [--file F] [--key=value ...]          one simulation
  *   pdr sweep    [--file F] [--key=value ...] [...]    a full sweep
+ *   pdr profile  [--file F] [--key=value ...]          engine profile
  *   pdr describe [--file F] [--key=value ...]          schema / files
  *
  * Experiments are data: an INI-style file (see the experiments/
@@ -25,22 +26,19 @@
 #include <exception>
 #include <fstream>
 #include <iostream>
-#include <functional>
 #include <map>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#if defined(__unix__) || defined(__APPLE__)
-#include <unistd.h>
-#endif
-
 #include "api/params.hh"
 #include "api/simulation.hh"
 #include "common/logging.hh"
+#include "exec/progress.hh"
 #include "exec/sweep.hh"
 #include "net/registry.hh"
+#include "prof/report.hh"
 #include "traffic/pattern.hh"
 
 using namespace pdr;
@@ -64,6 +62,10 @@ usage(FILE *out)
         "  list       print every registered topology, routing "
         "function\n"
         "             and traffic pattern, one per line\n"
+        "  profile    run the base configuration with the engine\n"
+        "             profiler on (or read a stream via --from) and\n"
+        "             print per-worker utilization, hottest routers\n"
+        "             and a partition-quality verdict\n"
         "  diff       compare two sweep CSVs cell by cell "
         "(--tolerance\n"
         "             for numeric slack); exits 1 on any mismatch\n"
@@ -107,6 +109,13 @@ usage(FILE *out)
         "  --trace PATH       run: write a Chrome trace-event JSON "
         "(opens in\n"
         "                     Perfetto / chrome://tracing) to PATH\n"
+        "  --profile          run: enable the engine profiler "
+        "(prof.enable)\n"
+        "                     and print the profile report after the\n"
+        "                     results (prof.* keys tune it)\n"
+        "  --from PATH        profile: analyze an existing NDJSON "
+        "stream\n"
+        "                     instead of running the simulation\n"
         "\n"
         "environment: PDR_FAST=1 coarsens the load axis; PDR_PACKETS,\n"
         "PDR_WARMUP, PDR_MAX_CYCLES override the base config.\n"
@@ -132,6 +141,8 @@ struct Options
     int sliceCount = 0;     //!< 0 = no --slice given.
     std::string telemPath;  //!< --telem: stream path (sweep: prefix).
     std::string tracePath;  //!< --trace: Chrome trace JSON path.
+    bool profile = false;   //!< --profile: engine profiler + report.
+    std::string fromPath;   //!< --from: analyze an existing stream.
     /** --key=value overrides, in command-line order. */
     std::vector<std::pair<std::string, std::string>> overrides;
     /** Positional arguments (CSV paths of `pdr diff` / `pdr merge`). */
@@ -181,6 +192,10 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.telemPath = want_value("--telem");
         } else if (arg == "--trace") {
             opt.tracePath = want_value("--trace");
+        } else if (arg == "--profile") {
+            opt.profile = true;
+        } else if (arg == "--from") {
+            opt.fromPath = want_value("--from");
         } else if (arg == "--tolerance") {
             opt.tolerance = std::atof(want_value("--tolerance").c_str());
         } else if (arg == "--slice") {
@@ -264,6 +279,8 @@ cmdRun(const Options &opt)
     }
     if (!opt.tracePath.empty())
         exp.base.telem.trace = opt.tracePath;
+    if (opt.profile)
+        exp.base.prof.enable = true;
     api::params::validate(exp.base);
 
     auto res = api::runSimulation(exp.base);
@@ -298,45 +315,55 @@ cmdRun(const Options &opt)
                     static_cast<unsigned long long>(
                         res.telem.traceEvents));
     }
+    if (res.prof) {
+        std::printf("\n%s",
+                    prof::buildReport(*res.prof,
+                                      exp.base.net.makeLattice(),
+                                      exp.base.prof).c_str());
+    }
     return 0;
 }
 
 /**
- * Live sweep progress on stderr: a single \r-rewritten line with
- * done/total and a smoothed ETA from the mean point wall time so far.
- * Only when stderr is an interactive terminal (never into logs or CI
- * transcripts) and the log level is not silent.
+ * `pdr profile`: run the base configuration with the engine profiler
+ * on -- or rebuild a capture from an existing NDJSON stream (--from)
+ * -- and print the offline report: per-worker utilization, per-window
+ * imbalance, hottest routers with lattice coordinates, and the
+ * partition-quality verdict.  Everything derived from tick weights is
+ * deterministic: identical across runs and execution worker counts.
  */
-std::function<void(std::size_t, std::size_t, double)>
-makeProgressLine()
+int
+cmdProfile(const Options &opt)
 {
-#if defined(__unix__) || defined(__APPLE__)
-    if (!isatty(fileno(stderr)))
-        return nullptr;
-#else
-    return nullptr;
-#endif
-    if (logLevel() == LogLevel::Silent)
-        return nullptr;
-    // State lives in the closure; calls are serialized by the sweep
-    // runner's progress mutex.
-    auto total_ms = std::make_shared<double>(0.0);
-    return [total_ms](std::size_t done, std::size_t total,
-                      double point_ms) {
-        *total_ms += point_ms;
-        // Points run concurrently, so the per-point mean overestimates
-        // wall time by roughly the thread count; good enough for a
-        // progress hint without threading the pool size through.
-        double mean_ms = *total_ms / double(done);
-        double eta_s = mean_ms * double(total - done) / 1000.0;
-        std::fprintf(stderr,
-                     "\rsweep: %zu/%zu points (%3.0f%%), eta ~%.0fs ",
-                     done, total, 100.0 * double(done) / double(total),
-                     eta_s);
-        if (done == total)
-            std::fputc('\n', stderr);
-        std::fflush(stderr);
-    };
+    auto exp = buildExperiment(opt);
+    exp.applyEnv();
+    exp.base.prof.enable = true;
+    if (!opt.telemPath.empty()) {
+        exp.base.telem.enable = true;
+        exp.base.telem.out = opt.telemPath;
+    }
+    if (!opt.tracePath.empty())
+        exp.base.telem.trace = opt.tracePath;
+    api::params::validate(exp.base);
+
+    prof::Capture cap;
+    if (!opt.fromPath.empty()) {
+        std::ifstream in(opt.fromPath);
+        if (!in) {
+            throw std::invalid_argument("cannot read '" +
+                                        opt.fromPath + "'");
+        }
+        cap = prof::parseStream(in);
+    } else {
+        auto res = api::runSimulation(exp.base);
+        if (!res.prof)
+            throw std::runtime_error("run produced no profile");
+        cap = *res.prof;
+    }
+    std::fputs(prof::buildReport(cap, exp.base.net.makeLattice(),
+                                 exp.base.prof).c_str(),
+               stdout);
+    return 0;
 }
 
 int
@@ -358,7 +385,7 @@ cmdSweep(const Options &opt)
     exec::SweepOptions sweep_opts;
     sweep_opts.threads = opt.threads;
     sweep_opts.baseSeed = opt.seed;
-    sweep_opts.onPointDone = makeProgressLine();
+    sweep_opts.onPointDone = exec::makeProgressLine();
 
     // --slice I/N: run one contiguous block of the expanded grid.
     // Seeds are assigned from the *global* point index before slicing,
@@ -754,6 +781,8 @@ main(int argc, char **argv)
             return cmdRun(opt);
         if (cmd == "sweep")
             return cmdSweep(opt);
+        if (cmd == "profile")
+            return cmdProfile(opt);
         if (cmd == "describe")
             return cmdDescribe(opt);
         if (cmd == "list")

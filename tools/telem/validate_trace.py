@@ -13,9 +13,16 @@ chrome://tracing will actually open:
     (name/ph/pid/tid, ts for X and C, dur for X, args for M and C);
   * only the documented phases appear;
   * complete events have non-negative durations;
-  * the three pdr processes are named via process_name metadata, and
+  * the pdr processes are named via process_name metadata, and
     sim-time pids (1 = packets, 2 = routers) coexist with the
-    host-profile pid (3) without mixing into each other's tids.
+    host-clock pids (3 = host profile, 4 = engine workers) without
+    mixing into each other's tids;
+  * counter tracks never run backwards: C events are non-decreasing
+    in ts per (pid, name);
+  * on the engine-worker pid (4), each tid is one worker: its
+    profiling `window` spans are monotonic and non-overlapping, every
+    phase span (tick/drain/barrier) nests inside a window span on the
+    same tid, and no undocumented span names appear.
 
 Exit status: 0 = valid, 1 = findings, 2 = usage / unreadable input.
 """
@@ -27,7 +34,9 @@ import sys
 SIM_PACKET_PID = 1
 SIM_ROUTER_PID = 2
 HOST_PID = 3
+WORKER_PID = 4
 KNOWN_PHASES = {"M", "X", "C"}
+WORKER_SPAN_NAMES = {"window", "tick", "drain", "barrier"}
 
 
 def validate(doc, errors):
@@ -92,6 +101,73 @@ def validate(doc, errors):
     return by_pid
 
 
+def validate_counters(events, errors):
+    """C events must be non-decreasing in ts per (pid, name) track."""
+    last = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict) or ev.get("ph") != "C":
+            continue
+        key = (ev.get("pid"), ev.get("name"))
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            continue        # Already reported by validate().
+        if key in last and ts < last[key]:
+            errors.append("event %d: counter %r on pid %s runs "
+                          "backwards (ts %s after %s)"
+                          % (i, key[1], key[0], ts, last[key]))
+        last[key] = ts
+
+
+def validate_worker_pid(events, errors):
+    """Layout rules for the engine-worker profile pid (4).
+
+    The profiler lays each worker's trace out deterministically: one
+    `window` span per sampling epoch, phases packed inside it from its
+    start.  So windows must tile the tid without overlap, and every
+    phase span must be contained in a window on the same tid.
+    """
+    spans = {}      # tid -> [(ts, dur, name, index)]
+    for i, ev in enumerate(events):
+        if (not isinstance(ev, dict) or ev.get("ph") != "X"
+                or ev.get("pid") != WORKER_PID):
+            continue
+        name = ev.get("name")
+        ts = ev.get("ts")
+        dur = ev.get("dur")
+        if not isinstance(ts, (int, float)):
+            continue        # Already reported by validate().
+        if not isinstance(dur, (int, float)):
+            continue
+        if name not in WORKER_SPAN_NAMES:
+            errors.append("event %d: unknown span %r on worker pid %d "
+                          "(want one of %s)"
+                          % (i, name, WORKER_PID,
+                             sorted(WORKER_SPAN_NAMES)))
+            continue
+        spans.setdefault(ev.get("tid"), []).append((ts, dur, name, i))
+
+    for tid, tid_spans in sorted(spans.items()):
+        windows = sorted((s for s in tid_spans if s[2] == "window"))
+        phases = [s for s in tid_spans if s[2] != "window"]
+        if not windows and phases:
+            errors.append("worker tid %s has phase spans but no "
+                          "window spans" % tid)
+            continue
+        prev_end = None
+        for ts, dur, _, i in windows:
+            if prev_end is not None and ts < prev_end:
+                errors.append("event %d: worker tid %s window at ts "
+                              "%s overlaps the previous window "
+                              "(ends %s)" % (i, tid, ts, prev_end))
+            prev_end = ts + dur
+        for ts, dur, name, i in phases:
+            if not any(w_ts <= ts and ts + dur <= w_ts + w_dur
+                       for w_ts, w_dur, _, _ in windows):
+                errors.append("event %d: %r span [%s, %s) on worker "
+                              "tid %s is not nested in any window "
+                              "span" % (i, name, ts, ts + dur, tid))
+
+
 def main():
     ap = argparse.ArgumentParser(
         description="validate a pdr Chrome trace-event JSON file")
@@ -99,6 +175,11 @@ def main():
     ap.add_argument("--min-events", type=int, default=0,
                     help="fail unless at least this many non-metadata "
                          "events are present")
+    ap.add_argument("--require-pid", type=int, action="append",
+                    default=[], metavar="PID",
+                    help="fail unless this pid has at least one "
+                         "non-metadata event (repeatable; e.g. 4 for "
+                         "the engine-worker profile)")
     args = ap.parse_args()
 
     try:
@@ -117,11 +198,19 @@ def main():
     by_pid = validate(doc, errors)
 
     events = doc.get("traceEvents", [])
+    validate_counters(events, errors)
+    validate_worker_pid(events, errors)
+
     data_events = [e for e in events
                    if isinstance(e, dict) and e.get("ph") != "M"]
     if len(data_events) < args.min_events:
         errors.append("only %d non-metadata event(s), expected >= %d"
                       % (len(data_events), args.min_events))
+    for pid in args.require_pid:
+        if not by_pid.get(pid):
+            errors.append("required pid %d has no events (run with "
+                          "the matching observability switch on?)"
+                          % pid)
 
     for e in errors[:20]:
         print("validate_trace: %s: %s" % (args.trace, e),
